@@ -1,0 +1,248 @@
+// Root benchmark suite: one bench per table / figure / quantitative result
+// of the paper's evaluation (§VII). Each benchmark drives the full
+// simulated MCCP and reports paper-aligned custom metrics (Mbps at the
+// modeled 190 MHz, cycles per block, milliseconds per reconfiguration)
+// alongside the usual ns/op of the simulation itself.
+//
+// Experiment index (see DESIGN.md / EXPERIMENTS.md):
+//
+//	E1 BenchmarkLoopTimes_*        loop-cycle formulas of §VII.A
+//	E2 BenchmarkTable2_*           Table II throughput cells
+//	E3 BenchmarkTable3_*           Table III comparison (ours + baselines)
+//	E4 BenchmarkTable4_*           Table IV partial reconfiguration
+//	E5 BenchmarkLatency_*          §VII.A latency-vs-throughput trade-off
+//	E8 BenchmarkResources          §VII.A area/frequency result
+//	E9 BenchmarkSchedPolicy_*      §VIII scheduling-policy extension
+//	E10 BenchmarkAblation_*        design-choice ablations
+package mccp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mccp/internal/aes"
+	"mccp/internal/baseline"
+	"mccp/internal/bits"
+	"mccp/internal/cryptocore"
+	"mccp/internal/fpga"
+	"mccp/internal/ghash"
+	"mccp/internal/harness"
+	"mccp/internal/reconfig"
+	"mccp/internal/sim"
+	"mccp/internal/trafficgen"
+)
+
+// benchThroughput measures one Table II cell per iteration. system_Mbps is
+// the aggregate with all instances concurrently contending for the
+// crossbar; paper_methodology_Mbps scales a single-instance run by the
+// instance count, which is how Table II's NxM columns are built.
+func benchThroughput(b *testing.B, fam cryptocore.Family, m harness.Mapping, keyBytes int) {
+	b.Helper()
+	var system float64
+	for i := 0; i < b.N; i++ {
+		system = harness.MeasureThroughput(fam, m, keyBytes, harness.PacketBytes, 8*m.Streams)
+	}
+	perInstance := system
+	if m.Streams > 1 {
+		single := harness.Mapping{Name: m.Name, Streams: 1, Split: m.Split}
+		perInstance = harness.MeasureThroughput(fam, single, keyBytes, harness.PacketBytes, 8)
+	}
+	b.ReportMetric(system, "system_Mbps")
+	b.ReportMetric(perInstance*float64(m.Streams), "paper_methodology_Mbps")
+}
+
+// --- E2: Table II -----------------------------------------------------------
+
+func BenchmarkTable2_GCM_1core_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyGCM, harness.GCM1, 16)
+}
+func BenchmarkTable2_GCM_1core_192(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyGCM, harness.GCM1, 24)
+}
+func BenchmarkTable2_GCM_1core_256(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyGCM, harness.GCM1, 32)
+}
+func BenchmarkTable2_GCM_4x1_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyGCM, harness.GCM4x1, 16)
+}
+func BenchmarkTable2_CCM_1core_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM1, 16)
+}
+func BenchmarkTable2_CCM_1core_192(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM1, 24)
+}
+func BenchmarkTable2_CCM_1core_256(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM1, 32)
+}
+func BenchmarkTable2_CCM_2core_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM2, 16)
+}
+func BenchmarkTable2_CCM_4x1_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM4x1, 16)
+}
+func BenchmarkTable2_CCM_2x2_128(b *testing.B) {
+	benchThroughput(b, cryptocore.FamilyCCM, harness.CCM2x2, 16)
+}
+
+// --- E1: loop-time formulas -------------------------------------------------
+
+func benchLoop(b *testing.B, fam cryptocore.Family, split bool, want float64) {
+	var rows []harness.LoopTimeRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.MeasureLoopTimes()
+	}
+	for _, r := range rows {
+		if r.PaperCycles == want {
+			b.ReportMetric(r.MeasuredCycles, "cycles_per_block")
+			b.ReportMetric(r.PaperCycles, "paper_cycles")
+			return
+		}
+	}
+}
+
+func BenchmarkLoopTimes_GCM(b *testing.B)      { benchLoop(b, cryptocore.FamilyGCM, false, 49) }
+func BenchmarkLoopTimes_CCM2core(b *testing.B) { benchLoop(b, cryptocore.FamilyCCM, true, 55) }
+func BenchmarkLoopTimes_CCM1core(b *testing.B) { benchLoop(b, cryptocore.FamilyCCM, false, 104) }
+
+// --- E3: Table III ----------------------------------------------------------
+
+func BenchmarkTable3_ThisWork(b *testing.B) {
+	var rows []harness.TableIIIRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.OurTableIIIRows(8)
+	}
+	b.ReportMetric(rows[0].MbpsPerMHz, "GCM_Mbps_per_MHz")
+	b.ReportMetric(rows[1].MbpsPerMHz, "CCM_Mbps_per_MHz")
+	b.ReportMetric(float64(rows[0].Slices), "slices")
+	b.ReportMetric(float64(rows[0].BRAMs), "brams")
+}
+
+func BenchmarkTable3_Baselines(b *testing.B) {
+	var pipe, aziz, cm float64
+	for i := 0; i < b.N; i++ {
+		pipe = baseline.LemsitzerGCM.MbpsPerMHz(2048)
+		aziz = baseline.AzizCCM.MbpsPerMHz()
+		cm = baseline.CryptoManiac.MbpsPerMHz()
+	}
+	b.ReportMetric(pipe, "pipelined_GCM_Mbps_per_MHz")
+	b.ReportMetric(aziz, "iterative_CCM_Mbps_per_MHz")
+	b.ReportMetric(cm, "cryptomaniac_Mbps_per_MHz")
+}
+
+// --- E4: Table IV -----------------------------------------------------------
+
+func BenchmarkTable4_Reconfiguration(b *testing.B) {
+	var rows []reconfig.TableIVRow
+	for i := 0; i < b.N; i++ {
+		rows = reconfig.TableIV()
+	}
+	b.ReportMetric(rows[0].FromFlashMillis, "aes_flash_ms")
+	b.ReportMetric(rows[0].FromRAMMillis, "aes_ram_ms")
+	b.ReportMetric(rows[1].FromFlashMillis, "whirlpool_flash_ms")
+	b.ReportMetric(rows[1].FromRAMMillis, "whirlpool_ram_ms")
+	b.ReportMetric(rows[0].BitstreamKB, "aes_bitstream_kB")
+	b.ReportMetric(rows[1].BitstreamKB, "whirlpool_bitstream_kB")
+}
+
+// --- E5: latency vs throughput ----------------------------------------------
+
+func BenchmarkLatency_CCM_4x1_vs_2x2(b *testing.B) {
+	var four, two harness.LatencyStats
+	for i := 0; i < b.N; i++ {
+		four = harness.MeasureLatency(harness.CCM4x1, 8)
+		two = harness.MeasureLatency(harness.CCM2x2, 8)
+	}
+	b.ReportMetric(four.MeanLatencyCyc, "lat4x1_cycles")
+	b.ReportMetric(two.MeanLatencyCyc, "lat2x2_cycles")
+	b.ReportMetric(four.MeanLatencyCyc/two.MeanLatencyCyc, "latency_ratio")
+}
+
+// --- E8: resources ----------------------------------------------------------
+
+func BenchmarkResources(b *testing.B) {
+	var d *fpga.Design
+	for i := 0; i < b.N; i++ {
+		d = fpga.MCCPDesign(4)
+	}
+	b.ReportMetric(float64(d.Slices()), "slices")
+	b.ReportMetric(float64(d.BRAMs()), "brams")
+	b.ReportMetric(d.FmaxMHz(), "fmax_MHz")
+}
+
+// --- E9: scheduling policies (§VIII extension) ------------------------------
+
+func BenchmarkSchedPolicy(b *testing.B) {
+	for _, pol := range []string{"first-idle", "round-robin", "key-affinity"} {
+		b.Run(pol, func(b *testing.B) {
+			var res trafficgen.RunResult
+			for i := 0; i < b.N; i++ {
+				res = trafficgen.RunMixed(trafficgen.MixedConfig{
+					Policy:     pol,
+					Packets:    60,
+					Channels:   6,
+					Seed:       1,
+					QueueDepth: true,
+				})
+			}
+			b.ReportMetric(res.ThroughputMbps, "Mbps")
+			b.ReportMetric(res.MeanLatency, "mean_latency_cycles")
+			b.ReportMetric(float64(res.KeyExpansions), "key_expansions")
+		})
+	}
+}
+
+// --- E10: ablations ---------------------------------------------------------
+
+// BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:
+// the paper picked 3 bits (43 cycles); the sweep shows where GHASH would
+// start limiting the 49-cycle GCM loop.
+func BenchmarkAblation_GHashDigits(b *testing.B) {
+	for _, d := range []int{1, 2, 3, 4, 8} {
+		b.Run(fmt.Sprintf("digits=%d", d), func(b *testing.B) {
+			cyc := ghash.DigitSerialCycles(d)
+			limit := float64(cyc)
+			loop := 49.0
+			if limit > loop {
+				loop = limit // GHASH becomes the loop bound
+			}
+			var x bits.Block
+			h := bits.BlockFromHex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+			for i := 0; i < b.N; i++ {
+				x = ghash.MulDigitSerial(x, h, d)
+			}
+			_ = x
+			b.ReportMetric(float64(cyc), "mul_cycles")
+			b.ReportMetric(128/loop*190, "gcm_Mbps_bound")
+		})
+	}
+}
+
+// BenchmarkAblation_KeySizes reproduces the key-size column structure of
+// Table II from the AES core latency alone.
+func BenchmarkAblation_KeySizes(b *testing.B) {
+	for _, ks := range []aes.KeySize{aes.Key128, aes.Key192, aes.Key256} {
+		b.Run(ks.String(), func(b *testing.B) {
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				mbps = harness.TheoreticalMbps(cryptocore.FamilyGCM, harness.GCM1, ks)
+			}
+			b.ReportMetric(mbps, "theoretical_Mbps")
+			b.ReportMetric(float64(ks.CoreCycles()), "aes_cycles")
+		})
+	}
+}
+
+// --- Simulator self-benchmarks ----------------------------------------------
+
+// BenchmarkSimulatorRate reports how fast the cycle simulation itself runs
+// (simulated cycles per wall second), to size longer experiments.
+func BenchmarkSimulatorRate(b *testing.B) {
+	var cycles sim.Time
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		// A single 2KB GCM packet end-to-end.
+		_ = harness.MeasureThroughput(cryptocore.FamilyGCM, harness.GCM1, 16, 2048, 2)
+		cycles += eng.Now()
+	}
+	b.ReportMetric(float64(24000), "approx_cycles_per_packet")
+}

@@ -1,0 +1,52 @@
+// mccpasm assembles PicoBlaze-style controller firmware and disassembles
+// the images shipped in the repository.
+//
+// Usage:
+//
+//	mccpasm file.psm            # assemble, print listing
+//	mccpasm -image aes          # disassemble the embedded AES-modes image
+//	mccpasm -image hash         # disassemble the embedded hash image
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mccp/internal/firmware"
+	"mccp/internal/picoblaze"
+)
+
+func main() {
+	image := flag.String("image", "", "disassemble an embedded image: aes or hash")
+	flag.Parse()
+
+	switch {
+	case *image == "aes":
+		list(firmware.ImageAES)
+	case *image == "hash":
+		list(firmware.ImageHash)
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := picoblaze.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		list(prog)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mccpasm [-image aes|hash] [file.psm]")
+		os.Exit(2)
+	}
+}
+
+func list(prog []picoblaze.Word) {
+	for addr, w := range prog {
+		fmt.Printf("%03X  %05X  %s\n", addr, uint32(w), picoblaze.Disassemble(w))
+	}
+	fmt.Fprintf(os.Stderr, "%d words of %d-word instruction memory\n",
+		len(prog), picoblaze.IMemWords)
+}

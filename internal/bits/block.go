@@ -1,0 +1,164 @@
+// Package bits provides the 128-bit block type shared by every layer of the
+// MCCP model: the Cryptographic Unit bank registers, the AES and GHASH cores,
+// and the block-cipher modes of operation.
+//
+// A Block is stored big-endian: Block[0] is the most significant byte, which
+// matches the byte ordering of FIPS-197, SP 800-38C/D and the paper's
+// datapath (the unit moves 128-bit words as four 32-bit sub-words, most
+// significant first).
+package bits
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// BlockBytes is the size of a cipher block in bytes.
+const BlockBytes = 16
+
+// Block is a 128-bit datapath word.
+type Block [BlockBytes]byte
+
+// BlockFromHex parses a 32-hex-digit string. It panics on malformed input;
+// it is intended for test vectors and constants.
+func BlockFromHex(s string) Block {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != BlockBytes {
+		panic(fmt.Sprintf("bits: bad block hex %q", s))
+	}
+	var out Block
+	copy(out[:], b)
+	return out
+}
+
+// Hex returns the block as 32 lowercase hex digits.
+func (b Block) Hex() string { return hex.EncodeToString(b[:]) }
+
+// XOR returns a ^ o.
+func (b Block) XOR(o Block) Block {
+	var r Block
+	for i := range r {
+		r[i] = b[i] ^ o[i]
+	}
+	return r
+}
+
+// AND returns a & o.
+func (b Block) AND(o Block) Block {
+	var r Block
+	for i := range r {
+		r[i] = b[i] & o[i]
+	}
+	return r
+}
+
+// IsZero reports whether every byte is zero.
+func (b Block) IsZero() bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Word returns 32-bit sub-word i (0 = most significant), matching the
+// Cryptographic Unit's 2-bit sub-word counter.
+func (b Block) Word(i int) uint32 {
+	return binary.BigEndian.Uint32(b[4*i : 4*i+4])
+}
+
+// SetWord stores w into 32-bit sub-word i.
+func (b *Block) SetWord(i int, w uint32) {
+	binary.BigEndian.PutUint32(b[4*i:4*i+4], w)
+}
+
+// Words returns the four 32-bit sub-words, most significant first.
+func (b Block) Words() [4]uint32 {
+	return [4]uint32{b.Word(0), b.Word(1), b.Word(2), b.Word(3)}
+}
+
+// BlockFromWords assembles a block from four 32-bit sub-words.
+func BlockFromWords(w [4]uint32) Block {
+	var b Block
+	for i, v := range w {
+		b.SetWord(i, v)
+	}
+	return b
+}
+
+// Inc16 adds delta to the 16 least significant bits of the block, wrapping
+// modulo 2^16 and leaving the upper 112 bits untouched. This is the paper's
+// "Inc Core" operation (16-bit incrementation by 1..4 of a 128-bit word),
+// used to step CTR-mode counter blocks.
+func (b Block) Inc16(delta uint16) Block {
+	r := b
+	v := binary.BigEndian.Uint16(r[14:16])
+	binary.BigEndian.PutUint16(r[14:16], v+delta)
+	return r
+}
+
+// Inc32 adds delta to the 32 least significant bits (GCM's inc32). The
+// paper's hardware only increments 16 bits because packet payloads are
+// bounded by the 2 KB FIFO (<= 128 blocks); Inc32 is provided for the
+// reference-mode implementations.
+func (b Block) Inc32(delta uint32) Block {
+	r := b
+	v := binary.BigEndian.Uint32(r[12:16])
+	binary.BigEndian.PutUint32(r[12:16], v+delta)
+	return r
+}
+
+// ByteMask expands a 16-bit mask into a block mask: bit 15 of m controls
+// byte 0 (most significant), bit 0 controls byte 15. A set bit keeps the
+// byte, a clear bit zeroes it. This mirrors the Cryptographic Unit's
+// Xor/Comparator mask register, which lets firmware zero the tail of a
+// partial final block.
+func ByteMask(m uint16) Block {
+	var r Block
+	for i := 0; i < BlockBytes; i++ {
+		if m&(1<<uint(15-i)) != 0 {
+			r[i] = 0xFF
+		}
+	}
+	return r
+}
+
+// MaskForLen returns the ByteMask keeping the first n bytes (0 <= n <= 16).
+func MaskForLen(n int) uint16 {
+	if n < 0 || n > BlockBytes {
+		panic(fmt.Sprintf("bits: mask length %d out of range", n))
+	}
+	if n == 0 {
+		return 0
+	}
+	return ^uint16(0) << uint(16-n)
+}
+
+// PadBlocks zero-pads p to a whole number of blocks and returns the block
+// slice. An empty input yields an empty slice.
+func PadBlocks(p []byte) []Block {
+	n := (len(p) + BlockBytes - 1) / BlockBytes
+	out := make([]Block, n)
+	for i := range out {
+		copy(out[i][:], p[i*BlockBytes:min(len(p), (i+1)*BlockBytes)])
+	}
+	return out
+}
+
+// Flatten concatenates blocks into a byte slice.
+func Flatten(bs []Block) []byte {
+	out := make([]byte, 0, len(bs)*BlockBytes)
+	for _, b := range bs {
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

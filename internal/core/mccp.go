@@ -1,0 +1,514 @@
+// Package core implements the paper's primary contribution: the
+// reconfigurable Multi-Core Crypto-Processor (MCCP). It assembles N
+// Cryptographic Cores (default four, as in the paper's implementation), the
+// Task Scheduler with its OPEN/CLOSE/ENCRYPT/DECRYPT/RETRIEVE_DATA/
+// TRANSFER_DONE control protocol, the Key Scheduler and Key Memory, the
+// Cross Bar, the inter-core shift-register ring and the Data Available
+// interrupt toward the communication controller.
+package core
+
+import (
+	"fmt"
+
+	"mccp/internal/aes"
+	"mccp/internal/bits"
+	"mccp/internal/crossbar"
+	"mccp/internal/cryptocore"
+	"mccp/internal/keysched"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+)
+
+// Task Scheduler instruction costs, in clock cycles. The scheduler is "a
+// simple 8-bit controller which executes the task scheduling software"
+// (§III.A) at two cycles per instruction; the constants model the
+// instruction counts of each protocol handler.
+const (
+	CostOpen         = 40
+	CostClose        = 24
+	CostDispatch     = 36 // ENCRYPT/DECRYPT decode + core selection
+	CostParamWrite   = 16 // mode/count/mask parameter writes + start strobe
+	CostRetrieve     = 16
+	CostTransferDone = 12
+	CostIRQ          = 2
+)
+
+// Errors returned through the 8-bit Return Register.
+var (
+	ErrNoResources = fmt.Errorf("mccp: no idle cryptographic core (error flag)")
+	ErrBadChannel  = fmt.Errorf("mccp: unknown or closed channel")
+	ErrNoData      = fmt.Errorf("mccp: RETRIEVE_DATA with empty done queue")
+)
+
+// Suite is a channel's cryptographic configuration.
+type Suite struct {
+	Family cryptocore.Family
+	// TagLen is the authentication tag length in bytes (GCM/CCM).
+	TagLen int
+	// SplitCCM requests the two-core CCM mapping when a core pair is idle.
+	SplitCCM bool
+	// Priority orders queued requests when the QoS extension is enabled.
+	Priority int
+}
+
+// Config sizes the device.
+type Config struct {
+	// Cores is the number of Cryptographic Cores (the paper implements 4;
+	// "more or less than four cores may be implemented according to the
+	// communication system requirements").
+	Cores int
+	// Policy selects the dispatch policy; nil means the paper's first-idle.
+	Policy scheduler.Policy
+	// QueueRequests enables the §VIII extension: instead of returning the
+	// error flag when no core is idle, requests wait in a priority queue.
+	QueueRequests bool
+}
+
+// channel is one open communication channel.
+type channel struct {
+	id    int
+	suite Suite
+	keyID int
+}
+
+// reqState tracks a request through the protocol.
+type reqState int
+
+const (
+	reqProcessing reqState = iota // cores running (upload may still be going)
+	reqDoneQueued                 // results in, waiting for RETRIEVE_DATA
+	reqRetrieved                  // CC notified, draining output
+)
+
+// request is one in-flight ENCRYPT/DECRYPT.
+type request struct {
+	id      int
+	ch      *channel
+	cores   []int
+	outCore int
+	out     int // retrievable 32-bit words on success
+	state   reqState
+	tdAcked bool  // first TRANSFER_DONE (upload side) seen
+	pending int   // cores still running
+	code    uint8 // worst result code
+	started sim.Time
+	// doneAt records result arrival for latency metrics.
+	doneAt sim.Time
+}
+
+// Assignment is what the ENCRYPT/DECRYPT done signal hands back to the
+// communication controller: the request ID and the core mapping it needs
+// to format and route the packet streams.
+type Assignment struct {
+	ReqID int
+	// Tasks and CoreIDs are parallel: Tasks[i] runs on core CoreIDs[i].
+	// For split CCM the CBC-MAC half is first, the CTR half second.
+	Tasks   []cryptocore.Task
+	CoreIDs []int
+}
+
+// Retrieval is RETRIEVE_DATA's return value.
+type Retrieval struct {
+	ReqID    int
+	Code     uint8 // firmware.ResultOK or ResultAuthFail
+	OutCore  int
+	OutWords int
+	// Latency is dispatch-to-result in cycles (for the latency benches).
+	Latency sim.Time
+}
+
+// MCCP is the device.
+type MCCP struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Cores []*cryptocore.Core
+	// Caches holds each core's Key Cache.
+	Caches   []*keysched.Cache
+	XBar     *crossbar.Crossbar
+	KeyMem   *keysched.KeyMemory
+	KeySched *keysched.Scheduler
+	// Engines tracks what occupies each core's reconfigurable region
+	// (scheduler.EngineAES / EngineHash); internal/reconfig rewrites it.
+	Engines []string
+	// Reconfiguring marks cores whose region is being rewritten; the
+	// scheduler treats them as busy.
+	Reconfiguring []bool
+
+	// OnDataAvailable is the Data Available interrupt line to the
+	// communication controller (raised when the done queue becomes
+	// non-empty).
+	OnDataAvailable func()
+
+	policy    scheduler.Policy
+	channels  map[int]*channel
+	requests  map[int]*request
+	nextCh    int
+	nextReq   int
+	allocated []bool // core allocation (held until TRANSFER_DONE)
+	doneQ     []*request
+	waitQ     []*waiting
+
+	// Stats aggregates device-level counters.
+	Stats Stats
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Opens, Submits, Retrieves uint64
+	Rejected                  uint64 // error-flag returns (no resources)
+	Queued                    uint64 // QoS extension: requests that waited
+	AuthFails                 uint64
+}
+
+type waiting struct {
+	ch      *channel
+	encrypt bool
+	aadLen  int
+	dataLen int
+	cb      func(Assignment, error)
+	prio    int
+	seq     int
+}
+
+// New builds an MCCP. The cores are joined by a shift-register ring
+// (core i's output mailbox feeds core i+1 mod N).
+func New(eng *sim.Engine, cfg Config) *MCCP {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = scheduler.FirstIdle{}
+	}
+	m := &MCCP{
+		Eng:      eng,
+		Cfg:      cfg,
+		XBar:     crossbar.New(eng),
+		KeyMem:   keysched.NewKeyMemory(),
+		policy:   cfg.Policy,
+		channels: make(map[int]*channel),
+		requests: make(map[int]*request),
+		nextCh:   1,
+		nextReq:  1,
+	}
+	m.KeySched = keysched.NewScheduler(eng, m.KeyMem)
+	for i := 0; i < cfg.Cores; i++ {
+		c := cryptocore.New(eng, i)
+		m.Cores = append(m.Cores, c)
+		m.Caches = append(m.Caches, keysched.NewCache())
+		m.Engines = append(m.Engines, scheduler.EngineAES)
+		m.Reconfiguring = append(m.Reconfiguring, false)
+		m.allocated = append(m.allocated, false)
+	}
+	// Neighbouring cores are paired, as in the paper (each core "shares its
+	// double port instruction memory with its right neighbouring
+	// Cryptographic Core"); each pair is joined by a directional 4x32-bit
+	// shift-register link in each direction. Two-core CCM uses the forward
+	// link for the MAC and, on decryption, the reverse link to feed
+	// recovered plaintext back to the CBC-MAC half.
+	for i := 0; i+1 < cfg.Cores; i += 2 {
+		fwd := sim.NewMailbox128(eng) // core i   -> core i+1
+		rev := sim.NewMailbox128(eng) // core i+1 -> core i
+		m.Cores[i].ConnectNeighbors(rev, fwd)
+		m.Cores[i+1].ConnectNeighbors(fwd, rev)
+	}
+	return m
+}
+
+// views snapshots core state for the dispatch policy.
+func (m *MCCP) views(keyID int) []scheduler.CoreView {
+	vs := make([]scheduler.CoreView, len(m.Cores))
+	for i := range m.Cores {
+		vs[i] = scheduler.CoreView{
+			ID:         i,
+			Busy:       m.allocated[i] || m.Reconfiguring[i],
+			HasKey:     m.Caches[i].Contains(keyID),
+			Engine:     m.Engines[i],
+			CachedKeys: m.Caches[i].Len(),
+		}
+	}
+	return vs
+}
+
+// Open executes the OPEN instruction: it binds a channel to an algorithm
+// suite and a session-key ID and returns the channel ID.
+func (m *MCCP) Open(s Suite, keyID int, cb func(ch int, err error)) {
+	m.Eng.After(CostOpen, func() {
+		m.Stats.Opens++
+		if s.Family != cryptocore.FamilyHash && !m.KeyMem.Has(keyID) {
+			cb(0, fmt.Errorf("mccp: OPEN with unknown key ID %d", keyID))
+			return
+		}
+		id := m.nextCh
+		m.nextCh++
+		m.channels[id] = &channel{id: id, suite: s, keyID: keyID}
+		cb(id, nil)
+	})
+}
+
+// Close executes the CLOSE instruction.
+func (m *MCCP) Close(ch int, cb func(error)) {
+	m.Eng.After(CostClose, func() {
+		if _, ok := m.channels[ch]; !ok {
+			cb(ErrBadChannel)
+			return
+		}
+		delete(m.channels, ch)
+		cb(nil)
+	})
+}
+
+// Submit executes an ENCRYPT or DECRYPT instruction: plan the packet,
+// select cores, stage keys, write parameters and start the firmware. The
+// done signal delivers the Assignment the communication controller needs
+// to upload the packet streams.
+//
+// With QueueRequests disabled this behaves exactly like the paper: if no
+// suitable core is idle the error flag (ErrNoResources) comes back.
+func (m *MCCP) Submit(ch int, encrypt bool, aadLen, dataLen int, cb func(Assignment, error)) {
+	m.Eng.After(CostDispatch, func() {
+		c, ok := m.channels[ch]
+		if !ok {
+			cb(Assignment{}, ErrBadChannel)
+			return
+		}
+		m.Stats.Submits++
+		m.tryDispatch(c, encrypt, aadLen, dataLen, cb, true)
+	})
+}
+
+func (m *MCCP) tryDispatch(c *channel, encrypt bool, aadLen, dataLen int, cb func(Assignment, error), fresh bool) {
+	tasks, err := cryptocore.PlanTasks(c.suite.Family, encrypt, c.suite.SplitCCM, aadLen, dataLen, c.suite.TagLen)
+	if err != nil {
+		cb(Assignment{}, err)
+		return
+	}
+	req := scheduler.Request{
+		Family:    c.suite.Family,
+		WantSplit: c.suite.SplitCCM && len(tasks) == 2,
+		KeyID:     c.keyID,
+		Priority:  c.suite.Priority,
+	}
+	ids := m.policy.Pick(req, m.views(c.keyID))
+	if ids == nil {
+		if m.Cfg.QueueRequests {
+			m.Stats.Queued++
+			w := &waiting{ch: c, encrypt: encrypt, aadLen: aadLen, dataLen: dataLen,
+				cb: cb, prio: c.suite.Priority, seq: len(m.waitQ)}
+			m.enqueue(w)
+			return
+		}
+		m.Stats.Rejected++
+		cb(Assignment{}, ErrNoResources)
+		return
+	}
+	// The policy may have downgraded a split request to one core.
+	if len(ids) == 1 && len(tasks) == 2 {
+		tasks, err = cryptocore.PlanTasks(c.suite.Family, encrypt, false, aadLen, dataLen, c.suite.TagLen)
+		if err != nil {
+			cb(Assignment{}, err)
+			return
+		}
+	}
+	for _, id := range ids {
+		m.allocated[id] = true
+	}
+	m.stageKeysAndStart(c, tasks, ids, cb)
+}
+
+func (m *MCCP) enqueue(w *waiting) {
+	// Priority queue: higher priority first, FIFO within a priority.
+	at := len(m.waitQ)
+	for i, q := range m.waitQ {
+		if w.prio > q.prio {
+			at = i
+			break
+		}
+	}
+	m.waitQ = append(m.waitQ, nil)
+	copy(m.waitQ[at+1:], m.waitQ[at:])
+	m.waitQ[at] = w
+}
+
+// stageKeysAndStart loads round keys into every engaged core's Key Cache
+// (through the Key Scheduler on a miss) and then starts the firmware.
+func (m *MCCP) stageKeysAndStart(c *channel, tasks []cryptocore.Task, ids []int, cb func(Assignment, error)) {
+	var stage func(i int)
+	stage = func(i int) {
+		if i == len(ids) {
+			m.startCores(c, tasks, ids, cb)
+			return
+		}
+		coreID := ids[i]
+		if c.suite.Family == cryptocore.FamilyHash {
+			// Hashing needs no key material.
+			stage(i + 1)
+			return
+		}
+		if size, rk, ok := m.Caches[coreID].Get(c.keyID); ok {
+			// Cache hit: the engine reads round keys straight from the
+			// core's Key Cache block RAM, no extra latency.
+			m.Cores[coreID].InstallAESKeys(size, rk)
+			stage(i + 1)
+			return
+		}
+		m.KeySched.Prepare(c.keyID, func(size aes.KeySize, rk []bits.Block) {
+			m.Caches[coreID].Put(c.keyID, size, rk)
+			m.Cores[coreID].InstallAESKeys(size, rk)
+		}, func(err error) {
+			if err != nil {
+				for _, id := range ids {
+					m.allocated[id] = false
+				}
+				cb(Assignment{}, err)
+				return
+			}
+			stage(i + 1)
+		})
+	}
+	stage(0)
+}
+
+// startCores writes task parameters and strobes start on every engaged
+// core, then signals the ENCRYPT/DECRYPT done with the Assignment.
+func (m *MCCP) startCores(c *channel, tasks []cryptocore.Task, ids []int, cb func(Assignment, error)) {
+	req := &request{
+		id:      m.nextReq,
+		ch:      c,
+		cores:   ids,
+		outCore: ids[len(ids)-1], // single core, or the CTR half of a split
+		out:     cryptocore.OutWords(tasks[len(tasks)-1]),
+		pending: len(ids),
+		started: m.Eng.Now(),
+	}
+	m.nextReq++
+	m.requests[req.id] = req
+
+	m.Eng.After(CostParamWrite, func() {
+		for i, id := range ids {
+			coreID := id
+			m.Cores[coreID].Start(tasks[i], func(r cryptocore.Result) {
+				m.coreFinished(req, r)
+			})
+		}
+		cb(Assignment{ReqID: req.id, Tasks: tasks, CoreIDs: ids}, nil)
+	})
+}
+
+// coreFinished collects per-core results; when every engaged core is done
+// the request enters the done queue and the Data Available interrupt is
+// raised.
+func (m *MCCP) coreFinished(req *request, r cryptocore.Result) {
+	if r.Code > req.code {
+		req.code = r.Code
+	}
+	req.pending--
+	if req.pending > 0 {
+		return
+	}
+	req.state = reqDoneQueued
+	req.doneAt = m.Eng.Now()
+	if req.code != 0 {
+		m.Stats.AuthFails++
+	}
+	m.doneQ = append(m.doneQ, req)
+	if len(m.doneQ) == 1 && m.OnDataAvailable != nil {
+		m.Eng.After(CostIRQ, m.OnDataAvailable)
+	}
+}
+
+// DataAvailable reports whether RETRIEVE_DATA would succeed (the level of
+// the interrupt line).
+func (m *MCCP) DataAvailable() bool { return len(m.doneQ) > 0 }
+
+// RetrieveData executes the RETRIEVE_DATA instruction: it pops the oldest
+// completed request, returns OK or AUTH_FAIL plus the request ID, and (on
+// OK) configures the Cross Bar for reading that core's output FIFO.
+func (m *MCCP) RetrieveData(cb func(Retrieval, error)) {
+	m.Eng.After(CostRetrieve, func() {
+		if len(m.doneQ) == 0 {
+			cb(Retrieval{}, ErrNoData)
+			return
+		}
+		req := m.doneQ[0]
+		m.doneQ = m.doneQ[1:]
+		req.state = reqRetrieved
+		m.Stats.Retrieves++
+		out := 0
+		if req.code == 0 {
+			out = req.outWords()
+		}
+		cb(Retrieval{
+			ReqID:    req.id,
+			Code:     req.code,
+			OutCore:  req.outCore,
+			OutWords: out,
+			Latency:  req.doneAt - req.started,
+		}, nil)
+	})
+}
+
+// outWords returns the retrievable output of a completed request, recorded
+// at dispatch time (only the output core produces FIFO data).
+func (r *request) outWords() int { return r.out }
+
+// TransferDone executes the TRANSFER_DONE instruction. The first call (after
+// upload) is bookkeeping; the final call (after download, or after an
+// ENCRYPT/DECRYPT whose data the controller abandoned) releases the cores
+// and retires the request, letting queued requests dispatch.
+func (m *MCCP) TransferDone(reqID int, cb func(error)) {
+	m.Eng.After(CostTransferDone, func() {
+		req, ok := m.requests[reqID]
+		if !ok {
+			cb(fmt.Errorf("mccp: TRANSFER_DONE for unknown request %d", reqID))
+			return
+		}
+		if !req.tdAcked {
+			// Upload-side acknowledgement; the download side (or the
+			// abandon-after-AUTH_FAIL path) releases the cores.
+			req.tdAcked = true
+			cb(nil)
+			return
+		}
+		delete(m.requests, reqID)
+		for _, id := range req.cores {
+			m.allocated[id] = false
+		}
+		cb(nil)
+		m.pump()
+	})
+}
+
+// pump retries queued requests after resources free up (QoS extension).
+func (m *MCCP) pump() {
+	if len(m.waitQ) == 0 {
+		return
+	}
+	// Try in priority order; stop at the first that still cannot dispatch
+	// (strict priority, no bypass).
+	w := m.waitQ[0]
+	req := scheduler.Request{
+		Family:    w.ch.suite.Family,
+		WantSplit: w.ch.suite.SplitCCM,
+		KeyID:     w.ch.keyID,
+		Priority:  w.prio,
+	}
+	if m.policy.Pick(req, m.views(w.ch.keyID)) == nil {
+		return
+	}
+	m.waitQ = m.waitQ[1:]
+	m.tryDispatch(w.ch, w.encrypt, w.aadLen, w.dataLen, w.cb, false)
+}
+
+// WriteToCore streams words into a core's input FIFO through the Cross Bar
+// (one 32-bit word per cycle, one core at a time).
+func (m *MCCP) WriteToCore(coreID int, words []uint32, done func()) {
+	c := m.Cores[coreID]
+	m.XBar.WriteWords(words, c.PushWord, done)
+}
+
+// ReadFromCore drains n words from a core's output FIFO through the Cross
+// Bar.
+func (m *MCCP) ReadFromCore(coreID int, n int, done func([]uint32)) {
+	c := m.Cores[coreID]
+	m.XBar.ReadWords(n, c.PopWord, done)
+}

@@ -1,0 +1,102 @@
+// Package crossbar models the MCCP Cross Bar (paper §III.A): the single
+// shared 32-bit path between the communication controller and the core
+// packet FIFOs. The Task Scheduler grants it to one core at a time for
+// I/O access, so transfers to different cores serialize.
+package crossbar
+
+import "mccp/internal/sim"
+
+// WordCycle is the transfer rate: one 32-bit word per clock cycle.
+const WordCycle = 1
+
+// Crossbar serializes I/O jobs. A job is a callback that performs its
+// transfer (with its own pacing and backpressure handling) and must call
+// the provided completion function exactly once.
+type Crossbar struct {
+	eng   *sim.Engine
+	busy  bool
+	queue []func(done func())
+
+	// Grants counts completed jobs; BusyCycles accumulates occupancy for
+	// the utilization metrics.
+	Grants     uint64
+	BusyCycles sim.Time
+	start      sim.Time
+}
+
+// New returns an idle crossbar.
+func New(eng *sim.Engine) *Crossbar { return &Crossbar{eng: eng} }
+
+// Busy reports whether a job holds the crossbar.
+func (x *Crossbar) Busy() bool { return x.busy }
+
+// QueueLen reports the number of waiting jobs.
+func (x *Crossbar) QueueLen() int { return len(x.queue) }
+
+// Submit enqueues a job. Jobs run in submission order, one at a time.
+func (x *Crossbar) Submit(job func(done func())) {
+	if x.busy {
+		x.queue = append(x.queue, job)
+		return
+	}
+	x.run(job)
+}
+
+func (x *Crossbar) run(job func(done func())) {
+	x.busy = true
+	x.start = x.eng.Now()
+	x.eng.After(0, func() {
+		job(func() {
+			x.Grants++
+			x.BusyCycles += x.eng.Now() - x.start
+			if len(x.queue) > 0 {
+				next := x.queue[0]
+				x.queue = x.queue[1:]
+				x.run(next)
+				return
+			}
+			x.busy = false
+		})
+	})
+}
+
+// WriteWords streams words into push (a core input FIFO adapter) at one
+// word per cycle, as a single crossbar job. push must deliver the word and
+// invoke its continuation, honouring FIFO backpressure.
+func (x *Crossbar) WriteWords(words []uint32, push func(w uint32, then func()), done func()) {
+	x.Submit(func(release func()) {
+		var step func(i int)
+		step = func(i int) {
+			if i == len(words) {
+				release()
+				done()
+				return
+			}
+			push(words[i], func() {
+				x.eng.After(WordCycle, func() { step(i + 1) })
+			})
+		}
+		step(0)
+	})
+}
+
+// ReadWords drains n words from pop (a core output FIFO adapter) at one
+// word per cycle, delivering the result to done.
+func (x *Crossbar) ReadWords(n int, pop func(then func(uint32)), done func([]uint32)) {
+	x.Submit(func(release func()) {
+		out := make([]uint32, 0, n)
+		var step func()
+		step = func() {
+			if len(out) == n {
+				release()
+				done(out)
+				return
+			}
+			pop(func(w uint32) {
+				out = append(out, w)
+				x.eng.After(WordCycle, step)
+			})
+		}
+		step()
+	})
+}

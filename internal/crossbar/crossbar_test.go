@@ -1,0 +1,137 @@
+package crossbar
+
+import (
+	"testing"
+
+	"mccp/internal/sim"
+)
+
+func TestJobsSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng)
+	var order []int
+	// Job 0 holds the bar for 100 cycles; jobs 1 and 2 queue.
+	x.Submit(func(done func()) {
+		eng.After(100, func() { order = append(order, 0); done() })
+	})
+	x.Submit(func(done func()) { order = append(order, 1); done() })
+	x.Submit(func(done func()) { order = append(order, 2); done() })
+	if !x.Busy() || x.QueueLen() != 2 {
+		t.Fatalf("busy=%v queue=%d", x.Busy(), x.QueueLen())
+	}
+	eng.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if x.Busy() || x.Grants != 3 {
+		t.Errorf("busy=%v grants=%d", x.Busy(), x.Grants)
+	}
+	if x.BusyCycles < 100 {
+		t.Errorf("busy cycles = %d", x.BusyCycles)
+	}
+}
+
+func TestWriteWordsPacing(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng)
+	fifo := sim.NewWordFIFO(eng, 16)
+	words := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	var finished sim.Time
+	x.WriteWords(words, func(w uint32, then func()) {
+		if !fifo.TryPush(w) {
+			t.Fatal("push failed")
+		}
+		then()
+	}, func() { finished = eng.Now() })
+	eng.Run()
+	if fifo.Len() != 8 {
+		t.Fatalf("fifo len = %d", fifo.Len())
+	}
+	// One word per cycle: 8 words finish at ~8 cycles.
+	if finished != 8 {
+		t.Errorf("finished at %d, want 8", finished)
+	}
+}
+
+func TestWriteBackpressure(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng)
+	fifo := sim.NewWordFIFO(eng, 2)
+	words := []uint32{1, 2, 3, 4}
+	pushed := 0
+	push := func(w uint32, then func()) {
+		var try func()
+		try = func() {
+			if fifo.TryPush(w) {
+				pushed++
+				then()
+				return
+			}
+			fifo.WhenPushable(1, try)
+		}
+		try()
+	}
+	doneAt := sim.Time(0)
+	x.WriteWords(words, push, func() { doneAt = eng.Now() })
+	// Drain one word at t=50 and the rest at t=90.
+	eng.At(50, func() { fifo.TryPop() })
+	eng.At(90, func() { fifo.TryPop(); fifo.TryPop() })
+	eng.Run()
+	if pushed != 4 {
+		t.Fatalf("pushed = %d", pushed)
+	}
+	if doneAt < 90 {
+		t.Errorf("write completed at %d despite backpressure", doneAt)
+	}
+}
+
+func TestReadWords(t *testing.T) {
+	eng := sim.NewEngine()
+	x := New(eng)
+	fifo := sim.NewWordFIFO(eng, 16)
+	for i := uint32(0); i < 6; i++ {
+		fifo.TryPush(i * 11)
+	}
+	var got []uint32
+	x.ReadWords(6, func(then func(uint32)) {
+		w, ok := fifo.TryPop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		then(w)
+	}, func(ws []uint32) { got = ws })
+	eng.Run()
+	if len(got) != 6 {
+		t.Fatalf("got %d words", len(got))
+	}
+	for i, w := range got {
+		if w != uint32(i)*11 {
+			t.Fatalf("word %d = %d", i, w)
+		}
+	}
+}
+
+func TestInterleavedReadWriteStayOrdered(t *testing.T) {
+	// A read submitted while a write holds the bar must wait: models the
+	// Task Scheduler granting one core's FIFO at a time.
+	eng := sim.NewEngine()
+	x := New(eng)
+	src := sim.NewWordFIFO(eng, 8)
+	dst := sim.NewWordFIFO(eng, 8)
+	for i := uint32(0); i < 4; i++ {
+		src.TryPush(i)
+	}
+	var writeDone, readDone sim.Time
+	x.WriteWords([]uint32{9, 9, 9, 9}, func(w uint32, then func()) {
+		dst.TryPush(w)
+		then()
+	}, func() { writeDone = eng.Now() })
+	x.ReadWords(4, func(then func(uint32)) {
+		w, _ := src.TryPop()
+		then(w)
+	}, func([]uint32) { readDone = eng.Now() })
+	eng.Run()
+	if readDone <= writeDone {
+		t.Errorf("read finished at %d before write at %d", readDone, writeDone)
+	}
+}

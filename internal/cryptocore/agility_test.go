@@ -1,0 +1,88 @@
+package cryptocore_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mccp/internal/cryptocore"
+	"mccp/internal/firmware"
+	"mccp/internal/ghash"
+	"mccp/internal/modes"
+	"mccp/internal/radio"
+	"mccp/internal/sim"
+	"mccp/internal/twofish"
+)
+
+// TestCipherAgilityTwofishGCM substantiates the paper's conclusion ("AES
+// core may be easily replaced by any other 128-bit block cipher (such as
+// Twofish)"): the reconfigurable region gets a Twofish engine and the GCM
+// firmware runs bit-for-bit unchanged, producing Twofish-GCM.
+func TestCipherAgilityTwofishGCM(t *testing.T) {
+	key := []byte("a sixteen-byte k")
+	eng := sim.NewEngine()
+	c := cryptocore.New(eng, 0)
+	tf := twofish.NewEngine()
+	if err := tf.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	c.AES = nil
+	c.Unit.Cipher = tf
+	eng.Run()
+
+	nonce := make([]byte, 12)
+	aad := []byte("twofish header")
+	payload := []byte("the same firmware, a different 128-bit block cipher underneath")
+
+	f, err := radio.FrameGCMEnc(nonce, aad, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code, _ := runFrame(t, eng, c, f)
+	if code != firmware.ResultOK {
+		t.Fatalf("result code %d", code)
+	}
+
+	ref := (&modes.GCM{C: twofish.MustNew(key), Mul: ghash.Mul}).Seal(nonce, aad, payload)
+	n := len(payload)
+	if !bytes.Equal(out[:n], ref[:n]) {
+		t.Fatal("Twofish-GCM ciphertext mismatch")
+	}
+	nb := (n + 15) / 16
+	if !bytes.Equal(out[16*nb:16*nb+16], ref[n:]) {
+		t.Fatalf("Twofish-GCM tag mismatch: got %x want %x", out[16*nb:16*nb+16], ref[n:])
+	}
+}
+
+// TestCipherAgilityTwofishCCM runs the one-core CCM firmware on Twofish.
+func TestCipherAgilityTwofishCCM(t *testing.T) {
+	key := []byte("another 16-byte!")
+	eng := sim.NewEngine()
+	c := cryptocore.New(eng, 0)
+	tf := twofish.NewEngine()
+	if err := tf.LoadKey(key); err != nil {
+		t.Fatal(err)
+	}
+	c.AES = nil
+	c.Unit.Cipher = tf
+	eng.Run()
+
+	nonce := make([]byte, 13)
+	payload := []byte("counter with cbc-mac over a feistel cipher")
+	f, err := radio.FrameCCMEnc(nonce, nil, payload, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, code, _ := runFrame(t, eng, c, f)
+	if code != firmware.ResultOK {
+		t.Fatalf("result code %d", code)
+	}
+	ref, err := modes.CCMSeal(twofish.MustNew(key), nonce, nil, payload, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(payload)
+	nb := (n + 15) / 16
+	if !bytes.Equal(out[:n], ref[:n]) || !bytes.Equal(out[16*nb:16*nb+8], ref[n:]) {
+		t.Fatal("Twofish-CCM mismatch")
+	}
+}

@@ -1,0 +1,175 @@
+package cryptocore
+
+import (
+	"fmt"
+
+	"mccp/internal/bits"
+	"mccp/internal/firmware"
+)
+
+// Family identifies a channel's block-cipher mode of operation. The Task
+// Scheduler maps (family, direction, core assignment) to firmware modes.
+type Family uint8
+
+// Supported families (paper §IV.D: GCM, CCM, CTR, CBC-MAC).
+const (
+	FamilyGCM Family = iota
+	FamilyCCM
+	FamilyCTR
+	FamilyCBCMAC
+	FamilyHash // Whirlpool hashing after partial reconfiguration
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyGCM:
+		return "GCM"
+	case FamilyCCM:
+		return "CCM"
+	case FamilyCTR:
+		return "CTR"
+	case FamilyCBCMAC:
+		return "CBC-MAC"
+	case FamilyHash:
+		return "HASH"
+	}
+	return fmt.Sprintf("Family(%d)", uint8(f))
+}
+
+// PlanTasks computes the per-core task parameters for a packet: the block
+// counts and byte masks the Task Scheduler writes into core parameter
+// registers. It is the single source of truth shared by the scheduler and
+// the communication controller's formatter, so the two sides of the FIFO
+// framing contract cannot drift apart.
+//
+// For a split CCM request it returns two tasks: the CBC-MAC half first,
+// then the CTR half. aadLen and dataLen are byte lengths (dataLen counts
+// ciphertext bytes for decryption).
+func PlanTasks(f Family, encrypt, split bool, aadLen, dataLen, tagLen int) ([]Task, error) {
+	if dataLen < 0 || aadLen < 0 {
+		return nil, fmt.Errorf("cryptocore: negative length")
+	}
+	dataBlocks, lastMask := blockParams(dataLen)
+	if dataBlocks > 128 {
+		return nil, fmt.Errorf("cryptocore: %d data blocks exceed the 2 KB packet FIFO", dataBlocks)
+	}
+
+	switch f {
+	case FamilyGCM:
+		hdr := (aadLen + 15) / 16
+		t := Task{
+			Mode:       firmware.ModeGCMEnc,
+			HdrBlocks:  uint8(hdr),
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   lastMask,
+		}
+		if !encrypt {
+			t.Mode = firmware.ModeGCMDec
+			t.TagMask = bits.MaskForLen(tagLen)
+		}
+		return []Task{t}, nil
+
+	case FamilyCCM:
+		hdr := ccmHdrBlocks(aadLen)
+		if !split {
+			t := Task{
+				Mode:       firmware.ModeCCMEnc,
+				HdrBlocks:  uint8(hdr),
+				DataBlocks: uint8(dataBlocks),
+				LastMask:   lastMask,
+			}
+			if !encrypt {
+				t.Mode = firmware.ModeCCMDec
+				t.TagMask = bits.MaskForLen(tagLen)
+			}
+			return []Task{t}, nil
+		}
+		mac := Task{
+			Mode:       firmware.ModeCCM2MacEnc,
+			HdrBlocks:  uint8(hdr),
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   0xFFFF,
+		}
+		ctr := Task{
+			Mode:       firmware.ModeCCM2CtrEnc,
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   lastMask,
+			TagMask:    bits.MaskForLen(tagLen),
+		}
+		if !encrypt {
+			mac.Mode = firmware.ModeCCM2MacDec
+			ctr.Mode = firmware.ModeCCM2CtrDec
+		}
+		return []Task{mac, ctr}, nil
+
+	case FamilyCTR:
+		return []Task{{
+			Mode:       firmware.ModeCTR,
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   lastMask,
+		}}, nil
+
+	case FamilyCBCMAC:
+		if lastMask != 0xFFFF && dataLen > 0 {
+			return nil, fmt.Errorf("cryptocore: CBC-MAC requires whole blocks (got %d bytes)", dataLen)
+		}
+		return []Task{{
+			Mode:       firmware.ModeCBCMAC,
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   0xFFFF,
+		}}, nil
+
+	case FamilyHash:
+		if dataLen%16 != 0 || dataLen == 0 {
+			return nil, fmt.Errorf("cryptocore: hash input must be pre-padded to 512-bit blocks")
+		}
+		return []Task{{
+			Mode:       firmware.ModeHash,
+			DataBlocks: uint8(dataBlocks),
+			LastMask:   0xFFFF,
+		}}, nil
+	}
+	return nil, fmt.Errorf("cryptocore: unknown family %v", f)
+}
+
+// blockParams returns ceil(n/16) and the byte mask of the final block.
+func blockParams(n int) (int, uint16) {
+	nb := (n + bits.BlockBytes - 1) / bits.BlockBytes
+	tail := n % bits.BlockBytes
+	if tail == 0 && n > 0 {
+		tail = bits.BlockBytes
+	}
+	return nb, bits.MaskForLen(tail)
+}
+
+// ccmHdrBlocks returns the number of 16-byte blocks of CCM's encoded AAD
+// (2-byte length prefix below 0xFF00, 6-byte prefix above).
+func ccmHdrBlocks(aadLen int) int {
+	if aadLen == 0 {
+		return 0
+	}
+	enc := 2 + aadLen
+	if aadLen >= 0xFF00 {
+		enc = 6 + aadLen
+	}
+	return (enc + 15) / 16
+}
+
+// OutWords returns the number of 32-bit output words a task produces on
+// success.
+func OutWords(t Task) int {
+	switch t.Mode {
+	case firmware.ModeGCMEnc, firmware.ModeCCMEnc, firmware.ModeCCM2CtrEnc:
+		return 4*int(t.DataBlocks) + 4
+	case firmware.ModeGCMDec, firmware.ModeCCMDec, firmware.ModeCTR, firmware.ModeCCM2CtrDec:
+		return 4 * int(t.DataBlocks)
+	case firmware.ModeCBCMAC:
+		return 4
+	case firmware.ModeHash:
+		return 16 // 512-bit digest
+	case firmware.ModeCCM2MacEnc, firmware.ModeCCM2MacDec:
+		return 0 // MAC travels over the shift register
+	}
+	return 0
+}

@@ -1,0 +1,353 @@
+// Package cryptounit models the MCCP's reconfigurable Cryptographic Unit
+// (paper §V): a 32-bit-datapath execution unit with a 4x128-bit bank
+// register, a pluggable 128-bit cipher engine (AES in the paper's main
+// build; Whirlpool or Twofish after partial reconfiguration), a GHASH core,
+// a masked Xor/Comparator, a 16-bit incrementer and FIFO / inter-core I/O.
+//
+// Timing is calibrated to the paper's published figures:
+//
+//   - simple operations (XOR, INC, EQU, LOADH, MOV, NOP, LOAD, STORE) signal
+//     done 6 cycles after acceptance — the paper quotes "seven clock cycles
+//     from start rising edge to done falling edge" and its loop formula
+//     T_CCM2core - T_GCM = T_XOR fixes the controller-visible cost at 6;
+//   - SAES/SGFM are start instructions: they occupy the unit for 2 cycles
+//     and launch the engine in the background (44/52/60 cycles for AES,
+//     43 for a GHASH iteration);
+//   - FAES/FGFM are finalize instructions: they complete 5 cycles after the
+//     background engine finishes, so a serialized SAES;FAES pair costs
+//     44+5 = 49 cycles with a 128-bit key, reproducing T_GCMloop = 49.
+package cryptounit
+
+import (
+	"fmt"
+
+	"mccp/internal/bits"
+	"mccp/internal/cuisa"
+	"mccp/internal/ghash"
+	"mccp/internal/sim"
+)
+
+// Latency constants (clock cycles). See the package comment for their
+// derivation from the paper's loop formulas.
+const (
+	SimpleLatency   = 6 // XOR, INC, EQU, LOADH, MOV, NOP, LOAD, STORE
+	StartLatency    = 2 // SAES, SGFM foreground occupancy
+	FinalizeLatency = 5 // FAES, FGFM after engine completion
+	ShiftOutLatency = 2 // SHOUT once the mailbox is free
+	ShiftInLatency  = 6 // SHIN once data is present (4x32-bit transfer)
+)
+
+// CipherEngine is the contract of the reconfigurable region: a background
+// block-processing engine driven by the SAES/FAES instruction pair.
+// aes.Core32, whirlpool.Engine and twofish.Engine implement it.
+//
+// Engines whose result is wider than one block (hash engines) additionally
+// implement ChunkReader: FAES issued while the engine is idle reads the next
+// 128-bit result chunk instead of collecting a block computation.
+type CipherEngine interface {
+	// Busy reports whether a started computation has not been collected.
+	Busy() bool
+	// ReadyAt returns the completion cycle of the computation in flight.
+	ReadyAt() uint64
+	// Start begins processing in at cycle now, returning the ready cycle.
+	Start(now uint64, in bits.Block) uint64
+	// Collect returns the result and idles the engine.
+	Collect() bits.Block
+}
+
+// ChunkReader is the wide-result extension of CipherEngine (see above).
+type ChunkReader interface {
+	// ReadChunk returns the next 128-bit chunk of the engine's result
+	// (e.g. one quarter of a 512-bit Whirlpool digest).
+	ReadChunk() bits.Block
+}
+
+// Unit is one Cryptographic Unit instance.
+type Unit struct {
+	eng *sim.Engine
+
+	// In and Out are the core's packet FIFOs (512 x 32 bits each in the
+	// paper). LOAD pops four words, STORE pushes four.
+	In, Out *sim.WordFIFO
+	// MboxIn and MboxOut are the inter-core shift-register ports. They may
+	// be nil on cores whose firmware never uses SHIN/SHOUT.
+	MboxIn, MboxOut *sim.Mailbox128
+
+	// Cipher occupies the reconfigurable region. Swapping it at runtime is
+	// the partial-reconfiguration path (internal/reconfig).
+	Cipher CipherEngine
+	// GHash is the digit-serial GHASH core (static region).
+	GHash *ghash.Core
+
+	bank [4]bits.Block
+	mask uint16
+	equ  bool
+
+	busy        bool
+	idleWaiters *sim.Waiters
+
+	// Trace, when non-nil, receives every accepted instruction with its
+	// acceptance cycle (used by the disassembling tracer and tests).
+	Trace func(now sim.Time, in cuisa.Instr)
+	// OnDone, when non-nil, fires at every instruction completion: it is
+	// the done line the paper routes to the controller's wake input.
+	OnDone func()
+
+	// IssueCount tallies accepted instructions per opcode for utilization
+	// metrics and the ablation benches.
+	IssueCount [16]uint64
+}
+
+// New returns a Unit bound to the simulation engine with the given FIFOs.
+// The cipher engine and mailboxes are wired by the enclosing Cryptographic
+// Core.
+func New(eng *sim.Engine, in, out *sim.WordFIFO) *Unit {
+	return &Unit{
+		eng:         eng,
+		In:          in,
+		Out:         out,
+		GHash:       ghash.NewCore(),
+		mask:        0xFFFF,
+		idleWaiters: sim.NewWaiters(eng),
+	}
+}
+
+// SetMask writes the 16-bit byte mask used by XOR and EQU. The controller
+// writes it through its port map; each 8-bit half costs a controller OUTPUT
+// instruction, which the controller model accounts for.
+func (u *Unit) SetMask(m uint16) { u.mask = m }
+
+// Mask returns the current byte mask.
+func (u *Unit) Mask() uint16 { return u.mask }
+
+// Equ returns the comparator flag set by the last EQU instruction.
+func (u *Unit) Equ() bool { return u.equ }
+
+// Bank returns bank register r (tests and the tracer use it; firmware can
+// only move data through instructions).
+func (u *Unit) Bank(r int) bits.Block { return u.bank[r] }
+
+// SetBank overwrites bank register r. Only tests use this; hardware has no
+// such path.
+func (u *Unit) SetBank(r int, v bits.Block) { u.bank[r] = v }
+
+// Busy reports whether a foreground instruction is executing.
+func (u *Unit) Busy() bool { return u.busy }
+
+// Reset clears architectural state between channels (bank, flags, mask).
+// Background engines must be idle.
+func (u *Unit) Reset() {
+	if u.busy || (u.Cipher != nil && u.Cipher.Busy()) {
+		panic("cryptounit: Reset while busy")
+	}
+	u.bank = [4]bits.Block{}
+	u.equ = false
+	u.mask = 0xFFFF
+}
+
+// WhenIdle parks fn until no foreground instruction is executing. The
+// controller's HALT instruction and the issue path both use it.
+func (u *Unit) WhenIdle(fn func()) {
+	if !u.busy {
+		u.eng.After(0, fn)
+		return
+	}
+	u.idleWaiters.Park(fn)
+}
+
+// Issue presents an instruction on the instruction port. If the unit is
+// still executing, the issue stalls (the start/ack handshake of §V.B);
+// onAccept runs at the cycle the unit latches the instruction.
+func (u *Unit) Issue(in cuisa.Instr, onAccept func()) {
+	if u.busy {
+		u.idleWaiters.Park(func() { u.Issue(in, onAccept) })
+		return
+	}
+	u.busy = true
+	now := u.eng.Now()
+	u.IssueCount[in.Op()&0xF]++
+	if u.Trace != nil {
+		u.Trace(now, in)
+	}
+	if onAccept != nil {
+		u.eng.After(0, onAccept)
+	}
+	u.execute(in)
+}
+
+// complete idles the unit and wakes HALTed controllers / stalled issues.
+func (u *Unit) complete() {
+	u.busy = false
+	u.idleWaiters.Release()
+	if u.OnDone != nil {
+		u.OnDone()
+	}
+}
+
+func (u *Unit) doneAfter(d sim.Time, fn func()) {
+	u.eng.After(d, func() {
+		if fn != nil {
+			fn()
+		}
+		u.complete()
+	})
+}
+
+func (u *Unit) execute(in cuisa.Instr) {
+	a, b := int(in.A()), int(in.B())
+	now := uint64(u.eng.Now())
+	switch in.Op() {
+	case cuisa.OpNOP, cuisa.OpRSV1, cuisa.OpRSV2:
+		u.doneAfter(SimpleLatency, nil)
+
+	case cuisa.OpLOAD:
+		u.loadWhenReady(a)
+
+	case cuisa.OpSTORE:
+		u.storeWhenReady(a)
+
+	case cuisa.OpLOADH:
+		u.doneAfter(SimpleLatency, func() { u.GHash.LoadH(u.bank[a]) })
+
+	case cuisa.OpSGFM:
+		start := now
+		if u.GHash.Busy() && u.GHash.ReadyAt() > now {
+			start = u.GHash.ReadyAt() // stall until the running iteration ends
+		}
+		u.GHash.Start(start, u.bank[a])
+		u.doneAfter(sim.Time(start-now)+StartLatency, nil)
+
+	case cuisa.OpFGFM:
+		ready := now
+		if u.GHash.Busy() && u.GHash.ReadyAt() > now {
+			ready = u.GHash.ReadyAt()
+		}
+		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
+			u.bank[a] = u.GHash.Collect()
+		})
+
+	case cuisa.OpSAES:
+		if u.Cipher == nil {
+			panic("cryptounit: SAES with no cipher engine configured")
+		}
+		if u.Cipher.Busy() {
+			panic(fmt.Sprintf("cryptounit: SAES at cycle %d while engine busy (firmware must FAES first)", now))
+		}
+		u.Cipher.Start(now, u.bank[a])
+		u.doneAfter(StartLatency, nil)
+
+	case cuisa.OpFAES:
+		if u.Cipher == nil {
+			panic("cryptounit: FAES with no cipher engine configured")
+		}
+		if !u.Cipher.Busy() {
+			// Hash engines expose their wide result through the finalize
+			// path: FAES on an idle ChunkReader reads the next digest chunk.
+			r, ok := u.Cipher.(ChunkReader)
+			if !ok {
+				panic("cryptounit: FAES with no computation in flight")
+			}
+			ready := now
+			if ra := u.Cipher.ReadyAt(); ra > now {
+				ready = ra
+			}
+			u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
+				u.bank[a] = r.ReadChunk()
+			})
+			return
+		}
+		ready := u.Cipher.ReadyAt()
+		if ready < now {
+			ready = now
+		}
+		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
+			u.bank[a] = u.Cipher.Collect()
+		})
+
+	case cuisa.OpINC:
+		delta := uint16(in.B()) + 1
+		u.doneAfter(SimpleLatency, func() { u.bank[a] = u.bank[a].Inc16(delta) })
+
+	case cuisa.OpXOR:
+		u.doneAfter(SimpleLatency, func() {
+			u.bank[b] = u.bank[a].XOR(u.bank[b]).AND(bits.ByteMask(u.mask))
+		})
+
+	case cuisa.OpEQU:
+		u.doneAfter(SimpleLatency, func() {
+			u.equ = u.bank[a].XOR(u.bank[b]).AND(bits.ByteMask(u.mask)).IsZero()
+		})
+
+	case cuisa.OpSHIN:
+		u.shiftInWhenReady(a)
+
+	case cuisa.OpSHOUT:
+		u.shiftOutWhenReady(a)
+
+	case cuisa.OpMOV:
+		u.doneAfter(SimpleLatency, func() { u.bank[b] = u.bank[a] })
+
+	default:
+		panic(fmt.Sprintf("cryptounit: invalid instruction %#02x", uint8(in)))
+	}
+}
+
+// loadWhenReady waits for four words in the input FIFO, pops them and
+// signals done SimpleLatency cycles later.
+func (u *Unit) loadWhenReady(a int) {
+	if !u.In.CanPop(4) {
+		u.In.WhenPoppable(4, func() { u.loadWhenReady(a) })
+		return
+	}
+	var w [4]uint32
+	for i := range w {
+		v, ok := u.In.TryPop()
+		if !ok {
+			panic("cryptounit: FIFO underflow after CanPop")
+		}
+		w[i] = v
+	}
+	u.bank[a] = bits.BlockFromWords(w)
+	u.doneAfter(SimpleLatency, nil)
+}
+
+// storeWhenReady waits for space, then pushes the register at completion so
+// downstream consumers observe the data when the instruction retires.
+func (u *Unit) storeWhenReady(a int) {
+	if !u.Out.CanPush(4) {
+		u.Out.WhenPushable(4, func() { u.storeWhenReady(a) })
+		return
+	}
+	v := u.bank[a]
+	u.doneAfter(SimpleLatency, func() {
+		for i := 0; i < 4; i++ {
+			if !u.Out.TryPush(v.Word(i)) {
+				panic("cryptounit: FIFO overflow after CanPush")
+			}
+		}
+	})
+}
+
+func (u *Unit) shiftInWhenReady(a int) {
+	if u.MboxIn == nil {
+		panic("cryptounit: SHIN with no inter-core input port")
+	}
+	w, ok := u.MboxIn.TryTake()
+	if !ok {
+		u.MboxIn.WhenTakeable(func() { u.shiftInWhenReady(a) })
+		return
+	}
+	u.bank[a] = bits.BlockFromWords(w)
+	u.doneAfter(ShiftInLatency, nil)
+}
+
+func (u *Unit) shiftOutWhenReady(a int) {
+	if u.MboxOut == nil {
+		panic("cryptounit: SHOUT with no inter-core output port")
+	}
+	if !u.MboxOut.TryPut(u.bank[a].Words()) {
+		u.MboxOut.WhenPuttable(func() { u.shiftOutWhenReady(a) })
+		return
+	}
+	u.doneAfter(ShiftOutLatency, nil)
+}

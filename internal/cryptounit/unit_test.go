@@ -1,0 +1,323 @@
+package cryptounit
+
+import (
+	"testing"
+
+	"mccp/internal/aes"
+	"mccp/internal/bits"
+	"mccp/internal/cuisa"
+	"mccp/internal/sim"
+)
+
+// seq issues instructions back-to-back: each is issued as soon as the unit
+// accepts it (modeling a controller with zero fetch overhead), and done is
+// awaited before the next issue. It returns the total cycle count.
+func seq(t *testing.T, eng *sim.Engine, u *Unit, ins ...cuisa.Instr) sim.Time {
+	t.Helper()
+	start := eng.Now()
+	var step func(i int)
+	step = func(i int) {
+		if i == len(ins) {
+			return
+		}
+		u.Issue(ins[i], nil)
+		u.WhenIdle(func() { step(i + 1) })
+	}
+	step(0)
+	eng.Run()
+	return eng.Now() - start
+}
+
+func newUnit() (*sim.Engine, *Unit) {
+	eng := sim.NewEngine()
+	in := sim.NewWordFIFO(eng, 520)
+	out := sim.NewWordFIFO(eng, 520)
+	u := New(eng, in, out)
+	core := aes.NewCore32()
+	core.LoadKeys(aes.Key128, aes.ExpandKey(make([]byte, 16)))
+	u.Cipher = core
+	return eng, u
+}
+
+func pushBlock(f *sim.WordFIFO, b bits.Block) {
+	for i := 0; i < 4; i++ {
+		if !f.TryPush(b.Word(i)) {
+			panic("test FIFO full")
+		}
+	}
+}
+
+func popBlock(f *sim.WordFIFO) bits.Block {
+	var w [4]uint32
+	for i := range w {
+		v, ok := f.TryPop()
+		if !ok {
+			panic("test FIFO empty")
+		}
+		w[i] = v
+	}
+	return bits.BlockFromWords(w)
+}
+
+func TestLoadStoreMoveData(t *testing.T) {
+	eng, u := newUnit()
+	want := bits.BlockFromHex("00112233445566778899aabbccddeeff")
+	pushBlock(u.In, want)
+	cycles := seq(t, eng, u, cuisa.Load(2), cuisa.Store(2))
+	if got := popBlock(u.Out); got != want {
+		t.Errorf("store = %s, want %s", got.Hex(), want.Hex())
+	}
+	if cycles != 2*SimpleLatency {
+		t.Errorf("LOAD+STORE = %d cycles, want %d", cycles, 2*SimpleLatency)
+	}
+}
+
+func TestLoadBlocksUntilDataArrives(t *testing.T) {
+	eng, u := newUnit()
+	want := bits.BlockFromHex("000102030405060708090a0b0c0d0e0f")
+	done := sim.Time(0)
+	u.Issue(cuisa.Load(0), nil)
+	u.WhenIdle(func() { done = eng.Now() })
+	// Words trickle in one per 10 cycles starting at t=5.
+	for i := 0; i < 4; i++ {
+		w := want.Word(i)
+		eng.At(sim.Time(5+10*i), func() { u.In.TryPush(w) })
+	}
+	eng.Run()
+	if u.Bank(0) != want {
+		t.Errorf("bank = %s", u.Bank(0).Hex())
+	}
+	if done != 35+SimpleLatency {
+		t.Errorf("done at %d, want %d (last word at 35 + latency)", done, 35+SimpleLatency)
+	}
+}
+
+func TestXORMaskEquInc(t *testing.T) {
+	eng, u := newUnit()
+	a := bits.BlockFromHex("ffffffffffffffffffffffffffffffff")
+	b := bits.BlockFromHex("0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f")
+	u.SetBank(0, a)
+	u.SetBank(1, b)
+	u.SetMask(0xFF00) // keep first 8 bytes only
+	seq(t, eng, u, cuisa.Xor(0, 1))
+	if got := u.Bank(1).Hex(); got != "f0f0f0f0f0f0f0f00000000000000000" {
+		t.Errorf("XOR = %s", got)
+	}
+	// EQU under a mask compares only unmasked bytes (truncated tags).
+	u.SetBank(2, bits.BlockFromHex("f0f0f0f0f0f0f0f0deadbeefdeadbeef"))
+	seq(t, eng, u, cuisa.Equ(1, 2))
+	if !u.Equ() {
+		t.Error("masked EQU should ignore the last 8 bytes")
+	}
+	u.SetMask(0xFFFF)
+	seq(t, eng, u, cuisa.Equ(1, 2))
+	if u.Equ() {
+		t.Error("full EQU should see the difference")
+	}
+	// INC steps the low 16 bits by 1..4.
+	u.SetBank(3, bits.Block{})
+	seq(t, eng, u, cuisa.Inc(3, 1), cuisa.Inc(3, 4))
+	if u.Bank(3)[15] != 5 {
+		t.Errorf("INC total = %d, want 5", u.Bank(3)[15])
+	}
+}
+
+func TestMovAndXorSelfZero(t *testing.T) {
+	eng, u := newUnit()
+	v := bits.BlockFromHex("00112233445566778899aabbccddeeff")
+	u.SetBank(0, v)
+	seq(t, eng, u, cuisa.Mov(0, 3))
+	if u.Bank(3) != v {
+		t.Error("MOV failed")
+	}
+	// XOR @A,@A always zeroes @A regardless of mask — firmware's way of
+	// materializing the zero block for H = E_K(0).
+	u.SetMask(0x00FF)
+	seq(t, eng, u, cuisa.Xor(3, 3))
+	if !u.Bank(3).IsZero() {
+		t.Error("XOR self should zero the register")
+	}
+}
+
+func TestSAESFAESSerializedTiming(t *testing.T) {
+	eng, u := newUnit()
+	pt := bits.BlockFromHex("00112233445566778899aabbccddeeff")
+	u.SetBank(0, pt)
+	cycles := seq(t, eng, u, cuisa.SAES(0), cuisa.FAES(1))
+	// T_SAES + T_FAES = 49 for a 128-bit key: the paper's GCM loop bound.
+	if cycles != 49 {
+		t.Errorf("SAES;FAES = %d cycles, want 49", cycles)
+	}
+	want := aes.MustNew(make([]byte, 16)).Encrypt(pt)
+	if u.Bank(1) != want {
+		t.Errorf("FAES result = %s, want %s", u.Bank(1).Hex(), want.Hex())
+	}
+}
+
+func TestSAESFAESKeySizeScaling(t *testing.T) {
+	// 192/256-bit keys add 8/16 cycles to the pair (52+5, 60+5).
+	for _, tc := range []struct {
+		size aes.KeySize
+		want sim.Time
+	}{{aes.Key128, 49}, {aes.Key192, 57}, {aes.Key256, 65}} {
+		eng := sim.NewEngine()
+		u := New(eng, sim.NewWordFIFO(eng, 8), sim.NewWordFIFO(eng, 8))
+		core := aes.NewCore32()
+		core.LoadKeys(tc.size, aes.ExpandKey(make([]byte, int(tc.size))))
+		u.Cipher = core
+		got := seq(t, eng, u, cuisa.SAES(0), cuisa.FAES(1))
+		if got != tc.want {
+			t.Errorf("%v SAES;FAES = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestBackgroundOverlapHidesForegroundWork(t *testing.T) {
+	// SAES; 5 simple ops; FAES must still take 49 total: the simple ops
+	// execute in the AES shadow. This is the mechanism behind Listing 1.
+	eng, u := newUnit()
+	cycles := seq(t, eng, u,
+		cuisa.SAES(0),
+		cuisa.Inc(1, 1), cuisa.Inc(1, 1), cuisa.Inc(1, 1), cuisa.Inc(1, 1), cuisa.Inc(1, 1),
+		cuisa.FAES(2),
+	)
+	if cycles != 49 {
+		t.Errorf("overlapped sequence = %d cycles, want 49", cycles)
+	}
+}
+
+func TestSGFMFGFMTiming(t *testing.T) {
+	eng, u := newUnit()
+	h := bits.BlockFromHex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+	x := bits.BlockFromHex("0388dace60b6a392f328c2b971b2fe78")
+	u.SetBank(0, h)
+	u.SetBank(1, x)
+	cycles := seq(t, eng, u, cuisa.LoadH(0), cuisa.SGFM(1), cuisa.FGFM(2))
+	// LOADH(6) + SGFM start(2) + stall to 43 + finalize(5) = 6 + 43 + 5.
+	if cycles != 6+43+5 {
+		t.Errorf("LOADH;SGFM;FGFM = %d cycles, want %d", cycles, 6+43+5)
+	}
+	want := mulRef(x, h)
+	if u.Bank(2) != want {
+		t.Errorf("GHASH = %s, want %s", u.Bank(2).Hex(), want.Hex())
+	}
+}
+
+// mulRef avoids importing ghash's internals twice; GHASH of a single block
+// X with zeroed accumulator is X*H.
+func mulRef(x, h bits.Block) bits.Block {
+	var z bits.Block
+	v := h
+	for i := 0; i < 128; i++ {
+		if x[i/8]&(0x80>>uint(i%8)) != 0 {
+			z = z.XOR(v)
+		}
+		lsb := v[15] & 1
+		var r bits.Block
+		var carry byte
+		for j := 0; j < 16; j++ {
+			b := v[j]
+			r[j] = b>>1 | carry
+			carry = b << 7
+		}
+		if lsb != 0 {
+			r[0] ^= 0xE1
+		}
+		v = r
+	}
+	return z
+}
+
+func TestSAESWhileBusyPanics(t *testing.T) {
+	eng, u := newUnit()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on SAES while engine busy")
+		}
+	}()
+	u.Issue(cuisa.SAES(0), nil)
+	u.WhenIdle(func() { u.Issue(cuisa.SAES(1), nil) })
+	eng.Run()
+}
+
+func TestIssueStallsWhileBusy(t *testing.T) {
+	eng, u := newUnit()
+	var accepted sim.Time
+	u.Issue(cuisa.Inc(0, 1), nil)                             // busy until t=6
+	u.Issue(cuisa.Inc(0, 1), func() { accepted = eng.Now() }) // must stall
+	eng.Run()
+	if accepted != SimpleLatency {
+		t.Errorf("second issue accepted at %d, want %d", accepted, SimpleLatency)
+	}
+	if u.Bank(0)[15] != 2 {
+		t.Error("both INCs must execute")
+	}
+}
+
+func TestInterCoreShiftRegister(t *testing.T) {
+	eng := sim.NewEngine()
+	mb := sim.NewMailbox128(eng)
+	// Sender core.
+	us := New(eng, sim.NewWordFIFO(eng, 8), sim.NewWordFIFO(eng, 8))
+	us.MboxOut = mb
+	// Receiver core.
+	ur := New(eng, sim.NewWordFIFO(eng, 8), sim.NewWordFIFO(eng, 8))
+	ur.MboxIn = mb
+
+	mac := bits.BlockFromHex("deadbeefdeadbeefdeadbeefdeadbeef")
+	us.SetBank(0, mac)
+	// Receiver blocks on SHIN first; sender SHOUTs 20 cycles later.
+	var got bits.Block
+	ur.Issue(cuisa.ShIn(1), nil)
+	ur.WhenIdle(func() { got = ur.Bank(1) })
+	eng.At(20, func() { us.Issue(cuisa.ShOut(0), nil) })
+	eng.Run()
+	if got != mac {
+		t.Errorf("SHIN = %s, want %s", got.Hex(), mac.Hex())
+	}
+	if eng.Now() != 20+ShiftInLatency {
+		t.Errorf("rendezvous completed at %d, want %d", eng.Now(), 20+ShiftInLatency)
+	}
+}
+
+func TestStoreBlocksOnFullOutput(t *testing.T) {
+	eng := sim.NewEngine()
+	u := New(eng, sim.NewWordFIFO(eng, 8), sim.NewWordFIFO(eng, 4))
+	core := aes.NewCore32()
+	core.LoadKeys(aes.Key128, aes.ExpandKey(make([]byte, 16)))
+	u.Cipher = core
+	// Fill the 4-word output FIFO so STORE must wait.
+	for i := 0; i < 4; i++ {
+		u.Out.TryPush(uint32(i))
+	}
+	var done sim.Time
+	u.Issue(cuisa.Store(0), nil)
+	u.WhenIdle(func() { done = eng.Now() })
+	// Drain one word at t=30: still not enough. Drain the rest at t=50.
+	eng.At(30, func() { u.Out.TryPop() })
+	eng.At(50, func() {
+		for u.Out.Len() > 0 {
+			u.Out.TryPop()
+		}
+	})
+	eng.Run()
+	if done != 50+SimpleLatency {
+		t.Errorf("STORE done at %d, want %d", done, 50+SimpleLatency)
+	}
+	if u.Out.Len() != 4 {
+		t.Errorf("output FIFO has %d words, want 4", u.Out.Len())
+	}
+}
+
+func TestIssueCountAndTrace(t *testing.T) {
+	eng, u := newUnit()
+	var traced []cuisa.Instr
+	u.Trace = func(_ sim.Time, in cuisa.Instr) { traced = append(traced, in) }
+	seq(t, eng, u, cuisa.Inc(0, 1), cuisa.Xor(0, 1), cuisa.Inc(0, 1))
+	if u.IssueCount[cuisa.OpINC] != 2 || u.IssueCount[cuisa.OpXOR] != 1 {
+		t.Errorf("issue counts = %v", u.IssueCount)
+	}
+	if len(traced) != 3 {
+		t.Errorf("traced %d instructions, want 3", len(traced))
+	}
+}

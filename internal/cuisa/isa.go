@@ -1,0 +1,132 @@
+// Package cuisa defines the Cryptographic Unit Instruction Set Architecture
+// of the MCCP (Table I of the paper): 8-bit instructions composed of a 4-bit
+// operation code and two 2-bit bank-register addresses.
+//
+// The paper enumerates LOAD, LOADH, SGFM, FGFM, SAES, FAES, INC, XOR and EQU
+// and uses STORE and LOAD_PT in its firmware listing; the remaining encoding
+// space carries the inter-core shift-register transfers (SHIN/SHOUT) that
+// §IV.A describes ("Inter-Cryptographic Core ports are used to convey
+// temporary data from a core to another") and a register move.
+package cuisa
+
+import "fmt"
+
+// Op is a 4-bit Cryptographic Unit opcode.
+type Op uint8
+
+// Opcode assignments. SAES/FAES drive whatever cipher engine currently
+// occupies the reconfigurable region (AES in the paper's main build,
+// Whirlpool or Twofish after partial reconfiguration), so firmware is
+// engine-agnostic exactly as §IX claims.
+const (
+	OpNOP   Op = 0x0 // no operation (fixed latency)
+	OpLOAD  Op = 0x1 // pop one 128-bit word from the input FIFO into @A
+	OpSTORE Op = 0x2 // push @A into the output FIFO
+	OpLOADH Op = 0x3 // load @A into the GHASH core as H; clears the accumulator
+	OpSGFM  Op = 0x4 // start one GHASH iteration absorbing @A (background)
+	OpFGFM  Op = 0x5 // wait for GHASH, store accumulator into @A
+	OpSAES  Op = 0x6 // start the cipher engine on @A (background)
+	OpFAES  Op = 0x7 // wait for the cipher engine, store result into @A
+	OpINC   Op = 0x8 // @A = @A + (imm2+1) on the 16 LSBs
+	OpXOR   Op = 0x9 // @B = (@A ^ @B) & mask
+	OpEQU   Op = 0xA // equ flag = ((@A ^ @B) & mask) == 0
+	OpSHIN  Op = 0xB // read the inter-core shift register into @A (blocking)
+	OpSHOUT Op = 0xC // write @A to the inter-core shift register (blocking)
+	OpMOV   Op = 0xD // @B = @A
+	OpRSV1  Op = 0xE // reserved
+	OpRSV2  Op = 0xF // reserved
+)
+
+var opNames = [16]string{
+	"NOP", "LOAD", "STORE", "LOADH", "SGFM", "FGFM", "SAES", "FAES",
+	"INC", "XOR", "EQU", "SHIN", "SHOUT", "MOV", "RSV1", "RSV2",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string { return opNames[o&0xF] }
+
+// Valid reports whether the opcode is an implemented instruction.
+func (o Op) Valid() bool { return o <= OpMOV }
+
+// Instr is one encoded 8-bit Cryptographic Unit instruction:
+// bits 7..4 opcode, bits 3..2 address A, bits 1..0 address B (or the 2-bit
+// immediate of INC).
+type Instr uint8
+
+// New builds an instruction from fields. a and b must fit in 2 bits.
+func New(op Op, a, b uint8) Instr {
+	if a > 3 || b > 3 {
+		panic(fmt.Sprintf("cuisa: register address out of range: %d, %d", a, b))
+	}
+	return Instr(uint8(op)<<4 | a<<2 | b)
+}
+
+// Op extracts the opcode.
+func (i Instr) Op() Op { return Op(i >> 4) }
+
+// A extracts bank-register address A.
+func (i Instr) A() uint8 { return uint8(i>>2) & 3 }
+
+// B extracts bank-register address B (the immediate field for INC).
+func (i Instr) B() uint8 { return uint8(i) & 3 }
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	op := i.Op()
+	switch op {
+	case OpNOP, OpRSV1, OpRSV2:
+		return op.String()
+	case OpXOR, OpEQU, OpMOV:
+		return fmt.Sprintf("%s R%d, R%d", op, i.A(), i.B())
+	case OpINC:
+		return fmt.Sprintf("%s R%d, %d", op, i.A(), i.B()+1)
+	default:
+		return fmt.Sprintf("%s R%d", op, i.A())
+	}
+}
+
+// Convenience constructors used throughout firmware and tests.
+
+// Load returns LOAD @a.
+func Load(a uint8) Instr { return New(OpLOAD, a, 0) }
+
+// Store returns STORE @a.
+func Store(a uint8) Instr { return New(OpSTORE, a, 0) }
+
+// LoadH returns LOADH @a.
+func LoadH(a uint8) Instr { return New(OpLOADH, a, 0) }
+
+// SGFM returns SGFM @a.
+func SGFM(a uint8) Instr { return New(OpSGFM, a, 0) }
+
+// FGFM returns FGFM @a.
+func FGFM(a uint8) Instr { return New(OpFGFM, a, 0) }
+
+// SAES returns SAES @a.
+func SAES(a uint8) Instr { return New(OpSAES, a, 0) }
+
+// FAES returns FAES @a.
+func FAES(a uint8) Instr { return New(OpFAES, a, 0) }
+
+// Inc returns INC @a, delta for delta in 1..4.
+func Inc(a uint8, delta uint8) Instr {
+	if delta < 1 || delta > 4 {
+		panic("cuisa: INC delta must be 1..4")
+	}
+	return New(OpINC, a, delta-1)
+}
+
+// Xor returns XOR @a, @b (result into @b).
+func Xor(a, b uint8) Instr { return New(OpXOR, a, b) }
+
+// Equ returns EQU @a, @b.
+func Equ(a, b uint8) Instr { return New(OpEQU, a, b) }
+
+// ShIn returns SHIN @a.
+func ShIn(a uint8) Instr { return New(OpSHIN, a, 0) }
+
+// ShOut returns SHOUT @a.
+func ShOut(a uint8) Instr { return New(OpSHOUT, a, 0) }
+
+// Mov returns MOV @a, @b (copy @a into @b).
+func Mov(a, b uint8) Instr { return New(OpMOV, a, b) }

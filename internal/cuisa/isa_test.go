@@ -1,0 +1,83 @@
+package cuisa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, a, b uint8) bool {
+		in := New(Op(op&0xF), a&3, b&3)
+		return in.Op() == Op(op&0xF) && in.A() == a&3 && in.B() == b&3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldPacking(t *testing.T) {
+	in := New(OpXOR, 2, 1)
+	if uint8(in) != 0x99 {
+		t.Errorf("XOR R2,R1 = %#02x, want 0x99 (op 9, a=2, b=1)", uint8(in))
+	}
+	if in.String() != "XOR R2, R1" {
+		t.Errorf("disasm = %q", in.String())
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		op   Op
+		a, b uint8
+		str  string
+	}{
+		{Load(2), OpLOAD, 2, 0, "LOAD R2"},
+		{Store(1), OpSTORE, 1, 0, "STORE R1"},
+		{LoadH(1), OpLOADH, 1, 0, "LOADH R1"},
+		{SGFM(3), OpSGFM, 3, 0, "SGFM R3"},
+		{FGFM(0), OpFGFM, 0, 0, "FGFM R0"},
+		{SAES(0), OpSAES, 0, 0, "SAES R0"},
+		{FAES(1), OpFAES, 1, 0, "FAES R1"},
+		{Inc(0, 1), OpINC, 0, 0, "INC R0, 1"},
+		{Inc(0, 4), OpINC, 0, 3, "INC R0, 4"},
+		{Xor(2, 3), OpXOR, 2, 3, "XOR R2, R3"},
+		{Equ(1, 2), OpEQU, 1, 2, "EQU R1, R2"},
+		{ShIn(2), OpSHIN, 2, 0, "SHIN R2"},
+		{ShOut(3), OpSHOUT, 3, 0, "SHOUT R3"},
+		{Mov(0, 3), OpMOV, 0, 3, "MOV R0, R3"},
+	}
+	for _, c := range cases {
+		if c.in.Op() != c.op || c.in.A() != c.a || c.in.B() != c.b {
+			t.Errorf("%s: fields op=%v a=%d b=%d", c.str, c.in.Op(), c.in.A(), c.in.B())
+		}
+		if got := c.in.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("register address 4 accepted")
+		}
+	}()
+	New(OpLOAD, 4, 0)
+}
+
+func TestIncDeltaValidation(t *testing.T) {
+	for _, bad := range []uint8{0, 5} {
+		func() {
+			defer func() { recover() }()
+			Inc(0, bad)
+			t.Errorf("Inc delta %d accepted", bad)
+		}()
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if !OpMOV.Valid() || OpRSV1.Valid() || OpRSV2.Valid() {
+		t.Error("Valid() misclassifies reserved opcodes")
+	}
+}

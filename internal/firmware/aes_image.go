@@ -1,0 +1,703 @@
+package firmware
+
+// aesImageSource is the block-cipher-mode program. Structure and idioms
+// follow the paper's Listing 1: Cryptographic Unit instruction bytes are
+// pre-fetched into controller registers before each main loop so every loop
+// iteration is a run of OUTPUT strobes plus the loop bookkeeping, and start
+// (SAES/SGFM) instructions are placed so the AES and GHASH cores compute in
+// the background while data movement proceeds.
+//
+// Register conventions inside routines:
+//
+//	s0 scratch / mode        s1 header-block count    s2 payload-block count
+//	s3 status scratch        s4..sA,sC,sD pre-fetched unit instructions
+//	sB loop counter          sE ad-hoc instruction / mask scratch
+//	sF result code
+//
+// Bank-register conventions (Cryptographic Unit):
+//
+//	R0 counter block         R1 keystream / working value
+//	R2 data block            R3 accumulator (CBC-MAC state or E_K(J0))
+//
+// The input/output FIFO framing contract (what the communication controller
+// sends and expects) is documented per routine below; the radio package
+// implements the matching formatter.
+const aesImageSource = `
+; ---------------------------------------------------------------- dispatcher
+init:
+    INPUT   s0, statusp
+    AND     s0, 04            ; start pending?
+    JUMP    NZ, dispatch
+    HALT
+    JUMP    init
+
+dispatch:
+    INPUT   s0, p_mode        ; read clears start-pending
+    INPUT   s1, p_hdr
+    INPUT   s2, p_data
+    LOAD    sE, FF            ; full byte mask by default
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    COMPARE s0, 01
+    JUMP    Z, gcm_enc
+    COMPARE s0, 02
+    JUMP    Z, gcm_dec
+    COMPARE s0, 03
+    JUMP    Z, ccm_enc
+    COMPARE s0, 04
+    JUMP    Z, ccm_dec
+    COMPARE s0, 05
+    JUMP    Z, ctr_mode
+    COMPARE s0, 06
+    JUMP    Z, cbcmac_mode
+    COMPARE s0, 07
+    JUMP    Z, c2me
+    COMPARE s0, 08
+    JUMP    Z, c2ce
+    COMPARE s0, 09
+    JUMP    Z, c2md
+    COMPARE s0, 0A
+    JUMP    Z, c2cd
+    LOAD    sF, 02            ; unknown mode
+    OUTPUT  sF, resultp
+    JUMP    init
+
+; shared authentication-failure epilogue: flush the output FIFO so no
+; unauthenticated plaintext can be read, then report AUTH_FAIL.
+authfail:
+    OUTPUT  sF, flushp
+    LOAD    sF, 01
+    OUTPUT  sF, resultp
+    JUMP    init
+
+ok_result:
+    LOAD    sF, 00
+    OUTPUT  sF, resultp
+    JUMP    init
+
+; ------------------------------------------------------------------ GCM enc
+; In:  [J0] [AAD blocks]*hdr [PT blocks]*data [LEN block]
+; Out: [CT blocks]*data [TAG block]
+gcm_enc:
+    LOAD    sE, i_xor_11      ; R1 = 0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_1      ; start E(0)
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1      ; R1 = H
+    OUTPUT  sE, cu
+    LOAD    sE, i_loadh_1     ; H -> GHASH core, clear accumulator
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_0      ; R0 = J0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_0      ; start E(J0)
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0       ; R0 = J0+1 (first data counter)
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3      ; R3 = E(J0) for the tag
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, gcme_aad_done
+    LOAD    s4, i_load_2
+    LOAD    s9, i_sgfm_2
+gcme_aad:
+    OUTPUT  s4, cu            ; R2 = AAD block
+    OUTPUT  s9, cu            ; absorb
+    SUB     s1, 01
+    JUMP    NZ, gcme_aad
+gcme_aad_done:
+    COMPARE s2, 00
+    JUMP    Z, gcme_fin
+    LOAD    s4, i_load_2      ; pre-fetch the loop instructions (Listing 1)
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_faes_1
+    LOAD    s8, i_xor_21
+    LOAD    s9, i_sgfm_1
+    LOAD    sA, i_store_1
+    OUTPUT  s4, cu            ; R2 = PT1
+    OUTPUT  s5, cu            ; start E(ctr1)
+    OUTPUT  s6, cu            ; ctr2
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, gcme_last
+gcme_loop:
+    OUTPUT  s7, cu            ; R1 = keystream i
+    OUTPUT  s5, cu            ; start E(ctr i+1) in the background
+    OUTPUT  s8, cu            ; R1 = CT i = PT ^ KS
+    OUTPUT  s9, cu            ; absorb CT i
+    OUTPUT  sA, cu            ; emit CT i
+    OUTPUT  s6, cu            ; ctr i+2
+    OUTPUT  s4, cu            ; R2 = PT i+1
+    SUB     sB, 01
+    JUMP    NZ, gcme_loop
+gcme_last:
+    OUTPUT  s7, cu            ; R1 = keystream n
+    INPUT   sC, p_lmask_lo    ; partial-block byte mask
+    OUTPUT  sC, masklo
+    INPUT   sC, p_lmask_hi
+    OUTPUT  sC, maskhi
+    OUTPUT  s8, cu            ; R1 = masked CT n
+    OUTPUT  s9, cu            ; absorb masked CT n
+    OUTPUT  sA, cu            ; emit CT n
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+gcme_fin:
+    LOAD    sE, i_load_2      ; R2 = lengths block
+    OUTPUT  sE, cu
+    LOAD    sE, i_sgfm_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_fgfm_1      ; R1 = GHASH
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_31      ; R1 = GHASH ^ E(J0) = TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_1     ; emit TAG
+    OUTPUT  sE, cu
+    HALT                      ; let the STORE land before signalling done
+    JUMP    ok_result
+
+; ------------------------------------------------------------------ GCM dec
+; In:  [J0] [AAD]*hdr [CT]*data [LEN] [TAG]
+; Out: [PT blocks]*data (flushed when authentication fails)
+gcm_dec:
+    LOAD    sE, i_xor_11
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_1
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1
+    OUTPUT  sE, cu
+    LOAD    sE, i_loadh_1
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, gcmd_aad_done
+    LOAD    s4, i_load_2
+    LOAD    s9, i_sgfm_2
+gcmd_aad:
+    OUTPUT  s4, cu
+    OUTPUT  s9, cu
+    SUB     s1, 01
+    JUMP    NZ, gcmd_aad
+gcmd_aad_done:
+    COMPARE s2, 00
+    JUMP    Z, gcmd_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_faes_1
+    LOAD    s8, i_xor_21
+    LOAD    s9, i_sgfm_2      ; decrypt absorbs the ciphertext
+    LOAD    sA, i_store_1
+    OUTPUT  s4, cu            ; R2 = CT1
+    OUTPUT  s5, cu
+    OUTPUT  s6, cu
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, gcmd_last
+gcmd_loop:
+    OUTPUT  s7, cu            ; R1 = keystream i
+    OUTPUT  s5, cu            ; start E(ctr i+1)
+    OUTPUT  s9, cu            ; absorb CT i (before R2 is reloaded)
+    OUTPUT  s8, cu            ; R1 = PT i
+    OUTPUT  sA, cu            ; emit PT i
+    OUTPUT  s6, cu
+    OUTPUT  s4, cu            ; R2 = CT i+1
+    SUB     sB, 01
+    JUMP    NZ, gcmd_loop
+gcmd_last:
+    OUTPUT  s7, cu
+    OUTPUT  s9, cu            ; absorb zero-padded CT n (GHASH padding rule)
+    OUTPUT  s8, cu            ; PT n (tail garbage; controller truncates)
+    OUTPUT  sA, cu
+gcmd_fin:
+    LOAD    sE, i_load_2      ; lengths block
+    OUTPUT  sE, cu
+    LOAD    sE, i_sgfm_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_fgfm_1
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_31      ; R1 = computed TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_2      ; R2 = received TAG (zero-padded)
+    OUTPUT  sE, cu
+    INPUT   sC, p_tmask_lo    ; compare only the tag-length bytes
+    OUTPUT  sC, masklo
+    INPUT   sC, p_tmask_hi
+    OUTPUT  sC, maskhi
+    LOAD    sE, i_equ_12
+    OUTPUT  sE, cu
+    HALT                      ; wait for the comparator
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    INPUT   s3, statusp
+    AND     s3, 02            ; equ flag
+    JUMP    Z, authfail
+    JUMP    ok_result
+
+; ------------------------------------------------------------------ CCM enc
+; One-core CCM interleaves CTR and CBC-MAC on the same unit (T = 104/block).
+; In:  [A0] [B0] [AAD-enc blocks]*hdr [PT]*data [A0]
+; Out: [CT]*data [TAG block]
+ccm_enc:
+    LOAD    sE, i_load_0      ; R0 = A0
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0       ; R0 = A1
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_3      ; R3 = B0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3      ; MAC accumulator = E(B0)
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, ccme_hdr_done
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+ccme_hdr:
+    OUTPUT  s4, cu            ; R2 = AAD block
+    OUTPUT  s7, cu            ; R3 = acc ^ AAD
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu            ; R3 = E(acc ^ AAD)
+    SUB     s1, 01
+    JUMP    NZ, ccme_hdr
+ccme_hdr_done:
+    COMPARE s2, 00
+    JUMP    Z, ccme_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_xor_23
+    LOAD    s8, i_faes_1
+    LOAD    s9, i_xor_21
+    LOAD    sA, i_store_1
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+    OUTPUT  s4, cu            ; R2 = PT1
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, ccme_last
+ccme_loop:
+    OUTPUT  s5, cu            ; start E(A_i)
+    OUTPUT  s6, cu            ; A_{i+1}
+    OUTPUT  s7, cu            ; R3 = acc ^ PT i (in the CTR shadow)
+    OUTPUT  s8, cu            ; R1 = keystream i
+    OUTPUT  s9, cu            ; R1 = CT i
+    OUTPUT  sA, cu            ; emit CT i
+    OUTPUT  sC, cu            ; start E(acc ^ PT)
+    OUTPUT  s4, cu            ; R2 = PT i+1 (in the MAC shadow)
+    OUTPUT  sD, cu            ; R3 = new accumulator
+    SUB     sB, 01
+    JUMP    NZ, ccme_loop
+ccme_last:
+    OUTPUT  s5, cu            ; start E(A_n)
+    OUTPUT  s7, cu            ; MAC absorbs the zero-padded PT (CCM rule)
+    OUTPUT  s8, cu            ; R1 = keystream n
+    INPUT   sE, p_lmask_lo
+    OUTPUT  sE, masklo
+    INPUT   sE, p_lmask_hi
+    OUTPUT  sE, maskhi
+    OUTPUT  s9, cu            ; R1 = masked CT n
+    OUTPUT  sA, cu            ; emit CT n
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu            ; final accumulator
+ccme_fin:
+    LOAD    sE, i_load_2      ; R2 = A0 (duplicated at stream end)
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1      ; R1 = S0 = E(A0)
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_31      ; R1 = MAC ^ S0 = TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_1
+    OUTPUT  sE, cu
+    HALT
+    JUMP    ok_result
+
+; ------------------------------------------------------------------ CCM dec
+; In:  [A0] [B0] [AAD-enc]*hdr [CT]*data [A0] [TAG]
+; Out: [PT]*data (flushed on auth failure)
+ccm_dec:
+    LOAD    sE, i_load_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, ccmd_hdr_done
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+ccmd_hdr:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s1, 01
+    JUMP    NZ, ccmd_hdr
+ccmd_hdr_done:
+    COMPARE s2, 00
+    JUMP    Z, ccmd_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_xor_13      ; R3 = acc ^ PT (plaintext sits in R1)
+    LOAD    s8, i_faes_1
+    LOAD    s9, i_xor_21
+    LOAD    sA, i_store_1
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+    OUTPUT  s4, cu            ; R2 = CT1
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, ccmd_last
+ccmd_loop:
+    OUTPUT  s5, cu            ; start E(A_i)
+    OUTPUT  s6, cu
+    OUTPUT  s8, cu            ; R1 = keystream i
+    OUTPUT  s9, cu            ; R1 = PT i
+    OUTPUT  sA, cu            ; emit PT i
+    OUTPUT  s7, cu            ; R3 = acc ^ PT i
+    OUTPUT  sC, cu            ; start E(acc ^ PT)
+    OUTPUT  s4, cu            ; R2 = CT i+1
+    OUTPUT  sD, cu            ; new accumulator
+    SUB     sB, 01
+    JUMP    NZ, ccmd_loop
+ccmd_last:
+    OUTPUT  s5, cu
+    OUTPUT  s8, cu            ; keystream n
+    INPUT   sE, p_lmask_lo
+    OUTPUT  sE, masklo
+    INPUT   sE, p_lmask_hi
+    OUTPUT  sE, maskhi
+    OUTPUT  s9, cu            ; R1 = masked PT n (zero tail = CCM padding)
+    OUTPUT  sA, cu            ; emit PT n
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    OUTPUT  s7, cu            ; absorb padded PT n
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+ccmd_fin:
+    LOAD    sE, i_load_2      ; R2 = A0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1      ; R1 = S0
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_31      ; R1 = acc ^ S0 = expected TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_2      ; R2 = received TAG
+    OUTPUT  sE, cu
+    INPUT   sC, p_tmask_lo
+    OUTPUT  sC, masklo
+    INPUT   sC, p_tmask_hi
+    OUTPUT  sC, maskhi
+    LOAD    sE, i_equ_12
+    OUTPUT  sE, cu
+    HALT
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    INPUT   s3, statusp
+    AND     s3, 02
+    JUMP    Z, authfail
+    JUMP    ok_result
+
+; ---------------------------------------------------------------------- CTR
+; In:  [ICB] [DATA]*data          Out: [DATA ^ keystream]*data
+ctr_mode:
+    LOAD    sE, i_load_0
+    OUTPUT  sE, cu
+    COMPARE s2, 00
+    JUMP    Z, ctr_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_faes_1
+    LOAD    s9, i_xor_21
+    LOAD    sA, i_store_1
+    OUTPUT  s4, cu
+    OUTPUT  s5, cu
+    OUTPUT  s6, cu
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, ctr_last
+ctr_loop:
+    OUTPUT  s7, cu
+    OUTPUT  s5, cu
+    OUTPUT  s9, cu
+    OUTPUT  sA, cu
+    OUTPUT  s6, cu
+    OUTPUT  s4, cu
+    SUB     sB, 01
+    JUMP    NZ, ctr_loop
+ctr_last:
+    OUTPUT  s7, cu
+    INPUT   sE, p_lmask_lo
+    OUTPUT  sE, masklo
+    INPUT   sE, p_lmask_hi
+    OUTPUT  sE, maskhi
+    OUTPUT  s9, cu
+    OUTPUT  sA, cu
+    HALT                      ; wait for the final STORE before restoring
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+ctr_fin:
+    JUMP    ok_result
+
+; ------------------------------------------------------------------ CBC-MAC
+; In:  [DATA]*data (pre-formatted/padded)   Out: [MAC block]
+cbcmac_mode:
+    LOAD    sE, i_xor_33      ; R3 = 0 (FIPS-113 zero IV)
+    OUTPUT  sE, cu
+    COMPARE s2, 00
+    JUMP    Z, cbc_fin
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+cbc_loop:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s2, 01
+    JUMP    NZ, cbc_loop
+cbc_fin:
+    LOAD    sE, i_store_3
+    OUTPUT  sE, cu
+    HALT
+    JUMP    ok_result
+
+; ------------------------------------- two-core CCM, CBC-MAC half (encrypt)
+; In:  [B0] [AAD-enc]*hdr [PT]*data     Out: none (MAC via shift register)
+c2me:
+    LOAD    sE, i_load_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, c2me_h_done
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+c2me_hdr:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s1, 01
+    JUMP    NZ, c2me_hdr
+c2me_h_done:
+    COMPARE s2, 00
+    JUMP    Z, c2me_fin
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+c2me_loop:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s2, 01
+    JUMP    NZ, c2me_loop
+c2me_fin:
+    LOAD    sE, i_shout_3     ; forward the MAC to the CTR core
+    OUTPUT  sE, cu
+    JUMP    ok_result
+
+; ----------------------------------------- two-core CCM, CTR half (encrypt)
+; In:  [A0] [PT]*data [A0]              Out: [CT]*data [TAG]
+c2ce:
+    LOAD    sE, i_load_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0       ; A1
+    OUTPUT  sE, cu
+    COMPARE s2, 00
+    JUMP    Z, c2ce_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_faes_1
+    LOAD    s9, i_xor_21
+    LOAD    sA, i_store_1
+    OUTPUT  s4, cu
+    OUTPUT  s5, cu
+    OUTPUT  s6, cu
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, c2ce_last
+c2ce_loop:
+    OUTPUT  s7, cu
+    OUTPUT  s5, cu
+    OUTPUT  s9, cu
+    OUTPUT  sA, cu
+    OUTPUT  s6, cu
+    OUTPUT  s4, cu
+    SUB     sB, 01
+    JUMP    NZ, c2ce_loop
+c2ce_last:
+    OUTPUT  s7, cu
+    INPUT   sE, p_lmask_lo
+    OUTPUT  sE, masklo
+    INPUT   sE, p_lmask_hi
+    OUTPUT  sE, maskhi
+    OUTPUT  s9, cu
+    OUTPUT  sA, cu
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+c2ce_fin:
+    LOAD    sE, i_load_2      ; R2 = A0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1      ; R1 = S0
+    OUTPUT  sE, cu
+    LOAD    sE, i_shin_2      ; R2 = MAC from the CBC-MAC core
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_21      ; R1 = MAC ^ S0 = TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_1
+    OUTPUT  sE, cu
+    HALT
+    JUMP    ok_result
+
+; ------------------------------------- two-core CCM, CBC-MAC half (decrypt)
+; In:  [B0] [AAD-enc]*hdr; plaintext arrives over the shift register
+c2md:
+    LOAD    sE, i_load_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_3
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_3
+    OUTPUT  sE, cu
+    COMPARE s1, 00
+    JUMP    Z, c2md_h_done
+    LOAD    s4, i_load_2
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+c2md_hdr:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s1, 01
+    JUMP    NZ, c2md_hdr
+c2md_h_done:
+    COMPARE s2, 00
+    JUMP    Z, c2md_fin
+    LOAD    s4, i_shin_2      ; R2 = PT block from the CTR core
+    LOAD    s7, i_xor_23
+    LOAD    sC, i_saes_3
+    LOAD    sD, i_faes_3
+c2md_loop:
+    OUTPUT  s4, cu
+    OUTPUT  s7, cu
+    OUTPUT  sC, cu
+    OUTPUT  sD, cu
+    SUB     s2, 01
+    JUMP    NZ, c2md_loop
+c2md_fin:
+    LOAD    sE, i_shout_3
+    OUTPUT  sE, cu
+    JUMP    ok_result
+
+; ----------------------------------------- two-core CCM, CTR half (decrypt)
+; In:  [A0] [CT]*data [A0] [TAG]        Out: [PT]*data (flushed on failure)
+c2cd:
+    LOAD    sE, i_load_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_inc_0
+    OUTPUT  sE, cu
+    COMPARE s2, 00
+    JUMP    Z, c2cd_fin
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_0
+    LOAD    s6, i_inc_0
+    LOAD    s7, i_faes_1
+    LOAD    s9, i_xor_21
+    LOAD    sA, i_store_1
+    LOAD    sC, i_shout_1     ; forward each PT block to the MAC core
+    OUTPUT  s4, cu
+    OUTPUT  s5, cu
+    OUTPUT  s6, cu
+    LOAD    sB, s2
+    SUB     sB, 01
+    JUMP    Z, c2cd_last
+c2cd_loop:
+    OUTPUT  s7, cu            ; R1 = keystream i
+    OUTPUT  s5, cu            ; start E(A_{i+1})
+    OUTPUT  s9, cu            ; R1 = PT i
+    OUTPUT  sA, cu            ; emit PT i
+    OUTPUT  sC, cu            ; PT i -> MAC core (rendezvous paces us)
+    OUTPUT  s6, cu
+    OUTPUT  s4, cu            ; R2 = CT i+1
+    SUB     sB, 01
+    JUMP    NZ, c2cd_loop
+c2cd_last:
+    OUTPUT  s7, cu
+    INPUT   sE, p_lmask_lo
+    OUTPUT  sE, masklo
+    INPUT   sE, p_lmask_hi
+    OUTPUT  sE, maskhi
+    OUTPUT  s9, cu            ; masked PT n (zero tail, the MAC padding)
+    OUTPUT  sA, cu
+    OUTPUT  sC, cu            ; padded PT n -> MAC core
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+c2cd_fin:
+    LOAD    sE, i_load_2      ; R2 = A0
+    OUTPUT  sE, cu
+    LOAD    sE, i_saes_2
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_1      ; R1 = S0
+    OUTPUT  sE, cu
+    LOAD    sE, i_shin_2      ; R2 = MAC
+    OUTPUT  sE, cu
+    LOAD    sE, i_xor_21      ; R1 = expected TAG
+    OUTPUT  sE, cu
+    LOAD    sE, i_load_2      ; R2 = received TAG
+    OUTPUT  sE, cu
+    INPUT   sC, p_tmask_lo
+    OUTPUT  sC, masklo
+    INPUT   sC, p_tmask_hi
+    OUTPUT  sC, maskhi
+    LOAD    sE, i_equ_12
+    OUTPUT  sE, cu
+    HALT
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    INPUT   s3, statusp
+    AND     s3, 02
+    JUMP    Z, authfail
+    JUMP    ok_result
+`

@@ -1,0 +1,195 @@
+// Package firmware contains the 8-bit controller programs executed by each
+// Cryptographic Core, written in the PicoBlaze assembly dialect of the
+// paper's Listing 1 and assembled at package init.
+//
+// One program image ("the AES image") carries every block-cipher mode the
+// MCCP supports — GCM and CCM encrypt/decrypt, bare CTR and CBC-MAC, and the
+// two-core CCM split (a CBC-MAC half and a CTR half cooperating over the
+// inter-core shift register). A second image drives a Whirlpool hashing
+// unit after partial reconfiguration. The Task Scheduler selects the
+// routine by writing a mode code to the core's parameter registers and
+// strobing start.
+//
+// # Port map (controller <-> core glue)
+//
+// Output ports: the Cryptographic Unit instruction port, the two halves of
+// the 16-bit XOR/EQU byte mask, the result register (writing it signals
+// task completion to the Task Scheduler) and the output-FIFO flush strobe
+// used when authentication fails.
+//
+// Input ports: a status register (unit busy, equ flag, start pending) and
+// the task parameters written by the Task Scheduler: mode, header (AAD)
+// block count, payload block count, the byte mask of the final partial
+// payload block and the byte mask of the authentication tag.
+package firmware
+
+import (
+	"fmt"
+	"strings"
+
+	"mccp/internal/cuisa"
+	"mccp/internal/picoblaze"
+)
+
+// Controller output ports.
+const (
+	PortCU     = 0x00 // Cryptographic Unit instruction strobe
+	PortMaskLo = 0x01 // XOR/EQU byte mask bits 7..0
+	PortMaskHi = 0x02 // XOR/EQU byte mask bits 15..8
+	PortResult = 0x03 // result code; write signals task completion
+	PortFlush  = 0x04 // output-FIFO re-initialization (auth failure)
+)
+
+// Controller input ports.
+const (
+	InStatus     = 0x00
+	InMode       = 0x01 // reading also clears the start-pending flag
+	InHdrBlks    = 0x02
+	InDataBlks   = 0x03
+	InLastMaskLo = 0x04
+	InLastMaskHi = 0x05
+	InTagMaskLo  = 0x06
+	InTagMaskHi  = 0x07
+)
+
+// Status register bits.
+const (
+	StatusBusy  = 0x01
+	StatusEqu   = 0x02
+	StatusStart = 0x04
+)
+
+// Mode selects the firmware routine for a task.
+type Mode uint8
+
+// Task modes. The CCM2 modes are the two halves of the paper's
+// "any single CCM packet can be processed with two Cryptographic Cores".
+const (
+	ModeInvalid    Mode = 0
+	ModeGCMEnc     Mode = 1
+	ModeGCMDec     Mode = 2
+	ModeCCMEnc     Mode = 3
+	ModeCCMDec     Mode = 4
+	ModeCTR        Mode = 5 // encrypt == decrypt
+	ModeCBCMAC     Mode = 6
+	ModeCCM2MacEnc Mode = 7
+	ModeCCM2CtrEnc Mode = 8
+	ModeCCM2MacDec Mode = 9
+	ModeCCM2CtrDec Mode = 10
+	ModeHash       Mode = 11 // Whirlpool image only
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	names := map[Mode]string{
+		ModeGCMEnc: "GCM-ENC", ModeGCMDec: "GCM-DEC",
+		ModeCCMEnc: "CCM-ENC", ModeCCMDec: "CCM-DEC",
+		ModeCTR: "CTR", ModeCBCMAC: "CBC-MAC",
+		ModeCCM2MacEnc: "CCM2-MAC-ENC", ModeCCM2CtrEnc: "CCM2-CTR-ENC",
+		ModeCCM2MacDec: "CCM2-MAC-DEC", ModeCCM2CtrDec: "CCM2-CTR-DEC",
+		ModeHash: "HASH",
+	}
+	if s, ok := names[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Result codes written to PortResult.
+const (
+	ResultOK       = 0x00
+	ResultAuthFail = 0x01
+	ResultBadMode  = 0x02
+)
+
+// constants emits the CONSTANT preamble shared by the images: port numbers,
+// status bits and every Cryptographic Unit instruction byte the firmware
+// uses. Encoding the unit instructions here (rather than as magic hex in
+// the assembly) keeps firmware and ISA in lock step.
+func constants() string {
+	var b strings.Builder
+	emit := func(name string, v uint8) { fmt.Fprintf(&b, "CONSTANT %s, %02X\n", name, v) }
+
+	emit("cu", PortCU)
+	emit("masklo", PortMaskLo)
+	emit("maskhi", PortMaskHi)
+	emit("resultp", PortResult)
+	emit("flushp", PortFlush)
+	emit("statusp", InStatus)
+	emit("p_mode", InMode)
+	emit("p_hdr", InHdrBlks)
+	emit("p_data", InDataBlks)
+	emit("p_lmask_lo", InLastMaskLo)
+	emit("p_lmask_hi", InLastMaskHi)
+	emit("p_tmask_lo", InTagMaskLo)
+	emit("p_tmask_hi", InTagMaskHi)
+
+	ins := map[string]cuisa.Instr{
+		"i_load_0":  cuisa.Load(0),
+		"i_load_2":  cuisa.Load(2),
+		"i_load_3":  cuisa.Load(3),
+		"i_store_1": cuisa.Store(1),
+		"i_store_3": cuisa.Store(3),
+		"i_store_0": cuisa.Store(0),
+		"i_store_2": cuisa.Store(2),
+		"i_loadh_1": cuisa.LoadH(1),
+		"i_sgfm_1":  cuisa.SGFM(1),
+		"i_sgfm_2":  cuisa.SGFM(2),
+		"i_fgfm_1":  cuisa.FGFM(1),
+		"i_saes_0":  cuisa.SAES(0),
+		"i_saes_1":  cuisa.SAES(1),
+		"i_saes_2":  cuisa.SAES(2),
+		"i_saes_3":  cuisa.SAES(3),
+		"i_faes_0":  cuisa.FAES(0),
+		"i_faes_1":  cuisa.FAES(1),
+		"i_faes_2":  cuisa.FAES(2),
+		"i_faes_3":  cuisa.FAES(3),
+		"i_inc_0":   cuisa.Inc(0, 1),
+		"i_xor_11":  cuisa.Xor(1, 1),
+		"i_xor_33":  cuisa.Xor(3, 3),
+		"i_xor_21":  cuisa.Xor(2, 1),
+		"i_xor_23":  cuisa.Xor(2, 3),
+		"i_xor_13":  cuisa.Xor(1, 3),
+		"i_xor_31":  cuisa.Xor(3, 1),
+		"i_equ_12":  cuisa.Equ(1, 2),
+		"i_shin_2":  cuisa.ShIn(2),
+		"i_shout_1": cuisa.ShOut(1),
+		"i_shout_3": cuisa.ShOut(3),
+	}
+	// Deterministic order for reproducible images.
+	names := make([]string, 0, len(ins))
+	for n := range ins {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		emit(n, uint8(ins[n]))
+	}
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ImageAES is the assembled block-cipher-mode image (GCM/CCM/CTR/CBC-MAC
+// and the two-core CCM halves).
+var ImageAES = picoblaze.MustAssemble(constants() + aesImageSource)
+
+// ImageHash is the assembled Whirlpool hashing image used after partial
+// reconfiguration of the Cryptographic Unit.
+var ImageHash = picoblaze.MustAssemble(constants() + hashImageSource)
+
+// ImageAESWords and ImageHashWords report the image sizes for the resource
+// model and the reconfiguration-time accounting.
+func ImageAESWords() int  { return len(ImageAES) }
+func ImageHashWords() int { return len(ImageHash) }
+
+// ImageWordsLoadCycles is the cost of rewriting a controller's 1024-word
+// instruction memory through its loader port when a core is reprogrammed
+// (one word per cycle).
+const ImageWordsLoadCycles = 1024

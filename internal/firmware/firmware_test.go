@@ -1,0 +1,154 @@
+package firmware
+
+import (
+	"strings"
+	"testing"
+
+	"mccp/internal/picoblaze"
+)
+
+func TestImagesAssembleAndFit(t *testing.T) {
+	if n := ImageAESWords(); n == 0 || n > picoblaze.IMemWords {
+		t.Errorf("AES image: %d words", n)
+	}
+	if n := ImageHashWords(); n == 0 || n > picoblaze.IMemWords {
+		t.Errorf("hash image: %d words", n)
+	}
+	t.Logf("AES image: %d words; hash image: %d words (of %d)",
+		ImageAESWords(), ImageHashWords(), picoblaze.IMemWords)
+}
+
+func TestConstantsBlockIsDeterministic(t *testing.T) {
+	if constants() != constants() {
+		t.Error("constants preamble must be deterministic for reproducible images")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m := ModeGCMEnc; m <= ModeHash; m++ {
+		if strings.HasPrefix(m.String(), "Mode(") {
+			t.Errorf("mode %d has no name", m)
+		}
+	}
+	if !strings.HasPrefix(Mode(99).String(), "Mode(") {
+		t.Error("unknown mode should print numerically")
+	}
+}
+
+// TestDispatcherCoversEveryAESMode disassembles the AES image and checks
+// each mode constant appears in a COMPARE (dispatch completeness).
+func TestDispatcherCoversEveryAESMode(t *testing.T) {
+	var listing strings.Builder
+	for _, w := range ImageAES {
+		listing.WriteString(picoblaze.Disassemble(w))
+		listing.WriteByte('\n')
+	}
+	for m := ModeGCMEnc; m <= ModeCCM2CtrDec; m++ {
+		needle := "COMPARE s0, 0" + string("0123456789ABCDEF"[m])
+		if !strings.Contains(listing.String(), needle) {
+			t.Errorf("dispatcher missing %v (no %q)", m, needle)
+		}
+	}
+}
+
+// TestHaltPlacementRule audits the images for the wake-race rule: a HALT
+// must not immediately follow an OUTPUT to the unit instruction port whose
+// operation completes in under 5 cycles (SAES/SGFM/SHOUT starts). The
+// firmware convention is to HALT only after FAES/FGFM/EQU/LOAD/STORE-class
+// instructions; this test catches regressions mechanically by checking the
+// instruction byte most recently output before each HALT.
+func TestHaltPlacementRule(t *testing.T) {
+	for _, img := range []struct {
+		name  string
+		words []picoblaze.Word
+	}{{"aes", ImageAES}, {"hash", ImageHash}} {
+		lastCUByte := -1
+		track := map[uint8]int{} // register -> last LOADed constant
+		for addr, w := range img.words {
+			d := picoblaze.Disassemble(w)
+			var reg uint8
+			var val int
+			if n, _ := parseLoad(d, &reg, &val); n {
+				track[reg] = val
+			}
+			if r, ok := parseOutputToCU(d); ok {
+				if v, seen := track[r]; seen {
+					lastCUByte = v
+				} else {
+					lastCUByte = -1 // pre-fetched loop register: not checked
+				}
+			}
+			if d == "HALT" && lastCUByte >= 0 {
+				op := uint8(lastCUByte) >> 4
+				// 0x4 SGFM, 0x6 SAES, 0xC SHOUT complete too fast.
+				if op == 0x4 || op == 0x6 || op == 0xC {
+					t.Errorf("%s image: HALT at %03X after fast-start op %#x (wake race)",
+						img.name, addr, op)
+				}
+			}
+		}
+	}
+}
+
+func parseLoad(d string, reg *uint8, val *int) (bool, error) {
+	if !strings.HasPrefix(d, "LOAD s") || strings.Contains(d, ", s") {
+		return false, nil
+	}
+	var r uint8
+	var v int
+	n, err := sscanf(d, &r, &v)
+	if n != 2 || err != nil {
+		return false, nil
+	}
+	*reg, *val = r, v
+	return true, nil
+}
+
+func sscanf(d string, r *uint8, v *int) (int, error) {
+	// d is "LOAD sX, KK" with X and KK hex.
+	rest := strings.TrimPrefix(d, "LOAD s")
+	parts := strings.Split(rest, ", ")
+	if len(parts) != 2 {
+		return 0, nil
+	}
+	x := hexVal(parts[0])
+	k := hexVal(parts[1])
+	if x < 0 || k < 0 {
+		return 0, nil
+	}
+	*r, *v = uint8(x), k
+	return 2, nil
+}
+
+func parseOutputToCU(d string) (uint8, bool) {
+	// "OUTPUT sX, 00" targets the unit instruction port.
+	if !strings.HasPrefix(d, "OUTPUT s") || !strings.HasSuffix(d, ", 00") {
+		return 0, false
+	}
+	x := hexVal(strings.TrimSuffix(strings.TrimPrefix(d, "OUTPUT s"), ", 00"))
+	if x < 0 {
+		return 0, false
+	}
+	return uint8(x), true
+}
+
+func hexVal(s string) int {
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v*16 + int(c-'0')
+		case c >= 'A' && c <= 'F':
+			v = v*16 + int(c-'A'+10)
+		case c >= 'a' && c <= 'f':
+			v = v*16 + int(c-'a'+10)
+		default:
+			return -1
+		}
+	}
+	if len(s) == 0 {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package firmware
+
+// hashImageSource drives a Whirlpool hashing unit after partial
+// reconfiguration of the Cryptographic Unit (the paper's Table IV swaps the
+// AES engine for a Whirlpool engine inside the 1280-slice reconfigurable
+// region). The message is pre-padded by the communication controller to the
+// Whirlpool block format (512-bit blocks = four 128-bit FIFO words), so the
+// controller program is a pure absorb loop followed by a four-chunk digest
+// readout.
+//
+// In:  [message chunk]*data (data = 4 x number of 512-bit blocks)
+// Out: [digest chunk]*4 (the 512-bit Whirlpool digest)
+const hashImageSource = `
+init:
+    INPUT   s0, statusp
+    AND     s0, 04
+    JUMP    NZ, dispatch
+    HALT
+    JUMP    init
+
+dispatch:
+    INPUT   s0, p_mode
+    INPUT   s1, p_hdr
+    INPUT   s2, p_data
+    LOAD    sE, FF
+    OUTPUT  sE, masklo
+    OUTPUT  sE, maskhi
+    COMPARE s0, 0B            ; ModeHash
+    JUMP    Z, whash
+    LOAD    sF, 02
+    OUTPUT  sF, resultp
+    JUMP    init
+
+whash:
+    COMPARE s2, 00
+    JUMP    Z, wh_read        ; empty message: digest of padding only is
+                              ; never produced here; the controller always
+                              ; sends at least one padded block
+    LOAD    s4, i_load_2
+    LOAD    s5, i_saes_2      ; absorb chunk (engine compresses every 4th)
+wh_loop:
+    OUTPUT  s4, cu
+    OUTPUT  s5, cu
+    SUB     s2, 01
+    JUMP    NZ, wh_loop
+wh_read:
+    LOAD    sE, i_faes_0      ; digest chunk readout via the finalize path
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_faes_0
+    OUTPUT  sE, cu
+    LOAD    sE, i_store_0
+    OUTPUT  sE, cu
+    HALT
+    LOAD    sF, 00
+    OUTPUT  sF, resultp
+    JUMP    init
+`

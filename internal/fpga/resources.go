@@ -1,0 +1,132 @@
+// Package fpga models the Virtex-4 SX35-11 resource budget of the paper's
+// implementation: per-component slice/BRAM estimates calibrated to the
+// published totals (4084 slices and 26 BRAMs at 190 MHz for the four-core
+// MCCP, §VII.A) and to the reconfigurable-region figures of Table IV.
+//
+// This is an accounting model, not a synthesis tool: its purpose is to
+// regenerate the area columns of Tables III and IV and to let scaling
+// studies (core-count sweeps) report area alongside throughput.
+package fpga
+
+// Component is one RTL block's resource estimate.
+type Component struct {
+	Name    string
+	Slices  int
+	BRAMs   int
+	FmaxMHz float64 // post-PAR achievable clock for this block
+}
+
+// Per-component estimates. AES and Whirlpool match Table IV exactly; the
+// remaining blocks are calibrated so that a four-core MCCP reproduces the
+// paper's 4084 slices / 26 BRAMs.
+var (
+	// AESCore is the Chodowiec-Gaj-style iterative AES encryption core with
+	// its key-schedule support (Table IV row "AES Encryption (with KS)":
+	// 351 slices, 4 BRAMs).
+	AESCore = Component{Name: "aes-core", Slices: 351, BRAMs: 4, FmaxMHz: 222}
+	// WhirlpoolCore is the Table IV Whirlpool hashing core.
+	WhirlpoolCore = Component{Name: "whirlpool-core", Slices: 1153, BRAMs: 4, FmaxMHz: 205}
+	// GHashCore is the 3-bit digit-serial GF(2^128) multiplier. It is the
+	// critical path of the model (the paper's system clock is 190 MHz).
+	GHashCore = Component{Name: "ghash-core", Slices: 280, BRAMs: 0, FmaxMHz: 193}
+	// UnitLogic covers the bank register, decoder, XOR/comparator, Inc and
+	// I/O cores of one Cryptographic Unit.
+	UnitLogic = Component{Name: "unit-logic", Slices: 115, BRAMs: 0, FmaxMHz: 240}
+	// Controller is one PicoBlaze-class 8-bit controller; its instruction
+	// memory block RAM is shared between neighbouring cores and accounted
+	// separately.
+	Controller = Component{Name: "controller", Slices: 96, BRAMs: 0, FmaxMHz: 235}
+	// CoreFIFOs are the two 512x32 packet FIFOs, folded into one dual-port
+	// block RAM.
+	CoreFIFOs = Component{Name: "core-fifos", Slices: 36, BRAMs: 1, FmaxMHz: 260}
+	// KeyCache is the per-core round-key store (distributed RAM).
+	KeyCache = Component{Name: "key-cache", Slices: 22, BRAMs: 0, FmaxMHz: 260}
+	// TaskScheduler is the 8-bit scheduler controller plus its program
+	// store and the instruction/return registers.
+	TaskScheduler = Component{Name: "task-scheduler", Slices: 180, BRAMs: 2, FmaxMHz: 230}
+	// KeyScheduler is the shared AES key-expansion unit with the Key Memory
+	// block.
+	KeyScheduler = Component{Name: "key-scheduler", Slices: 160, BRAMs: 2, FmaxMHz: 225}
+	// CrossBar is the 32-bit I/O crossbar.
+	CrossBar = Component{Name: "crossbar", Slices: 128, BRAMs: 0, FmaxMHz: 250}
+)
+
+// Design is a set of instantiated components.
+type Design struct {
+	Name       string
+	Components []Component
+	Counts     []int
+}
+
+// Add appends count instances of c.
+func (d *Design) Add(c Component, count int) {
+	d.Components = append(d.Components, c)
+	d.Counts = append(d.Counts, count)
+}
+
+// Slices totals slice usage.
+func (d *Design) Slices() int {
+	t := 0
+	for i, c := range d.Components {
+		t += c.Slices * d.Counts[i]
+	}
+	return t
+}
+
+// BRAMs totals block-RAM usage. Fractional sharing (the pairwise shared
+// instruction memories) is handled by the MCCP constructor below.
+func (d *Design) BRAMs() int {
+	t := 0
+	for i, c := range d.Components {
+		t += c.BRAMs * d.Counts[i]
+	}
+	return t
+}
+
+// FmaxMHz is the design's clock ceiling: the slowest component bounds it.
+func (d *Design) FmaxMHz() float64 {
+	f := 1e9
+	for i, c := range d.Components {
+		if d.Counts[i] > 0 && c.FmaxMHz < f {
+			f = c.FmaxMHz
+		}
+	}
+	return f
+}
+
+// MCCPDesign builds the resource model of an n-core MCCP with AES units.
+func MCCPDesign(n int) *Design {
+	d := &Design{Name: "mccp"}
+	d.Add(AESCore, n)
+	d.Add(GHashCore, n)
+	d.Add(UnitLogic, n)
+	d.Add(Controller, n)
+	d.Add(CoreFIFOs, n)
+	d.Add(KeyCache, n)
+	// Shared instruction memories: one BRAM per core pair.
+	d.Add(Component{Name: "shared-imem", Slices: 8, BRAMs: 1, FmaxMHz: 260}, (n+1)/2)
+	d.Add(TaskScheduler, 1)
+	d.Add(KeyScheduler, 1)
+	d.Add(CrossBar, 1)
+	return d
+}
+
+// ReconfigRegion is the partial-reconfiguration area reserved in each
+// Cryptographic Unit (paper §VII.B: 1280 slices and 16 BRAMs for the
+// demonstrator region).
+type ReconfigRegion struct {
+	Slices int
+	BRAMs  int
+}
+
+// DemoRegion is the paper's measured region.
+var DemoRegion = ReconfigRegion{Slices: 1280, BRAMs: 16}
+
+// PaperFrequencyMHz is the reported MCCP operating frequency.
+const PaperFrequencyMHz = 190.0
+
+// PaperSlices and PaperBRAMs are the reported four-core totals.
+const (
+	PaperSlices = 4084
+	PaperBRAMs  = 26
+)

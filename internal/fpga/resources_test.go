@@ -1,0 +1,44 @@
+package fpga
+
+import "testing"
+
+// TestMCCPMatchesPaperTotals pins the calibration: a four-core MCCP must
+// reproduce the paper's reported 4084 slices and 26 block RAMs (§VII.A).
+func TestMCCPMatchesPaperTotals(t *testing.T) {
+	d := MCCPDesign(4)
+	if got := d.Slices(); got != PaperSlices {
+		t.Errorf("4-core slices = %d, want %d", got, PaperSlices)
+	}
+	if got := d.BRAMs(); got != PaperBRAMs {
+		t.Errorf("4-core BRAMs = %d, want %d", got, PaperBRAMs)
+	}
+	if f := d.FmaxMHz(); f < PaperFrequencyMHz {
+		t.Errorf("Fmax %.0f MHz below the paper's %.0f MHz clock", f, PaperFrequencyMHz)
+	}
+}
+
+func TestScalingMonotonic(t *testing.T) {
+	prev := 0
+	for n := 1; n <= 8; n++ {
+		s := MCCPDesign(n).Slices()
+		if s <= prev {
+			t.Fatalf("slices not increasing at %d cores", n)
+		}
+		prev = s
+	}
+	// The scheduler/crossbar overhead amortizes: per-core cost shrinks.
+	c2 := float64(MCCPDesign(2).Slices()) / 2
+	c8 := float64(MCCPDesign(8).Slices()) / 8
+	if c8 >= c2 {
+		t.Errorf("per-core slice cost should shrink with scale: %f vs %f", c8, c2)
+	}
+}
+
+func TestReconfigRegionFitsBothEngines(t *testing.T) {
+	for _, c := range []Component{AESCore, WhirlpoolCore} {
+		if c.Slices > DemoRegion.Slices || c.BRAMs > DemoRegion.BRAMs {
+			t.Errorf("%s (%d slices, %d BRAM) does not fit the %d-slice/%d-BRAM region",
+				c.Name, c.Slices, c.BRAMs, DemoRegion.Slices, DemoRegion.BRAMs)
+		}
+	}
+}

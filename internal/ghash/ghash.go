@@ -1,0 +1,151 @@
+// Package ghash implements the GHASH universal hash over GF(2^128) used by
+// GCM (NIST SP 800-38D), together with a timing model of the digit-serial
+// multiplier the paper instantiates (Lemsitzer et al., CHES 2007: 3-bit
+// digits, one 128-bit multiplication in 43 clock cycles).
+//
+// GF(2^128) elements use GCM's reflected convention: bit 0 of byte 0 of a
+// block is the coefficient of x^0, and the field polynomial is
+// x^128 + x^7 + x^2 + x + 1.
+package ghash
+
+import "mccp/internal/bits"
+
+// Mul returns x*y in GF(2^128) under the GCM bit convention. This is the
+// bit-serial reference used for correctness; MulDigitSerial below models the
+// hardware datapath and must agree with it (a property test checks this).
+func Mul(x, y bits.Block) bits.Block {
+	var z bits.Block
+	v := y
+	for i := 0; i < 128; i++ {
+		// Bit i of x, in GCM order: byte i/8, MSB first within the byte.
+		if x[i/8]&(0x80>>uint(i%8)) != 0 {
+			z = z.XOR(v)
+		}
+		v = shiftRight1(v)
+	}
+	return z
+}
+
+// shiftRight1 multiplies v by x: a right shift in the reflected
+// representation, with reduction by the field polynomial (XOR of 0xE1 into
+// the top byte) when the bit shifted out of position 127 is set.
+func shiftRight1(v bits.Block) bits.Block {
+	lsb := v[15] & 1
+	var r bits.Block
+	var carry byte
+	for i := 0; i < 16; i++ {
+		b := v[i]
+		r[i] = b>>1 | carry
+		carry = b << 7
+	}
+	if lsb != 0 {
+		r[0] ^= 0xE1
+	}
+	return r
+}
+
+// GHASH computes GHASH_H over the given blocks: Y_0 = 0,
+// Y_i = (Y_{i-1} XOR X_i) * H.
+func GHASH(h bits.Block, blocks []bits.Block) bits.Block {
+	var y bits.Block
+	for _, x := range blocks {
+		y = Mul(y.XOR(x), h)
+	}
+	return y
+}
+
+// DefaultDigitBits is the digit width of the paper's multiplier ("digit-
+// serial multiplication is made using 3-bit digits and it is computed in 43
+// clock cycles").
+const DefaultDigitBits = 3
+
+// DigitSerialCycles returns the cycle count of one 128-bit multiplication
+// with the given digit width: ceil(128/d) digits plus a one-cycle load stage.
+// For d=3 this is ceil(128/3)+0 = 43, matching the paper.
+func DigitSerialCycles(digitBits int) uint64 {
+	if digitBits <= 0 || digitBits > 128 {
+		panic("ghash: digit width out of range")
+	}
+	return uint64((128 + digitBits - 1) / digitBits)
+}
+
+// MulDigitSerial multiplies processing digitBits coefficient bits of x per
+// iteration, mirroring the hardware schedule: each cycle the partial product
+// accumulates digitBits shifted copies of the multiplicand. The result is
+// bit-identical to Mul for every digit width.
+func MulDigitSerial(x, y bits.Block, digitBits int) bits.Block {
+	var z bits.Block
+	v := y
+	bit := 0
+	for bit < 128 {
+		for d := 0; d < digitBits && bit < 128; d++ {
+			if x[bit/8]&(0x80>>uint(bit%8)) != 0 {
+				z = z.XOR(v)
+			}
+			v = shiftRight1(v)
+			bit++
+		}
+	}
+	return z
+}
+
+// Core models the GHASH core inside each Cryptographic Unit: it holds the
+// hash subkey H (loaded by the LOADH instruction) and an accumulator that
+// SGFM updates in the background while FGFM reads it out. One SGFM costs
+// DigitSerialCycles(DigitBits) cycles.
+type Core struct {
+	// DigitBits selects the multiplier digit width; zero means DefaultDigitBits.
+	DigitBits int
+
+	h         bits.Block
+	acc       bits.Block
+	busyUntil uint64
+	busy      bool
+}
+
+// NewCore returns a core with the paper's 3-bit-digit multiplier.
+func NewCore() *Core { return &Core{DigitBits: DefaultDigitBits} }
+
+// LoadH installs the hash subkey and clears the accumulator; this is the
+// LOADH instruction ("loads the computed H constant into the GHASH core").
+func (c *Core) LoadH(h bits.Block) {
+	c.h = h
+	c.acc = bits.Block{}
+	c.busy = false
+}
+
+// Cycles returns the latency of one GHASH iteration.
+func (c *Core) Cycles() uint64 {
+	d := c.DigitBits
+	if d == 0 {
+		d = DefaultDigitBits
+	}
+	return DigitSerialCycles(d)
+}
+
+// Start begins one iteration acc = (acc XOR x) * H at absolute cycle now and
+// returns the completion cycle (the SGFM instruction).
+func (c *Core) Start(now uint64, x bits.Block) uint64 {
+	d := c.DigitBits
+	if d == 0 {
+		d = DefaultDigitBits
+	}
+	c.acc = MulDigitSerial(c.acc.XOR(x), c.h, d)
+	c.busyUntil = now + c.Cycles()
+	c.busy = true
+	return c.busyUntil
+}
+
+// Busy reports whether an iteration is in flight.
+func (c *Core) Busy() bool { return c.busy }
+
+// ReadyAt returns the completion cycle of the iteration in flight.
+func (c *Core) ReadyAt() uint64 { return c.busyUntil }
+
+// Collect returns the accumulator (the FGFM instruction) and marks the core
+// idle. The accumulator is preserved so hashing can continue afterwards
+// (GCM reads the running MAC only once, after the lengths block).
+func (c *Core) Collect() bits.Block {
+	c.busy = false
+	return c.acc
+}

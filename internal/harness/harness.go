@@ -1,0 +1,394 @@
+// Package harness runs the paper's experiments against the simulated MCCP
+// and formats the results as the tables the paper prints. Every table and
+// quantitative claim of the evaluation section has a runner here; the root
+// bench_test.go and cmd/benchtables expose them.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"mccp/internal/aes"
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/fpga"
+	"mccp/internal/radio"
+	"mccp/internal/sim"
+)
+
+// Mapping is a Table II column: how packets map onto cores.
+type Mapping struct {
+	Name string
+	// Streams is the number of packets kept in flight concurrently.
+	Streams int
+	// Split marks two-core CCM processing.
+	Split bool
+}
+
+// The paper's six Table II mappings.
+var (
+	GCM1   = Mapping{Name: "1 core", Streams: 1}
+	GCM4x1 = Mapping{Name: "4x1 cores", Streams: 4}
+	CCM1   = Mapping{Name: "1 core", Streams: 1}
+	CCM4x1 = Mapping{Name: "4x1 cores", Streams: 4}
+	CCM2   = Mapping{Name: "2 cores", Streams: 1, Split: true}
+	CCM2x2 = Mapping{Name: "2x2 cores", Streams: 2, Split: true}
+)
+
+// TheoreticalLoopCycles returns the paper's per-block loop bounds (§VII.A):
+// T_GCM = T_SAES+T_FAES, T_CCM,2cores = +T_XOR, T_CCM,1core = T_CTR+T_CBC,
+// with eight extra cycles per AES pass for each key-size step.
+func TheoreticalLoopCycles(family cryptocore.Family, split bool, size aes.KeySize) float64 {
+	aesC := float64(size.CoreCycles()) // 44 / 52 / 60
+	switch {
+	case family == cryptocore.FamilyGCM:
+		return aesC + 5
+	case split:
+		return aesC + 5 + 6
+	default:
+		return (aesC + 5) + (aesC + 5 + 6)
+	}
+}
+
+// TheoreticalMbps is the Table II "theoretical" column: 128 bits per loop
+// iteration per engaged stream at 190 MHz.
+func TheoreticalMbps(family cryptocore.Family, m Mapping, size aes.KeySize) float64 {
+	perCore := 128.0 / TheoreticalLoopCycles(family, m.Split, size) * (sim.DefaultFreqHz / 1e6)
+	return perCore * float64(m.Streams)
+}
+
+// TableIIRow is one cell group of Table II.
+type TableIIRow struct {
+	Family  cryptocore.Family
+	Mapping Mapping
+	KeyBits int
+	// TheoreticalMbps is computed from the loop formulas.
+	TheoreticalMbps float64
+	// MeasuredMbps follows the paper's 2 KB-column methodology: the
+	// end-to-end throughput of a single packet instance on its core
+	// mapping, multiplied by the number of parallel instances.
+	MeasuredMbps float64
+	// SystemMbps is the additional full-contention measurement this model
+	// enables: all instances in flight against the shared 32-bit crossbar
+	// and control protocol. The paper's methodology does not capture this
+	// serialization, so SystemMbps < MeasuredMbps on multi-stream rows.
+	SystemMbps float64
+	// PaperTheoreticalMbps / Paper2KBMbps are Table II's printed values.
+	PaperTheoreticalMbps float64
+	Paper2KBMbps         float64
+}
+
+// paperTableII holds the printed values, keyed by family/mapping/keybits.
+var paperTableII = map[string][2]float64{
+	"GCM/1 core/128":    {496, 437},
+	"GCM/4x1 cores/128": {1984, 1748},
+	"GCM/1 core/192":    {426, 382},
+	"GCM/4x1 cores/192": {1704, 1528},
+	"GCM/1 core/256":    {374, 337},
+	"GCM/4x1 cores/256": {1496, 1348},
+	"CCM/1 core/128":    {233, 214},
+	"CCM/4x1 cores/128": {932, 856},
+	"CCM/2 cores/128":   {442, 393},
+	"CCM/2x2 cores/128": {884, 786},
+	"CCM/1 core/192":    {202, 187},
+	"CCM/4x1 cores/192": {808, 748},
+	"CCM/2 cores/192":   {386, 348},
+	"CCM/2x2 cores/192": {772, 696},
+	"CCM/1 core/256":    {178, 171},
+	"CCM/4x1 cores/256": {712, 684},
+	"CCM/2 cores/256":   {342, 313},
+	"CCM/2x2 cores/256": {684, 626},
+}
+
+// PacketBytes is Table II's packet size.
+const PacketBytes = 2048
+
+// MeasureThroughput runs packets of the given size through a full device
+// and returns aggregate Mbps. Streams packets are kept in flight
+// back-to-back; total is the number of packets to time.
+func MeasureThroughput(family cryptocore.Family, m Mapping, keyBytes, packetBytes, total int) float64 {
+	eng := sim.NewEngine()
+	dev := core.New(eng, core.Config{Cores: 4, QueueRequests: true})
+	cc := radio.NewCommController(dev)
+	mc := radio.NewMainController(dev, 99)
+	eng.Run()
+
+	keyID, _, err := mc.ProvisionKey(keyBytes)
+	if err != nil {
+		panic(err)
+	}
+	suite := core.Suite{Family: family, TagLen: 16, SplitCCM: m.Split}
+	ch := 0
+	cc.OpenChannel(suite, keyID, func(c int, e error) {
+		if e != nil {
+			panic(e)
+		}
+		ch = c
+	})
+	eng.Run()
+
+	nonce := make([]byte, 12)
+	if family == cryptocore.FamilyCCM {
+		nonce = make([]byte, 13)
+	}
+	payload := make([]byte, packetBytes)
+
+	// Warm the key caches and firmware paths with one packet per stream.
+	warm := m.Streams
+	for i := 0; i < warm; i++ {
+		cc.Encrypt(ch, nonce, nil, payload, func(_ []byte, e error) {
+			if e != nil {
+				panic(e)
+			}
+		})
+	}
+	eng.Run()
+
+	start := eng.Now()
+	completed := 0
+	launched := 0
+	var launch func()
+	launch = func() {
+		if launched >= total {
+			return
+		}
+		launched++
+		cc.Encrypt(ch, nonce, nil, payload, func(_ []byte, e error) {
+			if e != nil {
+				panic(e)
+			}
+			completed++
+			launch()
+		})
+	}
+	for i := 0; i < m.Streams; i++ {
+		launch()
+	}
+	eng.Run()
+	if completed != total {
+		panic(fmt.Sprintf("harness: %d/%d packets completed", completed, total))
+	}
+	cycles := eng.Now() - start
+	return eng.ThroughputMbps(total*packetBytes*8, cycles)
+}
+
+// TableII regenerates the paper's Table II. packets controls measurement
+// length per cell (20 gives stable numbers in ~2 s).
+func TableII(packets int) []TableIIRow {
+	var rows []TableIIRow
+	type cell struct {
+		fam cryptocore.Family
+		m   Mapping
+	}
+	cells := []cell{
+		{cryptocore.FamilyGCM, GCM1}, {cryptocore.FamilyGCM, GCM4x1},
+		{cryptocore.FamilyCCM, CCM1}, {cryptocore.FamilyCCM, CCM4x1},
+		{cryptocore.FamilyCCM, CCM2}, {cryptocore.FamilyCCM, CCM2x2},
+	}
+	for _, kb := range []int{16, 24, 32} {
+		for _, c := range cells {
+			key := fmt.Sprintf("%v/%s/%d", c.fam, c.m.Name, kb*8)
+			paper := paperTableII[key]
+			single := Mapping{Name: c.m.Name, Streams: 1, Split: c.m.Split}
+			perInstance := MeasureThroughput(c.fam, single, kb, PacketBytes, packets)
+			system := perInstance
+			if c.m.Streams > 1 {
+				system = MeasureThroughput(c.fam, c.m, kb, PacketBytes, packets*c.m.Streams)
+			}
+			rows = append(rows, TableIIRow{
+				Family:               c.fam,
+				Mapping:              c.m,
+				KeyBits:              kb * 8,
+				TheoreticalMbps:      TheoreticalMbps(c.fam, c.m, aes.KeySize(kb)),
+				MeasuredMbps:         perInstance * float64(c.m.Streams),
+				SystemMbps:           system,
+				PaperTheoreticalMbps: paper[0],
+				Paper2KBMbps:         paper[1],
+			})
+		}
+	}
+	return rows
+}
+
+// FormatTableII renders rows in the paper's layout.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: MCCP encryption throughput at 190 MHz (Mbps)\n")
+	fmt.Fprintf(&b, "%-8s %-12s %-5s | %12s %12s %12s | %10s %10s\n",
+		"Mode", "Mapping", "Key", "theor(model)", "2KB(model)", "system", "theor(ppr)", "2KB(ppr)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "AES-%-4v %-12s %-5d | %12.0f %12.0f %12.0f | %10.0f %10.0f\n",
+			r.Family, r.Mapping.Name, r.KeyBits,
+			r.TheoreticalMbps, r.MeasuredMbps, r.SystemMbps, r.PaperTheoreticalMbps, r.Paper2KBMbps)
+	}
+	return b.String()
+}
+
+// LoopTimeRow is one steady-state loop measurement (experiment E1).
+type LoopTimeRow struct {
+	Name           string
+	MeasuredCycles float64
+	PaperCycles    float64 // the §VII.A formula value
+}
+
+// MeasureLoopTimes measures firmware steady-state cycles per block by
+// differencing a 128-block and a 64-block packet on a single core, for
+// each mode/key-size combination with a published bound.
+func MeasureLoopTimes() []LoopTimeRow {
+	measure := func(family cryptocore.Family, split bool, keyBytes int) float64 {
+		run := func(blocks int) sim.Time {
+			eng := sim.NewEngine()
+			dev := core.New(eng, core.Config{Cores: 4})
+			cc := radio.NewCommController(dev)
+			mc := radio.NewMainController(dev, 7)
+			eng.Run()
+			keyID, _, _ := mc.ProvisionKey(keyBytes)
+			ch := 0
+			cc.OpenChannel(core.Suite{Family: family, TagLen: 16, SplitCCM: split}, keyID,
+				func(c int, _ error) { ch = c })
+			eng.Run()
+			nonce := make([]byte, 12)
+			if family == cryptocore.FamilyCCM {
+				nonce = make([]byte, 13)
+			}
+			// Warm-up packet absorbs the key expansion.
+			cc.Encrypt(ch, nonce, nil, make([]byte, 256), func(_ []byte, _ error) {})
+			eng.Run()
+			start := eng.Now()
+			cc.Encrypt(ch, nonce, nil, make([]byte, 16*blocks), func(_ []byte, _ error) {})
+			eng.Run()
+			return eng.Now() - start
+		}
+		return float64(run(128)-run(64)) / 64
+	}
+
+	var rows []LoopTimeRow
+	for _, k := range []struct {
+		bytes int
+		bits  int
+	}{{16, 128}, {24, 192}, {32, 256}} {
+		aesC := float64(aes.KeySize(k.bytes).CoreCycles())
+		rows = append(rows,
+			LoopTimeRow{
+				Name:           fmt.Sprintf("T_GCMloop (%d-bit key)", k.bits),
+				MeasuredCycles: measure(cryptocore.FamilyGCM, false, k.bytes),
+				PaperCycles:    aesC + 5,
+			},
+			LoopTimeRow{
+				Name:           fmt.Sprintf("T_CCMloop 2 cores (%d-bit key)", k.bits),
+				MeasuredCycles: measure(cryptocore.FamilyCCM, true, k.bytes),
+				PaperCycles:    aesC + 11,
+			},
+			LoopTimeRow{
+				Name:           fmt.Sprintf("T_CCMloop 1 core (%d-bit key)", k.bits),
+				MeasuredCycles: measure(cryptocore.FamilyCCM, false, k.bytes),
+				PaperCycles:    2*aesC + 16,
+			},
+		)
+	}
+	return rows
+}
+
+// TableIIIRow is one comparison line (Table III).
+type TableIIIRow struct {
+	Implementation string
+	Platform       string
+	Programmable   string
+	Algorithm      string
+	MbpsPerMHz     float64
+	FreqMHz        float64
+	Slices         int
+	BRAMs          int
+}
+
+// OurTableIIIRows measures this MCCP's Mbps/MHz for GCM and CCM on the
+// four-core mapping and attaches the resource model's area.
+func OurTableIIIRows(packets int) []TableIIIRow {
+	gcm := MeasureThroughput(cryptocore.FamilyGCM, GCM4x1, 16, PacketBytes, packets)
+	ccm := MeasureThroughput(cryptocore.FamilyCCM, CCM4x1, 16, PacketBytes, packets)
+	d := fpga.MCCPDesign(4)
+	return []TableIIIRow{{
+		Implementation: "This work (model)",
+		Platform:       "v4-SX35-11",
+		Programmable:   "Yes (AES modes)",
+		Algorithm:      "GCM/CCM",
+		MbpsPerMHz:     gcm / (sim.DefaultFreqHz / 1e6),
+		FreqMHz:        fpga.PaperFrequencyMHz,
+		Slices:         d.Slices(),
+		BRAMs:          d.BRAMs(),
+	}, {
+		Implementation: "This work (model, CCM)",
+		Platform:       "v4-SX35-11",
+		Programmable:   "Yes (AES modes)",
+		Algorithm:      "CCM",
+		MbpsPerMHz:     ccm / (sim.DefaultFreqHz / 1e6),
+		FreqMHz:        fpga.PaperFrequencyMHz,
+		Slices:         d.Slices(),
+		BRAMs:          d.BRAMs(),
+	}}
+}
+
+// LatencyStats summarizes experiment E5 (the paper's 4x1 vs 2x2 latency
+// observation: one-core packets double the per-packet latency).
+type LatencyStats struct {
+	Mapping        string
+	ThroughputMbps float64
+	MeanLatencyCyc float64
+	MaxLatencyCyc  sim.Time
+}
+
+// MeasureLatency runs CCM packets under a mapping and reports mean/max
+// dispatch-to-result latency alongside throughput.
+func MeasureLatency(m Mapping, packets int) LatencyStats {
+	eng := sim.NewEngine()
+	dev := core.New(eng, core.Config{Cores: 4, QueueRequests: true})
+	cc := radio.NewCommController(dev)
+	mc := radio.NewMainController(dev, 5)
+	eng.Run()
+	keyID, _, _ := mc.ProvisionKey(16)
+	ch := 0
+	cc.OpenChannel(core.Suite{Family: cryptocore.FamilyCCM, TagLen: 16, SplitCCM: m.Split}, keyID,
+		func(c int, _ error) { ch = c })
+	eng.Run()
+
+	nonce := make([]byte, 13)
+	payload := make([]byte, PacketBytes)
+	var lats []sim.Time
+	start := eng.Now()
+	completed := 0
+	launched := 0
+	var launch func()
+	launch = func() {
+		if launched >= packets {
+			return
+		}
+		launched++
+		sent := eng.Now()
+		cc.Encrypt(ch, nonce, nil, payload, func(_ []byte, e error) {
+			if e != nil {
+				panic(e)
+			}
+			lats = append(lats, eng.Now()-sent)
+			completed++
+			launch()
+		})
+	}
+	for i := 0; i < m.Streams; i++ {
+		launch()
+	}
+	eng.Run()
+	cycles := eng.Now() - start
+	var sum, max sim.Time
+	for _, l := range lats {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	return LatencyStats{
+		Mapping:        m.Name,
+		ThroughputMbps: eng.ThroughputMbps(packets*PacketBytes*8, cycles),
+		MeanLatencyCyc: float64(sum) / float64(len(lats)),
+		MaxLatencyCyc:  max,
+	}
+}

@@ -1,0 +1,198 @@
+// Package keysched models the MCCP's key infrastructure (paper §III.A):
+// the Key Memory, written only by the platform's main controller and never
+// readable through the MCCP data port, and the Key Scheduler, which expands
+// session keys into round keys and fills the per-core Key Caches.
+package keysched
+
+import (
+	"fmt"
+
+	"mccp/internal/aes"
+	"mccp/internal/bits"
+	"mccp/internal/sim"
+)
+
+// Latency model of the key path, in clock cycles. Expansion produces one
+// 128-bit round key per ExpandPerBlock cycles on the Key Scheduler's
+// datapath, and the transfer into a core's Key Cache moves four 32-bit
+// words per round key across the key bus.
+const (
+	ExpandSetup      = 24 // fetch session key, configure the expander
+	ExpandPerBlock   = 8  // one round-key block
+	TransferPerBlock = 4  // four 32-bit words into the key cache
+)
+
+// ExpandCycles returns the Key Scheduler latency for one session key.
+func ExpandCycles(size aes.KeySize) sim.Time {
+	n := sim.Time(size.Rounds() + 1)
+	return ExpandSetup + n*(ExpandPerBlock+TransferPerBlock)
+}
+
+// KeyMemory is the session-key store. Security property (paper §III.A):
+// "the Key Memory cannot be accessed in write mode by the MCCP" and "there
+// is no way to get the secret session key directly from the MCCP data
+// port" — accordingly the only read path is the Key Scheduler's expansion,
+// which never exposes raw key bytes to callers.
+type KeyMemory struct {
+	keys map[int][]byte
+}
+
+// NewKeyMemory returns an empty key memory.
+func NewKeyMemory() *KeyMemory { return &KeyMemory{keys: make(map[int][]byte)} }
+
+// Store writes a session key (main-controller write port). The key length
+// must be a valid AES key length.
+func (m *KeyMemory) Store(id int, key []byte) error {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return fmt.Errorf("keysched: invalid key length %d", len(key))
+	}
+	m.keys[id] = append([]byte(nil), key...)
+	return nil
+}
+
+// Has reports whether a key ID is provisioned (control-plane metadata; not
+// a data-port read).
+func (m *KeyMemory) Has(id int) bool { _, ok := m.keys[id]; return ok }
+
+// Scheduler is the Key Scheduler: a single shared unit that serializes key
+// expansions for all cores.
+type Scheduler struct {
+	eng   *sim.Engine
+	mem   *KeyMemory
+	busy  bool
+	queue []func()
+
+	// Expansions counts completed expansions (cache-miss metric).
+	Expansions uint64
+}
+
+// NewScheduler binds a scheduler to the key memory.
+func NewScheduler(eng *sim.Engine, mem *KeyMemory) *Scheduler {
+	return &Scheduler{eng: eng, mem: mem}
+}
+
+// Prepare expands key keyID and delivers the round keys through install
+// after the modeled latency, then calls done. Requests are serialized: the
+// paper has one Key Scheduler shared by all cores. install receives the
+// key size and the expanded schedule; it must stage them into the target
+// core's Key Cache.
+func (s *Scheduler) Prepare(keyID int, install func(aes.KeySize, []bits.Block), done func(error)) {
+	job := func() {
+		key, ok := s.mem.keys[keyID]
+		if !ok {
+			s.finish(func() { done(fmt.Errorf("keysched: unknown key ID %d", keyID)) })
+			return
+		}
+		size := aes.KeySize(len(key))
+		rk := aes.ExpandKey(key)
+		s.eng.After(ExpandCycles(size), func() {
+			s.Expansions++
+			install(size, rk)
+			s.finish(func() { done(nil) })
+		})
+	}
+	if s.busy {
+		s.queue = append(s.queue, job)
+		return
+	}
+	s.busy = true
+	s.eng.After(0, job)
+}
+
+func (s *Scheduler) finish(cb func()) {
+	cb()
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.eng.After(0, next)
+		return
+	}
+	s.busy = false
+}
+
+// CacheSlots is each core's Key Cache capacity in key contexts. One block
+// RAM comfortably holds four expanded schedules (4 x 15 x 128 bits).
+const CacheSlots = 4
+
+// cacheEntry is one cached schedule.
+type cacheEntry struct {
+	keyID int
+	size  aes.KeySize
+	rk    []bits.Block
+	used  uint64
+}
+
+// Cache is one core's Key Cache of pre-computed round keys (paper §IV.A:
+// "cipher round keys are pre-computed and stored in the Key Cache").
+type Cache struct {
+	entries []cacheEntry
+	clock   uint64
+
+	Hits, Misses uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{} }
+
+// Get looks up a key ID, returning its schedule on a hit.
+func (c *Cache) Get(keyID int) (aes.KeySize, []bits.Block, bool) {
+	for i := range c.entries {
+		if c.entries[i].keyID == keyID {
+			c.clock++
+			c.entries[i].used = c.clock
+			c.Hits++
+			return c.entries[i].size, c.entries[i].rk, true
+		}
+	}
+	c.Misses++
+	return 0, nil, false
+}
+
+// Contains reports whether keyID is cached without touching LRU state or
+// hit counters (the dispatch policies use it to score cores).
+func (c *Cache) Contains(keyID int) bool {
+	for i := range c.entries {
+		if c.entries[i].keyID == keyID {
+			return true
+		}
+	}
+	return false
+}
+
+// Put inserts a schedule, evicting the least recently used entry when full.
+func (c *Cache) Put(keyID int, size aes.KeySize, rk []bits.Block) {
+	c.clock++
+	for i := range c.entries {
+		if c.entries[i].keyID == keyID {
+			c.entries[i] = cacheEntry{keyID: keyID, size: size, rk: rk, used: c.clock}
+			return
+		}
+	}
+	if len(c.entries) < CacheSlots {
+		c.entries = append(c.entries, cacheEntry{keyID: keyID, size: size, rk: rk, used: c.clock})
+		return
+	}
+	victim := 0
+	for i := range c.entries {
+		if c.entries[i].used < c.entries[victim].used {
+			victim = i
+		}
+	}
+	c.entries[victim] = cacheEntry{keyID: keyID, size: size, rk: rk, used: c.clock}
+}
+
+// Len reports the number of cached key contexts.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Invalidate drops a key (channel close / rekey).
+func (c *Cache) Invalidate(keyID int) {
+	for i := range c.entries {
+		if c.entries[i].keyID == keyID {
+			c.entries[i] = c.entries[len(c.entries)-1]
+			c.entries = c.entries[:len(c.entries)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package modes
+
+import "mccp/internal/bits"
+
+// The helpers in this file expose the mode-of-operation formatting rules
+// (SP 800-38C/D block construction) to the radio's communication
+// controller, which must format packets before streaming them into the
+// Cryptographic Cores (paper §VI.B: "the communication controller must
+// format data prior to send them to the cryptographic cores").
+
+// GCMJ0 builds the pre-counter block from a 96-bit IV (the hardware path;
+// the cores' 16-bit incrementer and the FIFO-framing contract assume the
+// standard 12-byte communication nonce).
+func GCMJ0(iv []byte) bits.Block {
+	if len(iv) != 12 {
+		panic("modes: hardware GCM framing requires a 96-bit IV")
+	}
+	var j bits.Block
+	copy(j[:12], iv)
+	j[15] = 1
+	return j
+}
+
+// GCMLengths builds GCM's final GHASH block: 64-bit AAD bit-length followed
+// by 64-bit ciphertext bit-length.
+func GCMLengths(aadLen, ctLen int) bits.Block {
+	var b bits.Block
+	put := func(off, n int) {
+		v := uint64(n) * 8
+		for k := 0; k < 8; k++ {
+			b[off+k] = byte(v >> uint(56-8*k))
+		}
+	}
+	put(0, aadLen)
+	put(8, ctLen)
+	return b
+}
+
+// CCMB0A0 builds CCM's first MAC block B0 and initial counter block A0 for
+// the given nonce, AAD length, payload length and tag length.
+func CCMB0A0(nonce []byte, aadLen, payloadLen, tagLen int) (b0, a0 bits.Block, err error) {
+	payload := make([]byte, 0)
+	_ = payload
+	bblocks, a0, err := ccmFormat(nonce, make([]byte, minInt(aadLen, 1)), make([]byte, payloadLen), tagLen)
+	if err != nil {
+		return b0, a0, err
+	}
+	b0 = bblocks[0]
+	// ccmFormat sets the Adata flag from its aad argument; reproduce the
+	// real flag for the caller's aadLen.
+	if aadLen > 0 {
+		b0[0] |= 0x40
+	} else {
+		b0[0] &^= 0x40
+	}
+	return b0, a0, nil
+}
+
+// CCMEncodeAAD returns CCM's length-prefixed, zero-padded AAD blocks
+// (empty slice for empty AAD).
+func CCMEncodeAAD(aad []byte) []bits.Block {
+	if len(aad) == 0 {
+		return nil
+	}
+	var enc []byte
+	if len(aad) < 0xFF00 {
+		enc = append(enc, byte(len(aad)>>8), byte(len(aad)))
+	} else {
+		enc = append(enc, 0xFF, 0xFE,
+			byte(len(aad)>>24), byte(len(aad)>>16), byte(len(aad)>>8), byte(len(aad)))
+	}
+	enc = append(enc, aad...)
+	return bits.PadBlocks(enc)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

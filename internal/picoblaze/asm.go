@@ -1,0 +1,349 @@
+package picoblaze
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates PicoBlaze (KCPSM3-style) assembly source into an
+// instruction image. Supported syntax:
+//
+//	; comment                         anywhere
+//	CONSTANT name, 1F                 named 8-bit constant (hex, or 12'd)
+//	label:                            code label (own line or before an op)
+//	LOAD sX, sY | LOAD sX, kk
+//	AND/OR/XOR/ADD/ADDCY/SUB/SUBCY/COMPARE sX, sY|kk
+//	INPUT sX, pp | INPUT sX, (sY)     OUTPUT likewise
+//	SR0/SR1/SRX/SRA/RR sX             SL0/SL1/SLX/SLA/RL sX
+//	JUMP [Z|NZ|C|NC,] label           CALL likewise
+//	RETURN [Z|NZ|C|NC]
+//	HALT                              custom sleep-until-done
+//	ENABLE INTERRUPT | DISABLE INTERRUPT
+//	RETURNI ENABLE | RETURNI DISABLE
+//	NOP                               pseudo (LOAD s0, s0)
+//
+// Numeric literals are hexadecimal by KCPSM3 convention; a 'd suffix
+// (e.g. 25'd) selects decimal.
+func Assemble(src string) ([]Word, error) {
+	type fixup struct {
+		word int
+		name string
+		line int
+	}
+	var (
+		out    []Word
+		labels = map[string]uint16{}
+		consts = map[string]uint8{}
+		fixups []fixup
+	)
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several, though one is typical).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = uint16(len(out))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		mn, rest := splitMnemonic(line)
+		mn = strings.ToUpper(mn)
+		args := splitArgs(rest)
+
+		regOrErr := func(s string) (int, error) {
+			r, ok := parseReg(s)
+			if !ok {
+				return 0, fmt.Errorf("line %d: expected register, got %q", ln+1, s)
+			}
+			return r, nil
+		}
+		immOrErr := func(s string) (uint8, error) {
+			if v, ok := consts[s]; ok {
+				return v, nil
+			}
+			v, ok := parseImm(s)
+			if !ok {
+				return 0, fmt.Errorf("line %d: bad constant %q", ln+1, s)
+			}
+			return v, nil
+		}
+
+		emit := func(w Word) { out = append(out, w) }
+
+		switch mn {
+		case "CONSTANT":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: CONSTANT name, value", ln+1)
+			}
+			if !validName(args[0]) {
+				return nil, fmt.Errorf("line %d: bad constant name %q", ln+1, args[0])
+			}
+			v, err := immOrErr(args[1])
+			if err != nil {
+				return nil, err
+			}
+			consts[args[0]] = v
+
+		case "LOAD", "AND", "OR", "XOR", "ADD", "ADDCY", "SUB", "SUBCY", "COMPARE":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: %s sX, sY|kk", ln+1, mn)
+			}
+			x, err := regOrErr(args[0])
+			if err != nil {
+				return nil, err
+			}
+			ops := map[string][2]uint32{
+				"LOAD": {opLOADk, opLOADr}, "AND": {opANDk, opANDr},
+				"OR": {opORk, opORr}, "XOR": {opXORk, opXORr},
+				"ADD": {opADDk, opADDr}, "ADDCY": {opADDCYk, opADDCYr},
+				"SUB": {opSUBk, opSUBr}, "SUBCY": {opSUBCYk, opSUBCYr},
+				"COMPARE": {opCOMPAREk, opCOMPAREr},
+			}[mn]
+			if y, ok := parseReg(args[1]); ok {
+				emit(enc(ops[1], uint32(x), uint32(y), 0))
+			} else {
+				k, err := immOrErr(args[1])
+				if err != nil {
+					return nil, err
+				}
+				emit(enc(ops[0], uint32(x), 0, uint32(k)))
+			}
+
+		case "INPUT", "OUTPUT":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("line %d: %s sX, pp|(sY)", ln+1, mn)
+			}
+			x, err := regOrErr(args[0])
+			if err != nil {
+				return nil, err
+			}
+			pOp, rOp := opINPUTp, opINPUTr
+			if mn == "OUTPUT" {
+				pOp, rOp = opOUTPUTp, opOUTPUTr
+			}
+			a := args[1]
+			if strings.HasPrefix(a, "(") && strings.HasSuffix(a, ")") {
+				y, err := regOrErr(strings.TrimSpace(a[1 : len(a)-1]))
+				if err != nil {
+					return nil, err
+				}
+				emit(enc(rOp, uint32(x), uint32(y), 0))
+			} else {
+				p, err := immOrErr(a)
+				if err != nil {
+					return nil, err
+				}
+				emit(enc(pOp, uint32(x), 0, uint32(p)))
+			}
+
+		case "SR0", "SR1", "SRX", "SRA", "RR", "SL0", "SL1", "SLX", "SLA", "RL":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: %s sX", ln+1, mn)
+			}
+			x, err := regOrErr(args[0])
+			if err != nil {
+				return nil, err
+			}
+			sub := map[string]uint32{
+				"SR0": sh0, "SR1": sh1, "SRX": shX, "SRA": shA, "RR": shRot,
+				"SL0": sh0, "SL1": sh1, "SLX": shX, "SLA": shA, "RL": shRot,
+			}[mn]
+			op := opSHIFTR
+			if mn[1] == 'L' {
+				op = opSHIFTL
+			}
+			emit(enc(uint32(op), uint32(x), 0, sub))
+
+		case "JUMP", "CALL":
+			base := opJUMP
+			if mn == "CALL" {
+				base = opCALL
+			}
+			target := ""
+			off := uint32(0)
+			switch len(args) {
+			case 1:
+				target = args[0]
+			case 2:
+				c, ok := condIndex(args[0])
+				if !ok {
+					return nil, fmt.Errorf("line %d: bad condition %q", ln+1, args[0])
+				}
+				off = c
+				target = args[1]
+			default:
+				return nil, fmt.Errorf("line %d: %s [cond,] label", ln+1, mn)
+			}
+			fixups = append(fixups, fixup{word: len(out), name: target, line: ln + 1})
+			emit(encAddr(base+off, 0))
+
+		case "RETURN":
+			off := uint32(0)
+			if len(args) == 1 {
+				c, ok := condIndex(args[0])
+				if !ok {
+					return nil, fmt.Errorf("line %d: bad condition %q", ln+1, args[0])
+				}
+				off = c
+			} else if len(args) != 0 {
+				return nil, fmt.Errorf("line %d: RETURN [cond]", ln+1)
+			}
+			emit(encAddr(opRETURN+off, 0))
+
+		case "RETURNI":
+			en := uint32(0)
+			if len(args) == 1 && strings.EqualFold(args[0], "ENABLE") {
+				en = 1
+			} else if len(args) == 1 && strings.EqualFold(args[0], "DISABLE") {
+				en = 0
+			} else {
+				return nil, fmt.Errorf("line %d: RETURNI ENABLE|DISABLE", ln+1)
+			}
+			emit(enc(opRETI, 0, 0, en))
+
+		case "HALT":
+			// The paper writes "HALT DISABLE"; the operand selects the
+			// interrupt-enable state during sleep and is accepted but not
+			// otherwise modeled.
+			emit(enc(opHALT, 0, 0, 0))
+
+		case "ENABLE", "DISABLE":
+			if len(args) != 1 || !strings.EqualFold(args[0], "INTERRUPT") {
+				return nil, fmt.Errorf("line %d: %s INTERRUPT", ln+1, mn)
+			}
+			if mn == "ENABLE" {
+				emit(enc(opEINT, 0, 0, 0))
+			} else {
+				emit(enc(opDINT, 0, 0, 0))
+			}
+
+		case "NOP":
+			emit(enc(opLOADr, 0, 0, 0)) // LOAD s0, s0
+
+		default:
+			return nil, fmt.Errorf("line %d: unknown mnemonic %q", ln+1, mn)
+		}
+	}
+
+	for _, f := range fixups {
+		addr, ok := labels[f.name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.name)
+		}
+		out[f.word] = Word(uint32(out[f.word]) | uint32(addr)&0x3FF)
+	}
+	if len(out) > IMemWords {
+		return nil, fmt.Errorf("program needs %d words; instruction memory holds %d", len(out), IMemWords)
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for trusted embedded firmware; it panics on error.
+func MustAssemble(src string) []Word {
+	w, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func splitMnemonic(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i+1:])
+}
+
+func splitArgs(rest string) []string {
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	args := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			args = append(args, p)
+		}
+	}
+	return args
+}
+
+func parseReg(s string) (int, bool) {
+	if len(s) != 2 || (s[0] != 's' && s[0] != 'S') {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s[1:], 16, 4)
+	if err != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+func parseImm(s string) (uint8, bool) {
+	if strings.HasSuffix(s, "'d") { // decimal, KCPSM convention
+		v, err := strconv.ParseUint(s[:len(s)-2], 10, 8)
+		return uint8(v), err == nil
+	}
+	v, err := strconv.ParseUint(s, 16, 8)
+	return uint8(v), err == nil
+}
+
+func condIndex(s string) (uint32, bool) {
+	switch strings.ToUpper(s) {
+	case "Z":
+		return 1, true
+	case "NZ":
+		return 2, true
+	case "C":
+		return 3, true
+	case "NC":
+		return 4, true
+	}
+	return 0, false
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Avoid names that shadow registers.
+	if _, isReg := parseReg(s); isReg {
+		return false
+	}
+	return true
+}

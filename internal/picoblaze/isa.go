@@ -1,0 +1,143 @@
+// Package picoblaze models the modified 8-bit Xilinx PicoBlaze (KCPSM3)
+// controller the paper embeds in every Cryptographic Core and assembles the
+// firmware written for it.
+//
+// The model matches the paper's description: sixteen 8-bit registers, a
+// 1024 x 18-bit instruction memory (one FPGA block RAM), two clock cycles
+// per instruction, CALL/RETURN with a hardware stack, and a custom HALT
+// instruction that puts the controller to sleep until the Cryptographic
+// Unit raises its done signal (or the Task Scheduler starts a new task).
+//
+// The 18-bit instruction encoding here is structured like KCPSM3's
+// (opcode / sX / sY / immediate fields) but uses its own opcode map; the
+// assembler accepts standard KCPSM3 assembly syntax for the supported
+// subset, so the firmware listings read like the paper's Listing 1.
+package picoblaze
+
+import "fmt"
+
+// Word is one 18-bit instruction memory word (stored in the low 18 bits).
+type Word uint32
+
+// IMemWords is the instruction memory size: 1024 words, one block RAM.
+const IMemWords = 1024
+
+// CyclesPerInstr is the PicoBlaze execution rate: every instruction takes
+// two clock cycles.
+const CyclesPerInstr = 2
+
+// StackDepth is the CALL/RETURN hardware stack depth (KCPSM3 has 31).
+const StackDepth = 31
+
+// Opcode values (bits 17..12 of the instruction word).
+const (
+	opLOADk uint32 = iota
+	opLOADr
+	opANDk
+	opANDr
+	opORk
+	opORr
+	opXORk
+	opXORr
+	opADDk
+	opADDr
+	opADDCYk
+	opADDCYr
+	opSUBk
+	opSUBr
+	opSUBCYk
+	opSUBCYr
+	opCOMPAREk
+	opCOMPAREr
+	opINPUTp
+	opINPUTr
+	opOUTPUTp
+	opOUTPUTr
+	opSHIFTR // sub-op in low bits: SR0 SR1 SRX SRA RR
+	opSHIFTL // sub-op in low bits: SL0 SL1 SLX SLA RL
+	opJUMP
+	opJUMPZ
+	opJUMPNZ
+	opJUMPC
+	opJUMPNC
+	opCALL
+	opCALLZ
+	opCALLNZ
+	opCALLC
+	opCALLNC
+	opRETURN
+	opRETURNZ
+	opRETURNNZ
+	opRETURNC
+	opRETURNNC
+	opHALT
+	opEINT
+	opDINT
+	opRETI // bit0: re-enable flag
+	opNumOps
+)
+
+// Shift sub-operation codes (low 4 bits of a SHIFT instruction).
+const (
+	sh0   = iota // shift in 0
+	sh1          // shift in 1
+	shX          // shift in duplicated data bit (SRX/SLX)
+	shA          // shift in carry (SRA/SLA)
+	shRot        // rotate (RR/RL)
+)
+
+func enc(op uint32, x, y uint32, kk uint32) Word {
+	return Word(op<<12 | (x&0xF)<<8 | (y&0xF)<<4 | kk&0xFF)
+}
+
+func encAddr(op uint32, addr uint32) Word {
+	return Word(op<<12 | addr&0x3FF)
+}
+
+func (w Word) op() uint32   { return uint32(w) >> 12 }
+func (w Word) x() int       { return int(uint32(w)>>8) & 0xF }
+func (w Word) y() int       { return int(uint32(w)>>4) & 0xF }
+func (w Word) kk() uint8    { return uint8(w) }
+func (w Word) addr() uint16 { return uint16(w) & 0x3FF }
+
+var opNames = map[uint32]string{
+	opLOADk: "LOAD", opLOADr: "LOAD", opANDk: "AND", opANDr: "AND",
+	opORk: "OR", opORr: "OR", opXORk: "XOR", opXORr: "XOR",
+	opADDk: "ADD", opADDr: "ADD", opADDCYk: "ADDCY", opADDCYr: "ADDCY",
+	opSUBk: "SUB", opSUBr: "SUB", opSUBCYk: "SUBCY", opSUBCYr: "SUBCY",
+	opCOMPAREk: "COMPARE", opCOMPAREr: "COMPARE",
+	opINPUTp: "INPUT", opINPUTr: "INPUT", opOUTPUTp: "OUTPUT", opOUTPUTr: "OUTPUT",
+	opJUMP: "JUMP", opJUMPZ: "JUMP Z,", opJUMPNZ: "JUMP NZ,", opJUMPC: "JUMP C,", opJUMPNC: "JUMP NC,",
+	opCALL: "CALL", opCALLZ: "CALL Z,", opCALLNZ: "CALL NZ,", opCALLC: "CALL C,", opCALLNC: "CALL NC,",
+	opRETURN: "RETURN", opRETURNZ: "RETURN Z", opRETURNNZ: "RETURN NZ",
+	opRETURNC: "RETURN C", opRETURNNC: "RETURN NC",
+	opHALT: "HALT", opEINT: "ENABLE INTERRUPT", opDINT: "DISABLE INTERRUPT", opRETI: "RETURNI",
+}
+
+// Disassemble renders w for traces and debugging.
+func Disassemble(w Word) string {
+	op := w.op()
+	name, ok := opNames[op]
+	if !ok && op != opSHIFTR && op != opSHIFTL {
+		return fmt.Sprintf(".word %#05x", uint32(w))
+	}
+	switch op {
+	case opLOADk, opANDk, opORk, opXORk, opADDk, opADDCYk, opSUBk, opSUBCYk, opCOMPAREk:
+		return fmt.Sprintf("%s s%X, %02X", name, w.x(), w.kk())
+	case opLOADr, opANDr, opORr, opXORr, opADDr, opADDCYr, opSUBr, opSUBCYr, opCOMPAREr:
+		return fmt.Sprintf("%s s%X, s%X", name, w.x(), w.y())
+	case opINPUTp, opOUTPUTp:
+		return fmt.Sprintf("%s s%X, %02X", name, w.x(), w.kk())
+	case opINPUTr, opOUTPUTr:
+		return fmt.Sprintf("%s s%X, (s%X)", name, w.x(), w.y())
+	case opSHIFTR:
+		return fmt.Sprintf("%s s%X", [...]string{"SR0", "SR1", "SRX", "SRA", "RR"}[w.kk()&7], w.x())
+	case opSHIFTL:
+		return fmt.Sprintf("%s s%X", [...]string{"SL0", "SL1", "SLX", "SLA", "RL"}[w.kk()&7], w.x())
+	case opJUMP, opJUMPZ, opJUMPNZ, opJUMPC, opJUMPNC,
+		opCALL, opCALLZ, opCALLNZ, opCALLC, opCALLNC:
+		return fmt.Sprintf("%s %03X", name, w.addr())
+	default:
+		return name
+	}
+}

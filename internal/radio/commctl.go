@@ -1,0 +1,259 @@
+package radio
+
+import (
+	"fmt"
+
+	"mccp/internal/bits"
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/firmware"
+	"mccp/internal/modes"
+	"mccp/internal/whirlpool"
+)
+
+// CommController is the platform's communication controller (paper §III.A):
+// it owns the MCCP control port, formats packets per the mode-of-operation
+// specifications, streams them through the Cross Bar, services the Data
+// Available interrupt and reassembles results.
+type CommController struct {
+	dev *core.MCCP
+
+	// inflight tracks requests between dispatch and retrieval.
+	inflight map[int]*inflightReq
+	suites   map[int]core.Suite // channel -> suite (for formatting)
+	draining bool
+
+	// Completions counts packets fully round-tripped.
+	Completions uint64
+}
+
+type inflightReq struct {
+	encrypt    bool
+	dataLen    int
+	dataBlocks int
+	tagLen     int
+	family     cryptocore.Family
+	cb         func([]byte, error)
+}
+
+// ErrAuth mirrors modes.ErrAuth for the device path.
+var ErrAuth = modes.ErrAuth
+
+// NewCommController wires a controller to the device's interrupt line.
+func NewCommController(dev *core.MCCP) *CommController {
+	cc := &CommController{
+		dev:      dev,
+		inflight: make(map[int]*inflightReq),
+		suites:   make(map[int]core.Suite),
+	}
+	dev.OnDataAvailable = cc.drain
+	return cc
+}
+
+// OpenChannel opens an MCCP channel and remembers its suite for packet
+// formatting.
+func (cc *CommController) OpenChannel(s core.Suite, keyID int, cb func(ch int, err error)) {
+	cc.dev.Open(s, keyID, func(ch int, err error) {
+		if err == nil {
+			cc.suites[ch] = s
+		}
+		cb(ch, err)
+	})
+}
+
+// CloseChannel closes an MCCP channel.
+func (cc *CommController) CloseChannel(ch int, cb func(error)) {
+	cc.dev.Close(ch, func(err error) {
+		if err == nil {
+			delete(cc.suites, ch)
+		}
+		cb(err)
+	})
+}
+
+// Encrypt protects one packet on channel ch. cb receives ciphertext||tag
+// (GCM/CCM), the transformed data (CTR) or the MAC (CBC-MAC). nonce is the
+// 12-byte GCM IV, the 13-byte CCM nonce, the full 16-byte initial counter
+// block for CTR, and unused for CBC-MAC.
+func (cc *CommController) Encrypt(ch int, nonce, aad, payload []byte, cb func([]byte, error)) {
+	cc.submit(ch, true, nonce, aad, payload, nil, cb)
+}
+
+// Decrypt verifies and recovers one packet. For GCM/CCM, ct and tag are
+// the ciphertext and the received tag; cb receives the plaintext or ErrAuth.
+func (cc *CommController) Decrypt(ch int, nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	cc.submit(ch, false, nonce, aad, ct, tag, cb)
+}
+
+func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag []byte, cb func([]byte, error)) {
+	s, ok := cc.suites[ch]
+	if !ok {
+		cb(nil, fmt.Errorf("radio: channel %d not open on this controller", ch))
+		return
+	}
+	cc.dev.Submit(ch, encrypt, len(aad), len(payload), func(a core.Assignment, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		streams, err := cc.streamsFor(a, s, encrypt, nonce, aad, payload, tag)
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cc.inflight[a.ReqID] = &inflightReq{
+			encrypt:    encrypt,
+			dataLen:    len(payload),
+			dataBlocks: int(a.Tasks[len(a.Tasks)-1].DataBlocks),
+			tagLen:     s.TagLen,
+			family:     s.Family,
+			cb:         cb,
+		}
+		// Stream every engaged core's input through the Cross Bar, then
+		// acknowledge the upload with the first TRANSFER_DONE.
+		remaining := len(streams)
+		for i := range streams {
+			words := blocksToWords(streams[i])
+			coreID := a.CoreIDs[i]
+			cc.dev.WriteToCore(coreID, words, func() {
+				remaining--
+				if remaining == 0 {
+					cc.dev.TransferDone(a.ReqID, func(error) {})
+				}
+			})
+		}
+		if len(streams) == 0 {
+			cc.dev.TransferDone(a.ReqID, func(error) {})
+		}
+	})
+}
+
+// streamsFor builds each engaged core's input FIFO stream for the
+// scheduler's chosen mapping.
+func (cc *CommController) streamsFor(a core.Assignment, s core.Suite, encrypt bool, nonce, aad, payload, tag []byte) ([][]bits.Block, error) {
+	switch a.Tasks[0].Mode {
+	case firmware.ModeGCMEnc:
+		f, err := FrameGCMEnc(nonce, aad, payload)
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeGCMDec:
+		f, err := FrameGCMDec(nonce, aad, payload, tag)
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeCCMEnc:
+		f, err := FrameCCMEnc(nonce, aad, payload, s.TagLen)
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeCCMDec:
+		f, err := FrameCCMDec(nonce, aad, payload, tag, s.TagLen)
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeCCM2MacEnc, firmware.ModeCCM2MacDec:
+		mac, ctr, err := FrameCCM2(encrypt, nonce, aad, payload, tag, s.TagLen)
+		return [][]bits.Block{mac.In, ctr.In}, err
+	case firmware.ModeCTR:
+		var icb bits.Block
+		if len(nonce) != 16 {
+			return nil, fmt.Errorf("radio: CTR needs a 16-byte initial counter block")
+		}
+		copy(icb[:], nonce)
+		f, err := FrameCTR(icb, payload)
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeCBCMAC:
+		if len(payload)%16 != 0 {
+			return nil, fmt.Errorf("radio: CBC-MAC needs whole blocks")
+		}
+		f, err := FrameCBCMAC(bits.PadBlocks(payload))
+		return [][]bits.Block{f.In}, err
+	case firmware.ModeHash:
+		// payload already carries Whirlpool padding (see Hash).
+		return [][]bits.Block{bits.PadBlocks(payload)}, nil
+	}
+	return nil, fmt.Errorf("radio: cannot format mode %v", a.Tasks[0].Mode)
+}
+
+// Hash digests msg on a Whirlpool-reconfigured channel, delivering the
+// 512-bit digest. The controller applies the Whirlpool padding before
+// streaming, exactly as it formats block-cipher packets.
+func (cc *CommController) Hash(ch int, msg []byte, cb func([]byte, error)) {
+	padded := whirlpool.PadMessage(msg)
+	cc.submit(ch, true, nil, nil, padded, nil, cb)
+}
+
+// drain services the Data Available interrupt: retrieve, read, release,
+// deliver — and loop while more results wait.
+func (cc *CommController) drain() {
+	if cc.draining {
+		return
+	}
+	cc.draining = true
+	cc.drainOne()
+}
+
+func (cc *CommController) drainOne() {
+	if !cc.dev.DataAvailable() {
+		cc.draining = false
+		return
+	}
+	cc.dev.RetrieveData(func(r core.Retrieval, err error) {
+		if err != nil {
+			cc.draining = false
+			return
+		}
+		req := cc.inflight[r.ReqID]
+		delete(cc.inflight, r.ReqID)
+		finish := func(out []byte, e error) {
+			cc.dev.TransferDone(r.ReqID, func(error) {
+				cc.Completions++
+				if req != nil {
+					req.cb(out, e)
+				}
+				cc.drainOne()
+			})
+		}
+		if r.Code == firmware.ResultAuthFail {
+			finish(nil, ErrAuth)
+			return
+		}
+		if r.OutWords == 0 {
+			finish(nil, nil)
+			return
+		}
+		cc.dev.ReadFromCore(r.OutCore, r.OutWords, func(words []uint32) {
+			finish(cc.assemble(req, words), nil)
+		})
+	})
+}
+
+// assemble converts raw output FIFO words into the caller-visible bytes:
+// truncating padded blocks to the true data length and the tag to the
+// suite's tag length.
+func (cc *CommController) assemble(req *inflightReq, words []uint32) []byte {
+	raw := make([]byte, 0, 4*len(words))
+	for _, w := range words {
+		raw = append(raw, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	}
+	if req == nil {
+		return raw
+	}
+	switch {
+	case req.family == cryptocore.FamilyHash:
+		return raw[:whirlpool.DigestBytes]
+	case req.family == cryptocore.FamilyCBCMAC:
+		return raw[:16]
+	case req.family == cryptocore.FamilyCTR:
+		return raw[:req.dataLen]
+	case req.encrypt:
+		// [CT blocks][TAG block] -> ct || tag[:tagLen]
+		ctEnd := 16 * req.dataBlocks
+		out := append([]byte(nil), raw[:req.dataLen]...)
+		return append(out, raw[ctEnd:ctEnd+req.tagLen]...)
+	default:
+		return raw[:req.dataLen]
+	}
+}
+
+func blocksToWords(blocks []bits.Block) []uint32 {
+	out := make([]uint32, 0, 4*len(blocks))
+	for _, b := range blocks {
+		w := b.Words()
+		out = append(out, w[0], w[1], w[2], w[3])
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package radio models the platform around the MCCP (paper §III.A): the
+// communication controller that formats packets, drives the MCCP control
+// protocol and moves data through the crossbar, and the main controller
+// that provisions session keys. This file implements the packet formatting
+// contract — the exact FIFO framing each firmware routine expects.
+package radio
+
+import (
+	"fmt"
+
+	"mccp/internal/bits"
+	"mccp/internal/cryptocore"
+	"mccp/internal/firmware"
+	"mccp/internal/modes"
+)
+
+// MaxPayload is the largest payload one core FIFO accepts (the paper's
+// 2048-byte packet FIFO).
+const MaxPayload = 2048
+
+// Frame is a formatted task for one Cryptographic Core: the input FIFO
+// block stream, the task parameters, and the number of 32-bit words the
+// core will produce in its output FIFO on success.
+type Frame struct {
+	In       []bits.Block
+	Task     cryptocore.Task
+	OutWords int
+}
+
+func dataParams(n int) (blocks uint8, lastMask uint16) {
+	nb := (n + bits.BlockBytes - 1) / bits.BlockBytes
+	tail := n % bits.BlockBytes
+	if tail == 0 && n > 0 {
+		tail = bits.BlockBytes
+	}
+	return uint8(nb), bits.MaskForLen(tail)
+}
+
+func checkSizes(aad, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("radio: payload %d exceeds the %d-byte packet FIFO", len(payload), MaxPayload)
+	}
+	if len(aad) > MaxPayload {
+		return fmt.Errorf("radio: AAD %d exceeds the %d-byte packet FIFO", len(aad), MaxPayload)
+	}
+	return nil
+}
+
+// FrameGCMEnc builds the GCM encryption stream:
+// [J0] [AAD]* [PT]* [LEN]  ->  [CT]* [TAG].
+func FrameGCMEnc(nonce, aad, payload []byte) (Frame, error) {
+	if err := checkSizes(aad, payload); err != nil {
+		return Frame{}, err
+	}
+	var in []bits.Block
+	in = append(in, modes.GCMJ0(nonce))
+	aadBlocks := bits.PadBlocks(aad)
+	in = append(in, aadBlocks...)
+	dataBlocks, lastMask := dataParams(len(payload))
+	in = append(in, bits.PadBlocks(payload)...)
+	in = append(in, modes.GCMLengths(len(aad), len(payload)))
+	return Frame{
+		In: in,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeGCMEnc,
+			HdrBlocks:  uint8(len(aadBlocks)),
+			DataBlocks: dataBlocks,
+			LastMask:   lastMask,
+		},
+		OutWords: 4*int(dataBlocks) + 4, // ciphertext blocks + tag block
+	}, nil
+}
+
+// FrameGCMDec builds the GCM decryption stream:
+// [J0] [AAD]* [CT]* [LEN] [TAG]  ->  [PT]*.
+func FrameGCMDec(nonce, aad, ct, tag []byte) (Frame, error) {
+	if err := checkSizes(aad, ct); err != nil {
+		return Frame{}, err
+	}
+	if len(tag) == 0 || len(tag) > 16 {
+		return Frame{}, fmt.Errorf("radio: tag length %d out of range", len(tag))
+	}
+	var in []bits.Block
+	in = append(in, modes.GCMJ0(nonce))
+	aadBlocks := bits.PadBlocks(aad)
+	in = append(in, aadBlocks...)
+	dataBlocks, lastMask := dataParams(len(ct))
+	in = append(in, bits.PadBlocks(ct)...)
+	in = append(in, modes.GCMLengths(len(aad), len(ct)))
+	var tagBlock bits.Block
+	copy(tagBlock[:], tag)
+	in = append(in, tagBlock)
+	return Frame{
+		In: in,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeGCMDec,
+			HdrBlocks:  uint8(len(aadBlocks)),
+			DataBlocks: dataBlocks,
+			LastMask:   lastMask,
+			TagMask:    bits.MaskForLen(len(tag)),
+		},
+		OutWords: 4 * int(dataBlocks),
+	}, nil
+}
+
+// FrameCCMEnc builds the one-core CCM encryption stream:
+// [A0] [B0] [AAD-enc]* [PT]* [A0]  ->  [CT]* [TAG].
+func FrameCCMEnc(nonce, aad, payload []byte, tagLen int) (Frame, error) {
+	if err := checkSizes(aad, payload); err != nil {
+		return Frame{}, err
+	}
+	b0, a0, err := modes.CCMB0A0(nonce, len(aad), len(payload), tagLen)
+	if err != nil {
+		return Frame{}, err
+	}
+	aadBlocks := modes.CCMEncodeAAD(aad)
+	dataBlocks, lastMask := dataParams(len(payload))
+	var in []bits.Block
+	in = append(in, a0, b0)
+	in = append(in, aadBlocks...)
+	in = append(in, bits.PadBlocks(payload)...)
+	in = append(in, a0)
+	return Frame{
+		In: in,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeCCMEnc,
+			HdrBlocks:  uint8(len(aadBlocks)),
+			DataBlocks: dataBlocks,
+			LastMask:   lastMask,
+		},
+		OutWords: 4*int(dataBlocks) + 4,
+	}, nil
+}
+
+// FrameCCMDec builds the one-core CCM decryption stream:
+// [A0] [B0] [AAD-enc]* [CT]* [A0] [TAG]  ->  [PT]*.
+func FrameCCMDec(nonce, aad, ct, tag []byte, tagLen int) (Frame, error) {
+	if err := checkSizes(aad, ct); err != nil {
+		return Frame{}, err
+	}
+	if len(tag) != tagLen {
+		return Frame{}, fmt.Errorf("radio: tag is %d bytes, want %d", len(tag), tagLen)
+	}
+	b0, a0, err := modes.CCMB0A0(nonce, len(aad), len(ct), tagLen)
+	if err != nil {
+		return Frame{}, err
+	}
+	aadBlocks := modes.CCMEncodeAAD(aad)
+	dataBlocks, lastMask := dataParams(len(ct))
+	var in []bits.Block
+	in = append(in, a0, b0)
+	in = append(in, aadBlocks...)
+	in = append(in, bits.PadBlocks(ct)...)
+	in = append(in, a0)
+	var tagBlock bits.Block
+	copy(tagBlock[:], tag)
+	in = append(in, tagBlock)
+	return Frame{
+		In: in,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeCCMDec,
+			HdrBlocks:  uint8(len(aadBlocks)),
+			DataBlocks: dataBlocks,
+			LastMask:   lastMask,
+			TagMask:    bits.MaskForLen(tagLen),
+		},
+		OutWords: 4 * int(dataBlocks),
+	}, nil
+}
+
+// FrameCTR builds the bare counter-mode stream: [ICB] [DATA]* -> [DATA']*.
+func FrameCTR(icb bits.Block, data []byte) (Frame, error) {
+	if err := checkSizes(nil, data); err != nil {
+		return Frame{}, err
+	}
+	dataBlocks, lastMask := dataParams(len(data))
+	in := append([]bits.Block{icb}, bits.PadBlocks(data)...)
+	return Frame{
+		In: in,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeCTR,
+			DataBlocks: dataBlocks,
+			LastMask:   lastMask,
+		},
+		OutWords: 4 * int(dataBlocks),
+	}, nil
+}
+
+// FrameCBCMAC builds the FIPS-113 CBC-MAC stream over pre-padded blocks:
+// [DATA]* -> [MAC].
+func FrameCBCMAC(blocks []bits.Block) (Frame, error) {
+	if len(blocks) > MaxPayload/bits.BlockBytes {
+		return Frame{}, fmt.Errorf("radio: %d blocks exceed the packet FIFO", len(blocks))
+	}
+	return Frame{
+		In: blocks,
+		Task: cryptocore.Task{
+			Mode:       firmware.ModeCBCMAC,
+			DataBlocks: uint8(len(blocks)),
+			LastMask:   0xFFFF,
+		},
+		OutWords: 4,
+	}, nil
+}
+
+// FrameCCM2 builds the two-core CCM split: the CBC-MAC half and the CTR
+// half. The payload stream is written to both cores; the MAC travels over
+// the inter-core shift register (paper §IV.A).
+func FrameCCM2(encrypt bool, nonce, aad, payload, tag []byte, tagLen int) (mac Frame, ctr Frame, err error) {
+	if err := checkSizes(aad, payload); err != nil {
+		return Frame{}, Frame{}, err
+	}
+	b0, a0, err := modes.CCMB0A0(nonce, len(aad), len(payload), tagLen)
+	if err != nil {
+		return Frame{}, Frame{}, err
+	}
+	aadBlocks := modes.CCMEncodeAAD(aad)
+	dataBlocks, lastMask := dataParams(len(payload))
+
+	// CBC-MAC half: encrypt reads plaintext from its FIFO; decrypt receives
+	// the recovered plaintext over the shift register.
+	mac.In = append(mac.In, b0)
+	mac.In = append(mac.In, aadBlocks...)
+	macMode := firmware.ModeCCM2MacEnc
+	if encrypt {
+		mac.In = append(mac.In, bits.PadBlocks(payload)...)
+	} else {
+		macMode = firmware.ModeCCM2MacDec
+	}
+	mac.Task = cryptocore.Task{
+		Mode:       macMode,
+		HdrBlocks:  uint8(len(aadBlocks)),
+		DataBlocks: dataBlocks,
+		LastMask:   0xFFFF,
+	}
+
+	// CTR half.
+	ctr.In = append(ctr.In, a0)
+	ctr.In = append(ctr.In, bits.PadBlocks(payload)...)
+	ctr.In = append(ctr.In, a0)
+	ctrMode := firmware.ModeCCM2CtrEnc
+	ctr.OutWords = 4*int(dataBlocks) + 4
+	if !encrypt {
+		ctrMode = firmware.ModeCCM2CtrDec
+		ctr.OutWords = 4 * int(dataBlocks)
+		if len(tag) != tagLen {
+			return Frame{}, Frame{}, fmt.Errorf("radio: tag is %d bytes, want %d", len(tag), tagLen)
+		}
+		var tagBlock bits.Block
+		copy(tagBlock[:], tag)
+		ctr.In = append(ctr.In, tagBlock)
+	}
+	ctr.Task = cryptocore.Task{
+		Mode:       ctrMode,
+		DataBlocks: dataBlocks,
+		LastMask:   lastMask,
+		TagMask:    bits.MaskForLen(tagLen),
+	}
+	return mac, ctr, nil
+}

@@ -1,0 +1,177 @@
+// Package reconfig models FPGA partial reconfiguration of the MCCP's
+// Cryptographic Units (paper §VII.B): partial bitstreams for the AES and
+// Whirlpool engines, bitstream sources with the measured bandwidths
+// (CompactFlash vs staging RAM), and the runtime swap of one core's
+// reconfigurable region while the other cores keep processing packets.
+package reconfig
+
+import (
+	"fmt"
+
+	"mccp/internal/aes"
+	"mccp/internal/core"
+	"mccp/internal/firmware"
+	"mccp/internal/fpga"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+	"mccp/internal/whirlpool"
+)
+
+// Bitstream size model, calibrated to Table IV: the partial bitstream
+// covers the fixed reconfigurable region (its configuration frames dominate)
+// plus content that grows with the occupied slices. With
+// size = RegionBaseBytes + SliceBytes * slices:
+//
+//	AES (351 slices):        85490 + 10*351  = 89.0 kB   (paper: 89 kB)
+//	Whirlpool (1153 slices): 85490 + 10*1153 = 97.0 kB   (paper: 97 kB)
+const (
+	RegionBaseBytes = 85490
+	SliceBytes      = 10
+)
+
+// BitstreamBytes returns the partial-bitstream size for an engine occupying
+// the demonstrator region.
+func BitstreamBytes(c fpga.Component) int {
+	return RegionBaseBytes + SliceBytes*c.Slices
+}
+
+// Source is a bitstream storage medium feeding the ICAP. Bandwidths are
+// calibrated to Table IV's reconfiguration times:
+//
+//	CompactFlash: 89 kB / 380 ms = 234.2 kB/s (Whirlpool: 97 kB -> 414 ms)
+//	RAM:          89 kB / 63 ms  = 1.413 MB/s (Whirlpool: 97 kB -> 69 ms)
+type Source struct {
+	Name        string
+	BytesPerSec float64
+}
+
+// The paper's two measured sources.
+var (
+	CompactFlash = Source{Name: "compact-flash", BytesPerSec: 234210}
+	StagingRAM   = Source{Name: "ram", BytesPerSec: 1412698}
+)
+
+// Time returns the wall-clock reconfiguration time for n bitstream bytes.
+func (s Source) Time(n int) float64 { return float64(n) / s.BytesPerSec }
+
+// Cycles converts a reconfiguration to clock cycles at the MCCP frequency.
+func (s Source) Cycles(n int, freqHz float64) sim.Time {
+	return sim.Time(s.Time(n) * freqHz)
+}
+
+// Engine identifies a reconfigurable-region payload.
+type Engine int
+
+// Available engines.
+const (
+	EngineAES Engine = iota
+	EngineWhirlpool
+)
+
+// Component returns the engine's resource footprint.
+func (e Engine) Component() fpga.Component {
+	if e == EngineWhirlpool {
+		return fpga.WhirlpoolCore
+	}
+	return fpga.AESCore
+}
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	if e == EngineWhirlpool {
+		return "Whirlpool"
+	}
+	return "AES"
+}
+
+// Controller drives partial reconfiguration of one device's cores. It
+// stands in for the platform's configuration controller (ICAP manager +
+// bitstream store).
+type Controller struct {
+	eng *sim.Engine
+	dev *core.MCCP
+
+	// Reconfigurations counts completed swaps.
+	Reconfigurations uint64
+}
+
+// NewController binds a reconfiguration controller to a device.
+func NewController(eng *sim.Engine, dev *core.MCCP) *Controller {
+	return &Controller{eng: eng, dev: dev}
+}
+
+// Reconfigure rewrites core coreID's reconfigurable region with the target
+// engine, streaming the bitstream from src. The core must be idle
+// (unallocated); it is marked as reconfiguring for the duration, so the
+// Task Scheduler routes around it — the paper's point that "the
+// reconfiguration of one part of the FPGA does not prevent others parts to
+// work". The controller program image is swapped along with the engine and
+// the swap cost includes rewriting the 1024-word instruction memory.
+func (c *Controller) Reconfigure(coreID int, target Engine, src Source, cb func(took sim.Time, err error)) {
+	dev := c.dev
+	if coreID < 0 || coreID >= len(dev.Cores) {
+		cb(0, fmt.Errorf("reconfig: no core %d", coreID))
+		return
+	}
+	if dev.Cores[coreID].Busy() || dev.Reconfiguring[coreID] {
+		cb(0, fmt.Errorf("reconfig: core %d is busy", coreID))
+		return
+	}
+	comp := target.Component()
+	if comp.Slices > fpga.DemoRegion.Slices || comp.BRAMs > fpga.DemoRegion.BRAMs {
+		cb(0, fmt.Errorf("reconfig: %v does not fit the region", target))
+		return
+	}
+	dev.Reconfiguring[coreID] = true
+	start := c.eng.Now()
+	cycles := src.Cycles(BitstreamBytes(comp), sim.DefaultFreqHz) + firmware.ImageWordsLoadCycles
+	c.eng.After(cycles, func() {
+		cr := dev.Cores[coreID]
+		cr.CPU.Stop()
+		switch target {
+		case EngineWhirlpool:
+			cr.AES = nil
+			cr.Unit.Cipher = whirlpool.NewEngine()
+			cr.CPU.LoadProgram(firmware.ImageHash)
+			dev.Engines[coreID] = scheduler.EngineHash
+		case EngineAES:
+			cr.AES = aes.NewCore32()
+			cr.Unit.Cipher = cr.AES
+			cr.CPU.LoadProgram(firmware.ImageAES)
+			dev.Engines[coreID] = scheduler.EngineAES
+		}
+		cr.CPU.Reset()
+		cr.CPU.Start()
+		dev.Reconfiguring[coreID] = false
+		c.Reconfigurations++
+		cb(c.eng.Now()-start, nil)
+	})
+}
+
+// TableIVRow is one row of the paper's Table IV.
+type TableIVRow struct {
+	Core            string
+	Slices, BRAMs   int
+	BitstreamKB     float64
+	FromFlashMillis float64
+	FromRAMMillis   float64
+}
+
+// TableIV regenerates the paper's partial-reconfiguration table from the
+// bitstream and source models.
+func TableIV() []TableIVRow {
+	rows := make([]TableIVRow, 0, 2)
+	for _, e := range []Engine{EngineAES, EngineWhirlpool} {
+		comp := e.Component()
+		n := BitstreamBytes(comp)
+		rows = append(rows, TableIVRow{
+			Core:            e.String(),
+			Slices:          comp.Slices,
+			BRAMs:           comp.BRAMs,
+			BitstreamKB:     float64(n) / 1000,
+			FromFlashMillis: CompactFlash.Time(n) * 1000,
+			FromRAMMillis:   StagingRAM.Time(n) * 1000,
+		})
+	}
+	return rows
+}

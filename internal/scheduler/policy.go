@@ -1,0 +1,186 @@
+// Package scheduler provides the core-dispatch policies of the MCCP Task
+// Scheduler. The paper ships the simplest one — "an incoming packet is
+// forwarded to the first idle core found. If no core is available, it
+// returns an error flag" (§III.C) — and calls for smarter mappings in §VIII
+// (stream priorities, quality-of-service, key/program affinity); those are
+// implemented here as alternative policies and evaluated by the scheduling
+// benches.
+package scheduler
+
+import "mccp/internal/cryptocore"
+
+// EngineAES and EngineHash identify what currently occupies a core's
+// reconfigurable region.
+const (
+	EngineAES  = "AES"
+	EngineHash = "WHIRLPOOL"
+)
+
+// CoreView is the scheduler's snapshot of one core.
+type CoreView struct {
+	ID     int
+	Busy   bool
+	HasKey bool   // requested key already in this core's Key Cache
+	Engine string // EngineAES or EngineHash
+	// CachedKeys is the core's Key Cache occupancy; placement policies use
+	// it to spread first-touch keys instead of piling onto core 0.
+	CachedKeys int
+}
+
+// Request describes a dispatch decision's inputs.
+type Request struct {
+	Family    cryptocore.Family
+	WantSplit bool // two-core CCM preferred
+	KeyID     int
+	Priority  int // higher first (QoS extension)
+}
+
+// Policy picks the core (or adjacent core pair, for split CCM) to run a
+// request. It returns nil when no suitable resources are idle.
+type Policy interface {
+	Name() string
+	Pick(r Request, cores []CoreView) []int
+}
+
+func engineFor(f cryptocore.Family) string {
+	if f == cryptocore.FamilyHash {
+		return EngineHash
+	}
+	return EngineAES
+}
+
+func usable(c CoreView, want string) bool { return !c.Busy && c.Engine == want }
+
+// Paired reports whether two core IDs share a shift register: cores are
+// paired (0,1), (2,3), ... matching the paper's pairwise-shared resources.
+func Paired(a, b int) bool { return a/2 == b/2 && a != b }
+
+// pickPair returns the first idle shared-register pair (2k, 2k+1).
+func pickPair(cores []CoreView, want string) []int {
+	byID := make(map[int]CoreView, len(cores))
+	for _, c := range cores {
+		byID[c.ID] = c
+	}
+	for _, c := range cores {
+		if c.ID%2 != 0 {
+			continue
+		}
+		mate, ok := byID[c.ID+1]
+		if ok && usable(c, want) && usable(mate, want) {
+			return []int{c.ID, mate.ID}
+		}
+	}
+	return nil
+}
+
+func pickFirst(cores []CoreView, want string) []int {
+	for _, c := range cores {
+		if usable(c, want) {
+			return []int{c.ID}
+		}
+	}
+	return nil
+}
+
+// FirstIdle is the paper's policy: the first idle core wins; a split CCM
+// request takes the first adjacent idle pair and falls back to one core.
+type FirstIdle struct{}
+
+// Name implements Policy.
+func (FirstIdle) Name() string { return "first-idle" }
+
+// Pick implements Policy.
+func (FirstIdle) Pick(r Request, cores []CoreView) []int {
+	want := engineFor(r.Family)
+	if r.Family == cryptocore.FamilyCCM && r.WantSplit {
+		if p := pickPair(cores, want); p != nil {
+			return p
+		}
+	}
+	return pickFirst(cores, want)
+}
+
+// RoundRobin rotates the starting core between dispatches, spreading wear
+// and key-cache pressure evenly.
+type RoundRobin struct{ next int }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(r Request, cores []CoreView) []int {
+	n := len(cores)
+	if n == 0 {
+		return nil
+	}
+	want := engineFor(r.Family)
+	rot := make([]CoreView, 0, n)
+	for i := 0; i < n; i++ {
+		rot = append(rot, cores[(p.next+i)%n])
+	}
+	var ids []int
+	if r.Family == cryptocore.FamilyCCM && r.WantSplit {
+		ids = pickPair(rot, want)
+	}
+	if ids == nil {
+		ids = pickFirst(rot, want)
+	}
+	if ids != nil {
+		p.next = (ids[len(ids)-1] + 1) % n
+	}
+	return ids
+}
+
+// KeyAffinity prefers an idle core that already holds the request's round
+// keys in its Key Cache, avoiding the Key Scheduler's expansion latency;
+// it degrades to first-idle otherwise. This is the §VIII observation that
+// assignment must cover "loading of the correct Cryptographic Core program
+// and Cryptographic Unit configuration".
+type KeyAffinity struct{}
+
+// Name implements Policy.
+func (KeyAffinity) Name() string { return "key-affinity" }
+
+// Pick implements Policy.
+func (KeyAffinity) Pick(r Request, cores []CoreView) []int {
+	want := engineFor(r.Family)
+	if r.Family == cryptocore.FamilyCCM && r.WantSplit {
+		// Prefer a pair that already holds the key on both halves.
+		byID := make(map[int]CoreView, len(cores))
+		for _, c := range cores {
+			byID[c.ID] = c
+		}
+		for _, c := range cores {
+			if c.ID%2 != 0 {
+				continue
+			}
+			mate, ok := byID[c.ID+1]
+			if ok && usable(c, want) && usable(mate, want) && c.HasKey && mate.HasKey {
+				return []int{c.ID, mate.ID}
+			}
+		}
+		if p := pickPair(cores, want); p != nil {
+			return p
+		}
+	}
+	for _, c := range cores {
+		if usable(c, want) && c.HasKey {
+			return []int{c.ID}
+		}
+	}
+	// First touch (or the holding core is busy): place on the idle core
+	// with the emptiest Key Cache, spreading keys so future packets find
+	// their core idle more often. A first-idle fallback would pile every
+	// key onto core 0 and defeat the affinity.
+	best := -1
+	bestLoad := 1 << 30
+	for _, c := range cores {
+		if usable(c, want) && c.CachedKeys < bestLoad {
+			best, bestLoad = c.ID, c.CachedKeys
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return []int{best}
+}

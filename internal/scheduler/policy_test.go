@@ -1,0 +1,130 @@
+package scheduler
+
+import (
+	"testing"
+
+	"mccp/internal/cryptocore"
+)
+
+func views(busy ...bool) []CoreView {
+	vs := make([]CoreView, len(busy))
+	for i, b := range busy {
+		vs[i] = CoreView{ID: i, Busy: b, Engine: EngineAES}
+	}
+	return vs
+}
+
+func TestFirstIdleSingle(t *testing.T) {
+	p := FirstIdle{}
+	got := p.Pick(Request{Family: cryptocore.FamilyGCM}, views(true, true, false, false))
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("pick = %v, want [2]", got)
+	}
+	if p.Pick(Request{Family: cryptocore.FamilyGCM}, views(true, true, true, true)) != nil {
+		t.Error("pick on saturated cores should be nil (error flag)")
+	}
+}
+
+func TestFirstIdleSplitPrefersPair(t *testing.T) {
+	p := FirstIdle{}
+	r := Request{Family: cryptocore.FamilyCCM, WantSplit: true}
+	got := p.Pick(r, views(false, false, false, false))
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("pick = %v, want pair [0 1]", got)
+	}
+	// Pair (0,1) broken: core 1 busy -> take pair (2,3).
+	got = p.Pick(r, views(false, true, false, false))
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("pick = %v, want pair [2 3]", got)
+	}
+	// No full pair: fall back to one core (the paper's 1-core CCM).
+	got = p.Pick(r, views(false, true, true, false))
+	if len(got) != 1 {
+		t.Errorf("pick = %v, want single-core fallback", got)
+	}
+	// Cores 1 and 2 idle are NOT a pair (no shared shift register).
+	got = p.Pick(r, views(true, false, false, true))
+	if len(got) != 1 {
+		t.Errorf("pick = %v: (1,2) must not form a pair", got)
+	}
+}
+
+func TestPaired(t *testing.T) {
+	if !Paired(0, 1) || !Paired(2, 3) || Paired(1, 2) || Paired(0, 0) || Paired(0, 2) {
+		t.Error("pairing relation wrong")
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p := &RoundRobin{}
+	r := Request{Family: cryptocore.FamilyGCM}
+	all := views(false, false, false, false)
+	var picks []int
+	for i := 0; i < 6; i++ {
+		got := p.Pick(r, all)
+		picks = append(picks, got[0])
+	}
+	want := []int{0, 1, 2, 3, 0, 1}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v, want %v", picks, want)
+		}
+	}
+}
+
+func TestKeyAffinityPrefersHolder(t *testing.T) {
+	vs := views(false, false, false, false)
+	vs[2].HasKey = true
+	got := KeyAffinity{}.Pick(Request{Family: cryptocore.FamilyGCM, KeyID: 9}, vs)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("pick = %v, want [2]", got)
+	}
+}
+
+func TestKeyAffinitySpreadsFirstTouch(t *testing.T) {
+	vs := views(false, false, false, false)
+	vs[0].CachedKeys = 3
+	vs[1].CachedKeys = 1
+	vs[2].CachedKeys = 2
+	vs[3].CachedKeys = 4
+	got := KeyAffinity{}.Pick(Request{Family: cryptocore.FamilyGCM, KeyID: 9}, vs)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("pick = %v, want [1] (emptiest cache)", got)
+	}
+}
+
+func TestKeyAffinitySplitPrefersKeyedPair(t *testing.T) {
+	vs := views(false, false, false, false)
+	vs[2].HasKey, vs[3].HasKey = true, true
+	got := KeyAffinity{}.Pick(Request{Family: cryptocore.FamilyCCM, WantSplit: true, KeyID: 4}, vs)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("pick = %v, want keyed pair [2 3]", got)
+	}
+}
+
+func TestEngineFiltering(t *testing.T) {
+	vs := views(false, false)
+	vs[0].Engine = EngineHash
+	// AES request must skip the reconfigured core.
+	got := FirstIdle{}.Pick(Request{Family: cryptocore.FamilyGCM}, vs)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("pick = %v, want [1]", got)
+	}
+	// Hash request must pick only the Whirlpool core.
+	got = FirstIdle{}.Pick(Request{Family: cryptocore.FamilyHash}, vs)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("hash pick = %v, want [0]", got)
+	}
+	vs[0].Busy = true
+	if (FirstIdle{}).Pick(Request{Family: cryptocore.FamilyHash}, vs) != nil {
+		t.Error("hash pick with no hash core should be nil")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (FirstIdle{}).Name() != "first-idle" ||
+		(&RoundRobin{}).Name() != "round-robin" ||
+		(KeyAffinity{}).Name() != "key-affinity" {
+		t.Error("policy names changed")
+	}
+}

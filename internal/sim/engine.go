@@ -1,0 +1,160 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine used to model the MCCP hardware at cycle granularity.
+//
+// Time is measured in clock cycles of the simulated fabric clock (190 MHz in
+// the paper's Virtex-4 implementation). Components schedule callbacks at
+// absolute cycle times; blocking structures (FIFOs, mailboxes, condition
+// flags) park callbacks until a state change occurs and then release them at
+// the timestamp of the mutating event, which keeps the simulation fully
+// deterministic regardless of scheduling order of same-cycle events (ties are
+// broken by insertion order).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in clock cycles.
+type Time uint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. It is not safe for
+// concurrent use; the whole simulation is single-threaded and deterministic.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// FreqHz is the modeled clock frequency, used only to convert cycle
+	// counts into wall-clock throughput figures. The paper's MCCP runs at
+	// 190 MHz on a Virtex-4 SX35-11.
+	FreqHz float64
+}
+
+// DefaultFreqHz is the paper's reported operating frequency.
+const DefaultFreqHz = 190e6
+
+// NewEngine returns an engine with the clock at cycle 0 and the default
+// 190 MHz frequency model.
+func NewEngine() *Engine {
+	return &Engine{FreqHz: DefaultFreqHz}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would make
+// results meaningless.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. It returns the time of the last event
+// executed (or the current time if none ran).
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// CyclesToSeconds converts a cycle count to seconds under the frequency model.
+func (e *Engine) CyclesToSeconds(c Time) float64 { return float64(c) / e.FreqHz }
+
+// ThroughputMbps converts (bits, cycles) into Mbps at the modeled frequency.
+func (e *Engine) ThroughputMbps(bits int, cycles Time) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bits) / float64(cycles) * e.FreqHz / 1e6
+}
+
+// Waiters is a parking lot for callbacks blocked on a state change. It is
+// the building block for FIFOs, mailboxes and signal conditions.
+type Waiters struct {
+	eng *Engine
+	fns []func()
+}
+
+// NewWaiters returns an empty parking lot bound to eng.
+func NewWaiters(eng *Engine) *Waiters { return &Waiters{eng: eng} }
+
+// Park registers fn to be released on the next Release call.
+func (w *Waiters) Park(fn func()) { w.fns = append(w.fns, fn) }
+
+// Release schedules every parked callback at the current time and clears the
+// lot. Callbacks re-check their condition and may park again, so spurious
+// wakeups are allowed (and expected when several waiters race for one slot).
+func (w *Waiters) Release() {
+	if len(w.fns) == 0 {
+		return
+	}
+	fns := w.fns
+	w.fns = nil
+	for _, fn := range fns {
+		w.eng.After(0, fn)
+	}
+}
+
+// Len reports the number of parked callbacks.
+func (w *Waiters) Len() int { return len(w.fns) }

@@ -1,0 +1,188 @@
+package sim
+
+// WordFIFO models a hardware FIFO of 32-bit words, as used between the
+// MCCP crossbar and each Cryptographic Core (512 x 32 bits in the paper,
+// i.e. one 2048-byte packet). Reads and writes are callback-based: a blocked
+// operation parks until the FIFO state changes.
+type WordFIFO struct {
+	eng      *Engine
+	buf      []uint32
+	head     int
+	n        int
+	notEmpty *Waiters
+	notFull  *Waiters
+	// Pushed and Popped count total words moved through the FIFO; they feed
+	// utilization metrics.
+	Pushed uint64
+	Popped uint64
+}
+
+// NewWordFIFO returns a FIFO with the given capacity in 32-bit words.
+func NewWordFIFO(eng *Engine, capacity int) *WordFIFO {
+	if capacity <= 0 {
+		panic("sim: FIFO capacity must be positive")
+	}
+	return &WordFIFO{
+		eng:      eng,
+		buf:      make([]uint32, capacity),
+		notEmpty: NewWaiters(eng),
+		notFull:  NewWaiters(eng),
+	}
+}
+
+// Cap returns the FIFO capacity in words.
+func (f *WordFIFO) Cap() int { return len(f.buf) }
+
+// Len returns the number of words currently stored.
+func (f *WordFIFO) Len() int { return f.n }
+
+// CanPush reports whether at least k words of space are free.
+func (f *WordFIFO) CanPush(k int) bool { return f.n+k <= len(f.buf) }
+
+// CanPop reports whether at least k words are available.
+func (f *WordFIFO) CanPop(k int) bool { return f.n >= k }
+
+// TryPush appends w if space is available and reports success.
+func (f *WordFIFO) TryPush(w uint32) bool {
+	if f.n == len(f.buf) {
+		return false
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = w
+	f.n++
+	f.Pushed++
+	f.notEmpty.Release()
+	return true
+}
+
+// TryPop removes and returns the oldest word.
+func (f *WordFIFO) TryPop() (uint32, bool) {
+	if f.n == 0 {
+		return 0, false
+	}
+	w := f.buf[f.head]
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	f.Popped++
+	f.notFull.Release()
+	return w, true
+}
+
+// WhenPushable parks fn until at least k words of space may be free.
+// fn must re-check CanPush (spurious wakeups are possible).
+func (f *WordFIFO) WhenPushable(k int, fn func()) {
+	if f.CanPush(k) {
+		f.eng.After(0, fn)
+		return
+	}
+	f.notFull.Park(fn)
+}
+
+// WhenPoppable parks fn until at least k words may be available.
+// fn must re-check CanPop.
+func (f *WordFIFO) WhenPoppable(k int, fn func()) {
+	if f.CanPop(k) {
+		f.eng.After(0, fn)
+		return
+	}
+	f.notEmpty.Park(fn)
+}
+
+// Reset discards all contents, modeling the output-FIFO re-initialization
+// the paper performs when a packet fails authentication (protects the
+// master processor from reading unauthenticated plaintext).
+func (f *WordFIFO) Reset() {
+	f.head = 0
+	f.n = 0
+	f.notFull.Release()
+}
+
+// Mailbox128 models the 4x32-bit inter-core shift register used to convey
+// temporary values (e.g. the CBC-MAC tag in two-core CCM) between
+// neighbouring Cryptographic Cores. It is a 1-deep 128-bit rendezvous
+// buffer: writers block while full, readers block while empty.
+type Mailbox128 struct {
+	eng      *Engine
+	val      [4]uint32
+	full     bool
+	notEmpty *Waiters
+	notFull  *Waiters
+}
+
+// NewMailbox128 returns an empty mailbox.
+func NewMailbox128(eng *Engine) *Mailbox128 {
+	return &Mailbox128{eng: eng, notEmpty: NewWaiters(eng), notFull: NewWaiters(eng)}
+}
+
+// Full reports whether a value is waiting to be consumed.
+func (m *Mailbox128) Full() bool { return m.full }
+
+// TryPut stores v if the mailbox is empty and reports success.
+func (m *Mailbox128) TryPut(v [4]uint32) bool {
+	if m.full {
+		return false
+	}
+	m.val = v
+	m.full = true
+	m.notEmpty.Release()
+	return true
+}
+
+// TryTake removes and returns the stored value.
+func (m *Mailbox128) TryTake() ([4]uint32, bool) {
+	if !m.full {
+		return [4]uint32{}, false
+	}
+	m.full = false
+	m.notFull.Release()
+	return m.val, true
+}
+
+// WhenPuttable parks fn until the mailbox may be empty.
+func (m *Mailbox128) WhenPuttable(fn func()) {
+	if !m.full {
+		m.eng.After(0, fn)
+		return
+	}
+	m.notFull.Park(fn)
+}
+
+// WhenTakeable parks fn until the mailbox may be full.
+func (m *Mailbox128) WhenTakeable(fn func()) {
+	if m.full {
+		m.eng.After(0, fn)
+		return
+	}
+	m.notEmpty.Park(fn)
+}
+
+// Flag is a level-sensitive condition (e.g. a "done" line). Setting it
+// releases all waiters; waiters must re-check the level.
+type Flag struct {
+	eng     *Engine
+	set     bool
+	waiters *Waiters
+}
+
+// NewFlag returns a cleared flag.
+func NewFlag(eng *Engine) *Flag { return &Flag{eng: eng, waiters: NewWaiters(eng)} }
+
+// Set raises the flag and wakes waiters.
+func (f *Flag) Set() {
+	f.set = true
+	f.waiters.Release()
+}
+
+// Clear lowers the flag.
+func (f *Flag) Clear() { f.set = false }
+
+// IsSet reports the level.
+func (f *Flag) IsSet() bool { return f.set }
+
+// WhenSet parks fn until the flag may be raised.
+func (f *Flag) WhenSet(fn func()) {
+	if f.set {
+		f.eng.After(0, fn)
+		return
+	}
+	f.waiters.Park(fn)
+}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 0) })
+	e.At(10, func() { order = append(order, 2) }) // same time: insertion order
+	end := e.Run()
+	if end != 10 {
+		t.Errorf("final time = %d, want 10", end)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when scheduling in the past")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(15, func() { ran++ })
+	e.RunUntil(10)
+	if ran != 1 {
+		t.Errorf("ran = %d events by t=10, want 1", ran)
+	}
+	if e.Now() != 10 {
+		t.Errorf("now = %d, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Errorf("ran = %d events total, want 2", ran)
+	}
+}
+
+func TestCascadedEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 100 {
+			depth++
+			e.After(2, recurse)
+		}
+	}
+	e.At(0, recurse)
+	if end := e.Run(); end != 200 {
+		t.Errorf("end = %d, want 200", end)
+	}
+}
+
+func TestThroughputMbps(t *testing.T) {
+	e := NewEngine()
+	// 128 bits in 49 cycles at 190 MHz: the paper's theoretical GCM
+	// single-core figure, 496 Mbps.
+	got := e.ThroughputMbps(128, 49)
+	if got < 496 || got > 497 {
+		t.Errorf("ThroughputMbps = %f, want ~496.3", got)
+	}
+	if e.ThroughputMbps(128, 0) != 0 {
+		t.Error("zero cycles should yield zero throughput")
+	}
+}
+
+func TestFIFOBasic(t *testing.T) {
+	e := NewEngine()
+	f := NewWordFIFO(e, 4)
+	for i := uint32(0); i < 4; i++ {
+		if !f.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if f.TryPush(99) {
+		t.Error("push into full FIFO succeeded")
+	}
+	for i := uint32(0); i < 4; i++ {
+		w, ok := f.TryPop()
+		if !ok || w != i {
+			t.Fatalf("pop = %d,%v want %d", w, ok, i)
+		}
+	}
+	if _, ok := f.TryPop(); ok {
+		t.Error("pop from empty FIFO succeeded")
+	}
+	if f.Pushed != 4 || f.Popped != 4 {
+		t.Errorf("counters = %d/%d", f.Pushed, f.Popped)
+	}
+}
+
+func TestFIFOBlockingProducerConsumer(t *testing.T) {
+	e := NewEngine()
+	f := NewWordFIFO(e, 2)
+	const total = 50
+	produced, consumed := 0, 0
+	var got []uint32
+
+	var produce func()
+	produce = func() {
+		if produced == total {
+			return
+		}
+		if !f.CanPush(1) {
+			f.WhenPushable(1, produce)
+			return
+		}
+		f.TryPush(uint32(produced))
+		produced++
+		e.After(1, produce)
+	}
+	var consume func()
+	consume = func() {
+		if consumed == total {
+			return
+		}
+		if !f.CanPop(1) {
+			f.WhenPoppable(1, consume)
+			return
+		}
+		w, _ := f.TryPop()
+		got = append(got, w)
+		consumed++
+		e.After(3, consume) // slower consumer forces backpressure
+	}
+	e.At(0, produce)
+	e.At(0, consume)
+	e.Run()
+	if consumed != total || produced != total {
+		t.Fatalf("produced %d consumed %d", produced, consumed)
+	}
+	for i, w := range got {
+		if w != uint32(i) {
+			t.Fatalf("out of order at %d: %d", i, w)
+		}
+	}
+}
+
+func TestFIFOOrderProperty(t *testing.T) {
+	// FIFO order is preserved for arbitrary interleavings of push/pop.
+	f := func(ops []bool, vals []uint32) bool {
+		e := NewEngine()
+		fifo := NewWordFIFO(e, 8)
+		var pushed, popped []uint32
+		vi := 0
+		for _, isPush := range ops {
+			if isPush && vi < len(vals) {
+				if fifo.TryPush(vals[vi]) {
+					pushed = append(pushed, vals[vi])
+				}
+				vi++
+			} else {
+				if w, ok := fifo.TryPop(); ok {
+					popped = append(popped, w)
+				}
+			}
+		}
+		for fifo.Len() > 0 {
+			w, _ := fifo.TryPop()
+			popped = append(popped, w)
+		}
+		if len(pushed) != len(popped) {
+			return false
+		}
+		for i := range pushed {
+			if pushed[i] != popped[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFOReset(t *testing.T) {
+	e := NewEngine()
+	f := NewWordFIFO(e, 4)
+	f.TryPush(1)
+	f.TryPush(2)
+	woke := false
+	f.TryPush(3)
+	f.TryPush(4)
+	f.WhenPushable(1, func() { woke = true })
+	f.Reset()
+	e.Run()
+	if f.Len() != 0 {
+		t.Error("reset did not empty FIFO")
+	}
+	if !woke {
+		t.Error("reset did not wake blocked producer")
+	}
+}
+
+func TestMailboxRendezvous(t *testing.T) {
+	e := NewEngine()
+	m := NewMailbox128(e)
+	v := [4]uint32{1, 2, 3, 4}
+	if !m.TryPut(v) {
+		t.Fatal("put into empty mailbox failed")
+	}
+	if m.TryPut(v) {
+		t.Fatal("put into full mailbox succeeded")
+	}
+	var gotVal [4]uint32
+	m.WhenTakeable(func() {
+		gotVal, _ = m.TryTake()
+	})
+	e.Run()
+	if gotVal != v {
+		t.Errorf("take = %v", gotVal)
+	}
+	if m.Full() {
+		t.Error("mailbox should be empty after take")
+	}
+}
+
+func TestFlag(t *testing.T) {
+	e := NewEngine()
+	f := NewFlag(e)
+	fired := 0
+	f.WhenSet(func() { fired++ })
+	e.Run()
+	if fired != 0 {
+		t.Error("waiter fired before Set")
+	}
+	e.At(e.Now()+5, func() { f.Set() })
+	f.WhenSet(func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (both waiters released)", fired)
+	}
+	// WhenSet on an already-set flag fires immediately.
+	f.WhenSet(func() { fired++ })
+	e.Run()
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+}

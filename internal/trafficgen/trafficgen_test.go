@@ -1,0 +1,87 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"mccp/internal/cryptocore"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(7, DefaultMix)
+	b := NewGenerator(7, DefaultMix)
+	for i := 0; i < 20; i++ {
+		pa := a.Next(i%len(DefaultMix), i)
+		pb := b.Next(i%len(DefaultMix), i)
+		if string(pa.Payload) != string(pb.Payload) || string(pa.Nonce) != string(pb.Nonce) {
+			t.Fatalf("generator not deterministic at packet %d", i)
+		}
+	}
+}
+
+func TestGeneratorRespectsProfiles(t *testing.T) {
+	g := NewGenerator(3, DefaultMix)
+	for i, s := range DefaultMix {
+		for k := 0; k < 50; k++ {
+			p := g.Next(i, 1)
+			if len(p.Payload) < s.MinBytes || len(p.Payload) > s.MaxBytes {
+				t.Fatalf("%s: payload %d outside [%d,%d]", s.Name, len(p.Payload), s.MinBytes, s.MaxBytes)
+			}
+			wantNonce := 12
+			if s.Family == cryptocore.FamilyCCM {
+				wantNonce = 13
+			}
+			if len(p.Nonce) != wantNonce {
+				t.Fatalf("%s: nonce %d bytes", s.Name, len(p.Nonce))
+			}
+		}
+	}
+}
+
+// TestRunMixedCompletesAllTraffic is the integration smoke test: a mixed
+// four-standard workload completes on every policy without loss.
+func TestRunMixedCompletesAllTraffic(t *testing.T) {
+	for _, pol := range []string{"first-idle", "round-robin", "key-affinity"} {
+		r := RunMixed(MixedConfig{Policy: pol, Packets: 40, Channels: 4, Seed: 2, QueueDepth: true})
+		if r.ThroughputMbps <= 0 || r.Bytes == 0 {
+			t.Errorf("%s: empty run: %+v", pol, r)
+		}
+		if r.Rejected != 0 {
+			t.Errorf("%s: %d rejections with queueing enabled", pol, r.Rejected)
+		}
+	}
+}
+
+// TestKeyAffinityBeatsFirstIdle pins the §VIII scheduling result: with more
+// channels than key-cache slots per core, affinity-aware placement cuts Key
+// Scheduler expansions well below the paper's first-idle policy.
+func TestKeyAffinityBeatsFirstIdle(t *testing.T) {
+	cfg := MixedConfig{Packets: 80, Channels: 6, Seed: 1, QueueDepth: true}
+
+	cfg.Policy = "first-idle"
+	fi := RunMixed(cfg)
+	cfg.Policy = "key-affinity"
+	ka := RunMixed(cfg)
+	cfg.Policy = "round-robin"
+	rr := RunMixed(cfg)
+
+	t.Logf("expansions: first-idle=%d round-robin=%d key-affinity=%d",
+		fi.KeyExpansions, rr.KeyExpansions, ka.KeyExpansions)
+	if ka.KeyExpansions*2 >= fi.KeyExpansions {
+		t.Errorf("key-affinity (%d expansions) should at least halve first-idle (%d)",
+			ka.KeyExpansions, fi.KeyExpansions)
+	}
+	if ka.KeyExpansions > rr.KeyExpansions {
+		t.Errorf("key-affinity (%d) should not exceed round-robin (%d)",
+			ka.KeyExpansions, rr.KeyExpansions)
+	}
+}
+
+// TestErrorFlagUnderOverload reproduces the paper's no-queue behaviour on a
+// mixed workload: without the QoS extension, overload draws error flags.
+func TestErrorFlagUnderOverload(t *testing.T) {
+	r := RunMixed(MixedConfig{Policy: "first-idle", Packets: 40, Channels: 6,
+		Seed: 4, QueueDepth: false, Window: 8})
+	if r.Rejected == 0 {
+		t.Error("expected rejections when offered load exceeds 4 cores without queueing")
+	}
+}

@@ -1,0 +1,298 @@
+// Package twofish implements the Twofish block cipher (Schneier et al.,
+// 1998) from scratch. The paper's conclusion claims the MCCP's "AES core
+// may be easily replaced by any other 128-bit block cipher (such as
+// Twofish)"; this package substantiates that claim: Engine drops into the
+// Cryptographic Unit's reconfigurable region and every mode of operation's
+// firmware runs unchanged on it.
+//
+// Twofish is a 16-round Feistel network over four 32-bit words with
+// key-dependent S-boxes (built from the q0/q1 permutations and the key
+// material via the RS code), an MDS diffusion matrix over GF(2^8) mod
+// x^8+x^6+x^5+x^3+1, a pseudo-Hadamard transform and 1-bit rotations.
+package twofish
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mccp/internal/bits"
+)
+
+const rounds = 16
+
+// rsPoly and mdsPoly are the GF(2^8) moduli of the RS and MDS codes.
+const (
+	rsPoly  = 0x14D
+	mdsPoly = 0x169
+)
+
+// The q0/q1 fixed permutations, built from their 4-bit mini-box tables.
+var q0, q1 [256]byte
+
+func init() {
+	build := func(t0, t1, t2, t3 [16]byte) (q [256]byte) {
+		ror4 := func(x byte) byte { return (x>>1 | x<<3) & 0xF }
+		for x := 0; x < 256; x++ {
+			a0, b0 := byte(x)/16, byte(x)%16
+			a1 := a0 ^ b0
+			b1 := (a0 ^ ror4(b0) ^ (8 * a0 % 16)) & 0xF
+			a2, b2 := t0[a1], t1[b1]
+			a3 := a2 ^ b2
+			b3 := (a2 ^ ror4(b2) ^ (8 * a2 % 16)) & 0xF
+			a4, b4 := t2[a3], t3[b3]
+			q[x] = 16*b4 + a4
+		}
+		return
+	}
+	q0 = build(
+		[16]byte{0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2, 0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4},
+		[16]byte{0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5, 0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD},
+		[16]byte{0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0, 0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1},
+		[16]byte{0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE, 0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA},
+	)
+	q1 = build(
+		[16]byte{0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE, 0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5},
+		[16]byte{0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7, 0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8},
+		[16]byte{0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA, 0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF},
+		[16]byte{0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE, 0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA},
+	)
+}
+
+// gfMul multiplies in GF(2^8) modulo poly.
+func gfMul(a, b byte, poly uint16) byte {
+	var p uint16
+	x, y := uint16(a), uint16(b)
+	for i := 0; i < 8; i++ {
+		if y&1 != 0 {
+			p ^= x
+		}
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= poly
+		}
+		y >>= 1
+	}
+	return byte(p)
+}
+
+var mds = [4][4]byte{
+	{0x01, 0xEF, 0x5B, 0x5B},
+	{0x5B, 0xEF, 0xEF, 0x01},
+	{0xEF, 0x5B, 0x01, 0xEF},
+	{0xEF, 0x01, 0xEF, 0x5B},
+}
+
+var rs = [4][8]byte{
+	{0x01, 0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E},
+	{0xA4, 0x56, 0x82, 0xF3, 0x1E, 0xC6, 0x68, 0xE5},
+	{0x02, 0xA1, 0xFC, 0xC1, 0x47, 0xAE, 0x3D, 0x19},
+	{0xA4, 0x55, 0x87, 0x5A, 0x58, 0xDB, 0x9E, 0x03},
+}
+
+// mdsMul applies the MDS matrix to four bytes, returning a 32-bit word
+// (little-endian byte significance, per the spec).
+func mdsMul(y [4]byte) uint32 {
+	var z uint32
+	for i := 0; i < 4; i++ {
+		var acc byte
+		for j := 0; j < 4; j++ {
+			acc ^= gfMul(mds[i][j], y[j], mdsPoly)
+		}
+		z |= uint32(acc) << (8 * uint(i))
+	}
+	return z
+}
+
+// h is the Twofish h-function over the key words l (length k = 2, 3 or 4).
+func h(x uint32, l []uint32) uint32 {
+	var y [4]byte
+	for i := 0; i < 4; i++ {
+		y[i] = byte(x >> (8 * uint(i)))
+	}
+	lb := func(w int, i int) byte { return byte(l[w] >> (8 * uint(i))) }
+	k := len(l)
+	if k >= 4 {
+		y[0] = q1[y[0]] ^ lb(3, 0)
+		y[1] = q0[y[1]] ^ lb(3, 1)
+		y[2] = q0[y[2]] ^ lb(3, 2)
+		y[3] = q1[y[3]] ^ lb(3, 3)
+	}
+	if k >= 3 {
+		y[0] = q1[y[0]] ^ lb(2, 0)
+		y[1] = q1[y[1]] ^ lb(2, 1)
+		y[2] = q0[y[2]] ^ lb(2, 2)
+		y[3] = q0[y[3]] ^ lb(2, 3)
+	}
+	y[0] = q1[q0[q0[y[0]]^lb(1, 0)]^lb(0, 0)]
+	y[1] = q0[q0[q1[y[1]]^lb(1, 1)]^lb(0, 1)]
+	y[2] = q1[q1[q0[y[2]]^lb(1, 2)]^lb(0, 2)]
+	y[3] = q0[q1[q1[y[3]]^lb(1, 3)]^lb(0, 3)]
+	return mdsMul(y)
+}
+
+// Cipher is an expanded-key Twofish instance.
+type Cipher struct {
+	k    int        // key words / 2 (2, 3 or 4)
+	sub  [40]uint32 // round subkeys
+	sbox []uint32   // S vector for g (len k, reversed order)
+}
+
+// New expands a 16-, 24- or 32-byte key.
+func New(key []byte) (*Cipher, error) {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, fmt.Errorf("twofish: invalid key length %d", len(key))
+	}
+	k := len(key) / 8
+	me := make([]uint32, k)
+	mo := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		me[i] = binary.LittleEndian.Uint32(key[8*i:])
+		mo[i] = binary.LittleEndian.Uint32(key[8*i+4:])
+	}
+	// S vector from the RS code, in reverse order.
+	s := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		var v uint32
+		for row := 0; row < 4; row++ {
+			var acc byte
+			for col := 0; col < 8; col++ {
+				acc ^= gfMul(rs[row][col], key[8*i+col], rsPoly)
+			}
+			v |= uint32(acc) << (8 * uint(row))
+		}
+		s[k-1-i] = v
+	}
+	c := &Cipher{k: k, sbox: s}
+	const rho = 0x01010101
+	for i := 0; i < 20; i++ {
+		a := h(uint32(2*i)*rho, me)
+		b := rol(h(uint32(2*i+1)*rho, mo), 8)
+		c.sub[2*i] = a + b
+		c.sub[2*i+1] = rol(a+2*b, 9)
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good keys.
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func rol(x uint32, n uint) uint32 { return x<<n | x>>(32-n) }
+func ror(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// g is the key-dependent S-box function.
+func (c *Cipher) g(x uint32) uint32 { return h(x, c.sbox) }
+
+// Encrypt enciphers one block. Twofish's external byte order is
+// little-endian per 32-bit word.
+func (c *Cipher) Encrypt(in bits.Block) bits.Block {
+	var r [4]uint32
+	for i := range r {
+		r[i] = binary.LittleEndian.Uint32(in[4*i:]) ^ c.sub[i]
+	}
+	for rd := 0; rd < rounds; rd++ {
+		t0 := c.g(r[0])
+		t1 := c.g(rol(r[1], 8))
+		f0 := t0 + t1 + c.sub[8+2*rd]
+		f1 := t0 + 2*t1 + c.sub[9+2*rd]
+		r[2] = ror(r[2]^f0, 1)
+		r[3] = rol(r[3], 1) ^ f1
+		if rd < rounds-1 {
+			r[0], r[1], r[2], r[3] = r[2], r[3], r[0], r[1]
+		}
+	}
+	var out bits.Block
+	// Skipping the 16th swap already realizes the spec's output reorder
+	// (C = R2,R3,R0,R1), so whitening applies in natural order here.
+	for i := range r {
+		binary.LittleEndian.PutUint32(out[4*i:], r[i]^c.sub[4+i])
+	}
+	return out
+}
+
+// Decrypt deciphers one block.
+func (c *Cipher) Decrypt(in bits.Block) bits.Block {
+	var r [4]uint32
+	for i := range r {
+		r[i] = binary.LittleEndian.Uint32(in[4*i:]) ^ c.sub[4+i]
+	}
+	for rd := rounds - 1; rd >= 0; rd-- {
+		t0 := c.g(r[0])
+		t1 := c.g(rol(r[1], 8))
+		f0 := t0 + t1 + c.sub[8+2*rd]
+		f1 := t0 + 2*t1 + c.sub[9+2*rd]
+		r[2] = rol(r[2], 1) ^ f0
+		r[3] = ror(r[3]^f1, 1)
+		if rd > 0 {
+			r[0], r[1], r[2], r[3] = r[2], r[3], r[0], r[1]
+		}
+	}
+	var out bits.Block
+	for i := range r {
+		binary.LittleEndian.PutUint32(out[4*i:], r[i]^c.sub[i])
+	}
+	return out
+}
+
+// CoreCycles models a compact iterative Twofish core in the reconfigurable
+// region: one Feistel round per 3 cycles (two g lookups sharing the h
+// pipeline plus the PHT/rotate step) plus whitening, independent of key
+// size (Twofish's schedule is precomputed, unlike the AES core whose round
+// count grows with the key).
+const CoreCycles = 3*rounds + 6
+
+// Engine adapts the cipher to the Cryptographic Unit's engine slot
+// (cryptounit.CipherEngine).
+type Engine struct {
+	c         *Cipher
+	out       bits.Block
+	busyUntil uint64
+	started   bool
+}
+
+// NewEngine returns an engine with no key loaded.
+func NewEngine() *Engine { return &Engine{} }
+
+// LoadKey installs a session key (the Key Scheduler computes the subkeys;
+// the transfer cost is modeled at that layer, as for AES).
+func (e *Engine) LoadKey(key []byte) error {
+	c, err := New(key)
+	if err != nil {
+		return err
+	}
+	e.c = c
+	return nil
+}
+
+// Busy implements cryptounit.CipherEngine.
+func (e *Engine) Busy() bool { return e.started }
+
+// ReadyAt implements cryptounit.CipherEngine.
+func (e *Engine) ReadyAt() uint64 { return e.busyUntil }
+
+// Start implements cryptounit.CipherEngine.
+func (e *Engine) Start(now uint64, in bits.Block) uint64 {
+	if e.c == nil {
+		panic("twofish: Start with no key loaded")
+	}
+	e.out = e.c.Encrypt(in)
+	e.busyUntil = now + CoreCycles
+	e.started = true
+	return e.busyUntil
+}
+
+// Collect implements cryptounit.CipherEngine.
+func (e *Engine) Collect() bits.Block {
+	if !e.started {
+		panic("twofish: Collect with no computation in flight")
+	}
+	e.started = false
+	return e.out
+}

@@ -1,0 +1,121 @@
+package twofish
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mccp/internal/bits"
+)
+
+func TestKnownVector128(t *testing.T) {
+	c := MustNew(make([]byte, 16))
+	got := c.Encrypt(bits.Block{})
+	if got.Hex() != "9f589f5cf6122c32b6bfec2f2ae8c35a" {
+		t.Fatalf("Twofish-128 E_0(0) = %s, want 9f589f5cf6122c32b6bfec2f2ae8c35a", got.Hex())
+	}
+}
+
+// TestIteratedVector reproduces the paper's iterated table construction:
+// starting from all-zero key and plaintext, repeatedly set
+// (key, pt) <- (pt_prev||..., ct). After one step with the 128-bit key the
+// published I=2 ciphertext is D491DB16E7B1C39E86CB086B789F5419.
+func TestIteratedVector(t *testing.T) {
+	key := make([]byte, 16)
+	var pt bits.Block
+	ct := MustNew(key).Encrypt(pt) // I=1
+	// I=2: key = previous plaintext (zero), pt = previous ciphertext.
+	copy(key, pt[:])
+	ct2 := MustNew(key).Encrypt(ct)
+	if ct2.Hex() != "d491db16e7b1c39e86cb086b789f5419" {
+		t.Fatalf("I=2 ciphertext = %s, want d491db16e7b1c39e86cb086b789f5419", ct2.Hex())
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key [32]byte, pt bits.Block, sel uint8) bool {
+		sizes := []int{16, 24, 32}
+		c := MustNew(key[:sizes[int(sel)%3]])
+		return c.Decrypt(c.Encrypt(pt)) == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQPermutations(t *testing.T) {
+	seen0 := map[byte]bool{}
+	seen1 := map[byte]bool{}
+	for i := 0; i < 256; i++ {
+		if seen0[q0[i]] || seen1[q1[i]] {
+			t.Fatalf("q tables not permutations at %d", i)
+		}
+		seen0[q0[i]] = true
+		seen1[q1[i]] = true
+	}
+	// Published anchors: q0(0) = 0xA9, q1(0) = 0x75.
+	if q0[0] != 0xA9 {
+		t.Errorf("q0[0] = %#x, want 0xA9", q0[0])
+	}
+	if q1[0] != 0x75 {
+		t.Errorf("q1[0] = %#x, want 0x75", q1[0])
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	c := MustNew([]byte("sixteen byte key"))
+	base := c.Encrypt(bits.Block{})
+	var flipped bits.Block
+	flipped[15] = 1
+	diff := 0
+	out := c.Encrypt(flipped)
+	for i := range base {
+		for k := 0; k < 8; k++ {
+			if (base[i]^out[i])>>uint(k)&1 != 0 {
+				diff++
+			}
+		}
+	}
+	if diff < 40 || diff > 88 {
+		t.Errorf("avalanche: %d/128 bits flipped", diff)
+	}
+}
+
+func TestInvalidKey(t *testing.T) {
+	if _, err := New(make([]byte, 17)); err == nil {
+		t.Error("17-byte key accepted")
+	}
+	e := NewEngine()
+	if err := e.LoadKey(make([]byte, 3)); err == nil {
+		t.Error("engine accepted bad key")
+	}
+}
+
+func TestEngineTiming(t *testing.T) {
+	e := NewEngine()
+	if err := e.LoadKey(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	ready := e.Start(100, bits.Block{})
+	if ready != 100+CoreCycles {
+		t.Errorf("ready at %d, want %d", ready, 100+CoreCycles)
+	}
+	if !e.Busy() {
+		t.Error("engine should be busy")
+	}
+	got := e.Collect()
+	if got.Hex() != "9f589f5cf6122c32b6bfec2f2ae8c35a" {
+		t.Errorf("engine output = %s", got.Hex())
+	}
+	if e.Busy() {
+		t.Error("engine should be idle after Collect")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c := MustNew(make([]byte, 16))
+	var pt bits.Block
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		pt = c.Encrypt(pt)
+	}
+}

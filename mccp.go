@@ -1,0 +1,270 @@
+// Package mccp is the public API of the reconfigurable Multi-Core
+// Crypto-Processor (MCCP) model — a cycle-calibrated reproduction of
+// "A Reconfigurable Multi-core Cryptoprocessor for Multi-channel
+// Communication Systems" (Grand et al., IPDPS 2011).
+//
+// A Platform bundles the simulated device (four Cryptographic Cores by
+// default, Task Scheduler, Key Scheduler, Cross Bar) with the radio-side
+// controllers the paper assumes (communication controller and main
+// controller). Channels are opened with a cipher suite and a provisioned
+// session key, then encrypt/decrypt packets with AES-GCM, AES-CCM (one- or
+// two-core), CTR or CBC-MAC semantics — all executed by firmware on the
+// simulated 8-bit core controllers, cycle-by-cycle, at a modeled 190 MHz.
+//
+//	p := mccp.New(mccp.Config{})
+//	key, _ := p.NewKey(16)
+//	ch, _ := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16}, key)
+//	sealed, _ := ch.Encrypt(nonce, aad, payload)
+//	plain, err := ch.Decrypt(nonce, aad, sealed[:len(payload)], sealed[len(payload):])
+//
+// The synchronous methods drive the discrete-event simulation internally;
+// Cycles and Elapsed expose the virtual clock for performance studies.
+package mccp
+
+import (
+	"fmt"
+
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/radio"
+	"mccp/internal/reconfig"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+)
+
+// Family selects a channel's mode of operation.
+type Family = cryptocore.Family
+
+// Supported families.
+const (
+	GCM    = cryptocore.FamilyGCM
+	CCM    = cryptocore.FamilyCCM
+	CTR    = cryptocore.FamilyCTR
+	CBCMAC = cryptocore.FamilyCBCMAC
+	Hash   = cryptocore.FamilyHash
+)
+
+// Suite configures a channel (re-exported from the device layer).
+type Suite = core.Suite
+
+// Policy names for Config.
+const (
+	PolicyFirstIdle   = "first-idle"
+	PolicyRoundRobin  = "round-robin"
+	PolicyKeyAffinity = "key-affinity"
+)
+
+// Engine identifies a reconfigurable-region payload for Reconfigure.
+type Engine = reconfig.Engine
+
+// Reconfiguration targets and bitstream sources.
+const (
+	EngineAES       = reconfig.EngineAES
+	EngineWhirlpool = reconfig.EngineWhirlpool
+)
+
+// Bitstream sources with the paper's measured bandwidths.
+var (
+	FromCompactFlash = reconfig.CompactFlash
+	FromRAM          = reconfig.StagingRAM
+)
+
+// ErrAuth is returned when an authenticated decryption fails; the device
+// flushes the output FIFO so no unauthenticated plaintext is readable.
+var ErrAuth = radio.ErrAuth
+
+// ErrNoResources is the paper's error flag: no idle core and queueing
+// disabled.
+var ErrNoResources = core.ErrNoResources
+
+// Config sizes a Platform.
+type Config struct {
+	// Cores is the number of Cryptographic Cores (default 4, as in the
+	// paper's implementation).
+	Cores int
+	// Policy selects the dispatch policy by name (default first-idle, the
+	// paper's §III.C behaviour).
+	Policy string
+	// QueueRequests enables the §VIII QoS extension: saturating requests
+	// wait in a priority queue instead of drawing the error flag.
+	QueueRequests bool
+	// Seed drives deterministic session-key generation.
+	Seed uint64
+}
+
+// Platform is a simulated radio: the MCCP plus its surrounding controllers.
+type Platform struct {
+	// Eng is the discrete-event engine (190 MHz virtual clock).
+	Eng *sim.Engine
+	// Dev is the MCCP device; exported for instrumentation and advanced
+	// (asynchronous) protocol use.
+	Dev *core.MCCP
+	// CC and MC are the communication and main controllers.
+	CC *radio.CommController
+	MC *radio.MainController
+
+	rc *reconfig.Controller
+}
+
+// New builds a Platform.
+func New(cfg Config) *Platform {
+	var pol scheduler.Policy
+	switch cfg.Policy {
+	case "", PolicyFirstIdle:
+		pol = scheduler.FirstIdle{}
+	case PolicyRoundRobin:
+		pol = &scheduler.RoundRobin{}
+	case PolicyKeyAffinity:
+		pol = scheduler.KeyAffinity{}
+	default:
+		panic(fmt.Sprintf("mccp: unknown policy %q", cfg.Policy))
+	}
+	eng := sim.NewEngine()
+	dev := core.New(eng, core.Config{
+		Cores:         cfg.Cores,
+		Policy:        pol,
+		QueueRequests: cfg.QueueRequests,
+	})
+	p := &Platform{
+		Eng: eng,
+		Dev: dev,
+		CC:  radio.NewCommController(dev),
+		MC:  radio.NewMainController(dev, cfg.Seed^0xD1CE),
+		rc:  reconfig.NewController(eng, dev),
+	}
+	eng.Run() // settle core firmware into its idle loop
+	return p
+}
+
+// Cycles returns the current virtual time in clock cycles.
+func (p *Platform) Cycles() sim.Time { return p.Eng.Now() }
+
+// Elapsed returns the virtual wall-clock time in seconds at 190 MHz.
+func (p *Platform) Elapsed() float64 { return p.Eng.CyclesToSeconds(p.Eng.Now()) }
+
+// NewKey generates and provisions a session key (16, 24 or 32 bytes) and
+// returns its key ID. Key bytes never cross the MCCP data port.
+func (p *Platform) NewKey(keyLen int) (int, error) {
+	id, _, err := p.MC.ProvisionKey(keyLen)
+	return id, err
+}
+
+// Channel is an open MCCP channel.
+type Channel struct {
+	p  *Platform
+	id int
+	s  Suite
+}
+
+// Open opens a channel with the given suite and key.
+func (p *Platform) Open(s Suite, keyID int) (*Channel, error) {
+	var (
+		ch   int
+		oerr error
+		done bool
+	)
+	p.CC.OpenChannel(s, keyID, func(c int, err error) {
+		ch, oerr, done = c, err, true
+	})
+	p.Eng.Run()
+	if !done {
+		return nil, fmt.Errorf("mccp: OPEN did not complete")
+	}
+	if oerr != nil {
+		return nil, oerr
+	}
+	return &Channel{p: p, id: ch, s: s}, nil
+}
+
+// ID returns the device channel ID.
+func (c *Channel) ID() int { return c.id }
+
+// Close closes the channel.
+func (c *Channel) Close() error {
+	var cerr error
+	c.p.CC.CloseChannel(c.id, func(err error) { cerr = err })
+	c.p.Eng.Run()
+	return cerr
+}
+
+// run drives one synchronous packet operation.
+func (c *Channel) run(op func(cb func([]byte, error))) ([]byte, error) {
+	var (
+		out  []byte
+		oerr error
+		done bool
+	)
+	op(func(b []byte, err error) { out, oerr, done = b, err, true })
+	c.p.Eng.Run()
+	if !done {
+		return nil, fmt.Errorf("mccp: operation did not complete (deadlock)")
+	}
+	return out, oerr
+}
+
+// Encrypt protects one packet, returning ciphertext||tag for GCM/CCM, the
+// keystream-XORed data for CTR, or the MAC for CBC-MAC. Nonce sizes: GCM
+// 12 bytes, CCM 13 bytes, CTR a 16-byte initial counter block.
+func (c *Channel) Encrypt(nonce, aad, payload []byte) ([]byte, error) {
+	return c.run(func(cb func([]byte, error)) { c.p.CC.Encrypt(c.id, nonce, aad, payload, cb) })
+}
+
+// Decrypt verifies and recovers one packet; ErrAuth on tag mismatch.
+func (c *Channel) Decrypt(nonce, aad, ct, tag []byte) ([]byte, error) {
+	return c.run(func(cb func([]byte, error)) { c.p.CC.Decrypt(c.id, nonce, aad, ct, tag, cb) })
+}
+
+// Sum hashes msg on a Whirlpool channel (after Reconfigure), returning the
+// 512-bit digest.
+func (c *Channel) Sum(msg []byte) ([]byte, error) {
+	return c.run(func(cb func([]byte, error)) { c.p.CC.Hash(c.id, msg, cb) })
+}
+
+// EncryptAsync submits a packet without draining the simulation; pair with
+// Run for pipelined multi-packet studies.
+func (c *Channel) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error)) {
+	c.p.CC.Encrypt(c.id, nonce, aad, payload, cb)
+}
+
+// DecryptAsync is the asynchronous variant of Decrypt.
+func (c *Channel) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	c.p.CC.Decrypt(c.id, nonce, aad, ct, tag, cb)
+}
+
+// Run drains all pending simulation events (completes every async packet).
+func (p *Platform) Run() { p.Eng.Run() }
+
+// Reconfigure rewrites a core's reconfigurable region with the target
+// engine, streaming the partial bitstream from the given source. The other
+// cores keep processing during the swap.
+func (p *Platform) Reconfigure(coreID int, target Engine, src reconfig.Source) (sim.Time, error) {
+	var (
+		took sim.Time
+		rerr error
+	)
+	p.rc.Reconfigure(coreID, target, src, func(d sim.Time, err error) { took, rerr = d, err })
+	p.Eng.Run()
+	return took, rerr
+}
+
+// Stats is a device-level counter snapshot.
+type Stats struct {
+	Packets       uint64
+	AuthFails     uint64
+	Rejected      uint64
+	Queued        uint64
+	KeyExpansions uint64
+	CrossbarBusy  sim.Time
+}
+
+// Stats snapshots device counters.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Packets:       p.CC.Completions,
+		AuthFails:     p.Dev.Stats.AuthFails,
+		Rejected:      p.Dev.Stats.Rejected,
+		Queued:        p.Dev.Stats.Queued,
+		KeyExpansions: p.Dev.KeySched.Expansions,
+		CrossbarBusy:  p.Dev.XBar.BusyCycles,
+	}
+}
