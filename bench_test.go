@@ -14,6 +14,7 @@
 //	E8 BenchmarkResources          §VII.A area/frequency result
 //	E9 BenchmarkSchedPolicy_*      §VIII scheduling-policy extension
 //	E10 BenchmarkAblation_*        design-choice ablations
+//	E11 BenchmarkCluster           sharded multi-MCCP service-layer scaling
 package mccp_test
 
 import (
@@ -23,6 +24,7 @@ import (
 	"mccp/internal/aes"
 	"mccp/internal/baseline"
 	"mccp/internal/bits"
+	"mccp/internal/cluster"
 	"mccp/internal/cryptocore"
 	"mccp/internal/fpga"
 	"mccp/internal/ghash"
@@ -187,6 +189,41 @@ func BenchmarkSchedPolicy(b *testing.B) {
 			b.ReportMetric(res.ThroughputMbps, "Mbps")
 			b.ReportMetric(res.MeanLatency, "mean_latency_cycles")
 			b.ReportMetric(float64(res.KeyExpansions), "key_expansions")
+		})
+	}
+}
+
+// --- E11: sharded cluster scaling -------------------------------------------
+
+// BenchmarkCluster runs the mixed multi-standard workload through the
+// sharded service layer at 1/2/4/8 shards — same packets, same mix, same
+// seed — and reports the aggregate simulated throughput (total traffic
+// over the slowest shard's virtual makespan) plus the host-side
+// wall-clock figure. The acceptance bar is >= 3x aggregate Mbps from
+// 1 shard to 4.
+func BenchmarkCluster(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			var res cluster.WorkloadResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = cluster.RunWorkload(cluster.WorkloadConfig{
+					Shards:        n,
+					Router:        cluster.RouterLeastLoaded,
+					QueueRequests: true,
+					Packets:       256,
+					Sessions:      16,
+					Seed:          1,
+					BatchWindow:   128,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Metrics.AggregateSimMbps, "aggregate_Mbps")
+			b.ReportMetric(float64(res.Metrics.ClusterCycles), "cluster_cycles")
+			b.ReportMetric(res.Metrics.HostMbps, "host_Mbps")
+			b.ReportMetric(float64(res.Metrics.Packets), "packets")
 		})
 	}
 }

@@ -7,7 +7,7 @@
 //	benchtables                 # all tables
 //	benchtables -table 2        # Table II only
 //	benchtables -table loops    # §VII.A loop formulas
-//	benchtables -table 3|4|latency|resources|policy
+//	benchtables -table 3|4|latency|resources|policy|cluster
 //	benchtables -packets 20     # measurement length per Table II cell
 package main
 
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, all")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, all")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	flag.Parse()
 
@@ -131,6 +131,15 @@ func main() {
 			})
 			fmt.Printf("%-14s %10.0f %14d %16.0f\n", pol, r.ThroughputMbps, r.KeyExpansions, r.MeanLatency)
 		}
+		fmt.Println()
+	}
+
+	if run("cluster") {
+		any = true
+		fmt.Println("== E11: sharded cluster scaling (mixed workload, least-loaded router) ==")
+		fmt.Print(harness.FormatClusterScaling(harness.ClusterScaling(16 * *packets)))
+		fmt.Println("(aggregate simulated Mbps at 190 MHz; cluster cycles = slowest shard's")
+		fmt.Println(" virtual makespan over the same total workload)")
 		fmt.Println()
 	}
 

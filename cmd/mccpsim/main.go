@@ -18,6 +18,7 @@ import (
 	"mccp/internal/firmware"
 	"mccp/internal/fpga"
 	"mccp/internal/harness"
+	"mccp/internal/scheduler"
 	"mccp/internal/trafficgen"
 )
 
@@ -32,6 +33,12 @@ func main() {
 	streams := flag.Int("streams", 1, "packets kept in flight")
 	policy := flag.String("policy", "first-idle", "dispatch policy (mixed mode)")
 	flag.Parse()
+
+	// Validate user-facing names up front: a typo should produce a flag
+	// error, not a panic (or a silent fallback) deep in the model.
+	if _, err := scheduler.ByName(*policy); err != nil {
+		log.Fatalf("-policy: %v", err)
+	}
 
 	switch {
 	case *describe:

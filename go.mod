@@ -1,0 +1,3 @@
+module mccp
+
+go 1.24

@@ -1,0 +1,606 @@
+// Package cluster runs N independent MCCP platforms ("shards") behind a
+// single front end, the first layer of the sharded service architecture
+// the ROADMAP calls for. Each shard owns a full simulated device — its
+// own discrete-event engine, four cryptographic cores, task/key
+// schedulers, crossbar and radio controllers — and is driven by a
+// dedicated goroutine, so shards execute concurrently in wall-clock time
+// while every shard's virtual timeline stays byte-for-byte deterministic.
+//
+// The front end provides:
+//
+//   - pluggable routing policies (hash-by-key, least-loaded,
+//     family-affinity) that decide which shard homes each session;
+//   - an asynchronous batch dispatcher that coalesces submitted packets
+//     per shard and drains each shard's engine once per batch instead of
+//     once per packet;
+//   - session management that opens a device channel on the owning shard
+//     and transparently re-opens it elsewhere when Rebalance or a shard's
+//     reconfiguration makes another home preferable;
+//   - an aggregated Metrics snapshot: per-shard and total packets,
+//     simulated Mbps at virtual time, and the host-side wall-clock
+//     throughput of the simulation itself.
+//
+// The Cluster front end is single-caller: one goroutine submits work and
+// reads results (the shard goroutines are the concurrency). All
+// completion callbacks run on the caller's goroutine, in enqueue order.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/radio"
+	"mccp/internal/reconfig"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+)
+
+// Config sizes a Cluster.
+type Config struct {
+	// Shards is the number of independent MCCP platforms (default 2).
+	Shards int
+	// CoresPerShard sizes each shard's device (default 4, the paper's
+	// implementation).
+	CoresPerShard int
+	// Router selects the session-routing policy by name (default
+	// hash-by-key).
+	Router string
+	// Policy selects each shard's device-level dispatch policy by name
+	// (default first-idle).
+	Policy string
+	// QueueRequests enables the §VIII QoS extension on every shard.
+	QueueRequests bool
+	// Seed drives deterministic key generation across the cluster.
+	Seed uint64
+	// BatchWindow is the number of queued operations that triggers an
+	// automatic Flush (default 32). Explicit Flush is always allowed.
+	BatchWindow int
+	// ShardWindow bounds the packets a shard keeps in flight within one
+	// batch, pipelining oversized batches instead of saturating the
+	// device. Default: 2 x CoresPerShard with QueueRequests on;
+	// CoresPerShard with it off, where any oversubscription draws the
+	// paper's error flag the instant all cores are busy (a window above
+	// the core count with queueing off is allowed, but rejects are then
+	// expected behaviour — split-CCM suites halve the effective capacity
+	// and should run with queueing on).
+	ShardWindow int
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.CoresPerShard <= 0 {
+		c.CoresPerShard = 4
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 32
+	}
+	if c.ShardWindow <= 0 {
+		if c.QueueRequests {
+			c.ShardWindow = 2 * c.CoresPerShard
+		} else {
+			c.ShardWindow = c.CoresPerShard
+		}
+	}
+}
+
+// pendingOp is one queued operation's result slot. The shard goroutine
+// fills out/ch/took/err during Flush; the front end reads them after the
+// batch barrier (shard and nbytes are set at enqueue time, for the
+// delivered-bytes accounting).
+type pendingOp struct {
+	out    []byte
+	ch     int
+	took   sim.Time
+	err    error
+	cb     func([]byte, error)
+	shard  int
+	nbytes int
+}
+
+// Session is a cluster-level channel: a cipher suite bound to a session
+// key, homed on one shard (and re-homed by Rebalance when profitable).
+type Session struct {
+	cl     *Cluster
+	id     int
+	suite  core.Suite
+	keyLen int
+	key    []byte
+	weight int
+
+	shardID int
+	chID    int // device channel ID on the owning shard
+	closed  bool
+}
+
+// Cluster is the sharded multi-MCCP front end.
+type Cluster struct {
+	cfg    Config
+	router Router
+	shards []*shard
+
+	sessions    map[int]*Session
+	nextSession int
+
+	// Per-shard routing state, owned by the front end. bytesRouted is the
+	// offered load (routing signal, counted at enqueue); bytesDone counts
+	// only payload bytes whose operation completed without error.
+	shardSessions []int
+	shardWeight   []int
+	bytesRouted   []uint64
+	bytesDone     []uint64
+	hashCores     []int
+
+	// Batch queues: perShard feeds the dispatcher, order preserves the
+	// global enqueue sequence for callback delivery.
+	perShard [][]shardOp
+	order    []*pendingOp
+
+	keys *radio.Keystream
+
+	flushes     uint64
+	batches     uint64
+	wallSeconds float64
+	closed      bool
+}
+
+// New builds and starts a Cluster; every shard's firmware is settled and
+// its goroutine running when New returns.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	router, err := RouterByName(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := scheduler.ByName(cfg.Policy); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:           cfg,
+		router:        router,
+		sessions:      make(map[int]*Session),
+		nextSession:   1,
+		shardSessions: make([]int, cfg.Shards),
+		shardWeight:   make([]int, cfg.Shards),
+		bytesRouted:   make([]uint64, cfg.Shards),
+		bytesDone:     make([]uint64, cfg.Shards),
+		hashCores:     make([]int, cfg.Shards),
+		perShard:      make([][]shardOp, cfg.Shards),
+		keys:          radio.NewKeystream(cfg.Seed ^ 0xC1A5731D),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		pol, _ := scheduler.ByName(cfg.Policy) // fresh instance per shard
+		c.shards = append(c.shards, newShard(i, cfg, pol))
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.cfg.Shards }
+
+// RouterName returns the active routing policy's name.
+func (c *Cluster) RouterName() string { return c.router.Name() }
+
+// Close flushes outstanding work and stops every shard goroutine. The
+// cluster must not be used afterwards.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.Flush()
+	c.closed = true
+	for _, sh := range c.shards {
+		close(sh.work)
+		<-sh.done
+	}
+}
+
+// genKey produces deterministic session-key bytes from the cluster's
+// keystream. The front end generates keys itself (rather than per-shard
+// ProvisionKey) because the router hashes the key bytes before a shard
+// is chosen, and a re-homed session must carry its key to the new shard.
+func (c *Cluster) genKey(n int) []byte {
+	key := make([]byte, n)
+	for i := range key {
+		key[i] = c.keys.Next()
+	}
+	return key
+}
+
+// views snapshots per-shard routing state for the router.
+func (c *Cluster) views() []ShardView {
+	vs := make([]ShardView, c.cfg.Shards)
+	for i := range vs {
+		vs[i] = ShardView{
+			ID:            i,
+			Sessions:      c.shardSessions[i],
+			SessionWeight: c.shardWeight[i],
+			Bytes:         c.bytesRouted[i],
+			HashCores:     c.hashCores[i],
+			Cores:         c.cfg.CoresPerShard,
+		}
+	}
+	return vs
+}
+
+// enqueue appends an operation to a shard's next batch and records it in
+// the global callback order.
+func (c *Cluster) enqueue(shardID, nbytes int, cb func([]byte, error),
+	start func(sh *shard, slot *pendingOp, done func())) *pendingOp {
+	if c.closed {
+		panic("cluster: operation submitted after Close")
+	}
+	slot := &pendingOp{cb: cb, shard: shardID, nbytes: nbytes}
+	c.perShard[shardID] = append(c.perShard[shardID], func(sh *shard, done func()) {
+		start(sh, slot, done)
+	})
+	c.order = append(c.order, slot)
+	c.bytesRouted[shardID] += uint64(nbytes)
+	if len(c.order) >= c.cfg.BatchWindow {
+		c.Flush()
+	}
+	return slot
+}
+
+// Flush dispatches every queued operation as one batch per shard, runs
+// the shards concurrently to completion, then delivers completion
+// callbacks in enqueue order on the caller's goroutine.
+func (c *Cluster) Flush() {
+	if len(c.order) == 0 {
+		return
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		if len(c.perShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		c.batches++
+		sh.work <- batch{ops: c.perShard[i], wg: &wg}
+		c.perShard[i] = nil
+	}
+	wg.Wait()
+	c.wallSeconds += time.Since(start).Seconds()
+	c.flushes++
+	order := c.order
+	c.order = nil
+	// Count delivered bytes before delivering callbacks, so a callback
+	// reading Metrics sees its own batch accounted for.
+	for _, slot := range order {
+		if slot.err == nil {
+			c.bytesDone[slot.shard] += uint64(slot.nbytes)
+		}
+	}
+	for _, slot := range order {
+		if slot.cb != nil {
+			slot.cb(slot.out, slot.err)
+		}
+	}
+}
+
+// OpenSpec parameterizes Open.
+type OpenSpec struct {
+	Suite core.Suite
+	// KeyLen is the session-key length in bytes (16, 24 or 32); 0 for
+	// Whirlpool/hash sessions, which need no key material.
+	KeyLen int
+	// Weight is the session's expected relative load, used by the
+	// least-loaded and family-affinity routers to balance placement
+	// before any traffic has flowed (default 1).
+	Weight int
+}
+
+// Open provisions a session key, routes the session to a shard and opens
+// a device channel there. Open flushes any queued operations first.
+func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
+	if spec.Weight <= 0 {
+		spec.Weight = 1
+	}
+	isHash := spec.Suite.Family == cryptocore.FamilyHash
+	if isHash {
+		spec.KeyLen = 0
+	} else {
+		switch spec.KeyLen {
+		case 16, 24, 32:
+		default:
+			return nil, fmt.Errorf("cluster: invalid key length %d (want 16, 24 or 32)", spec.KeyLen)
+		}
+	}
+	c.Flush()
+	ses := &Session{
+		cl:     c,
+		id:     c.nextSession,
+		suite:  spec.Suite,
+		keyLen: spec.KeyLen,
+		weight: spec.Weight,
+	}
+	if !isHash {
+		ses.key = c.genKey(spec.KeyLen)
+	}
+	shardID := c.router.Route(ses.info(), c.views())
+	if shardID < 0 {
+		if isHash {
+			return nil, fmt.Errorf("cluster: no shard has a Whirlpool-reconfigured core (run Reconfigure first)")
+		}
+		return nil, fmt.Errorf("cluster: no shard can serve family %v", spec.Suite.Family)
+	}
+	slot := c.openOn(ses, shardID)
+	c.Flush()
+	if slot.err != nil {
+		return nil, slot.err
+	}
+	c.nextSession++
+	ses.shardID = shardID
+	ses.chID = slot.ch
+	c.sessions[ses.id] = ses
+	c.shardSessions[shardID]++
+	c.shardWeight[shardID] += ses.weight
+	return ses, nil
+}
+
+// openOn enqueues the install-key + OPEN composite on a shard.
+func (c *Cluster) openOn(ses *Session, shardID int) *pendingOp {
+	key := ses.key
+	suite := ses.suite
+	return c.enqueue(shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+		keyID := 0
+		if len(key) > 0 {
+			id, err := sh.mc.InstallKey(key)
+			if err != nil {
+				slot.err = err
+				done()
+				return
+			}
+			keyID = id
+		}
+		sh.cc.OpenChannel(suite, keyID, func(ch int, err error) {
+			slot.ch, slot.err = ch, err
+			done()
+		})
+	})
+}
+
+// info builds the router's view of the session.
+func (s *Session) info() SessionInfo {
+	h := fnv.New64a()
+	if len(s.key) > 0 {
+		h.Write(s.key)
+	} else {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(s.id))
+		h.Write(b[:])
+	}
+	return SessionInfo{ID: s.id, KeyHash: h.Sum64(), Family: s.suite.Family, Weight: s.weight}
+}
+
+// ID returns the cluster-wide session ID.
+func (s *Session) ID() int { return s.id }
+
+// Shard returns the shard currently homing the session.
+func (s *Session) Shard() int { return s.shardID }
+
+// EncryptAsync queues one packet for the session's shard; cb runs during
+// the Flush that completes it, receiving ciphertext||tag (GCM/CCM), the
+// transformed data (CTR) or the MAC (CBC-MAC).
+func (s *Session) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error)) {
+	ch := s.chID
+	s.cl.enqueue(s.shardID, len(payload), cb, func(sh *shard, slot *pendingOp, done func()) {
+		sh.cc.Encrypt(ch, nonce, aad, payload, func(out []byte, err error) {
+			slot.out, slot.err = out, err
+			done()
+		})
+	})
+}
+
+// DecryptAsync queues one packet for verification and recovery; cb
+// receives the plaintext or ErrAuth.
+func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	ch := s.chID
+	s.cl.enqueue(s.shardID, len(ct), cb, func(sh *shard, slot *pendingOp, done func()) {
+		sh.cc.Decrypt(ch, nonce, aad, ct, tag, func(out []byte, err error) {
+			slot.out, slot.err = out, err
+			done()
+		})
+	})
+}
+
+// SumAsync queues a Whirlpool digest on a hash session.
+func (s *Session) SumAsync(msg []byte, cb func([]byte, error)) {
+	ch := s.chID
+	s.cl.enqueue(s.shardID, len(msg), cb, func(sh *shard, slot *pendingOp, done func()) {
+		sh.cc.Hash(ch, msg, func(out []byte, err error) {
+			slot.out, slot.err = out, err
+			done()
+		})
+	})
+}
+
+// Encrypt is the synchronous form of EncryptAsync: it flushes the batch
+// containing the packet and returns its result.
+func (s *Session) Encrypt(nonce, aad, payload []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	s.EncryptAsync(nonce, aad, payload, func(o []byte, e error) { out, err = o, e })
+	s.cl.Flush()
+	return out, err
+}
+
+// Decrypt is the synchronous form of DecryptAsync.
+func (s *Session) Decrypt(nonce, aad, ct, tag []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	s.DecryptAsync(nonce, aad, ct, tag, func(o []byte, e error) { out, err = o, e })
+	s.cl.Flush()
+	return out, err
+}
+
+// Sum is the synchronous form of SumAsync.
+func (s *Session) Sum(msg []byte) ([]byte, error) {
+	var out []byte
+	var err error
+	s.SumAsync(msg, func(o []byte, e error) { out, err = o, e })
+	s.cl.Flush()
+	return out, err
+}
+
+// Close drains outstanding work, closes the device channel and retires
+// the session.
+func (s *Session) Close() error {
+	if s.closed {
+		return fmt.Errorf("cluster: session %d already closed", s.id)
+	}
+	s.closed = true
+	c := s.cl
+	c.Flush()
+	ch := s.chID
+	slot := c.enqueue(s.shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+		sh.cc.CloseChannel(ch, func(err error) {
+			slot.err = err
+			done()
+		})
+	})
+	c.Flush()
+	delete(c.sessions, s.id)
+	c.shardSessions[s.shardID]--
+	c.shardWeight[s.shardID] -= s.weight
+	return slot.err
+}
+
+// Rebalance re-routes every session under the current policy and load
+// view, transparently re-opening moved sessions on their new shard (the
+// session key is re-installed there; in-flight work is flushed first so
+// no packet straddles the move). It returns the number of sessions moved.
+func (c *Cluster) Rebalance() int {
+	c.Flush()
+	ids := make([]int, 0, len(c.sessions))
+	for id := range c.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	type move struct {
+		ses  *Session
+		to   int
+		open *pendingOp
+	}
+	var moves []move
+	for _, id := range ids {
+		ses := c.sessions[id]
+		// Withdraw the session's own load while deciding, so a heavy
+		// session is free to stay put.
+		c.shardSessions[ses.shardID]--
+		c.shardWeight[ses.shardID] -= ses.weight
+		to := c.router.Route(ses.info(), c.views())
+		if to < 0 {
+			to = ses.shardID
+		}
+		c.shardSessions[to]++
+		c.shardWeight[to] += ses.weight
+		if to == ses.shardID {
+			continue
+		}
+		from, ch := ses.shardID, ses.chID
+		c.enqueue(from, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+			sh.cc.CloseChannel(ch, func(err error) {
+				slot.err = err
+				done()
+			})
+		})
+		moves = append(moves, move{ses: ses, to: to, open: c.openOn(ses, to)})
+	}
+	c.Flush()
+	for _, m := range moves {
+		if m.open.err != nil {
+			panic(fmt.Sprintf("cluster: rebalance could not re-open session %d on shard %d: %v",
+				m.ses.id, m.to, m.open.err))
+		}
+		m.ses.shardID = m.to
+		m.ses.chID = m.open.ch
+	}
+	return len(moves)
+}
+
+// Reconfigure rewrites one core's reconfigurable region on one shard
+// (streaming the partial bitstream from src, as in the paper's §VII.B)
+// and then rebalances: sessions whose preferred shard changed — hash
+// sessions gaining a Whirlpool home, AES sessions fleeing a shard that
+// just lost a core — are re-homed transparently. It returns the swap's
+// virtual duration and the number of sessions moved.
+func (c *Cluster) Reconfigure(shardID, coreID int, target reconfig.Engine, src reconfig.Source) (sim.Time, int, error) {
+	if shardID < 0 || shardID >= c.cfg.Shards {
+		return 0, 0, fmt.Errorf("cluster: no shard %d", shardID)
+	}
+	c.Flush()
+	if err := c.checkReconfigLeavesHomes(shardID, coreID, target); err != nil {
+		return 0, 0, err
+	}
+	slot := c.enqueue(shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+		sh.rc.Reconfigure(coreID, target, src, func(took sim.Time, err error) {
+			slot.took, slot.err = took, err
+			done()
+		})
+	})
+	c.Flush()
+	if slot.err != nil {
+		return 0, 0, slot.err
+	}
+	c.hashCores[shardID] = c.shards[shardID].hashCores()
+	moved := c.Rebalance()
+	return slot.took, moved, nil
+}
+
+// checkReconfigLeavesHomes refuses a swap that would strand an open
+// session with no eligible shard anywhere (e.g. converting the cluster's
+// last Whirlpool core back to AES while hash sessions are open): a
+// stranded session's next packet could never complete. Safe to read the
+// shard's engine map here — the caller flushed, so the shard goroutine is
+// idle.
+func (c *Cluster) checkReconfigLeavesHomes(shardID, coreID int, target reconfig.Engine) error {
+	sh := c.shards[shardID]
+	if coreID < 0 || coreID >= len(sh.dev.Engines) {
+		return nil // let the reconfiguration controller report the bad core ID
+	}
+	after := make([]int, c.cfg.Shards)
+	copy(after, c.hashCores)
+	wasHash := sh.dev.Engines[coreID] == scheduler.EngineHash
+	if target == reconfig.EngineWhirlpool && !wasHash {
+		after[shardID]++
+	} else if target == reconfig.EngineAES && wasHash {
+		after[shardID]--
+	}
+	hashHomes, aesHomes := 0, 0
+	for _, n := range after {
+		if n > 0 {
+			hashHomes++
+		}
+		if c.cfg.CoresPerShard-n > 0 {
+			aesHomes++
+		}
+	}
+	// Find the lowest-ID stranded session (stable error message).
+	stranded, strandedHash := -1, false
+	for _, ses := range c.sessions {
+		isHash := ses.suite.Family == cryptocore.FamilyHash
+		if (isHash && hashHomes == 0) || (!isHash && aesHomes == 0) {
+			if stranded < 0 || ses.id < stranded {
+				stranded, strandedHash = ses.id, isHash
+			}
+		}
+	}
+	if stranded >= 0 {
+		engine := "AES"
+		if strandedHash {
+			engine = "Whirlpool"
+		}
+		return fmt.Errorf("cluster: reconfiguring shard %d core %d to %v would strand open session %d (no %s core would remain)",
+			shardID, coreID, target, stranded, engine)
+	}
+	return nil
+}

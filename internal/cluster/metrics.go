@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"mccp/internal/sim"
+)
+
+// ShardMetrics is one shard's counter snapshot.
+type ShardMetrics struct {
+	Shard    int
+	Sessions int
+	// Packets counts fully round-tripped packets. Bytes is the payload
+	// volume actually delivered (successful operations only);
+	// OfferedBytes additionally includes rejected/failed traffic.
+	Packets      uint64
+	Bytes        uint64
+	OfferedBytes uint64
+	// Device counters (paper semantics: error-flag rejects, QoS queue
+	// admissions, AUTH_FAIL results, Key Scheduler expansions).
+	AuthFails     uint64
+	Rejected      uint64
+	Queued        uint64
+	KeyExpansions uint64
+	CrossbarBusy  sim.Time
+	// Cycles is the shard's consumed virtual time; SimMbps the shard's
+	// throughput at the modeled 190 MHz over that time.
+	Cycles  sim.Time
+	SimMbps float64
+	// PendingOps counts operations queued for the next batch.
+	PendingOps int
+}
+
+// Metrics is the aggregated cluster snapshot.
+type Metrics struct {
+	Shards []ShardMetrics
+
+	// Totals across shards (Bytes = delivered; OfferedBytes includes
+	// rejected traffic).
+	Packets      uint64
+	Bytes        uint64
+	OfferedBytes uint64
+	AuthFails    uint64
+	Rejected     uint64
+	Queued       uint64
+
+	// Batches counts per-shard batch dispatches; Flushes counts front-end
+	// flush barriers.
+	Batches uint64
+	Flushes uint64
+
+	// ClusterCycles is the slowest shard's virtual time — shards run
+	// concurrently, so this is the cluster's virtual makespan — and
+	// AggregateSimMbps the total traffic over it at 190 MHz.
+	ClusterCycles    sim.Time
+	AggregateSimMbps float64
+
+	// WallSeconds is host time spent inside Flush barriers; HostMbps is
+	// the wall-clock throughput of the simulation itself (nondeterministic,
+	// unlike every virtual-time figure above).
+	WallSeconds float64
+	HostMbps    float64
+}
+
+// Metrics snapshots the cluster. Safe whenever the caller could also
+// submit work (i.e. between batches).
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{Batches: c.batches, Flushes: c.flushes, WallSeconds: c.wallSeconds}
+	for i, sh := range c.shards {
+		cyc := sh.cycles()
+		sm := ShardMetrics{
+			Shard:         i,
+			Sessions:      c.shardSessions[i],
+			Packets:       sh.cc.Completions,
+			Bytes:         c.bytesDone[i],
+			OfferedBytes:  c.bytesRouted[i],
+			AuthFails:     sh.dev.Stats.AuthFails,
+			Rejected:      sh.dev.Stats.Rejected,
+			Queued:        sh.dev.Stats.Queued,
+			KeyExpansions: sh.dev.KeySched.Expansions,
+			CrossbarBusy:  sh.dev.XBar.BusyCycles,
+			Cycles:        cyc,
+			SimMbps:       mbpsAt190(c.bytesDone[i]*8, cyc),
+			PendingOps:    len(c.perShard[i]),
+		}
+		m.Shards = append(m.Shards, sm)
+		m.Packets += sm.Packets
+		m.Bytes += sm.Bytes
+		m.OfferedBytes += sm.OfferedBytes
+		m.AuthFails += sm.AuthFails
+		m.Rejected += sm.Rejected
+		m.Queued += sm.Queued
+		if cyc > m.ClusterCycles {
+			m.ClusterCycles = cyc
+		}
+	}
+	m.AggregateSimMbps = mbpsAt190(m.Bytes*8, m.ClusterCycles)
+	if m.WallSeconds > 0 {
+		m.HostMbps = float64(m.Bytes*8) / m.WallSeconds / 1e6
+	}
+	return m
+}
+
+func mbpsAt190(bits uint64, cycles sim.Time) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bits) / float64(cycles) * sim.DefaultFreqHz / 1e6
+}
+
+// Format renders the snapshot as a fixed-width report.
+func (m Metrics) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %9s %9s %10s %10s %8s %8s %8s %12s\n",
+		"shard", "sessions", "packets", "bytes", "Mbps@190", "keyexp", "queued", "rejects", "cycles")
+	for _, s := range m.Shards {
+		fmt.Fprintf(&b, "%-6d %9d %9d %10d %10.0f %8d %8d %8d %12d\n",
+			s.Shard, s.Sessions, s.Packets, s.Bytes, s.SimMbps,
+			s.KeyExpansions, s.Queued, s.Rejected, s.Cycles)
+	}
+	fmt.Fprintf(&b, "total: %d packets, %d bytes in %d cycles -> %.0f Mbps aggregate at 190 MHz\n",
+		m.Packets, m.Bytes, m.ClusterCycles, m.AggregateSimMbps)
+	fmt.Fprintf(&b, "host:  %d batches over %d flushes in %.1f ms -> %.0f Mbps wall-clock\n",
+		m.Batches, m.Flushes, m.WallSeconds*1e3, m.HostMbps)
+	return b.String()
+}

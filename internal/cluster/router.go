@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mccp/internal/cryptocore"
+)
+
+// Router policy names.
+const (
+	RouterHashByKey      = "hash-by-key"
+	RouterLeastLoaded    = "least-loaded"
+	RouterFamilyAffinity = "family-affinity"
+)
+
+// RouterNames lists the selectable routing policies.
+func RouterNames() []string {
+	return []string{RouterHashByKey, RouterLeastLoaded, RouterFamilyAffinity}
+}
+
+// ShardView is the router's snapshot of one shard. All fields are
+// maintained by the front end, so routing decisions depend only on the
+// deterministic submission history — never on wall-clock state.
+type ShardView struct {
+	ID int
+	// Sessions is the number of sessions currently homed on the shard.
+	Sessions int
+	// SessionWeight is the sum of the open sessions' declared weights
+	// (expected relative load; 1 unless the opener knows better).
+	SessionWeight int
+	// Bytes is the payload volume routed to the shard so far, including
+	// operations still queued for the next batch.
+	Bytes uint64
+	// HashCores is the number of cores reconfigured to Whirlpool; Cores
+	// is the shard's total core count.
+	HashCores int
+	Cores     int
+}
+
+// SessionInfo describes the session being routed.
+type SessionInfo struct {
+	ID int
+	// KeyHash is a stable hash of the session key material (FNV-64a), so
+	// hash-by-key placement survives rebalancing and restarts with the
+	// same seed.
+	KeyHash uint64
+	Family  cryptocore.Family
+	Weight  int
+}
+
+// Router places a session on a shard. Route returns the shard ID, or -1
+// when no shard can serve the session's family (e.g. a Whirlpool session
+// with no reconfigured shard anywhere).
+type Router interface {
+	Name() string
+	Route(s SessionInfo, views []ShardView) int
+}
+
+// RouterByName returns a fresh router for a policy name; the empty string
+// selects hash-by-key.
+func RouterByName(name string) (Router, error) {
+	switch name {
+	case "", RouterHashByKey:
+		return hashByKey{}, nil
+	case RouterLeastLoaded:
+		return leastLoaded{}, nil
+	case RouterFamilyAffinity:
+		return familyAffinity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (have hash-by-key, least-loaded, family-affinity)", name)
+}
+
+// eligible filters views down to shards that can execute the session's
+// family: Whirlpool sessions need a hash core, everything else an AES one.
+func eligible(f cryptocore.Family, views []ShardView) []ShardView {
+	var out []ShardView
+	for _, v := range views {
+		if f == cryptocore.FamilyHash {
+			if v.HashCores > 0 {
+				out = append(out, v)
+			}
+		} else if v.Cores-v.HashCores > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// minLoad picks the least-loaded view: smallest session weight, then
+// fewest routed bytes, then fewest sessions, then lowest ID. Every
+// tie-break is deterministic.
+func minLoad(views []ShardView) int {
+	best := -1
+	for i, v := range views {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := views[best]
+		switch {
+		case v.SessionWeight != b.SessionWeight:
+			if v.SessionWeight < b.SessionWeight {
+				best = i
+			}
+		case v.Bytes != b.Bytes:
+			if v.Bytes < b.Bytes {
+				best = i
+			}
+		case v.Sessions != b.Sessions:
+			if v.Sessions < b.Sessions {
+				best = i
+			}
+		case v.ID < b.ID:
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	return views[best].ID
+}
+
+// hashByKey pins a session to a shard by hashing its key material: the
+// same key always lands on the same shard (maximizing key-cache hits and
+// making placement reproducible from the key alone).
+type hashByKey struct{}
+
+func (hashByKey) Name() string { return RouterHashByKey }
+
+func (hashByKey) Route(s SessionInfo, views []ShardView) int {
+	el := eligible(s.Family, views)
+	if len(el) == 0 {
+		return -1
+	}
+	return el[s.KeyHash%uint64(len(el))].ID
+}
+
+// leastLoaded greedily places each session on the shard with the smallest
+// accumulated load, using the session weights as the primary signal so a
+// heavy standard does not pile onto the shard that merely has the fewest
+// sessions.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return RouterLeastLoaded }
+
+func (leastLoaded) Route(s SessionInfo, views []ShardView) int {
+	return minLoad(eligible(s.Family, views))
+}
+
+// familyAffinity steers Whirlpool/hash traffic to shards with
+// reconfigured cores and keeps block-cipher traffic away from them (a
+// reconfigured shard has fewer AES cores, so it is the worst home for
+// GCM/CCM work). Within the preferred set it falls back to least-loaded.
+type familyAffinity struct{}
+
+func (familyAffinity) Name() string { return RouterFamilyAffinity }
+
+func (familyAffinity) Route(s SessionInfo, views []ShardView) int {
+	el := eligible(s.Family, views)
+	if len(el) == 0 {
+		return -1
+	}
+	if s.Family == cryptocore.FamilyHash {
+		return minLoad(el) // eligible already restricts to hash-capable shards
+	}
+	var pure []ShardView
+	for _, v := range el {
+		if v.HashCores == 0 {
+			pure = append(pure, v)
+		}
+	}
+	if len(pure) > 0 {
+		return minLoad(pure)
+	}
+	return minLoad(el)
+}

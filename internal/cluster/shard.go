@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"mccp/internal/core"
+	"mccp/internal/radio"
+	"mccp/internal/reconfig"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+)
+
+// shardOp is one unit of work executed on a shard's goroutine. It must
+// call done exactly once when the operation's simulation events have all
+// been scheduled to completion; the shard uses the done count to window
+// in-flight packets and to detect stuck operations.
+type shardOp func(sh *shard, done func())
+
+// batch is one dispatch quantum: the front end coalesces queued operations
+// per shard and hands each shard its slice in a single send, so the shard
+// drains its engine once per batch instead of once per packet.
+type batch struct {
+	ops []shardOp
+	wg  *sync.WaitGroup
+}
+
+// shard is one independent MCCP platform: its own discrete-event engine,
+// device, radio controllers and reconfiguration controller, driven by a
+// dedicated goroutine. Shards never share simulation state, so each
+// shard's virtual timeline is exactly as deterministic as a single
+// Platform; the only cross-shard communication is the work channel and
+// the batch WaitGroup, which give the front end a happens-before edge for
+// reading shard state between batches.
+type shard struct {
+	id  int
+	eng *sim.Engine
+	dev *core.MCCP
+	cc  *radio.CommController
+	mc  *radio.MainController
+	rc  *reconfig.Controller
+
+	// window bounds the packets kept in flight inside one batch, so a
+	// batch larger than the device's capacity pipelines instead of
+	// queueing unboundedly — and, with the QoS queue disabled, never
+	// oversubscribes the cores (Config.fill caps the default at the core
+	// count then, since a same-instant overflow would draw the error
+	// flag rather than wait).
+	window int
+	// base is the virtual time after firmware settle; shard cycle counts
+	// are measured from here.
+	base sim.Time
+
+	work chan batch
+	done chan struct{}
+}
+
+// newShard builds and starts one shard. pol must be a fresh policy
+// instance — stateful policies cannot be shared across engines.
+func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
+	eng := sim.NewEngine()
+	dev := core.New(eng, core.Config{
+		Cores:         cfg.CoresPerShard,
+		Policy:        pol,
+		QueueRequests: cfg.QueueRequests,
+	})
+	sh := &shard{
+		id:     id,
+		eng:    eng,
+		dev:    dev,
+		cc:     radio.NewCommController(dev),
+		mc:     radio.NewMainController(dev, cfg.Seed^uint64(id)*0x9E3779B97F4A7C15^0xD1CE),
+		rc:     reconfig.NewController(eng, dev),
+		window: cfg.ShardWindow,
+		work:   make(chan batch),
+		done:   make(chan struct{}),
+	}
+	eng.Run() // settle core firmware into its idle loop
+	sh.base = eng.Now()
+	go sh.loop()
+	return sh
+}
+
+// loop services batches until the work channel closes.
+func (sh *shard) loop() {
+	defer close(sh.done)
+	for b := range sh.work {
+		sh.runBatch(b.ops)
+		b.wg.Done()
+	}
+}
+
+// runBatch pipelines the batch through the device with a bounded in-flight
+// window and drains the engine once. Launch order is the front end's
+// enqueue order, so the shard's virtual timeline is a pure function of the
+// batch sequence.
+func (sh *shard) runBatch(ops []shardOp) {
+	next, inFlight, completed := 0, 0, 0
+	var pump func()
+	pump = func() {
+		for inFlight < sh.window && next < len(ops) {
+			op := ops[next]
+			next++
+			inFlight++
+			op(sh, func() {
+				inFlight--
+				completed++
+				pump()
+			})
+		}
+	}
+	pump()
+	sh.eng.Run()
+	if completed != len(ops) {
+		panic(fmt.Sprintf("cluster: shard %d finished batch with %d/%d ops complete (simulation deadlock)",
+			sh.id, completed, len(ops)))
+	}
+}
+
+// cycles returns the virtual time this shard has consumed since settle.
+// Only safe to call from the front end between batches.
+func (sh *shard) cycles() sim.Time { return sh.eng.Now() - sh.base }
+
+// hashCores counts cores whose reconfigurable region currently holds the
+// Whirlpool engine. Only safe between batches.
+func (sh *shard) hashCores() int {
+	n := 0
+	for _, e := range sh.dev.Engines {
+		if e == scheduler.EngineHash {
+			n++
+		}
+	}
+	return n
+}

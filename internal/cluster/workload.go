@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+
+	"mccp/internal/cryptocore"
+	"mccp/internal/trafficgen"
+)
+
+// WorkloadConfig parameterizes RunWorkload, the cluster-level analogue of
+// trafficgen.RunMixed: a deterministic multi-standard packet mix pushed
+// through a sharded cluster with batched dispatch.
+type WorkloadConfig struct {
+	Shards        int
+	CoresPerShard int
+	Router        string // routing policy (default hash-by-key)
+	Policy        string // per-shard dispatch policy (default first-idle)
+	QueueRequests bool
+	Packets       int // total packets (default 96)
+	Sessions      int // sessions cycled over the mix (default 4 x Shards)
+	Mix           []trafficgen.Standard
+	Seed          int64
+	BatchWindow   int
+	// ShardWindow overrides the per-shard in-flight window (see
+	// Config.ShardWindow); with QueueRequests off, a window above the
+	// core count deliberately drives the device into error-flag rejects.
+	ShardWindow int
+}
+
+// WorkloadResult is a run summary.
+type WorkloadResult struct {
+	Metrics Metrics
+	// ShardDigests folds every completed packet's output bytes, per shard
+	// in completion order, into an FNV-1a accumulator — byte-for-byte
+	// determinism checks compare these across runs.
+	ShardDigests []uint64
+	// Errors counts failed packets (only possible with QueueRequests off,
+	// where saturation draws the paper's error flag).
+	Errors int
+}
+
+// sessionWeight estimates a standard's relative cycle cost per packet from
+// the paper's loop bounds (§VII.A): CCM on one core runs ~104 cycles per
+// 16-byte block, GCM ~49. The router only needs relative magnitudes.
+func sessionWeight(s trafficgen.Standard) int {
+	avg := (s.MinBytes + s.MaxBytes) / 2
+	perBlock := 49
+	if s.Family == cryptocore.FamilyCCM {
+		perBlock = 104
+		if s.Split {
+			perBlock = 55
+		}
+	}
+	return avg / 16 * perBlock
+}
+
+// RunWorkload drives a mixed multi-standard workload through a cluster
+// and reports aggregated metrics plus per-shard output digests.
+func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 96
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = trafficgen.DefaultMix
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 4 * max(cfg.Shards, 1)
+	}
+	cl, err := New(Config{
+		Shards:        cfg.Shards,
+		CoresPerShard: cfg.CoresPerShard,
+		Router:        cfg.Router,
+		Policy:        cfg.Policy,
+		QueueRequests: cfg.QueueRequests,
+		Seed:          uint64(cfg.Seed),
+		BatchWindow:   cfg.BatchWindow,
+		ShardWindow:   cfg.ShardWindow,
+	})
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	defer cl.Close()
+
+	sessions := make([]*Session, cfg.Sessions)
+	for i := range sessions {
+		std := cfg.Mix[i%len(cfg.Mix)]
+		suite := trafficgen.SuiteFor(std)
+		sessions[i], err = cl.Open(OpenSpec{Suite: suite, KeyLen: std.KeyLen, Weight: sessionWeight(std)})
+		if err != nil {
+			return WorkloadResult{}, fmt.Errorf("cluster: opening session %d (%s): %w", i, std.Name, err)
+		}
+	}
+
+	res := WorkloadResult{ShardDigests: make([]uint64, cl.Shards())}
+	for i := range res.ShardDigests {
+		res.ShardDigests[i] = 0xcbf29ce484222325 // FNV-64a offset basis
+	}
+	gen := trafficgen.NewGenerator(cfg.Seed, cfg.Mix)
+	for p := 0; p < cfg.Packets; p++ {
+		i := p % cfg.Sessions
+		ses := sessions[i]
+		pkt := gen.Next(i%len(cfg.Mix), ses.ID())
+		shardID := ses.Shard()
+		ses.EncryptAsync(pkt.Nonce, pkt.AAD, pkt.Payload, func(out []byte, err error) {
+			if err != nil {
+				res.Errors++
+				return
+			}
+			d := res.ShardDigests[shardID]
+			for _, by := range out {
+				d = (d ^ uint64(by)) * 0x100000001b3
+			}
+			res.ShardDigests[shardID] = d
+		})
+	}
+	cl.Flush()
+	res.Metrics = cl.Metrics()
+	return res, nil
+}
+
+// ScalingRow is one line of a shard-count sweep.
+type ScalingRow struct {
+	Shards           int
+	AggregateSimMbps float64
+	ClusterCycles    uint64
+	HostMbps         float64
+	// Speedup is AggregateSimMbps relative to the sweep's first row.
+	Speedup float64
+}
+
+// RunScaling sweeps shard counts over the same total workload and reports
+// the aggregate-throughput scaling (the sharding head-room measurement:
+// same packets, same mix, same seed — only the shard count varies).
+func RunScaling(shardCounts []int, cfg WorkloadConfig) ([]ScalingRow, error) {
+	if cfg.Sessions <= 0 {
+		// Pin the session count across the sweep — otherwise each row
+		// would run a different workload and the speedup would be
+		// meaningless.
+		maxN := 1
+		for _, n := range shardCounts {
+			maxN = max(maxN, n)
+		}
+		cfg.Sessions = 4 * maxN
+	}
+	var rows []ScalingRow
+	for _, n := range shardCounts {
+		c := cfg
+		c.Shards = n
+		res, err := RunWorkload(c)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{
+			Shards:           n,
+			AggregateSimMbps: res.Metrics.AggregateSimMbps,
+			ClusterCycles:    uint64(res.Metrics.ClusterCycles),
+			HostMbps:         res.Metrics.HostMbps,
+			Speedup:          1,
+		}
+		if len(rows) > 0 && rows[0].AggregateSimMbps > 0 {
+			row.Speedup = row.AggregateSimMbps / rows[0].AggregateSimMbps
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

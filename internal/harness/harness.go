@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mccp/internal/aes"
+	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/fpga"
@@ -326,6 +327,35 @@ func OurTableIIIRows(packets int) []TableIIIRow {
 		Slices:         d.Slices(),
 		BRAMs:          d.BRAMs(),
 	}}
+}
+
+// ClusterScaling runs the mixed multi-standard workload on 1/2/4/8-shard
+// clusters (experiment E11: the sharded service layer's head-room beyond
+// one device) and returns the sweep. packets sizes the workload; 256
+// gives stable figures in a few seconds.
+func ClusterScaling(packets int) []cluster.ScalingRow {
+	rows, err := cluster.RunScaling([]int{1, 2, 4, 8}, cluster.WorkloadConfig{
+		Router:        cluster.RouterLeastLoaded,
+		QueueRequests: true,
+		Packets:       packets,
+		Sessions:      16,
+		Seed:          1,
+		BatchWindow:   128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// FormatClusterScaling renders the sweep as a table.
+func FormatClusterScaling(rows []cluster.ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %10s\n", "shards", "aggregate Mbps", "cluster cycles", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.0f %14d %9.2fx\n", r.Shards, r.AggregateSimMbps, r.ClusterCycles, r.Speedup)
+	}
+	return b.String()
 }
 
 // LatencyStats summarizes experiment E5 (the paper's 4x1 vs 2x2 latency

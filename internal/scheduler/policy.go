@@ -7,7 +7,11 @@
 // benches.
 package scheduler
 
-import "mccp/internal/cryptocore"
+import (
+	"fmt"
+
+	"mccp/internal/cryptocore"
+)
 
 // EngineAES and EngineHash identify what currently occupies a core's
 // reconfigurable region.
@@ -15,6 +19,25 @@ const (
 	EngineAES  = "AES"
 	EngineHash = "WHIRLPOOL"
 )
+
+// Names lists the selectable policies, in documentation order.
+func Names() []string { return []string{"first-idle", "round-robin", "key-affinity"} }
+
+// ByName returns a fresh policy instance for a policy name. The empty
+// string selects the paper's first-idle behaviour. Every caller gets its
+// own instance, so stateful policies (round-robin) are never shared
+// between devices.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "", "first-idle":
+		return FirstIdle{}, nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	case "key-affinity":
+		return KeyAffinity{}, nil
+	}
+	return nil, fmt.Errorf("scheduler: unknown policy %q (have first-idle, round-robin, key-affinity)", name)
+}
 
 // CoreView is the scheduler's snapshot of one core.
 type CoreView struct {

@@ -6,7 +6,9 @@
 package trafficgen
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
@@ -49,6 +51,41 @@ var (
 
 // DefaultMix is a four-standard mix exercising every suite dimension.
 var DefaultMix = []Standard{VoiceUMTS, WiFiCCMP, WiMaxGCM, VideoGCM256}
+
+// StandardNames lists the selectable profile names, in DefaultMix order.
+func StandardNames() []string {
+	names := make([]string, len(DefaultMix))
+	for i, s := range DefaultMix {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// StandardsByName resolves profile names to Standards, for workload-mix
+// CLI flags.
+func StandardsByName(names []string) ([]Standard, error) {
+	out := make([]Standard, 0, len(names))
+	for _, n := range names {
+		found := false
+		for _, s := range DefaultMix {
+			if s.Name == n {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trafficgen: unknown standard %q (have %s)",
+				n, strings.Join(StandardNames(), ", "))
+		}
+	}
+	return out, nil
+}
+
+// SuiteFor converts a standard profile to the device suite it opens.
+func SuiteFor(s Standard) core.Suite {
+	return core.Suite{Family: s.Family, TagLen: s.TagLen, SplitCCM: s.Split, Priority: s.Priority}
+}
 
 // Packet is one generated packet.
 type Packet struct {
@@ -95,7 +132,7 @@ func (g *Generator) Next(i, ch int) Packet {
 
 // MixedConfig parameterizes RunMixed.
 type MixedConfig struct {
-	Policy     string // "first-idle", "round-robin", "key-affinity"
+	Policy     string // "first-idle" (default), "round-robin", "key-affinity"
 	Packets    int    // total packets to push through
 	Channels   int    // number of channels (cycled over DefaultMix)
 	Seed       int64
@@ -122,14 +159,11 @@ type RunResult struct {
 // reports aggregate throughput, latency and key-scheduler pressure — the
 // experiment behind the §VIII scheduling-policy discussion.
 func RunMixed(cfg MixedConfig) RunResult {
-	var pol scheduler.Policy
-	switch cfg.Policy {
-	case "round-robin":
-		pol = &scheduler.RoundRobin{}
-	case "key-affinity":
-		pol = scheduler.KeyAffinity{}
-	default:
-		pol = scheduler.FirstIdle{}
+	pol, err := scheduler.ByName(cfg.Policy)
+	if err != nil {
+		// Callers validate user input; an unknown name here is a
+		// programming error in an experiment driver.
+		panic(err)
 	}
 	eng := sim.NewEngine()
 	dev := core.New(eng, core.Config{Cores: cfg.Cores, Policy: pol, QueueRequests: cfg.QueueDepth})
@@ -153,7 +187,7 @@ func RunMixed(cfg MixedConfig) RunResult {
 		if err != nil {
 			panic(err)
 		}
-		suite := core.Suite{Family: s.Family, TagLen: s.TagLen, SplitCCM: s.Split, Priority: s.Priority}
+		suite := SuiteFor(s)
 		cc.OpenChannel(suite, keyID, func(c int, e error) {
 			if e != nil {
 				panic(e)

@@ -24,6 +24,7 @@ package mccp
 import (
 	"fmt"
 
+	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/radio"
@@ -106,18 +107,22 @@ type Platform struct {
 	rc *reconfig.Controller
 }
 
-// New builds a Platform.
+// New builds a Platform. It panics on an invalid Config (an unknown
+// policy name); use NewChecked when configuration comes from user input.
 func New(cfg Config) *Platform {
-	var pol scheduler.Policy
-	switch cfg.Policy {
-	case "", PolicyFirstIdle:
-		pol = scheduler.FirstIdle{}
-	case PolicyRoundRobin:
-		pol = &scheduler.RoundRobin{}
-	case PolicyKeyAffinity:
-		pol = scheduler.KeyAffinity{}
-	default:
-		panic(fmt.Sprintf("mccp: unknown policy %q", cfg.Policy))
+	p, err := NewChecked(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("mccp: %v", err))
+	}
+	return p
+}
+
+// NewChecked builds a Platform, returning an error instead of panicking
+// on an invalid Config.
+func NewChecked(cfg Config) (*Platform, error) {
+	pol, err := scheduler.ByName(cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
 	eng := sim.NewEngine()
 	dev := core.New(eng, core.Config{
@@ -133,7 +138,7 @@ func New(cfg Config) *Platform {
 		rc:  reconfig.NewController(eng, dev),
 	}
 	eng.Run() // settle core firmware into its idle loop
-	return p
+	return p, nil
 }
 
 // Cycles returns the current virtual time in clock cycles.
@@ -256,6 +261,36 @@ type Stats struct {
 	KeyExpansions uint64
 	CrossbarBusy  sim.Time
 }
+
+// Cluster is the sharded multi-MCCP service layer: N independent
+// Platforms run concurrently (one goroutine and one simulation engine
+// each) behind a routing, batching and metrics front end. See
+// internal/cluster for the full documentation.
+type Cluster = cluster.Cluster
+
+// ClusterConfig sizes a Cluster.
+type ClusterConfig = cluster.Config
+
+// ClusterSession is a cluster-level channel, homed on one shard and
+// transparently re-homed by Rebalance.
+type ClusterSession = cluster.Session
+
+// ClusterOpenSpec parameterizes Cluster.Open.
+type ClusterOpenSpec = cluster.OpenSpec
+
+// ClusterMetrics is the aggregated cluster snapshot.
+type ClusterMetrics = cluster.Metrics
+
+// Cluster routing policies.
+const (
+	RouterHashByKey      = cluster.RouterHashByKey
+	RouterLeastLoaded    = cluster.RouterLeastLoaded
+	RouterFamilyAffinity = cluster.RouterFamilyAffinity
+)
+
+// NewCluster builds and starts a sharded cluster. Close it to stop the
+// shard goroutines.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
 
 // Stats snapshots device counters.
 func (p *Platform) Stats() Stats {

@@ -114,6 +114,132 @@ func TestPublicAPIReconfigureAndHash(t *testing.T) {
 	}
 }
 
+// TestNewCheckedRejectsUnknownPolicy covers the validate-and-error
+// constructor: user-supplied policy names must produce an error from
+// NewChecked and a panic (not a misconfigured platform) from New.
+func TestNewCheckedRejectsUnknownPolicy(t *testing.T) {
+	if _, err := mccp.NewChecked(mccp.Config{Policy: "best-effort"}); err == nil {
+		t.Fatal("NewChecked accepted an unknown policy")
+	}
+	if p, err := mccp.NewChecked(mccp.Config{Policy: mccp.PolicyRoundRobin}); err != nil || p == nil {
+		t.Fatalf("NewChecked rejected a valid policy: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on an unknown policy")
+		}
+	}()
+	mccp.New(mccp.Config{Policy: "best-effort"})
+}
+
+// saturate fires more async packets than the device has cores and returns
+// the outcome counts.
+func saturate(t *testing.T, policy string, queue bool) (ok, rejected int, stats mccp.Stats) {
+	t.Helper()
+	p := mccp.New(mccp.Config{Policy: policy, QueueRequests: queue})
+	key, err := p.NewKey(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, 12)
+	const packets = 12 // 3x the core count: guaranteed saturation
+	for i := 0; i < packets; i++ {
+		ch.EncryptAsync(nonce, nil, make([]byte, 256), func(_ []byte, err error) {
+			switch err {
+			case nil:
+				ok++
+			case mccp.ErrNoResources:
+				rejected++
+			default:
+				t.Errorf("%s queue=%v: %v", policy, queue, err)
+			}
+		})
+	}
+	p.Run()
+	if ok+rejected != packets {
+		t.Fatalf("%s queue=%v: %d outcomes for %d packets", policy, queue, ok+rejected, packets)
+	}
+	return ok, rejected, p.Stats()
+}
+
+// TestSchedulerPoliciesUnderSaturation exercises round-robin and
+// key-affinity end-to-end at saturation, with the QoS queueing extension
+// on and off — asserting the paper's error-flag behaviour (Rejected) and
+// the §VIII queueing counters (Queued) through the public API.
+func TestSchedulerPoliciesUnderSaturation(t *testing.T) {
+	for _, policy := range []string{mccp.PolicyRoundRobin, mccp.PolicyKeyAffinity} {
+		t.Run(policy+"/queue=off", func(t *testing.T) {
+			ok, rejected, stats := saturate(t, policy, false)
+			if rejected == 0 || stats.Rejected == 0 {
+				t.Fatalf("no error-flag rejects at saturation (ok=%d rej=%d stats=%+v)", ok, rejected, stats)
+			}
+			if uint64(rejected) != stats.Rejected {
+				t.Fatalf("callback rejects %d != Stats.Rejected %d", rejected, stats.Rejected)
+			}
+			if stats.Queued != 0 {
+				t.Fatalf("Queued=%d with queueing disabled", stats.Queued)
+			}
+		})
+		t.Run(policy+"/queue=on", func(t *testing.T) {
+			ok, rejected, stats := saturate(t, policy, true)
+			if rejected != 0 || stats.Rejected != 0 {
+				t.Fatalf("rejects with queueing enabled (rej=%d stats=%+v)", rejected, stats)
+			}
+			if ok != 12 {
+				t.Fatalf("only %d/12 packets completed", ok)
+			}
+			if stats.Queued == 0 {
+				t.Fatal("saturating load never used the QoS queue")
+			}
+		})
+	}
+}
+
+// TestPublicAPICluster smoke-tests the sharded service layer through the
+// public facade.
+func TestPublicAPICluster(t *testing.T) {
+	cl, err := mccp.NewCluster(mccp.ClusterConfig{Shards: 2, Router: mccp.RouterLeastLoaded, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	a, err := cl.Open(mccp.ClusterOpenSpec{Suite: mccp.Suite{Family: mccp.GCM, TagLen: 16}, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Open(mccp.ClusterOpenSpec{Suite: mccp.Suite{Family: mccp.CCM, TagLen: 8}, KeyLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shard() == b.Shard() {
+		t.Fatalf("least-loaded left both sessions on shard %d", a.Shard())
+	}
+	nonce12, nonce13 := make([]byte, 12), make([]byte, 13)
+	payload := []byte("served by the shard layer")
+	s1, err := a.Encrypt(nonce12, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Encrypt(nonce13, nil, payload); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := a.Decrypt(nonce12, nil, s1[:len(payload)], s1[len(payload):])
+	if err != nil || !bytes.Equal(plain, payload) {
+		t.Fatalf("cluster roundtrip: %v", err)
+	}
+	m := cl.Metrics()
+	if m.Packets != 3 || len(m.Shards) != 2 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if _, err := mccp.NewCluster(mccp.ClusterConfig{Router: "nope"}); err == nil {
+		t.Fatal("NewCluster accepted an unknown router")
+	}
+}
+
 // TestPublicAPIMatchesStdlibGCM pins the facade against crypto/cipher.
 func TestPublicAPIMatchesStdlibGCM(t *testing.T) {
 	p := mccp.New(mccp.Config{Seed: 42})
