@@ -15,6 +15,7 @@
 //	E9 BenchmarkSchedPolicy_*      §VIII scheduling-policy extension
 //	E10 BenchmarkAblation_*        design-choice ablations
 //	E11 BenchmarkCluster           sharded multi-MCCP service-layer scaling
+//	E12 BenchmarkQoS_*             §VIII QoS: overload retention + drains
 package mccp_test
 
 import (
@@ -29,6 +30,7 @@ import (
 	"mccp/internal/fpga"
 	"mccp/internal/ghash"
 	"mccp/internal/harness"
+	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/sim"
 	"mccp/internal/trafficgen"
@@ -224,6 +226,59 @@ func BenchmarkCluster(b *testing.B) {
 			b.ReportMetric(float64(res.Metrics.ClusterCycles), "cluster_cycles")
 			b.ReportMetric(res.Metrics.HostMbps, "host_Mbps")
 			b.ReportMetric(float64(res.Metrics.Packets), "packets")
+		})
+	}
+}
+
+// --- E12: QoS priority classes (§VIII extension) ----------------------------
+
+// BenchmarkQoS_Overload runs the 4:1 overload mix (four 2KB background
+// streams vs one 256B voice stream) under each dispatch policy and
+// reports per-class Mbps, voice latency percentiles and the voice
+// throughput retained relative to the uncontended baseline. All figures
+// are virtual-time and deterministic per seed; the acceptance bar is
+// >= 90% voice retention under qos-priority (first-idle stays far below).
+func BenchmarkQoS_Overload(b *testing.B) {
+	var res harness.QoSResult
+	for i := 0; i < b.N; i++ {
+		res = harness.QoSTable(24)
+	}
+	for _, s := range res.Scenarios {
+		b.Run(s.Policy, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s // measured above; subruns report the cells
+			}
+			v, bg := s.Cell(qos.Voice), s.Cell(qos.Background)
+			// Reported per subrun: a parent with sub-benchmarks never
+			// prints its own result line.
+			b.ReportMetric(res.VoiceUncontendedMbps, "voice_alone_Mbps")
+			b.ReportMetric(v.Mbps, "voice_Mbps")
+			b.ReportMetric(bg.Mbps, "background_Mbps")
+			b.ReportMetric(float64(v.P50), "voice_p50_cycles")
+			b.ReportMetric(float64(v.P99), "voice_p99_cycles")
+			b.ReportMetric(float64(v.DeadlineMisses), "voice_deadline_misses")
+			b.ReportMetric(res.Retention(s.Policy), "voice_retention")
+		})
+	}
+}
+
+// BenchmarkQoS_Drains contrasts the shaper's strict-priority and
+// weighted-fair drain policies under sustained voice load with a
+// background burst behind a bounded class queue.
+func BenchmarkQoS_Drains(b *testing.B) {
+	var rows []harness.QoSDrainRow
+	for i := 0; i < b.N; i++ {
+		rows = harness.QoSDrainComparison(40)
+	}
+	for _, r := range rows {
+		b.Run(r.Drain, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = r
+			}
+			b.ReportMetric(float64(r.VoiceP95), "voice_p95_cycles")
+			b.ReportMetric(float64(r.BackgroundP95), "background_p95_cycles")
+			b.ReportMetric(float64(r.BackgroundCompleted), "background_done")
+			b.ReportMetric(float64(r.BackgroundShed), "background_shed")
 		})
 	}
 }

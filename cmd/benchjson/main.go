@@ -1,0 +1,99 @@
+// benchjson converts `go test -bench` output into the repository's
+// benchmark-trajectory JSON and optionally gates it against a committed
+// baseline. The CI bench job runs both steps in one invocation:
+//
+//	go test -run '^$' -bench 'Table2|Cluster|QoS' -benchtime 1x . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_ci.json \
+//	          -baseline BENCH_baseline.json -match 'Table2' -tolerance 0.25
+//
+// Only deterministic virtual-time throughput metrics (*_Mbps at the
+// modeled 190 MHz, voice_retention) participate in the gate; ns/op and
+// host_Mbps describe the host machine and are recorded but never gated.
+// Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mccp/internal/benchfmt"
+)
+
+func main() {
+	in := flag.String("in", "-", "bench output to read (- = stdin)")
+	out := flag.String("out", "", "write trajectory JSON here (empty = skip)")
+	benchExpr := flag.String("bench", "", "provenance note: the -bench expression the run used")
+	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
+	match := flag.String("match", "Table2", "regexp of benchmark names the gate covers")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput drop before the gate fails")
+	flag.Parse()
+
+	results, err := parseInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchfmt.WriteJSON(f, *benchExpr, results); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+
+	if *baselinePath == "" {
+		return
+	}
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := benchfmt.ReadJSON(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	regs, err := benchfmt.Gate(results, baseline, *match, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% against %s:\n",
+			len(regs), 100**tolerance, *baselinePath)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: gate clean (%q, tolerance %.0f%%) against %s\n",
+		*match, 100**tolerance, *baselinePath)
+}
+
+func parseInput(path string) ([]benchfmt.Result, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return benchfmt.Parse(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(2)
+}

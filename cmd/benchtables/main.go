@@ -7,7 +7,7 @@
 //	benchtables                 # all tables
 //	benchtables -table 2        # Table II only
 //	benchtables -table loops    # §VII.A loop formulas
-//	benchtables -table 3|4|latency|resources|policy|cluster
+//	benchtables -table 3|4|latency|resources|policy|cluster|qos
 //	benchtables -packets 20     # measurement length per Table II cell
 package main
 
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, all")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, all")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	flag.Parse()
 
@@ -140,6 +140,18 @@ func main() {
 		fmt.Print(harness.FormatClusterScaling(harness.ClusterScaling(16 * *packets)))
 		fmt.Println("(aggregate simulated Mbps at 190 MHz; cluster cycles = slowest shard's")
 		fmt.Println(" virtual makespan over the same total workload)")
+		fmt.Println()
+	}
+
+	if run("qos") {
+		any = true
+		fmt.Println("== E12: QoS priority classes (§VIII extension) ==")
+		fmt.Print(harness.FormatQoSTable(harness.QoSTable(2 * *packets)))
+		fmt.Println("(qos-priority must retain >= 90% of uncontended voice throughput;")
+		fmt.Println(" first-idle documents the head-of-line blocking the QoS layer removes)")
+		fmt.Println()
+		fmt.Println("shaper drain fairness (sustained voice + background burst, capacity 4):")
+		fmt.Print(harness.FormatQoSDrains(harness.QoSDrainComparison(4 * *packets)))
 		fmt.Println()
 	}
 

@@ -8,6 +8,8 @@
 //	mccpcluster -shards 2 -router family-affinity -whirlpool 1
 //	mccpcluster -scaling                # 1 -> 2 -> 4 -> 8 shard sweep
 //	mccpcluster -mix umts-voice,wimax-gcm -sessions 8 -policy key-affinity
+//	mccpcluster -qos                    # QoS preset: qos-aware router,
+//	                                    # qos-priority shards, all-class mix
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
 	"mccp/internal/trafficgen"
@@ -38,6 +41,8 @@ func main() {
 	batch := flag.Int("batch", 64, "operations coalesced per dispatch batch")
 	window := flag.Int("window", 0, "packets in flight per shard (0 = 2x cores, or 1x with -queue=false; above the core count with -queue=false demonstrates error-flag rejects)")
 	queue := flag.Bool("queue", true, "enable the QoS queueing extension on every shard")
+	maxQueue := flag.Int("max-queue", 0, "bound each shard's request queue (0 = unbounded; overflow is shed)")
+	qosPreset := flag.Bool("qos", false, "QoS preset: qos-aware router, qos-priority shard policy, all-class mix")
 	seed := flag.Int64("seed", 1, "deterministic workload seed")
 	scaling := flag.Bool("scaling", false, "sweep 1/2/4/8 shards over the same workload")
 	whirlpool := flag.Int("whirlpool", -1, "reconfigure one core of this shard to Whirlpool before the run")
@@ -59,6 +64,18 @@ func main() {
 			log.Fatalf("-mix: %v", err)
 		}
 	}
+	if *qosPreset {
+		// The preset only fills defaults: explicit flags win.
+		if !flagSet("router") {
+			*router = cluster.RouterQoSAware
+		}
+		if !flagSet("policy") {
+			*policy = "qos-priority"
+		}
+		if len(stds) == 0 {
+			stds = trafficgen.QoSMix
+		}
+	}
 
 	cfg := cluster.WorkloadConfig{
 		Shards:        *shards,
@@ -66,6 +83,7 @@ func main() {
 		Router:        *router,
 		Policy:        *policy,
 		QueueRequests: *queue,
+		MaxQueue:      *maxQueue,
 		Packets:       *packets,
 		Sessions:      *sessions,
 		Mix:           stds,
@@ -100,10 +118,27 @@ func main() {
 	fmt.Printf("%d shards x %d cores, router %s, policy %s, %d packets:\n",
 		len(res.Metrics.Shards), *cores, *router, *policy, *packets)
 	fmt.Print(res.Metrics.Format())
+	for _, c := range qos.Classes() {
+		if res.ClassPackets[c] > 0 {
+			fmt.Printf("class %-11s %6d packets %10d bytes\n", c, res.ClassPackets[c], res.ClassBytes[c])
+		}
+	}
 	fmt.Printf("per-shard output digests (determinism check): %x\n", res.ShardDigests)
 	if res.Errors > 0 {
-		fmt.Printf("rejected packets (error flag, queueing off): %d\n", res.Errors)
+		fmt.Printf("failed packets (error flag or shed): %d\n", res.Errors)
 	}
+}
+
+// flagSet reports whether a flag was passed explicitly on the command
+// line (so presets never override an operator's choice).
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // runWithReconfig demonstrates the re-homing path: reconfigure one core,

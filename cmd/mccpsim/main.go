@@ -6,6 +6,7 @@
 //	mccpsim -describe                   # architecture summary (Fig. 1-3)
 //	mccpsim -cores 4 -family gcm -key 16 -packets 20 -size 2048
 //	mccpsim -mixed -packets 100         # mixed multi-standard traffic
+//	mccpsim -qos                        # E12: QoS overload + drain policies
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 func main() {
 	describe := flag.Bool("describe", false, "print the modeled architecture")
 	mixed := flag.Bool("mixed", false, "run a mixed multi-standard workload")
+	qosRun := flag.Bool("qos", false, "run the E12 QoS experiments (overload retention + drain fairness)")
 	cores := flag.Int("cores", 4, "number of cryptographic cores")
 	family := flag.String("family", "gcm", "gcm, ccm, ccm2 (two-core split)")
 	keyLen := flag.Int("key", 16, "key bytes: 16, 24 or 32")
@@ -43,6 +45,12 @@ func main() {
 	switch {
 	case *describe:
 		printArchitecture()
+	case *qosRun:
+		fmt.Println("== E12: QoS priority classes (§VIII extension) ==")
+		fmt.Print(harness.FormatQoSTable(harness.QoSTable(*packets)))
+		fmt.Println()
+		fmt.Println("shaper drain fairness (sustained voice + background burst, capacity 4):")
+		fmt.Print(harness.FormatQoSDrains(harness.QoSDrainComparison(2 * *packets)))
 	case *mixed:
 		r := trafficgen.RunMixed(trafficgen.MixedConfig{
 			Policy: *policy, Packets: *packets, Channels: 6, Seed: 1,

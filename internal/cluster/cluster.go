@@ -9,7 +9,8 @@
 // The front end provides:
 //
 //   - pluggable routing policies (hash-by-key, least-loaded,
-//     family-affinity) that decide which shard homes each session;
+//     family-affinity, qos-aware) that decide which shard homes each
+//     session;
 //   - an asynchronous batch dispatcher that coalesces submitted packets
 //     per shard and drains each shard's engine once per batch instead of
 //     once per packet;
@@ -35,6 +36,7 @@ import (
 
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
@@ -56,6 +58,10 @@ type Config struct {
 	Policy string
 	// QueueRequests enables the §VIII QoS extension on every shard.
 	QueueRequests bool
+	// MaxQueue bounds each shard's device request queue when
+	// QueueRequests is on (0 = unbounded); overflow is shed with an
+	// explicit verdict and counted per shard (see core.Config.MaxQueue).
+	MaxQueue int
 	// Seed drives deterministic key generation across the cluster.
 	Seed uint64
 	// BatchWindow is the number of queued operations that triggers an
@@ -115,6 +121,10 @@ type Session struct {
 	key    []byte
 	weight int
 
+	// hp marks a high-priority (video/voice class) session; the qos-aware
+	// router balances these separately.
+	hp bool
+
 	shardID int
 	chID    int // device channel ID on the owning shard
 	closed  bool
@@ -134,6 +144,12 @@ type Cluster struct {
 	// only payload bytes whose operation completed without error.
 	shardSessions []int
 	shardWeight   []int
+	// shardHPWeight sums the weights of open high-priority sessions per
+	// shard; hpPending counts high-priority operations queued for each
+	// shard's next batch (cleared by Flush). Both feed the qos-aware
+	// router.
+	shardHPWeight []int
+	hpPending     []int
 	bytesRouted   []uint64
 	bytesDone     []uint64
 	hashCores     []int
@@ -169,6 +185,8 @@ func New(cfg Config) (*Cluster, error) {
 		nextSession:   1,
 		shardSessions: make([]int, cfg.Shards),
 		shardWeight:   make([]int, cfg.Shards),
+		shardHPWeight: make([]int, cfg.Shards),
+		hpPending:     make([]int, cfg.Shards),
 		bytesRouted:   make([]uint64, cfg.Shards),
 		bytesDone:     make([]uint64, cfg.Shards),
 		hashCores:     make([]int, cfg.Shards),
@@ -219,20 +237,23 @@ func (c *Cluster) views() []ShardView {
 	vs := make([]ShardView, c.cfg.Shards)
 	for i := range vs {
 		vs[i] = ShardView{
-			ID:            i,
-			Sessions:      c.shardSessions[i],
-			SessionWeight: c.shardWeight[i],
-			Bytes:         c.bytesRouted[i],
-			HashCores:     c.hashCores[i],
-			Cores:         c.cfg.CoresPerShard,
+			ID:              i,
+			Sessions:        c.shardSessions[i],
+			SessionWeight:   c.shardWeight[i],
+			Bytes:           c.bytesRouted[i],
+			HashCores:       c.hashCores[i],
+			Cores:           c.cfg.CoresPerShard,
+			HighPrioWeight:  c.shardHPWeight[i],
+			PendingHighPrio: c.hpPending[i],
 		}
 	}
 	return vs
 }
 
 // enqueue appends an operation to a shard's next batch and records it in
-// the global callback order.
-func (c *Cluster) enqueue(shardID, nbytes int, cb func([]byte, error),
+// the global callback order. hp marks a high-priority (video/voice class)
+// packet for the router's pending-depth signal.
+func (c *Cluster) enqueue(shardID, nbytes int, hp bool, cb func([]byte, error),
 	start func(sh *shard, slot *pendingOp, done func())) *pendingOp {
 	if c.closed {
 		panic("cluster: operation submitted after Close")
@@ -243,6 +264,9 @@ func (c *Cluster) enqueue(shardID, nbytes int, cb func([]byte, error),
 	})
 	c.order = append(c.order, slot)
 	c.bytesRouted[shardID] += uint64(nbytes)
+	if hp {
+		c.hpPending[shardID]++
+	}
 	if len(c.order) >= c.cfg.BatchWindow {
 		c.Flush()
 	}
@@ -266,6 +290,7 @@ func (c *Cluster) Flush() {
 		c.batches++
 		sh.work <- batch{ops: c.perShard[i], wg: &wg}
 		c.perShard[i] = nil
+		c.hpPending[i] = 0
 	}
 	wg.Wait()
 	c.wallSeconds += time.Since(start).Seconds()
@@ -321,6 +346,7 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 		suite:  spec.Suite,
 		keyLen: spec.KeyLen,
 		weight: spec.Weight,
+		hp:     qos.ClassForPriority(spec.Suite.Priority).HighPriority(),
 	}
 	if !isHash {
 		ses.key = c.genKey(spec.KeyLen)
@@ -343,6 +369,9 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 	c.sessions[ses.id] = ses
 	c.shardSessions[shardID]++
 	c.shardWeight[shardID] += ses.weight
+	if ses.hp {
+		c.shardHPWeight[shardID] += ses.weight
+	}
 	return ses, nil
 }
 
@@ -350,7 +379,7 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 func (c *Cluster) openOn(ses *Session, shardID int) *pendingOp {
 	key := ses.key
 	suite := ses.suite
-	return c.enqueue(shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+	return c.enqueue(shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
 		keyID := 0
 		if len(key) > 0 {
 			id, err := sh.mc.InstallKey(key)
@@ -378,7 +407,8 @@ func (s *Session) info() SessionInfo {
 		binary.BigEndian.PutUint64(b[:], uint64(s.id))
 		h.Write(b[:])
 	}
-	return SessionInfo{ID: s.id, KeyHash: h.Sum64(), Family: s.suite.Family, Weight: s.weight}
+	return SessionInfo{ID: s.id, KeyHash: h.Sum64(), Family: s.suite.Family,
+		Weight: s.weight, Priority: s.suite.Priority}
 }
 
 // ID returns the cluster-wide session ID.
@@ -392,7 +422,7 @@ func (s *Session) Shard() int { return s.shardID }
 // transformed data (CTR) or the MAC (CBC-MAC).
 func (s *Session) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error)) {
 	ch := s.chID
-	s.cl.enqueue(s.shardID, len(payload), cb, func(sh *shard, slot *pendingOp, done func()) {
+	s.cl.enqueue(s.shardID, len(payload), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
 		sh.cc.Encrypt(ch, nonce, aad, payload, func(out []byte, err error) {
 			slot.out, slot.err = out, err
 			done()
@@ -404,7 +434,7 @@ func (s *Session) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error
 // receives the plaintext or ErrAuth.
 func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error)) {
 	ch := s.chID
-	s.cl.enqueue(s.shardID, len(ct), cb, func(sh *shard, slot *pendingOp, done func()) {
+	s.cl.enqueue(s.shardID, len(ct), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
 		sh.cc.Decrypt(ch, nonce, aad, ct, tag, func(out []byte, err error) {
 			slot.out, slot.err = out, err
 			done()
@@ -415,7 +445,7 @@ func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error
 // SumAsync queues a Whirlpool digest on a hash session.
 func (s *Session) SumAsync(msg []byte, cb func([]byte, error)) {
 	ch := s.chID
-	s.cl.enqueue(s.shardID, len(msg), cb, func(sh *shard, slot *pendingOp, done func()) {
+	s.cl.enqueue(s.shardID, len(msg), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
 		sh.cc.Hash(ch, msg, func(out []byte, err error) {
 			slot.out, slot.err = out, err
 			done()
@@ -461,7 +491,7 @@ func (s *Session) Close() error {
 	c := s.cl
 	c.Flush()
 	ch := s.chID
-	slot := c.enqueue(s.shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+	slot := c.enqueue(s.shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
 		sh.cc.CloseChannel(ch, func(err error) {
 			slot.err = err
 			done()
@@ -471,6 +501,9 @@ func (s *Session) Close() error {
 	delete(c.sessions, s.id)
 	c.shardSessions[s.shardID]--
 	c.shardWeight[s.shardID] -= s.weight
+	if s.hp {
+		c.shardHPWeight[s.shardID] -= s.weight
+	}
 	return slot.err
 }
 
@@ -497,17 +530,23 @@ func (c *Cluster) Rebalance() int {
 		// session is free to stay put.
 		c.shardSessions[ses.shardID]--
 		c.shardWeight[ses.shardID] -= ses.weight
+		if ses.hp {
+			c.shardHPWeight[ses.shardID] -= ses.weight
+		}
 		to := c.router.Route(ses.info(), c.views())
 		if to < 0 {
 			to = ses.shardID
 		}
 		c.shardSessions[to]++
 		c.shardWeight[to] += ses.weight
+		if ses.hp {
+			c.shardHPWeight[to] += ses.weight
+		}
 		if to == ses.shardID {
 			continue
 		}
 		from, ch := ses.shardID, ses.chID
-		c.enqueue(from, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+		c.enqueue(from, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
 			sh.cc.CloseChannel(ch, func(err error) {
 				slot.err = err
 				done()
@@ -541,7 +580,7 @@ func (c *Cluster) Reconfigure(shardID, coreID int, target reconfig.Engine, src r
 	if err := c.checkReconfigLeavesHomes(shardID, coreID, target); err != nil {
 		return 0, 0, err
 	}
-	slot := c.enqueue(shardID, 0, nil, func(sh *shard, slot *pendingOp, done func()) {
+	slot := c.enqueue(shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
 		sh.rc.Reconfigure(coreID, target, src, func(took sim.Time, err error) {
 			slot.took, slot.err = took, err
 			done()

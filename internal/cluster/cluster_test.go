@@ -217,6 +217,108 @@ func TestFamilyAffinityAndReconfigure(t *testing.T) {
 	}
 }
 
+// TestRouterQoSAware covers both halves of QoS-aware placement: voice
+// sessions spread by high-priority weight, and bulk sessions steer away
+// from the shards voice landed on.
+func TestRouterQoSAware(t *testing.T) {
+	cl, err := New(Config{Shards: 2, Router: RouterQoSAware, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	open := func(prio, weight int) *Session {
+		ses, err := cl.Open(OpenSpec{
+			Suite:  core.Suite{Family: cryptocore.FamilyCCM, TagLen: 8, Priority: prio},
+			KeyLen: 16,
+			Weight: weight,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ses
+	}
+	voice := open(3, 4) // -> shard 0 (all empty, lowest ID)
+	if voice.Shard() != 0 {
+		t.Fatalf("voice homed on shard %d, want 0", voice.Shard())
+	}
+	// Background avoids the voice shard even though shard 1 will end up
+	// with more sessions: the doubled high-priority weight dominates.
+	bg1 := open(0, 1)
+	bg2 := open(0, 1)
+	if bg1.Shard() != 1 || bg2.Shard() != 1 {
+		t.Fatalf("background homed on %d/%d, want both on 1 (away from voice)",
+			bg1.Shard(), bg2.Shard())
+	}
+	// A second voice session balances high-priority weight, not total
+	// weight: shard 1 carries 2 bulk sessions but zero voice, so it wins.
+	voice2 := open(3, 4)
+	if voice2.Shard() != 1 {
+		t.Fatalf("second voice homed on shard %d, want 1 (hp-weight balance)", voice2.Shard())
+	}
+	// With voice now on both shards, the bulk pair concentrated on shard 1
+	// is no longer optimal: Rebalance moves exactly one background session
+	// next to the lighter voice shard, evening out the bulk load too.
+	if moved := cl.Rebalance(); moved != 1 {
+		t.Fatalf("rebalance moved %d sessions, want 1", moved)
+	}
+	if bg1.Shard() == bg2.Shard() {
+		t.Fatal("rebalance left both background sessions on one shard")
+	}
+	if voice.Shard() != 0 || voice2.Shard() != 1 {
+		t.Fatal("rebalance disturbed the voice spread")
+	}
+}
+
+// TestClusterShedCounters: a bounded per-shard queue shows overflow as
+// Shed (distinct from Rejected and Queued), and the workload error count
+// matches the metric — the same three-way split the single device
+// reports.
+func TestClusterShedCounters(t *testing.T) {
+	res, err := RunWorkload(WorkloadConfig{
+		Shards: 1, Router: RouterLeastLoaded, QueueRequests: true, MaxQueue: 2,
+		Packets: 48, Sessions: 6, Seed: 2, BatchWindow: 48, ShardWindow: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Shed == 0 {
+		t.Fatalf("bounded queue never shed: %+v", m)
+	}
+	if m.Rejected != 0 {
+		t.Fatalf("queueing on: rejects must be shed instead, got %d", m.Rejected)
+	}
+	if uint64(res.Errors) != m.Shed {
+		t.Fatalf("workload errors %d != shed %d", res.Errors, m.Shed)
+	}
+	if m.Queued == 0 {
+		t.Fatal("no request ever waited in the bounded queue")
+	}
+}
+
+// TestWorkloadClassBreakdown: the mixed workload's per-class counters
+// cover every class in the QoS mix and sum to the packet total.
+func TestWorkloadClassBreakdown(t *testing.T) {
+	res, err := RunWorkload(WorkloadConfig{
+		Shards: 2, Router: RouterQoSAware, QueueRequests: true,
+		Mix:     trafficgen.QoSMix,
+		Packets: 32, Sessions: 8, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for c, n := range res.ClassPackets {
+		if n == 0 {
+			t.Errorf("class %d completed no packets", c)
+		}
+		total += n
+	}
+	if total != 32 || res.Metrics.Packets != 32 {
+		t.Fatalf("class packets sum %d, metrics %d, want 32", total, res.Metrics.Packets)
+	}
+}
+
 // TestRebalanceMovesSessions creates a load skew by closing a heavy
 // session and verifies an explicit Rebalance under least-loaded re-homes
 // a session onto the emptied shard — and is a no-op when placement is

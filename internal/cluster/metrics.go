@@ -17,11 +17,15 @@ type ShardMetrics struct {
 	Packets      uint64
 	Bytes        uint64
 	OfferedBytes uint64
-	// Device counters (paper semantics: error-flag rejects, QoS queue
-	// admissions, AUTH_FAIL results, Key Scheduler expansions).
+	// Device counters, same semantics as the single-device core.Stats:
+	// Rejected is the paper's error flag, Queued a request that waited in
+	// the QoS queue, Shed a request dropped at the bounded queue;
+	// AuthFails counts AUTH_FAIL results and KeyExpansions the Key
+	// Scheduler's expansions.
 	AuthFails     uint64
 	Rejected      uint64
 	Queued        uint64
+	Shed          uint64
 	KeyExpansions uint64
 	CrossbarBusy  sim.Time
 	// Cycles is the shard's consumed virtual time; SimMbps the shard's
@@ -37,13 +41,15 @@ type Metrics struct {
 	Shards []ShardMetrics
 
 	// Totals across shards (Bytes = delivered; OfferedBytes includes
-	// rejected traffic).
+	// rejected traffic; Rejected/Queued/Shed keep the single-device
+	// split of saturation outcomes).
 	Packets      uint64
 	Bytes        uint64
 	OfferedBytes uint64
 	AuthFails    uint64
 	Rejected     uint64
 	Queued       uint64
+	Shed         uint64
 
 	// Batches counts per-shard batch dispatches; Flushes counts front-end
 	// flush barriers.
@@ -78,6 +84,7 @@ func (c *Cluster) Metrics() Metrics {
 			AuthFails:     sh.dev.Stats.AuthFails,
 			Rejected:      sh.dev.Stats.Rejected,
 			Queued:        sh.dev.Stats.Queued,
+			Shed:          sh.dev.Stats.Shed,
 			KeyExpansions: sh.dev.KeySched.Expansions,
 			CrossbarBusy:  sh.dev.XBar.BusyCycles,
 			Cycles:        cyc,
@@ -91,6 +98,7 @@ func (c *Cluster) Metrics() Metrics {
 		m.AuthFails += sm.AuthFails
 		m.Rejected += sm.Rejected
 		m.Queued += sm.Queued
+		m.Shed += sm.Shed
 		if cyc > m.ClusterCycles {
 			m.ClusterCycles = cyc
 		}
@@ -112,12 +120,12 @@ func mbpsAt190(bits uint64, cycles sim.Time) float64 {
 // Format renders the snapshot as a fixed-width report.
 func (m Metrics) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %9s %9s %10s %10s %8s %8s %8s %12s\n",
-		"shard", "sessions", "packets", "bytes", "Mbps@190", "keyexp", "queued", "rejects", "cycles")
+	fmt.Fprintf(&b, "%-6s %9s %9s %10s %10s %8s %8s %8s %8s %12s\n",
+		"shard", "sessions", "packets", "bytes", "Mbps@190", "keyexp", "queued", "rejects", "shed", "cycles")
 	for _, s := range m.Shards {
-		fmt.Fprintf(&b, "%-6d %9d %9d %10d %10.0f %8d %8d %8d %12d\n",
+		fmt.Fprintf(&b, "%-6d %9d %9d %10d %10.0f %8d %8d %8d %8d %12d\n",
 			s.Shard, s.Sessions, s.Packets, s.Bytes, s.SimMbps,
-			s.KeyExpansions, s.Queued, s.Rejected, s.Cycles)
+			s.KeyExpansions, s.Queued, s.Rejected, s.Shed, s.Cycles)
 	}
 	fmt.Fprintf(&b, "total: %d packets, %d bytes in %d cycles -> %.0f Mbps aggregate at 190 MHz\n",
 		m.Packets, m.Bytes, m.ClusterCycles, m.AggregateSimMbps)

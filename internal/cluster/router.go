@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 )
 
 // Router policy names.
@@ -11,11 +12,12 @@ const (
 	RouterHashByKey      = "hash-by-key"
 	RouterLeastLoaded    = "least-loaded"
 	RouterFamilyAffinity = "family-affinity"
+	RouterQoSAware       = "qos-aware"
 )
 
 // RouterNames lists the selectable routing policies.
 func RouterNames() []string {
-	return []string{RouterHashByKey, RouterLeastLoaded, RouterFamilyAffinity}
+	return []string{RouterHashByKey, RouterLeastLoaded, RouterFamilyAffinity, RouterQoSAware}
 }
 
 // ShardView is the router's snapshot of one shard. All fields are
@@ -35,6 +37,13 @@ type ShardView struct {
 	// is the shard's total core count.
 	HashCores int
 	Cores     int
+	// HighPrioWeight is the summed weight of the shard's open
+	// high-priority (video/voice class) sessions; PendingHighPrio counts
+	// high-priority operations queued for the shard's next batch. The
+	// qos-aware router uses both to keep latency-critical load spread
+	// and bulk traffic away from it.
+	HighPrioWeight  int
+	PendingHighPrio int
 }
 
 // SessionInfo describes the session being routed.
@@ -46,6 +55,9 @@ type SessionInfo struct {
 	KeyHash uint64
 	Family  cryptocore.Family
 	Weight  int
+	// Priority is the session suite's QoS priority tag (qos.Class
+	// numbering: voice 3 ... background 0).
+	Priority int
 }
 
 // Router places a session on a shard. Route returns the shard ID, or -1
@@ -66,8 +78,10 @@ func RouterByName(name string) (Router, error) {
 		return leastLoaded{}, nil
 	case RouterFamilyAffinity:
 		return familyAffinity{}, nil
+	case RouterQoSAware:
+		return qosAware{}, nil
 	}
-	return nil, fmt.Errorf("cluster: unknown router %q (have hash-by-key, least-loaded, family-affinity)", name)
+	return nil, fmt.Errorf("cluster: unknown router %q (have hash-by-key, least-loaded, family-affinity, qos-aware)", name)
 }
 
 // eligible filters views down to shards that can execute the session's
@@ -118,6 +132,23 @@ func minLoad(views []ShardView) int {
 		return -1
 	}
 	return views[best].ID
+}
+
+// minBy picks the view minimizing score, breaking score ties with the
+// deterministic minLoad chain.
+func minBy(views []ShardView, score func(ShardView) int) int {
+	var best int
+	var min []ShardView
+	for i, v := range views {
+		s := score(v)
+		switch {
+		case i == 0 || s < best:
+			best, min = s, append(min[:0], v)
+		case s == best:
+			min = append(min, v)
+		}
+	}
+	return minLoad(min)
 }
 
 // hashByKey pins a session to a shard by hashing its key material: the
@@ -173,4 +204,33 @@ func (familyAffinity) Route(s SessionInfo, views []ShardView) int {
 		return minLoad(pure)
 	}
 	return minLoad(el)
+}
+
+// qosAware is QoS-aware placement: high-priority (video/voice class)
+// sessions spread across shards by accumulated high-priority weight, so
+// no shard concentrates the latency-critical load; low-priority sessions
+// go least-loaded but see each shard's high-priority pressure — open
+// high-priority weight doubled, plus any high-priority operations already
+// pending for the shard's next batch — steering bulk transfers away from
+// the shards voice depends on.
+type qosAware struct{}
+
+func (qosAware) Name() string { return RouterQoSAware }
+
+// pendingOpWeight is how much one queued high-priority operation counts
+// against a shard in the low-priority placement score, calibrated to the
+// sessionWeight scale (a small voice frame's per-packet cycle cost).
+const pendingOpWeight = 64
+
+func (qosAware) Route(s SessionInfo, views []ShardView) int {
+	el := eligible(s.Family, views)
+	if len(el) == 0 {
+		return -1
+	}
+	if qos.ClassForPriority(s.Priority).HighPriority() {
+		return minBy(el, func(v ShardView) int { return v.HighPrioWeight })
+	}
+	return minBy(el, func(v ShardView) int {
+		return v.SessionWeight + 2*v.HighPrioWeight + pendingOpWeight*v.PendingHighPrio
+	})
 }

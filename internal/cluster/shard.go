@@ -63,6 +63,7 @@ func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
 		Cores:         cfg.CoresPerShard,
 		Policy:        pol,
 		QueueRequests: cfg.QueueRequests,
+		MaxQueue:      cfg.MaxQueue,
 	})
 	sh := &shard{
 		id:     id,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/trafficgen"
 )
 
@@ -16,11 +17,14 @@ type WorkloadConfig struct {
 	Router        string // routing policy (default hash-by-key)
 	Policy        string // per-shard dispatch policy (default first-idle)
 	QueueRequests bool
-	Packets       int // total packets (default 96)
-	Sessions      int // sessions cycled over the mix (default 4 x Shards)
-	Mix           []trafficgen.Standard
-	Seed          int64
-	BatchWindow   int
+	// MaxQueue bounds each shard's request queue (0 = unbounded); see
+	// Config.MaxQueue.
+	MaxQueue    int
+	Packets     int // total packets (default 96)
+	Sessions    int // sessions cycled over the mix (default 4 x Shards)
+	Mix         []trafficgen.Standard
+	Seed        int64
+	BatchWindow int
 	// ShardWindow overrides the per-shard in-flight window (see
 	// Config.ShardWindow); with QueueRequests off, a window above the
 	// core count deliberately drives the device into error-flag rejects.
@@ -35,8 +39,13 @@ type WorkloadResult struct {
 	// determinism checks compare these across runs.
 	ShardDigests []uint64
 	// Errors counts failed packets (only possible with QueueRequests off,
-	// where saturation draws the paper's error flag).
+	// where saturation draws the paper's error flag, or with a bounded
+	// MaxQueue shedding overflow).
 	Errors int
+	// ClassPackets and ClassBytes break completed traffic down by QoS
+	// class (indexed by qos.Class), for mixed-priority workload reports.
+	ClassPackets [qos.NumClasses]uint64
+	ClassBytes   [qos.NumClasses]uint64
 }
 
 // sessionWeight estimates a standard's relative cycle cost per packet from
@@ -72,6 +81,7 @@ func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
 		Router:        cfg.Router,
 		Policy:        cfg.Policy,
 		QueueRequests: cfg.QueueRequests,
+		MaxQueue:      cfg.MaxQueue,
 		Seed:          uint64(cfg.Seed),
 		BatchWindow:   cfg.BatchWindow,
 		ShardWindow:   cfg.ShardWindow,
@@ -99,13 +109,17 @@ func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
 	for p := 0; p < cfg.Packets; p++ {
 		i := p % cfg.Sessions
 		ses := sessions[i]
+		class := cfg.Mix[i%len(cfg.Mix)].Class()
 		pkt := gen.Next(i%len(cfg.Mix), ses.ID())
 		shardID := ses.Shard()
+		n := len(pkt.Payload)
 		ses.EncryptAsync(pkt.Nonce, pkt.AAD, pkt.Payload, func(out []byte, err error) {
 			if err != nil {
 				res.Errors++
 				return
 			}
+			res.ClassPackets[class]++
+			res.ClassBytes[class] += uint64(n)
 			d := res.ShardDigests[shardID]
 			for _, by := range out {
 				d = (d ^ uint64(by)) * 0x100000001b3

@@ -38,6 +38,11 @@ var (
 	ErrNoResources = fmt.Errorf("mccp: no idle cryptographic core (error flag)")
 	ErrBadChannel  = fmt.Errorf("mccp: unknown or closed channel")
 	ErrNoData      = fmt.Errorf("mccp: RETRIEVE_DATA with empty done queue")
+	// ErrQueueFull is the bounded-queue verdict of the QoS extension: the
+	// request queue hit Config.MaxQueue, so the request was shed rather
+	// than queued unboundedly (distinct from ErrNoResources, the paper's
+	// error flag with queueing disabled entirely).
+	ErrQueueFull = fmt.Errorf("mccp: request queue full (load shed)")
 )
 
 // Suite is a channel's cryptographic configuration.
@@ -62,6 +67,11 @@ type Config struct {
 	// QueueRequests enables the §VIII extension: instead of returning the
 	// error flag when no core is idle, requests wait in a priority queue.
 	QueueRequests bool
+	// MaxQueue bounds the request queue when QueueRequests is enabled
+	// (0 = unbounded). A request arriving at a full queue is shed with
+	// ErrQueueFull and counted in Stats.Shed — backpressure with an
+	// explicit verdict instead of unbounded memory growth.
+	MaxQueue int
 }
 
 // channel is one open communication channel.
@@ -152,11 +162,17 @@ type MCCP struct {
 	Stats Stats
 }
 
-// Stats counts device activity.
+// Stats counts device activity. The three saturation outcomes are
+// disjoint: Rejected is the paper's error flag (queueing disabled),
+// Queued a request that waited in the QoS queue, Shed a request dropped
+// because the bounded queue was full. internal/cluster aggregates the
+// same three counters per shard, so the single-device and cluster views
+// stay comparable.
 type Stats struct {
 	Opens, Submits, Retrieves uint64
 	Rejected                  uint64 // error-flag returns (no resources)
 	Queued                    uint64 // QoS extension: requests that waited
+	Shed                      uint64 // QoS extension: bounded-queue drops
 	AuthFails                 uint64
 }
 
@@ -291,6 +307,13 @@ func (m *MCCP) tryDispatch(c *channel, encrypt bool, aadLen, dataLen int, cb fun
 	ids := m.policy.Pick(req, m.views(c.keyID))
 	if ids == nil {
 		if m.Cfg.QueueRequests {
+			// Only fresh submissions are shed: a request re-tried from the
+			// queue by pump keeps its admission.
+			if fresh && m.Cfg.MaxQueue > 0 && len(m.waitQ) >= m.Cfg.MaxQueue {
+				m.Stats.Shed++
+				cb(Assignment{}, ErrQueueFull)
+				return
+			}
 			m.Stats.Queued++
 			w := &waiting{ch: c, encrypt: encrypt, aadLen: aadLen, dataLen: dataLen,
 				cb: cb, prio: c.suite.Priority, seq: len(m.waitQ)}
@@ -502,13 +525,26 @@ func (m *MCCP) pump() {
 // WriteToCore streams words into a core's input FIFO through the Cross Bar
 // (one 32-bit word per cycle, one core at a time).
 func (m *MCCP) WriteToCore(coreID int, words []uint32, done func()) {
+	m.WriteToCorePrio(coreID, words, 0, done)
+}
+
+// WriteToCorePrio is WriteToCore with a QoS priority on the Cross Bar
+// grant, so a high-priority packet's upload never queues behind a backlog
+// of bulk transfers.
+func (m *MCCP) WriteToCorePrio(coreID int, words []uint32, prio int, done func()) {
 	c := m.Cores[coreID]
-	m.XBar.WriteWords(words, c.PushWord, done)
+	m.XBar.WriteWordsPrio(words, c.PushWord, prio, done)
 }
 
 // ReadFromCore drains n words from a core's output FIFO through the Cross
 // Bar.
 func (m *MCCP) ReadFromCore(coreID int, n int, done func([]uint32)) {
+	m.ReadFromCorePrio(coreID, n, 0, done)
+}
+
+// ReadFromCorePrio is ReadFromCore with a QoS priority on the Cross Bar
+// grant.
+func (m *MCCP) ReadFromCorePrio(coreID int, n, prio int, done func([]uint32)) {
 	c := m.Cores[coreID]
-	m.XBar.ReadWords(n, c.PopWord, done)
+	m.XBar.ReadWordsPrio(n, c.PopWord, prio, done)
 }

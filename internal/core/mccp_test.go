@@ -172,6 +172,54 @@ func TestCoresHeldUntilTransferDone(t *testing.T) {
 	eng.Run()
 }
 
+// TestBoundedQueueSheds: with MaxQueue set, saturating submissions split
+// into the three distinct outcomes — dispatched, queued, shed — and the
+// counters agree with the callbacks.
+func TestBoundedQueueSheds(t *testing.T) {
+	eng, dev := newDev(core.Config{Cores: 1, QueueRequests: true, MaxQueue: 2})
+	dev.KeyMem.Store(1, make([]byte, 16))
+	var ch int
+	dev.Open(core.Suite{Family: cryptocore.FamilyCTR}, 1, func(c int, _ error) { ch = c })
+	eng.Run()
+
+	shed, ok := 0, 0
+	serve := func(a core.Assignment, err error) {
+		switch err {
+		case nil:
+			ok++
+			dev.WriteToCore(a.CoreIDs[0], make([]uint32, 8), func() {
+				dev.TransferDone(a.ReqID, func(error) {})
+			})
+		case core.ErrQueueFull:
+			shed++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	dev.OnDataAvailable = func() {
+		dev.RetrieveData(func(r core.Retrieval, err error) {
+			if err != nil {
+				return
+			}
+			dev.ReadFromCore(r.OutCore, r.OutWords, func([]uint32) {
+				dev.TransferDone(r.ReqID, func(error) {})
+			})
+		})
+	}
+	// Six submissions against one core with a 2-deep queue: 1 dispatches,
+	// 2 queue, 3 shed (the queued ones drain as the core frees).
+	for i := 0; i < 6; i++ {
+		dev.Submit(ch, true, 0, 16, serve)
+	}
+	eng.Run()
+	if ok != 3 || shed != 3 {
+		t.Fatalf("ok=%d shed=%d, want 3/3", ok, shed)
+	}
+	if dev.Stats.Queued != 2 || dev.Stats.Shed != 3 || dev.Stats.Rejected != 0 {
+		t.Fatalf("stats = %+v, want Queued=2 Shed=3 Rejected=0", dev.Stats)
+	}
+}
+
 func TestPriorityQueueOrdering(t *testing.T) {
 	// With queueing enabled and the device saturated, a high-priority
 	// channel's request dispatches before earlier low-priority ones.

@@ -2,6 +2,17 @@
 // shared 32-bit path between the communication controller and the core
 // packet FIFOs. The Task Scheduler grants it to one core at a time for
 // I/O access, so transfers to different cores serialize.
+//
+// The grant order is the Task Scheduler's decision, which makes it the
+// third leg of the §VIII QoS extension: waiting jobs are granted in
+// priority order (FIFO within a priority), so a voice frame's transfer
+// never queues behind a backlog of bulk uploads. A grant is never
+// preempted mid-word-burst, but long transfers are issued as a chain of
+// SegmentWords-word grants (re-arbitrating between segments), bounding
+// the residual a high-priority job can wait behind to one segment. With
+// every job at the same priority the grant order is exactly the paper's
+// FIFO and segmentation only interleaves concurrent streams without
+// changing any stream's own word order or the total occupancy.
 package crossbar
 
 import "mccp/internal/sim"
@@ -9,13 +20,24 @@ import "mccp/internal/sim"
 // WordCycle is the transfer rate: one 32-bit word per clock cycle.
 const WordCycle = 1
 
+// SegmentWords is the arbitration granularity: the longest word burst one
+// grant covers before the Cross Bar re-arbitrates (a 256-byte slice of
+// the 512x32-bit packet FIFOs).
+const SegmentWords = 64
+
+// job is one queued transfer.
+type job struct {
+	fn   func(done func())
+	prio int
+}
+
 // Crossbar serializes I/O jobs. A job is a callback that performs its
 // transfer (with its own pacing and backpressure handling) and must call
 // the provided completion function exactly once.
 type Crossbar struct {
 	eng   *sim.Engine
 	busy  bool
-	queue []func(done func())
+	queue []job
 
 	// Grants counts completed jobs; BusyCycles accumulates occupancy for
 	// the utilization metrics.
@@ -33,26 +55,41 @@ func (x *Crossbar) Busy() bool { return x.busy }
 // QueueLen reports the number of waiting jobs.
 func (x *Crossbar) QueueLen() int { return len(x.queue) }
 
-// Submit enqueues a job. Jobs run in submission order, one at a time.
-func (x *Crossbar) Submit(job func(done func())) {
+// Submit enqueues a priority-0 job (the paper's FIFO behaviour).
+func (x *Crossbar) Submit(fn func(done func())) { x.SubmitPrio(fn, 0) }
+
+// SubmitPrio enqueues a job at a QoS priority. Waiting jobs are granted
+// highest priority first, FIFO within a priority; the running transfer is
+// never preempted.
+func (x *Crossbar) SubmitPrio(fn func(done func()), prio int) {
 	if x.busy {
-		x.queue = append(x.queue, job)
+		j := job{fn: fn, prio: prio}
+		at := len(x.queue)
+		for i, q := range x.queue {
+			if prio > q.prio {
+				at = i
+				break
+			}
+		}
+		x.queue = append(x.queue, job{})
+		copy(x.queue[at+1:], x.queue[at:])
+		x.queue[at] = j
 		return
 	}
-	x.run(job)
+	x.run(fn)
 }
 
-func (x *Crossbar) run(job func(done func())) {
+func (x *Crossbar) run(fn func(done func())) {
 	x.busy = true
 	x.start = x.eng.Now()
 	x.eng.After(0, func() {
-		job(func() {
+		fn(func() {
 			x.Grants++
 			x.BusyCycles += x.eng.Now() - x.start
 			if len(x.queue) > 0 {
 				next := x.queue[0]
 				x.queue = x.queue[1:]
-				x.run(next)
+				x.run(next.fn)
 				return
 			}
 			x.busy = false
@@ -64,39 +101,73 @@ func (x *Crossbar) run(job func(done func())) {
 // word per cycle, as a single crossbar job. push must deliver the word and
 // invoke its continuation, honouring FIFO backpressure.
 func (x *Crossbar) WriteWords(words []uint32, push func(w uint32, then func()), done func()) {
-	x.Submit(func(release func()) {
+	x.WriteWordsPrio(words, push, 0, done)
+}
+
+// WriteWordsPrio is WriteWords granted at a QoS priority, one
+// SegmentWords-bounded grant per segment.
+func (x *Crossbar) WriteWordsPrio(words []uint32, push func(w uint32, then func()), prio int, done func()) {
+	seg := words
+	if len(seg) > SegmentWords {
+		seg = words[:SegmentWords]
+	}
+	rest := words[len(seg):]
+	x.SubmitPrio(func(release func()) {
 		var step func(i int)
 		step = func(i int) {
-			if i == len(words) {
+			if i == len(seg) {
 				release()
+				if len(rest) > 0 {
+					x.WriteWordsPrio(rest, push, prio, done)
+					return
+				}
 				done()
 				return
 			}
-			push(words[i], func() {
+			push(seg[i], func() {
 				x.eng.After(WordCycle, func() { step(i + 1) })
 			})
 		}
 		step(0)
-	})
+	}, prio)
 }
 
 // ReadWords drains n words from pop (a core output FIFO adapter) at one
 // word per cycle, delivering the result to done.
 func (x *Crossbar) ReadWords(n int, pop func(then func(uint32)), done func([]uint32)) {
-	x.Submit(func(release func()) {
-		out := make([]uint32, 0, n)
+	x.ReadWordsPrio(n, pop, 0, done)
+}
+
+// ReadWordsPrio is ReadWords granted at a QoS priority, one
+// SegmentWords-bounded grant per segment.
+func (x *Crossbar) ReadWordsPrio(n int, pop func(then func(uint32)), prio int, done func([]uint32)) {
+	x.readSegmented(nil, n, pop, prio, done)
+}
+
+func (x *Crossbar) readSegmented(acc []uint32, n int, pop func(then func(uint32)), prio int, done func([]uint32)) {
+	seg := n - len(acc)
+	if seg > SegmentWords {
+		seg = SegmentWords
+	}
+	x.SubmitPrio(func(release func()) {
+		got := 0
 		var step func()
 		step = func() {
-			if len(out) == n {
+			if got == seg {
 				release()
-				done(out)
+				if len(acc) < n {
+					x.readSegmented(acc, n, pop, prio, done)
+					return
+				}
+				done(acc)
 				return
 			}
 			pop(func(w uint32) {
-				out = append(out, w)
+				acc = append(acc, w)
+				got++
 				x.eng.After(WordCycle, step)
 			})
 		}
 		step()
-	})
+	}, prio)
 }

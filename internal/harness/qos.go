@@ -1,0 +1,355 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+	"mccp/internal/radio"
+	"mccp/internal/scheduler"
+	"mccp/internal/sim"
+)
+
+// This file is experiment E12: the §VIII quality-of-service extension.
+// A 4:1 overload mix — four closed-loop background streams of
+// maximum-size packets against one latency-critical voice stream — runs
+// through the qos.Shaper front end under each dispatch policy. The
+// headline claim mirrors the paper's outlook: with the qos-priority
+// core-reservation policy, voice keeps >= 90% of its uncontended
+// throughput while the paper's first-idle policy lets bulk traffic
+// head-of-line block it.
+
+// QoSVoiceBytes and QoSBackgroundBytes are the experiment's fixed packet
+// sizes (a small CCM voice frame vs the Table II bulk packet size).
+const (
+	QoSVoiceBytes      = 256
+	QoSBackgroundBytes = PacketBytes
+	// QoSBackgroundStreams : 1 voice stream is the 4:1 overload mix.
+	QoSBackgroundStreams = 4
+	// QoSVoiceDeadline is the per-packet relative deadline tag: about 2x
+	// the uncontended voice round trip, so misses indicate real queueing.
+	QoSVoiceDeadline sim.Time = 8000
+)
+
+// QoSCell is one class's measurement in one scenario.
+type QoSCell struct {
+	Class qos.Class
+	// Mbps is the class's delivered throughput over its own active
+	// window at 190 MHz; P50/P95/P99 are enqueue-to-completion latency
+	// percentiles in cycles.
+	Mbps          float64
+	P50, P95, P99 sim.Time
+	Completed     uint64
+	// DeadlineMisses counts voice packets finishing past their tag.
+	DeadlineMisses uint64
+	// Queued and Shed are the device's saturation counters for the run
+	// (whole-device, reported on the background row).
+	Queued, Shed uint64
+}
+
+// QoSScenario is one experiment run: a dispatch policy against the
+// overload mix (or the uncontended voice baseline).
+type QoSScenario struct {
+	Name   string // scenario label ("uncontended", "first-idle", "qos-priority")
+	Policy string // device dispatch policy used
+	Cells  []QoSCell
+}
+
+// VoiceMbps returns the scenario's voice-class throughput.
+func (s QoSScenario) VoiceMbps() float64 {
+	for _, c := range s.Cells {
+		if c.Class == qos.Voice {
+			return c.Mbps
+		}
+	}
+	return 0
+}
+
+// Cell returns the scenario's cell for a class (zero value if absent).
+func (s QoSScenario) Cell(c qos.Class) QoSCell {
+	for _, cell := range s.Cells {
+		if cell.Class == c {
+			return cell
+		}
+	}
+	return QoSCell{Class: c}
+}
+
+// QoSResult is the full E12 sweep.
+type QoSResult struct {
+	// VoiceUncontendedMbps is the baseline: the voice stream alone on the
+	// device.
+	VoiceUncontendedMbps float64
+	// Scenarios holds the overload runs, one per dispatch policy.
+	Scenarios []QoSScenario
+}
+
+// Retention returns a policy's voice throughput under overload relative
+// to the uncontended baseline (1.0 = no degradation).
+func (r QoSResult) Retention(policy string) float64 {
+	if r.VoiceUncontendedMbps == 0 {
+		return 0
+	}
+	for _, s := range r.Scenarios {
+		if s.Policy == policy {
+			return s.VoiceMbps() / r.VoiceUncontendedMbps
+		}
+	}
+	return 0
+}
+
+// qosDevice is the shared experiment fixture: one device under a named
+// dispatch policy with queueing on, firmware settled.
+func qosDevice(policy string, seed uint64) (*sim.Engine, *core.MCCP, *radio.CommController, *radio.MainController) {
+	pol, err := scheduler.ByName(policy)
+	if err != nil {
+		// Experiment drivers pass literal policy names; a typo is a
+		// programming error, not user input.
+		panic(err)
+	}
+	eng := sim.NewEngine()
+	dev := core.New(eng, core.Config{Cores: 4, Policy: pol, QueueRequests: true})
+	cc := radio.NewCommController(dev)
+	mc := radio.NewMainController(dev, seed)
+	eng.Run()
+	return eng, dev, cc, mc
+}
+
+// openQoSChannel provisions a 128-bit key and opens a channel with the
+// suite, draining the engine; it panics on error like the rest of the
+// experiment fixtures.
+func openQoSChannel(eng *sim.Engine, cc *radio.CommController, mc *radio.MainController, s core.Suite) int {
+	keyID, _, err := mc.ProvisionKey(16)
+	if err != nil {
+		panic(err)
+	}
+	ch := 0
+	cc.OpenChannel(s, keyID, func(c int, e error) {
+		if e != nil {
+			panic(e)
+		}
+		ch = c
+	})
+	eng.Run()
+	return ch
+}
+
+// QoSRunConfig parameterizes one runQoS scenario.
+type QoSRunConfig struct {
+	Policy            string
+	VoicePackets      int
+	BackgroundStreams int
+	Drain             string
+}
+
+// runQoS drives the overload mix through one device and returns the
+// scenario. Everything is closed-loop and virtual-time, so the result is
+// a pure function of the configuration.
+func runQoS(cfg QoSRunConfig) QoSScenario {
+	eng, dev, cc, mc := qosDevice(cfg.Policy, 17)
+	shaper := qos.NewShaper(eng, cc, qos.Config{Drain: cfg.Drain})
+
+	voiceCh := openQoSChannel(eng, cc, mc, core.Suite{Family: cryptocore.FamilyCCM,
+		TagLen: 8, Priority: qos.Voice.Priority()})
+	voiceNonce := make([]byte, 13)
+	voicePayload := make([]byte, QoSVoiceBytes)
+
+	bgCh := 0
+	bgNonce := make([]byte, 12)
+	bgPayload := make([]byte, QoSBackgroundBytes)
+	if cfg.BackgroundStreams > 0 {
+		bgCh = openQoSChannel(eng, cc, mc, core.Suite{Family: cryptocore.FamilyGCM,
+			TagLen: 16, Priority: qos.Background.Priority()})
+	}
+
+	voiceLeft := cfg.VoicePackets
+	voiceDone := false
+	var launchVoice func()
+	launchVoice = func() {
+		if voiceLeft == 0 {
+			voiceDone = true
+			return
+		}
+		voiceLeft--
+		shaper.EncryptDeadline(qos.Voice, voiceCh, voiceNonce, nil, voicePayload,
+			eng.Now()+QoSVoiceDeadline, func(_ []byte, err error) {
+				if err != nil {
+					panic(err)
+				}
+				launchVoice()
+			})
+	}
+	var launchBG func()
+	launchBG = func() {
+		// Keep the background load saturating until the voice measurement
+		// finishes, then let the run drain.
+		if voiceDone {
+			return
+		}
+		shaper.Encrypt(qos.Background, bgCh, bgNonce, nil, bgPayload,
+			func(_ []byte, err error) {
+				if err != nil {
+					panic(err)
+				}
+				launchBG()
+			})
+	}
+	for i := 0; i < cfg.BackgroundStreams; i++ {
+		launchBG()
+	}
+	launchVoice()
+	eng.Run()
+
+	scen := QoSScenario{Name: cfg.Policy, Policy: cfg.Policy}
+	for _, class := range []qos.Class{qos.Voice, qos.Background} {
+		st := shaper.Stats(class)
+		if st.Submitted == 0 {
+			continue
+		}
+		cell := QoSCell{
+			Class:          class,
+			Mbps:           st.Mbps(sim.DefaultFreqHz),
+			P50:            shaper.LatencyPercentile(class, 50),
+			P95:            shaper.LatencyPercentile(class, 95),
+			P99:            shaper.LatencyPercentile(class, 99),
+			Completed:      st.Completed,
+			DeadlineMisses: st.DeadlineMisses,
+		}
+		if class == qos.Background {
+			cell.Queued = dev.Stats.Queued
+			cell.Shed = dev.Stats.Shed
+		}
+		scen.Cells = append(scen.Cells, cell)
+	}
+	return scen
+}
+
+// QoSTable runs E12: the uncontended voice baseline, then the 4:1
+// overload mix under first-idle and qos-priority. voicePackets sizes the
+// measurement (24 gives stable figures in well under a second).
+func QoSTable(voicePackets int) QoSResult {
+	base := runQoS(QoSRunConfig{Policy: "first-idle", VoicePackets: voicePackets})
+	res := QoSResult{VoiceUncontendedMbps: base.VoiceMbps()}
+	for _, pol := range []string{"first-idle", "qos-priority"} {
+		s := runQoS(QoSRunConfig{
+			Policy:            pol,
+			VoicePackets:      voicePackets,
+			BackgroundStreams: QoSBackgroundStreams,
+		})
+		res.Scenarios = append(res.Scenarios, s)
+	}
+	return res
+}
+
+// FormatQoSTable renders the E12 sweep.
+func FormatQoSTable(r QoSResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "QoS under a 4:1 overload mix (4 x %dB background streams vs 1 x %dB voice stream)\n",
+		QoSBackgroundBytes, QoSVoiceBytes)
+	fmt.Fprintf(&b, "voice uncontended baseline: %.0f Mbps\n", r.VoiceUncontendedMbps)
+	fmt.Fprintf(&b, "%-14s %-12s %10s %10s %10s %10s %8s %10s\n",
+		"policy", "class", "Mbps", "p50 cyc", "p95 cyc", "p99 cyc", "misses", "retention")
+	for _, s := range r.Scenarios {
+		for _, c := range s.Cells {
+			ret := "-"
+			if c.Class == qos.Voice {
+				ret = fmt.Sprintf("%9.0f%%", 100*c.Mbps/r.VoiceUncontendedMbps)
+			}
+			fmt.Fprintf(&b, "%-14s %-12s %10.0f %10d %10d %10d %8d %10s\n",
+				s.Name, c.Class, c.Mbps, c.P50, c.P95, c.P99, c.DeadlineMisses, ret)
+		}
+	}
+	return b.String()
+}
+
+// QoSDrainRow is one drain policy's fairness measurement.
+type QoSDrainRow struct {
+	Drain string
+	// VoiceP95 and BackgroundP95 are per-class latency percentiles under
+	// a shaper whose capacity equals the core count (so the shaper's
+	// queues, not the device's, do the ordering).
+	VoiceP95, BackgroundP95 sim.Time
+	// BackgroundCompleted counts background packets finished before the
+	// sustained voice load ended; BackgroundShed counts admission drops
+	// at the bounded class queue.
+	BackgroundCompleted, BackgroundShed uint64
+}
+
+// QoSDrainComparison contrasts strict-priority and weighted-fair drains
+// under sustained voice load with a burst of background packets behind a
+// bounded queue: strict priority starves background until the voice load
+// ends (and sheds the burst overflow), weighted-fair drains it at the
+// configured ratio with bounded wait.
+func QoSDrainComparison(voicePackets int) []QoSDrainRow {
+	var rows []QoSDrainRow
+	for _, drain := range qos.DrainNames() {
+		eng, _, cc, mc := qosDevice("first-idle", 23)
+		shaper := qos.NewShaper(eng, cc, qos.Config{
+			Capacity:   4,
+			QueueDepth: 8,
+			Drain:      drain,
+		})
+		voiceCh := openQoSChannel(eng, cc, mc, core.Suite{Family: cryptocore.FamilyCCM,
+			TagLen: 8, Priority: qos.Voice.Priority()})
+		bgCh := openQoSChannel(eng, cc, mc, core.Suite{Family: cryptocore.FamilyGCM,
+			TagLen: 16, Priority: qos.Background.Priority()})
+
+		voiceNonce := make([]byte, 13)
+		voicePayload := make([]byte, QoSVoiceBytes)
+		left := voicePackets
+		var launch func()
+		launch = func() {
+			if left == 0 {
+				return
+			}
+			left--
+			shaper.Encrypt(qos.Voice, voiceCh, voiceNonce, nil, voicePayload,
+				func(_ []byte, err error) {
+					if err != nil {
+						panic(err)
+					}
+					launch()
+				})
+		}
+		// Six sustained voice streams over a capacity of four keep the
+		// voice queue backlogged, so the drain policy decides every slot.
+		for i := 0; i < 6; i++ {
+			launch()
+		}
+		// A 12-packet background burst against an 8-deep class queue:
+		// 4 shed immediately, the rest wait on the drain policy.
+		bgNonce := make([]byte, 12)
+		bgPayload := make([]byte, QoSBackgroundBytes)
+		for i := 0; i < 12; i++ {
+			shaper.Encrypt(qos.Background, bgCh, bgNonce, nil, bgPayload, func(_ []byte, err error) {
+				if err != nil && err != qos.ErrShed {
+					panic(err)
+				}
+			})
+		}
+		eng.Run()
+		bg := shaper.Stats(qos.Background)
+		rows = append(rows, QoSDrainRow{
+			Drain:               drain,
+			VoiceP95:            shaper.LatencyPercentile(qos.Voice, 95),
+			BackgroundP95:       shaper.LatencyPercentile(qos.Background, 95),
+			BackgroundCompleted: bg.Completed,
+			BackgroundShed:      bg.Shed,
+		})
+	}
+	return rows
+}
+
+// FormatQoSDrains renders the drain-policy comparison.
+func FormatQoSDrains(rows []QoSDrainRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %8s\n",
+		"drain", "voice p95", "bg p95", "bg done", "bg shed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %12d %12d %10d %8d\n",
+			r.Drain, r.VoiceP95, r.BackgroundP95, r.BackgroundCompleted, r.BackgroundShed)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"mccp/internal/qos"
+)
+
+// TestQoSVoiceRetention is the E12 acceptance gate: under the 4:1
+// overload mix, the qos-priority policy keeps voice at >= 90% of its
+// uncontended throughput while the paper's first-idle policy falls well
+// below.
+func TestQoSVoiceRetention(t *testing.T) {
+	res := QoSTable(24)
+	if res.VoiceUncontendedMbps <= 0 {
+		t.Fatal("no uncontended baseline")
+	}
+	fi, qp := res.Retention("first-idle"), res.Retention("qos-priority")
+	t.Logf("voice retention: first-idle %.0f%%, qos-priority %.0f%% (baseline %.0f Mbps)",
+		100*fi, 100*qp, res.VoiceUncontendedMbps)
+	if qp < 0.9 {
+		t.Errorf("qos-priority retention %.2f, want >= 0.90", qp)
+	}
+	if fi >= 0.9 {
+		t.Errorf("first-idle retention %.2f, want < 0.90 (head-of-line blocking expected)", fi)
+	}
+	// The reservation trades bulk throughput for voice latency; background
+	// must still make real progress (not starve) under qos-priority.
+	for _, s := range res.Scenarios {
+		bg := s.Cell(qos.Background)
+		if bg.Completed == 0 {
+			t.Errorf("%s: background starved", s.Name)
+		}
+		if v := s.Cell(qos.Voice); v.P99 == 0 || v.P50 > v.P99 {
+			t.Errorf("%s: bad voice percentiles %+v", s.Name, v)
+		}
+	}
+	// Deadline tags: under first-idle the queued voice frames blow their
+	// deadline; under qos-priority none do.
+	if m := res.Scenarios[0].Cell(qos.Voice).DeadlineMisses; m == 0 {
+		t.Error("first-idle: expected deadline misses under overload")
+	}
+	if m := res.Scenarios[1].Cell(qos.Voice).DeadlineMisses; m != 0 {
+		t.Errorf("qos-priority: %d deadline misses, want 0", m)
+	}
+}
+
+// TestQoSTableDeterministic: the whole E12 sweep is a pure function of
+// its configuration (virtual time only, fixed seeds).
+func TestQoSTableDeterministic(t *testing.T) {
+	a, b := QoSTable(12), QoSTable(12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("QoSTable not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestQoSDrainComparison pins the fairness contrast: weighted-fair
+// serves the background burst alongside sustained voice (bounded wait),
+// strict priority makes it wait longer for voice's benefit, and both
+// shed the burst overflow at the bounded class queue.
+func TestQoSDrainComparison(t *testing.T) {
+	rows := QoSDrainComparison(40)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]QoSDrainRow{}
+	for _, r := range rows {
+		byName[r.Drain] = r
+	}
+	strict, wfq := byName[qos.DrainStrict], byName[qos.DrainWeightedFair]
+	if strict.BackgroundShed != 4 || wfq.BackgroundShed != 4 {
+		t.Errorf("burst overflow: strict shed %d, wfq shed %d, want 4 each",
+			strict.BackgroundShed, wfq.BackgroundShed)
+	}
+	if strict.BackgroundCompleted != 8 || wfq.BackgroundCompleted != 8 {
+		t.Errorf("admitted background must complete: %d/%d",
+			strict.BackgroundCompleted, wfq.BackgroundCompleted)
+	}
+	// Strict priority privileges voice latency; weighted-fair trades some
+	// of it for background service.
+	if strict.VoiceP95 >= wfq.VoiceP95 {
+		t.Errorf("strict voice p95 %d should beat weighted-fair %d",
+			strict.VoiceP95, wfq.VoiceP95)
+	}
+	if wfq.BackgroundP95 >= strict.BackgroundP95 {
+		t.Errorf("weighted-fair bg p95 %d should beat strict %d",
+			wfq.BackgroundP95, strict.BackgroundP95)
+	}
+}

@@ -1,0 +1,83 @@
+// Package qos implements the §VIII "stream priorities and quality of
+// service" outlook as a subsystem layered between traffic sources and the
+// MCCP task scheduler: per-class bounded FIFO queues with pluggable drain
+// policies (strict priority, weighted fair), an admission controller that
+// replaces the paper's bare error flag with explicit load-shedding
+// counters, and deadline tags so experiments can report per-class latency
+// percentiles at virtual time.
+//
+// The package is deliberately device-agnostic: a Shaper drives any Target
+// (in practice radio.CommController) on a simulation engine and touches
+// the device layer only through its error contract — the device-side half
+// of the QoS story (the qos-priority core-reservation policy) lives in
+// internal/scheduler.
+package qos
+
+import "fmt"
+
+// Class is a traffic priority class. Higher values drain first under the
+// strict-priority policy; the numeric value doubles as the device-level
+// Suite.Priority tag, so the two halves of the QoS extension (shaper
+// queues above the device, core reservation inside it) agree on ordering.
+type Class int
+
+// The four service classes, lowest priority first.
+const (
+	Background Class = iota // bulk transfer, no latency expectation
+	Data                    // interactive data
+	Video                   // streaming video
+	Voice                   // latency-critical voice frames
+	NumClasses int   = iota
+)
+
+var classNames = [NumClasses]string{"background", "data", "video", "voice"}
+
+// String returns the class name ("voice", "video", "data", "background").
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Priority returns the device-level priority tag for the class (the value
+// carried in core.Suite.Priority and scheduler.Request.Priority).
+func (c Class) Priority() int { return int(c) }
+
+// HighPriority reports whether the class belongs to the latency-critical
+// tier (video and voice) that the qos-priority dispatch policy reserves
+// cores for and the qos-aware cluster router spreads across shards.
+func (c Class) HighPriority() bool { return c >= Video }
+
+// ClassForPriority maps a device priority tag back to a class, clamping
+// out-of-range tags to the nearest class (legacy suites may carry larger
+// priorities).
+func ClassForPriority(p int) Class {
+	switch {
+	case p <= int(Background):
+		return Background
+	case p >= int(Voice):
+		return Voice
+	default:
+		return Class(p)
+	}
+}
+
+// ClassNames lists the class names, highest priority first (display
+// order).
+func ClassNames() []string {
+	return []string{"voice", "video", "data", "background"}
+}
+
+// ClassByName resolves a class name.
+func ClassByName(name string) (Class, error) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		if classNames[c] == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("qos: unknown class %q (have voice, video, data, background)", name)
+}
+
+// Classes iterates highest-priority first, the order every report prints.
+func Classes() []Class { return []Class{Voice, Video, Data, Background} }

@@ -1,0 +1,106 @@
+package qos
+
+import "fmt"
+
+// Drain policy names.
+const (
+	DrainStrict       = "strict-priority"
+	DrainWeightedFair = "weighted-fair"
+)
+
+// DrainNames lists the selectable drain policies.
+func DrainNames() []string { return []string{DrainStrict, DrainWeightedFair} }
+
+// DrainPolicy picks which class queue to pop next when a dispatch slot
+// frees. depth reports each class's current queue depth; Next returns
+// false when every queue is empty. Policies may keep state (weighted-fair
+// credits), so every Shaper gets a fresh instance.
+type DrainPolicy interface {
+	Name() string
+	Next(depth func(Class) int) (Class, bool)
+}
+
+// DrainByName returns a fresh drain policy; the empty string selects
+// strict priority.
+func DrainByName(name string) (DrainPolicy, error) {
+	switch name {
+	case "", DrainStrict:
+		return StrictDrain{}, nil
+	case DrainWeightedFair:
+		return NewWeightedFair(DefaultWeights), nil
+	}
+	return nil, fmt.Errorf("qos: unknown drain policy %q (have %s, %s)",
+		name, DrainStrict, DrainWeightedFair)
+}
+
+// StrictDrain always serves the highest-priority non-empty class. Voice
+// latency is minimal, but sustained high-priority load starves background
+// completely — the documented trade-off the weighted-fair policy exists
+// to fix.
+type StrictDrain struct{}
+
+// Name implements DrainPolicy.
+func (StrictDrain) Name() string { return DrainStrict }
+
+// Next implements DrainPolicy.
+func (StrictDrain) Next(depth func(Class) int) (Class, bool) {
+	for c := Class(NumClasses - 1); c >= 0; c-- {
+		if depth(c) > 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// DefaultWeights is the weighted-fair service ratio, voice-heavy but
+// never zero: background gets one dispatch for every eight voice
+// dispatches under full load, which bounds its wait instead of starving
+// it.
+var DefaultWeights = [NumClasses]int{Background: 1, Data: 2, Video: 4, Voice: 8}
+
+// WeightedFair is a smooth weighted round-robin over the non-empty
+// classes: each call credits every backlogged class with its weight and
+// serves the largest accumulated credit, then charges the served class
+// the round's total. Service converges to the weight ratio, is
+// deterministic, and never starves a backlogged class.
+type WeightedFair struct {
+	weights [NumClasses]int
+	credit  [NumClasses]int
+}
+
+// NewWeightedFair builds a weighted-fair drain; non-positive weights are
+// lifted to 1 so no class can be configured into starvation.
+func NewWeightedFair(weights [NumClasses]int) *WeightedFair {
+	w := &WeightedFair{weights: weights}
+	for i := range w.weights {
+		if w.weights[i] <= 0 {
+			w.weights[i] = 1
+		}
+	}
+	return w
+}
+
+// Name implements DrainPolicy.
+func (*WeightedFair) Name() string { return DrainWeightedFair }
+
+// Next implements DrainPolicy.
+func (w *WeightedFair) Next(depth func(Class) int) (Class, bool) {
+	total := 0
+	best, bestCredit := Class(-1), 0
+	// Highest priority first, so equal credits break toward voice.
+	for _, c := range Classes() {
+		if depth(c) == 0 {
+			continue
+		}
+		w.credit[c] += w.weights[c]
+		total += w.weights[c]
+		if best < 0 || w.credit[c] > bestCredit {
+			best, bestCredit = c, w.credit[c]
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	w.credit[best] -= total
+	return best, true
+}

@@ -1,0 +1,334 @@
+package qos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"mccp/internal/core"
+	"mccp/internal/sim"
+)
+
+// fakeTarget completes each operation after a fixed virtual cost, with a
+// bounded number of concurrently running operations — a stand-in device
+// that makes drain-order tests exact without the full MCCP.
+type fakeTarget struct {
+	eng     *sim.Engine
+	cost    sim.Time
+	slots   int
+	running int
+	backlog []func()
+}
+
+func (f *fakeTarget) start(cb func([]byte, error)) {
+	run := func() {
+		f.running++
+		f.eng.After(f.cost, func() {
+			f.running--
+			cb([]byte("ok"), nil)
+			if len(f.backlog) > 0 && f.running < f.slots {
+				next := f.backlog[0]
+				f.backlog = f.backlog[1:]
+				next()
+			}
+		})
+	}
+	if f.running < f.slots {
+		run()
+		return
+	}
+	f.backlog = append(f.backlog, run)
+}
+
+func (f *fakeTarget) Encrypt(ch int, nonce, aad, payload []byte, cb func([]byte, error)) {
+	f.start(cb)
+}
+
+func (f *fakeTarget) Decrypt(ch int, nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	f.start(cb)
+}
+
+func newFake(slots int) (*sim.Engine, *fakeTarget) {
+	eng := sim.NewEngine()
+	return eng, &fakeTarget{eng: eng, cost: 100, slots: slots}
+}
+
+func TestClassNamesAndPriorities(t *testing.T) {
+	if Voice.Priority() != 3 || Background.Priority() != 0 {
+		t.Fatal("class priorities shifted")
+	}
+	if !Voice.HighPriority() || !Video.HighPriority() || Data.HighPriority() || Background.HighPriority() {
+		t.Fatal("high-priority tier wrong")
+	}
+	for _, name := range ClassNames() {
+		c, err := ClassByName(name)
+		if err != nil || c.String() != name {
+			t.Fatalf("round trip %q: %v", name, err)
+		}
+	}
+	if _, err := ClassByName("bulk"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if ClassForPriority(99) != Voice || ClassForPriority(-1) != Background {
+		t.Fatal("priority clamping wrong")
+	}
+}
+
+// TestStrictDrainServesVoiceFirst: with one device slot and a backlog of
+// mixed classes, strict priority completes every voice packet before any
+// background packet — the documented starvation behaviour.
+func TestStrictDrainServesVoiceFirst(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, Drain: DrainStrict})
+
+	var order []Class
+	submit := func(c Class, n int) {
+		for i := 0; i < n; i++ {
+			s.Encrypt(c, 1, nil, nil, make([]byte, 64), func(_ []byte, err error) {
+				if err != nil {
+					t.Errorf("%v: %v", c, err)
+				}
+				order = append(order, c)
+			})
+		}
+	}
+	// One packet is in flight immediately; the rest queue.
+	submit(Background, 3)
+	submit(Voice, 3)
+	submit(Data, 2)
+	eng.Run()
+
+	want := []Class{Background, Voice, Voice, Voice, Data, Data, Background, Background}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("completion order = %v, want %v", order, want)
+	}
+}
+
+// TestWeightedFairBoundsBackgroundWait: under sustained voice load, the
+// weighted-fair drain still serves background at the configured ratio —
+// bounded wait instead of starvation.
+func TestWeightedFairBoundsBackgroundWait(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, Drain: DrainWeightedFair})
+
+	var order []Class
+	record := func(c Class) func([]byte, error) {
+		return func(_ []byte, err error) {
+			if err != nil {
+				t.Errorf("%v: %v", c, err)
+			}
+			order = append(order, c)
+		}
+	}
+	// Sustained voice: every completion immediately submits another, 24
+	// in total; 2 background packets sit in the queue the whole time.
+	voiceLeft := 24
+	var launchVoice func()
+	launchVoice = func() {
+		if voiceLeft == 0 {
+			return
+		}
+		voiceLeft--
+		s.Encrypt(Voice, 1, nil, nil, make([]byte, 64), func(out []byte, err error) {
+			record(Voice)(out, err)
+			launchVoice()
+		})
+	}
+	launchVoice()
+	s.Encrypt(Background, 1, nil, nil, make([]byte, 64), record(Background))
+	s.Encrypt(Background, 1, nil, nil, make([]byte, 64), record(Background))
+	// Keep the voice queue non-empty so the ratio (8:1) is observable.
+	for i := 0; i < 4; i++ {
+		launchVoice()
+	}
+	eng.Run()
+
+	if len(order) != 26 {
+		t.Fatalf("completed %d/26", len(order))
+	}
+	firstBG := -1
+	for i, c := range order {
+		if c == Background {
+			firstBG = i
+			break
+		}
+	}
+	// 8:1 weights: the first background packet must complete within the
+	// first ~dozen dispatches, not after the full voice run.
+	if firstBG < 0 || firstBG > 12 {
+		t.Fatalf("first background completion at index %d, want <= 12 (order %v)", firstBG, order)
+	}
+	// Strict priority over the same schedule starves background to the
+	// very end — run it as the contrast.
+	eng2, ft2 := newFake(1)
+	s2 := NewShaper(eng2, ft2, Config{Capacity: 1, Drain: DrainStrict})
+	var order2 []Class
+	left := 24
+	var lv func()
+	lv = func() {
+		if left == 0 {
+			return
+		}
+		left--
+		s2.Encrypt(Voice, 1, nil, nil, make([]byte, 64), func(_ []byte, _ error) {
+			order2 = append(order2, Voice)
+			lv()
+		})
+	}
+	lv()
+	s2.Encrypt(Background, 1, nil, nil, make([]byte, 64), func(_ []byte, _ error) {
+		order2 = append(order2, Background)
+	})
+	for i := 0; i < 4; i++ {
+		lv()
+	}
+	eng2.Run()
+	if order2[len(order2)-1] != Background {
+		t.Fatalf("strict drain should starve background until the end: %v", order2)
+	}
+}
+
+// TestAdmissionShedsAtBound: a full class queue sheds with ErrShed and
+// the per-class counters stay consistent.
+func TestAdmissionShedsAtBound(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, QueueDepth: 2})
+
+	sheds := 0
+	for i := 0; i < 6; i++ {
+		s.Encrypt(Background, 1, nil, nil, make([]byte, 64), func(_ []byte, err error) {
+			if err == ErrShed {
+				sheds++
+			}
+		})
+	}
+	eng.Run()
+	st := s.Stats(Background)
+	// Submission 1 dispatches, 2-3 queue; 4 arrives at depth 2 and sheds.
+	// Each completion frees a slot and pumps, so later arrivals re-admit.
+	if st.Submitted != 6 || st.Shed == 0 || st.Completed+st.Shed != st.Submitted {
+		t.Fatalf("inconsistent counters: %+v", st)
+	}
+	if uint64(sheds) != st.Shed {
+		t.Fatalf("shed callbacks %d != counter %d", sheds, st.Shed)
+	}
+	if st.QueuedPeak != 2 {
+		t.Fatalf("queued peak %d, want 2", st.QueuedPeak)
+	}
+	// Other classes were never touched.
+	if v := s.Stats(Voice); v.Submitted != 0 {
+		t.Fatalf("voice counters ticked: %+v", v)
+	}
+}
+
+// TestDeadlineTags: completions after the deadline tick DeadlineMisses;
+// on-time completions do not.
+func TestDeadlineTags(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1})
+
+	// First packet completes at cycle 100: deadline 150 is met.
+	s.EncryptDeadline(Voice, 1, nil, nil, make([]byte, 64), 150, nil)
+	// Second completes at 200: deadline 150 is missed.
+	s.EncryptDeadline(Voice, 1, nil, nil, make([]byte, 64), 150, nil)
+	eng.Run()
+	st := s.Stats(Voice)
+	if st.DeadlineMisses != 1 {
+		t.Fatalf("deadline misses = %d, want 1 (%+v)", st.DeadlineMisses, st)
+	}
+}
+
+// TestLatencyPercentiles: nearest-rank percentiles over a known latency
+// population (queueing behind a single slot gives 100, 200, ..., cycles).
+func TestLatencyPercentiles(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1})
+	for i := 0; i < 10; i++ {
+		s.Encrypt(Data, 1, nil, nil, make([]byte, 64), nil)
+	}
+	eng.Run()
+	// All 10 submitted at cycle 0; completions at 100..1000.
+	if p50 := s.LatencyPercentile(Data, 50); p50 != 500 {
+		t.Fatalf("p50 = %d, want 500", p50)
+	}
+	if p99 := s.LatencyPercentile(Data, 99); p99 != 1000 {
+		t.Fatalf("p99 = %d, want 1000", p99)
+	}
+	if s.LatencyPercentile(Voice, 99) != 0 {
+		t.Fatal("percentile of empty class should be 0")
+	}
+}
+
+// TestPassThroughCapacity: Capacity 0 never queues in the shaper — the
+// device's own queue absorbs bursts — but latency and counters still
+// record.
+func TestPassThroughCapacity(t *testing.T) {
+	eng, ft := newFake(4)
+	s := NewShaper(eng, ft, Config{})
+	for i := 0; i < 8; i++ {
+		s.Encrypt(Video, 1, nil, nil, make([]byte, 64), nil)
+	}
+	if s.Stats(Video).QueuedPeak > 1 {
+		t.Fatalf("pass-through queued: %+v", s.Stats(Video))
+	}
+	eng.Run()
+	if st := s.Stats(Video); st.Completed != 8 || st.Bytes != 8*64 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// TestShaperDeterminism: the same submission schedule gives identical
+// completion order and latency percentiles across runs.
+func TestShaperDeterminism(t *testing.T) {
+	run := func() (string, sim.Time) {
+		eng, ft := newFake(2)
+		s := NewShaper(eng, ft, Config{Capacity: 2, Drain: DrainWeightedFair})
+		var order string
+		for i := 0; i < 12; i++ {
+			c := Class(i % NumClasses)
+			s.Encrypt(c, 1, nil, nil, make([]byte, 64), func(_ []byte, _ error) {
+				order += fmt.Sprintf("%d", int(c))
+			})
+		}
+		eng.Run()
+		return order, s.LatencyPercentile(Background, 95)
+	}
+	o1, p1 := run()
+	o2, p2 := run()
+	if o1 != o2 || p1 != p2 {
+		t.Fatalf("nondeterministic: %q/%d vs %q/%d", o1, p1, o2, p2)
+	}
+}
+
+// TestRejectedCounterSeparatesFromFailed: device error-flag returns land
+// in Rejected, not Failed.
+func TestRejectedCounterSeparatesFromFailed(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewShaper(eng, rejectTarget{}, Config{})
+	s.Encrypt(Data, 1, nil, nil, make([]byte, 64), nil)
+	if st := s.Stats(Data); st.Rejected != 1 || st.Failed != 0 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+type rejectTarget struct{}
+
+func (rejectTarget) Encrypt(ch int, nonce, aad, payload []byte, cb func([]byte, error)) {
+	cb(nil, core.ErrNoResources)
+}
+
+func (rejectTarget) Decrypt(ch int, nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	cb(nil, core.ErrNoResources)
+}
+
+func TestDrainByName(t *testing.T) {
+	if d, err := DrainByName(""); err != nil || d.Name() != DrainStrict {
+		t.Fatalf("default drain: %v", err)
+	}
+	if d, err := DrainByName(DrainWeightedFair); err != nil || d.Name() != DrainWeightedFair {
+		t.Fatalf("weighted-fair: %v", err)
+	}
+	if _, err := DrainByName("fifo"); err == nil {
+		t.Fatal("unknown drain accepted")
+	}
+}

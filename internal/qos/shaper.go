@@ -1,0 +1,258 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+
+	"mccp/internal/core"
+	"mccp/internal/sim"
+)
+
+// ErrShed is returned to a packet dropped by the admission controller:
+// its class queue was full, so instead of the paper's bare error flag the
+// caller gets an explicit load-shedding verdict (and the per-class Shed
+// counter ticks).
+var ErrShed = fmt.Errorf("qos: class queue full (load shed)")
+
+// Target is the device-facing surface the shaper drives — in practice
+// radio.CommController, but any packet engine with the same asynchronous
+// contract works (cores are a detail below this interface).
+type Target interface {
+	Encrypt(ch int, nonce, aad, payload []byte, cb func([]byte, error))
+	Decrypt(ch int, nonce, aad, ct, tag []byte, cb func([]byte, error))
+}
+
+// Config sizes a Shaper.
+type Config struct {
+	// Capacity bounds the operations handed to the device concurrently.
+	// 0 means pass-through: the shaper only tags, counts and measures,
+	// and the device's own request queue absorbs bursts. A positive
+	// capacity activates the class queues and the drain policy.
+	Capacity int
+	// QueueDepth bounds each class queue (default 64). A packet arriving
+	// at a full queue is shed with ErrShed.
+	QueueDepth int
+	// Drain selects the drain policy by name (default strict-priority).
+	Drain string
+	// Weights overrides the weighted-fair service ratio (zero value picks
+	// DefaultWeights; ignored by strict priority).
+	Weights [NumClasses]int
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	var zero [NumClasses]int
+	if c.Weights == zero {
+		c.Weights = DefaultWeights
+	}
+}
+
+// ClassStats is one class's counter snapshot.
+type ClassStats struct {
+	Class Class
+	// Submitted counts arrivals; Completed successful round trips; Shed
+	// admission drops (queue full); Rejected device error-flag returns;
+	// Failed every other device error (auth failures included).
+	Submitted, Completed, Shed, Rejected, Failed uint64
+	// Bytes is the payload volume of completed operations.
+	Bytes uint64
+	// QueuedPeak is the deepest the class queue ever got; QueuedNow its
+	// current depth.
+	QueuedPeak, QueuedNow int
+	// DeadlineMisses counts completions after their deadline tag.
+	DeadlineMisses uint64
+	// FirstDispatch and LastCompletion bound the class's active interval
+	// in virtual time (for per-class throughput over the class's own
+	// window).
+	FirstDispatch, LastCompletion sim.Time
+}
+
+// Mbps returns the class's delivered throughput at the modeled clock over
+// its own active interval.
+func (s ClassStats) Mbps(freqHz float64) float64 {
+	if s.LastCompletion <= s.FirstDispatch {
+		return 0
+	}
+	cycles := s.LastCompletion - s.FirstDispatch
+	return float64(s.Bytes*8) / float64(cycles) * freqHz / 1e6
+}
+
+// item is one queued operation.
+type item struct {
+	run      func(done func([]byte, error))
+	cb       func([]byte, error)
+	bytes    int
+	enqueued sim.Time
+	deadline sim.Time // 0 = none
+}
+
+// Shaper is the QoS front end: it admits packets into per-class bounded
+// queues, drains them toward the device under the configured policy and
+// capacity, and accounts latency per class. Like the rest of the
+// simulation it is single-threaded: one caller submits and the engine
+// delivers completions.
+type Shaper struct {
+	eng    *sim.Engine
+	target Target
+	cfg    Config
+	drain  DrainPolicy
+
+	queues   [NumClasses][]item
+	inFlight int
+
+	stats      [NumClasses]ClassStats
+	dispatched [NumClasses]bool // FirstDispatch recorded (0 is a valid time)
+	latency    [NumClasses][]sim.Time
+}
+
+// NewShaper builds a shaper over a target. It panics on an unknown drain
+// policy name (callers validating user input should check DrainByName
+// first, as the CLIs do).
+func NewShaper(eng *sim.Engine, target Target, cfg Config) *Shaper {
+	cfg.fill()
+	drain, err := DrainByName(cfg.Drain)
+	if err != nil {
+		panic(err)
+	}
+	if wf, ok := drain.(*WeightedFair); ok {
+		*wf = *NewWeightedFair(cfg.Weights)
+	}
+	s := &Shaper{eng: eng, target: target, cfg: cfg, drain: drain}
+	for c := 0; c < NumClasses; c++ {
+		s.stats[c].Class = Class(c)
+	}
+	return s
+}
+
+// DrainName returns the active drain policy's name.
+func (s *Shaper) DrainName() string { return s.drain.Name() }
+
+// Encrypt submits one packet for protection under a class, without a
+// deadline.
+func (s *Shaper) Encrypt(c Class, ch int, nonce, aad, payload []byte, cb func([]byte, error)) {
+	s.EncryptDeadline(c, ch, nonce, aad, payload, 0, cb)
+}
+
+// EncryptDeadline submits one packet with an absolute virtual-time
+// deadline tag; a completion after the deadline ticks the class's
+// DeadlineMisses counter (the packet still completes — dropping expired
+// work is a ROADMAP follow-on).
+func (s *Shaper) EncryptDeadline(c Class, ch int, nonce, aad, payload []byte, deadline sim.Time, cb func([]byte, error)) {
+	s.submit(c, len(payload), deadline, cb, func(done func([]byte, error)) {
+		s.target.Encrypt(ch, nonce, aad, payload, done)
+	})
+}
+
+// Decrypt submits one packet for verification and recovery under a class.
+func (s *Shaper) Decrypt(c Class, ch int, nonce, aad, ct, tag []byte, cb func([]byte, error)) {
+	s.submit(c, len(ct), 0, cb, func(done func([]byte, error)) {
+		s.target.Decrypt(ch, nonce, aad, ct, tag, done)
+	})
+}
+
+func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, error), run func(done func([]byte, error))) {
+	c = ClassForPriority(int(c))
+	st := &s.stats[c]
+	st.Submitted++
+	if len(s.queues[c]) >= s.cfg.QueueDepth {
+		st.Shed++
+		if cb != nil {
+			cb(nil, ErrShed)
+		}
+		return
+	}
+	s.queues[c] = append(s.queues[c], item{
+		run: run, cb: cb, bytes: nbytes, enqueued: s.eng.Now(), deadline: deadline,
+	})
+	if d := len(s.queues[c]); d > st.QueuedPeak {
+		st.QueuedPeak = d
+	}
+	s.pump()
+}
+
+// depth reports a class queue's occupancy to the drain policy.
+func (s *Shaper) depth(c Class) int { return len(s.queues[c]) }
+
+// pump dispatches queued items while capacity allows, in drain-policy
+// order.
+func (s *Shaper) pump() {
+	for s.cfg.Capacity == 0 || s.inFlight < s.cfg.Capacity {
+		c, ok := s.drain.Next(s.depth)
+		if !ok {
+			return
+		}
+		it := s.queues[c][0]
+		s.queues[c] = s.queues[c][1:]
+		s.inFlight++
+		if !s.dispatched[c] {
+			s.dispatched[c] = true
+			s.stats[c].FirstDispatch = s.eng.Now()
+		}
+		it.run(func(out []byte, err error) {
+			s.inFlight--
+			s.complete(c, it, out, err)
+			s.pump()
+		})
+	}
+}
+
+// complete accounts one finished operation and delivers its callback.
+func (s *Shaper) complete(c Class, it item, out []byte, err error) {
+	st := &s.stats[c]
+	now := s.eng.Now()
+	switch {
+	case err == nil:
+		st.Completed++
+		st.Bytes += uint64(it.bytes)
+		st.LastCompletion = now
+		s.latency[c] = append(s.latency[c], now-it.enqueued)
+		if it.deadline != 0 && now > it.deadline {
+			st.DeadlineMisses++
+		}
+	case err == core.ErrNoResources || err == core.ErrQueueFull:
+		st.Rejected++
+	default:
+		st.Failed++
+	}
+	if it.cb != nil {
+		it.cb(out, err)
+	}
+}
+
+// Stats snapshots one class's counters.
+func (s *Shaper) Stats(c Class) ClassStats {
+	st := s.stats[c]
+	st.QueuedNow = len(s.queues[c])
+	return st
+}
+
+// AllStats snapshots every class, highest priority first.
+func (s *Shaper) AllStats() []ClassStats {
+	out := make([]ClassStats, 0, NumClasses)
+	for _, c := range Classes() {
+		out = append(out, s.Stats(c))
+	}
+	return out
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) of a
+// class's enqueue-to-completion latency in cycles, or 0 with no samples.
+// Percentiles use the nearest-rank method on the recorded samples.
+func (s *Shaper) LatencyPercentile(c Class, p float64) sim.Time {
+	samples := s.latency[c]
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

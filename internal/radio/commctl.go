@@ -33,6 +33,7 @@ type inflightReq struct {
 	dataBlocks int
 	tagLen     int
 	family     cryptocore.Family
+	prio       int // QoS priority for the download-side crossbar grant
 	cb         func([]byte, error)
 }
 
@@ -107,15 +108,17 @@ func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag 
 			dataBlocks: int(a.Tasks[len(a.Tasks)-1].DataBlocks),
 			tagLen:     s.TagLen,
 			family:     s.Family,
+			prio:       s.Priority,
 			cb:         cb,
 		}
-		// Stream every engaged core's input through the Cross Bar, then
-		// acknowledge the upload with the first TRANSFER_DONE.
+		// Stream every engaged core's input through the Cross Bar at the
+		// channel's QoS priority, then acknowledge the upload with the
+		// first TRANSFER_DONE.
 		remaining := len(streams)
 		for i := range streams {
 			words := blocksToWords(streams[i])
 			coreID := a.CoreIDs[i]
-			cc.dev.WriteToCore(coreID, words, func() {
+			cc.dev.WriteToCorePrio(coreID, words, s.Priority, func() {
 				remaining--
 				if remaining == 0 {
 					cc.dev.TransferDone(a.ReqID, func(error) {})
@@ -215,7 +218,11 @@ func (cc *CommController) drainOne() {
 			finish(nil, nil)
 			return
 		}
-		cc.dev.ReadFromCore(r.OutCore, r.OutWords, func(words []uint32) {
+		prio := 0
+		if req != nil {
+			prio = req.prio
+		}
+		cc.dev.ReadFromCorePrio(r.OutCore, r.OutWords, prio, func(words []uint32) {
 			finish(cc.assemble(req, words), nil)
 		})
 	})

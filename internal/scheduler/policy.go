@@ -9,6 +9,7 @@ package scheduler
 
 import (
 	"fmt"
+	"strings"
 
 	"mccp/internal/cryptocore"
 )
@@ -21,7 +22,9 @@ const (
 )
 
 // Names lists the selectable policies, in documentation order.
-func Names() []string { return []string{"first-idle", "round-robin", "key-affinity"} }
+func Names() []string {
+	return []string{"first-idle", "round-robin", "key-affinity", "qos-priority"}
+}
 
 // ByName returns a fresh policy instance for a policy name. The empty
 // string selects the paper's first-idle behaviour. Every caller gets its
@@ -35,8 +38,10 @@ func ByName(name string) (Policy, error) {
 		return &RoundRobin{}, nil
 	case "key-affinity":
 		return KeyAffinity{}, nil
+	case "qos-priority":
+		return QoSPriority{}, nil
 	}
-	return nil, fmt.Errorf("scheduler: unknown policy %q (have first-idle, round-robin, key-affinity)", name)
+	return nil, fmt.Errorf("scheduler: unknown policy %q (have %s)", name, strings.Join(Names(), ", "))
 }
 
 // CoreView is the scheduler's snapshot of one core.
@@ -152,6 +157,73 @@ func (p *RoundRobin) Pick(r Request, cores []CoreView) []int {
 		p.next = (ids[len(ids)-1] + 1) % n
 	}
 	return ids
+}
+
+// HighPriorityMin is the default priority tag from which a request counts
+// as high-priority for QoSPriority (the qos package's video and voice
+// classes; data and background fall below it).
+const HighPriorityMin = 2
+
+// QoSPriority is the §VIII quality-of-service dispatch policy: it keeps
+// Reserve cores free for high-priority traffic. A high-priority request
+// (Priority >= MinPriority) dispatches first-idle over every core, so a
+// voice frame arriving at a device saturated with bulk transfers still
+// finds its reserved core instantly. A low-priority request may only
+// dispatch if at least Reserve suitable cores would stay idle afterwards;
+// otherwise it queues (or draws the error flag), trading a fraction of
+// bulk capacity for bounded high-priority latency.
+type QoSPriority struct {
+	// Reserve is the number of cores kept free for high-priority requests
+	// (default max(1, cores/4) — one of the paper's four cores).
+	Reserve int
+	// MinPriority is the priority tag from which a request counts as
+	// high-priority (default HighPriorityMin).
+	MinPriority int
+}
+
+// Name implements Policy.
+func (QoSPriority) Name() string { return "qos-priority" }
+
+// Pick implements Policy.
+func (p QoSPriority) Pick(r Request, cores []CoreView) []int {
+	minPrio := p.MinPriority
+	if minPrio <= 0 {
+		minPrio = HighPriorityMin
+	}
+	if r.Priority >= minPrio {
+		// Key-affine placement keeps a voice stream on the core that
+		// already holds its round keys, so the reserved capacity is not
+		// spent re-expanding keys on whichever core happens to be free.
+		return KeyAffinity{}.Pick(r, cores)
+	}
+	reserve := p.Reserve
+	if reserve <= 0 {
+		reserve = len(cores) / 4
+		if reserve < 1 {
+			reserve = 1
+		}
+	}
+	// Never reserve the whole device: a single-core MCCP must still serve
+	// background traffic.
+	if reserve >= len(cores) {
+		reserve = len(cores) - 1
+	}
+	want := engineFor(r.Family)
+	idle := 0
+	for _, c := range cores {
+		if usable(c, want) {
+			idle++
+		}
+	}
+	if r.Family == cryptocore.FamilyCCM && r.WantSplit && idle-2 >= reserve {
+		if pr := pickPair(cores, want); pr != nil {
+			return pr
+		}
+	}
+	if idle-1 >= reserve {
+		return pickFirst(cores, want)
+	}
+	return nil
 }
 
 // KeyAffinity prefers an idle core that already holds the request's round

@@ -124,7 +124,66 @@ func TestEngineFiltering(t *testing.T) {
 func TestPolicyNames(t *testing.T) {
 	if (FirstIdle{}).Name() != "first-idle" ||
 		(&RoundRobin{}).Name() != "round-robin" ||
-		(KeyAffinity{}).Name() != "key-affinity" {
+		(KeyAffinity{}).Name() != "key-affinity" ||
+		(QoSPriority{}).Name() != "qos-priority" {
 		t.Error("policy names changed")
+	}
+	for _, n := range Names() {
+		if p, err := ByName(n); err != nil || p.Name() != n {
+			t.Errorf("ByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestQoSPriorityReservesForHighPriority(t *testing.T) {
+	p := QoSPriority{} // defaults: reserve 1 of 4, high = priority >= 2
+	low := Request{Family: cryptocore.FamilyGCM, Priority: 0}
+	high := Request{Family: cryptocore.FamilyGCM, Priority: 3}
+
+	// Plenty idle: low priority dispatches normally.
+	if got := p.Pick(low, views(true, false, false, false)); len(got) != 1 || got[0] != 1 {
+		t.Errorf("low pick = %v, want [1]", got)
+	}
+	// One idle core left: it is reserved — low priority must wait...
+	if got := p.Pick(low, views(true, true, true, false)); got != nil {
+		t.Errorf("low pick on last core = %v, want nil (reserved)", got)
+	}
+	// ...but a voice-class request takes it instantly.
+	if got := p.Pick(high, views(true, true, true, false)); len(got) != 1 || got[0] != 3 {
+		t.Errorf("high pick = %v, want [3]", got)
+	}
+	// Video (priority 2) is in the high tier too.
+	if got := p.Pick(Request{Family: cryptocore.FamilyGCM, Priority: 2},
+		views(true, true, true, false)); len(got) != 1 {
+		t.Errorf("video-priority pick = %v, want the reserved core", got)
+	}
+}
+
+func TestQoSPrioritySplitRespectsReserve(t *testing.T) {
+	p := QoSPriority{}
+	low := Request{Family: cryptocore.FamilyCCM, WantSplit: true, Priority: 0}
+	// Three idle: a low-priority split pair (0,1) still leaves one core.
+	if got := p.Pick(low, views(false, false, false, true)); len(got) != 2 {
+		t.Errorf("split pick = %v, want a pair", got)
+	}
+	// Two idle: taking the pair would empty the device — degrade to one
+	// core, keeping the reserve.
+	if got := p.Pick(low, views(false, false, true, true)); len(got) != 1 {
+		t.Errorf("split pick = %v, want single-core fallback", got)
+	}
+}
+
+func TestQoSPriorityNeverReservesWholeDevice(t *testing.T) {
+	p := QoSPriority{}
+	low := Request{Family: cryptocore.FamilyGCM, Priority: 0}
+	// On a single-core device the reserve clamps to zero: background
+	// traffic must still be servable.
+	if got := p.Pick(low, views(false)); len(got) != 1 {
+		t.Errorf("single-core low pick = %v, want [0]", got)
+	}
+	// Explicit over-reservation clamps the same way.
+	p = QoSPriority{Reserve: 4}
+	if got := p.Pick(low, views(false, false, false, false)); len(got) != 1 {
+		t.Errorf("over-reserved pick = %v, want one core", got)
 	}
 }

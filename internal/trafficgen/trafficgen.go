@@ -12,6 +12,7 @@ import (
 
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/scheduler"
 	"mccp/internal/sim"
@@ -33,11 +34,13 @@ type Standard struct {
 // Profiles modeled on the standards the paper names (UMTS, WiFi, WiMax) —
 // the cipher-suite and size choices follow the standards' security
 // amendments (802.11i CCMP, 802.16e AES-CCM, and a GCM-protected wideband
-// link), not any proprietary trace.
+// link), not any proprietary trace. Priorities follow the qos package's
+// class numbering (voice 3, video 2, data 1, background 0), so a
+// standard's traffic lands in the matching QoS class end-to-end.
 var (
 	// VoiceUMTS: small, frequent, latency-sensitive voice frames.
 	VoiceUMTS = Standard{Name: "umts-voice", Family: cryptocore.FamilyCCM, KeyLen: 16,
-		TagLen: 8, MinBytes: 64, MaxBytes: 256, Priority: 2}
+		TagLen: 8, MinBytes: 64, MaxBytes: 256, Priority: 3}
 	// WiFiCCMP: 802.11i CCMP data frames.
 	WiFiCCMP = Standard{Name: "wifi-ccmp", Family: cryptocore.FamilyCCM, KeyLen: 16,
 		TagLen: 8, MinBytes: 256, MaxBytes: 1500, Priority: 1}
@@ -46,16 +49,27 @@ var (
 		TagLen: 16, MinBytes: 512, MaxBytes: 2048, Priority: 0}
 	// VideoGCM256: high-assurance video with 256-bit keys.
 	VideoGCM256 = Standard{Name: "video-gcm256", Family: cryptocore.FamilyGCM, KeyLen: 32,
-		TagLen: 16, MinBytes: 1024, MaxBytes: 2048, Priority: 1}
+		TagLen: 16, MinBytes: 1024, MaxBytes: 2048, Priority: 2}
+	// BackgroundBulk: best-effort bulk transfer at maximum packet size —
+	// the traffic the QoS experiments overload the device with.
+	BackgroundBulk = Standard{Name: "background-bulk", Family: cryptocore.FamilyGCM, KeyLen: 16,
+		TagLen: 16, MinBytes: 1500, MaxBytes: 2048, Priority: 0}
 )
 
 // DefaultMix is a four-standard mix exercising every suite dimension.
 var DefaultMix = []Standard{VoiceUMTS, WiFiCCMP, WiMaxGCM, VideoGCM256}
 
-// StandardNames lists the selectable profile names, in DefaultMix order.
+// QoSMix covers all four QoS classes exactly once: voice, video, data and
+// background traffic in one mixed-priority workload.
+var QoSMix = []Standard{VoiceUMTS, VideoGCM256, WiFiCCMP, BackgroundBulk}
+
+// catalog lists every selectable profile, DefaultMix first.
+var catalog = []Standard{VoiceUMTS, WiFiCCMP, WiMaxGCM, VideoGCM256, BackgroundBulk}
+
+// StandardNames lists the selectable profile names.
 func StandardNames() []string {
-	names := make([]string, len(DefaultMix))
-	for i, s := range DefaultMix {
+	names := make([]string, len(catalog))
+	for i, s := range catalog {
 		names[i] = s.Name
 	}
 	return names
@@ -67,7 +81,7 @@ func StandardsByName(names []string) ([]Standard, error) {
 	out := make([]Standard, 0, len(names))
 	for _, n := range names {
 		found := false
-		for _, s := range DefaultMix {
+		for _, s := range catalog {
 			if s.Name == n {
 				out = append(out, s)
 				found = true
@@ -86,6 +100,9 @@ func StandardsByName(names []string) ([]Standard, error) {
 func SuiteFor(s Standard) core.Suite {
 	return core.Suite{Family: s.Family, TagLen: s.TagLen, SplitCCM: s.Split, Priority: s.Priority}
 }
+
+// Class returns the standard's QoS class (derived from its priority tag).
+func (s Standard) Class() qos.Class { return qos.ClassForPriority(s.Priority) }
 
 // Packet is one generated packet.
 type Packet struct {
@@ -132,12 +149,15 @@ func (g *Generator) Next(i, ch int) Packet {
 
 // MixedConfig parameterizes RunMixed.
 type MixedConfig struct {
-	Policy     string // "first-idle" (default), "round-robin", "key-affinity"
+	Policy     string // a scheduler policy name ("first-idle" by default)
 	Packets    int    // total packets to push through
-	Channels   int    // number of channels (cycled over DefaultMix)
+	Channels   int    // number of channels (cycled over the mix)
 	Seed       int64
 	QueueDepth bool // enable the QoS queueing extension
 	Cores      int  // 0 = 4
+	// Mix selects the standards cycled over (default DefaultMix; QoSMix
+	// covers all four QoS classes).
+	Mix []Standard
 	// Window is the number of packets kept in flight (0 = 2). Values below
 	// the core count leave idle cores at each dispatch, which is where
 	// placement policies can differ; at saturation every policy degenerates
@@ -171,18 +191,21 @@ func RunMixed(cfg MixedConfig) RunResult {
 	mc := radio.NewMainController(dev, uint64(cfg.Seed)+13)
 	eng.Run()
 
-	if cfg.Channels <= 0 {
-		cfg.Channels = len(DefaultMix)
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix
 	}
-	gen := NewGenerator(cfg.Seed, DefaultMix)
+	if cfg.Channels <= 0 {
+		cfg.Channels = len(cfg.Mix)
+	}
+	gen := NewGenerator(cfg.Seed, cfg.Mix)
 	type chinfo struct {
 		id  int
 		std int
 	}
 	var chans []chinfo
 	for i := 0; i < cfg.Channels; i++ {
-		stdIdx := i % len(DefaultMix)
-		s := DefaultMix[stdIdx]
+		stdIdx := i % len(cfg.Mix)
+		s := cfg.Mix[stdIdx]
 		keyID, _, err := mc.ProvisionKey(s.KeyLen)
 		if err != nil {
 			panic(err)

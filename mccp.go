@@ -27,6 +27,7 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
@@ -53,6 +54,9 @@ const (
 	PolicyFirstIdle   = "first-idle"
 	PolicyRoundRobin  = "round-robin"
 	PolicyKeyAffinity = "key-affinity"
+	// PolicyQoSPriority reserves cores for high-priority (video/voice
+	// class) channels: the §VIII quality-of-service dispatch policy.
+	PolicyQoSPriority = "qos-priority"
 )
 
 // Engine identifies a reconfigurable-region payload for Reconfigure.
@@ -78,6 +82,13 @@ var ErrAuth = radio.ErrAuth
 // disabled.
 var ErrNoResources = core.ErrNoResources
 
+// ErrQueueFull is the bounded-queue verdict: the device request queue hit
+// Config.MaxQueue and shed the request (see Stats.Shed).
+var ErrQueueFull = core.ErrQueueFull
+
+// ErrShed is the QoS shaper's admission verdict: a class queue was full.
+var ErrShed = qos.ErrShed
+
 // Config sizes a Platform.
 type Config struct {
 	// Cores is the number of Cryptographic Cores (default 4, as in the
@@ -89,6 +100,9 @@ type Config struct {
 	// QueueRequests enables the §VIII QoS extension: saturating requests
 	// wait in a priority queue instead of drawing the error flag.
 	QueueRequests bool
+	// MaxQueue bounds the request queue when QueueRequests is on
+	// (0 = unbounded); overflow is shed with ErrQueueFull.
+	MaxQueue int
 	// Seed drives deterministic session-key generation.
 	Seed uint64
 }
@@ -129,6 +143,7 @@ func NewChecked(cfg Config) (*Platform, error) {
 		Cores:         cfg.Cores,
 		Policy:        pol,
 		QueueRequests: cfg.QueueRequests,
+		MaxQueue:      cfg.MaxQueue,
 	})
 	p := &Platform{
 		Eng: eng,
@@ -252,12 +267,16 @@ func (p *Platform) Reconfigure(coreID int, target Engine, src reconfig.Source) (
 	return took, rerr
 }
 
-// Stats is a device-level counter snapshot.
+// Stats is a device-level counter snapshot. Saturation splits into three
+// disjoint outcomes: Rejected (the paper's error flag, queueing off),
+// Queued (waited in the QoS queue) and Shed (dropped at the bounded
+// queue) — internal/cluster reports the same three per shard.
 type Stats struct {
 	Packets       uint64
 	AuthFails     uint64
 	Rejected      uint64
 	Queued        uint64
+	Shed          uint64
 	KeyExpansions uint64
 	CrossbarBusy  sim.Time
 }
@@ -286,6 +305,9 @@ const (
 	RouterHashByKey      = cluster.RouterHashByKey
 	RouterLeastLoaded    = cluster.RouterLeastLoaded
 	RouterFamilyAffinity = cluster.RouterFamilyAffinity
+	// RouterQoSAware spreads high-priority sessions across shards and
+	// steers bulk traffic away from them.
+	RouterQoSAware = cluster.RouterQoSAware
 )
 
 // NewCluster builds and starts a sharded cluster. Close it to stop the
@@ -299,7 +321,47 @@ func (p *Platform) Stats() Stats {
 		AuthFails:     p.Dev.Stats.AuthFails,
 		Rejected:      p.Dev.Stats.Rejected,
 		Queued:        p.Dev.Stats.Queued,
+		Shed:          p.Dev.Stats.Shed,
 		KeyExpansions: p.Dev.KeySched.Expansions,
 		CrossbarBusy:  p.Dev.XBar.BusyCycles,
 	}
+}
+
+// QoSClass is a traffic priority class for the QoS subsystem (voice,
+// video, data, background); its numeric value is the Suite.Priority tag.
+type QoSClass = qos.Class
+
+// The four QoS classes, and the class count.
+const (
+	QoSBackground = qos.Background
+	QoSData       = qos.Data
+	QoSVideo      = qos.Video
+	QoSVoice      = qos.Voice
+	QoSNumClasses = qos.NumClasses
+)
+
+// QoS shaper drain-policy names.
+const (
+	QoSDrainStrict       = qos.DrainStrict
+	QoSDrainWeightedFair = qos.DrainWeightedFair
+)
+
+// Shaper is the QoS front end over a Platform: per-class bounded FIFO
+// queues, strict-priority or weighted-fair drain, admission control with
+// load-shedding counters, deadline tags and per-class latency
+// percentiles. See internal/qos for the full documentation.
+type Shaper = qos.Shaper
+
+// ShaperConfig sizes a Shaper.
+type ShaperConfig = qos.Config
+
+// QoSClassStats is a per-class shaper counter snapshot.
+type QoSClassStats = qos.ClassStats
+
+// NewShaper layers a QoS shaper over the platform's communication
+// controller. Packets submitted through the shaper are classed, queued,
+// admission-controlled and latency-tracked; pair with PolicyQoSPriority
+// (and per-channel Suite.Priority tags) for end-to-end prioritization.
+func (p *Platform) NewShaper(cfg ShaperConfig) *Shaper {
+	return qos.NewShaper(p.Eng, p.CC, cfg)
 }

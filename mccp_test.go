@@ -264,3 +264,102 @@ func TestPublicAPIMatchesStdlibGCM(t *testing.T) {
 		t.Fatalf("facade output != stdlib GCM")
 	}
 }
+
+// TestPublicAPIQoS drives the full QoS stack through the public surface:
+// a qos-priority platform, per-channel class tags, the shaper front end
+// with a bounded background queue, and the three-way saturation counters.
+func TestPublicAPIQoS(t *testing.T) {
+	p := mccp.New(mccp.Config{Policy: mccp.PolicyQoSPriority, QueueRequests: true})
+	voiceKey, _ := p.NewKey(16)
+	bulkKey, _ := p.NewKey(16)
+	voice, err := p.Open(mccp.Suite{Family: mccp.CCM, TagLen: 8, Priority: mccp.QoSVoice.Priority()}, voiceKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16, Priority: mccp.QoSBackground.Priority()}, bulkKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shaper := p.NewShaper(mccp.ShaperConfig{
+		Capacity:   4,
+		QueueDepth: 4,
+		Drain:      mccp.QoSDrainWeightedFair,
+	})
+	voiceNonce := make([]byte, 13)
+	bulkNonce := make([]byte, 12)
+	voiceDone, bulkDone, shed := 0, 0, 0
+	for i := 0; i < 6; i++ {
+		shaper.Encrypt(mccp.QoSVoice, voice.ID(), voiceNonce, nil, make([]byte, 128),
+			func(_ []byte, err error) {
+				if err != nil {
+					t.Errorf("voice: %v", err)
+				}
+				voiceDone++
+			})
+	}
+	for i := 0; i < 8; i++ {
+		shaper.Encrypt(mccp.QoSBackground, bulk.ID(), bulkNonce, nil, make([]byte, 1024),
+			func(_ []byte, err error) {
+				switch err {
+				case nil:
+					bulkDone++
+				case mccp.ErrShed:
+					shed++
+				default:
+					t.Errorf("bulk: %v", err)
+				}
+			})
+	}
+	p.Run()
+	if voiceDone != 6 {
+		t.Fatalf("voice completed %d/6", voiceDone)
+	}
+	if shed == 0 || bulkDone == 0 {
+		t.Fatalf("bounded bulk queue: done=%d shed=%d, want both nonzero", bulkDone, shed)
+	}
+	vs := shaper.Stats(mccp.QoSVoice)
+	if vs.Completed != 6 || shaper.LatencyPercentile(mccp.QoSVoice, 99) == 0 {
+		t.Fatalf("voice shaper stats: %+v", vs)
+	}
+	if bs := shaper.Stats(mccp.QoSBackground); bs.Shed != uint64(shed) {
+		t.Fatalf("shed counter %d != callbacks %d", bs.Shed, shed)
+	}
+}
+
+// TestPublicAPIBoundedDeviceQueue covers Config.MaxQueue end-to-end: the
+// device queues up to the bound, sheds the rest with ErrQueueFull, and
+// Stats separates the outcomes.
+func TestPublicAPIBoundedDeviceQueue(t *testing.T) {
+	p := mccp.New(mccp.Config{QueueRequests: true, MaxQueue: 2})
+	key, _ := p.NewKey(16)
+	ch, err := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, 12)
+	ok, shed := 0, 0
+	for i := 0; i < 12; i++ {
+		ch.EncryptAsync(nonce, nil, make([]byte, 256), func(_ []byte, err error) {
+			switch err {
+			case nil:
+				ok++
+			case mccp.ErrQueueFull:
+				shed++
+			default:
+				t.Errorf("packet: %v", err)
+			}
+		})
+	}
+	p.Run()
+	stats := p.Stats()
+	if shed == 0 || uint64(shed) != stats.Shed {
+		t.Fatalf("shed=%d stats=%+v", shed, stats)
+	}
+	if stats.Rejected != 0 {
+		t.Fatalf("Rejected=%d with queueing on", stats.Rejected)
+	}
+	if ok+shed != 12 {
+		t.Fatalf("outcomes %d+%d != 12", ok, shed)
+	}
+}
