@@ -1,15 +1,22 @@
 // benchjson converts `go test -bench` output into the repository's
 // benchmark-trajectory JSON and optionally gates it against a committed
-// baseline. The CI bench job runs both steps in one invocation:
+// baseline. The CI bench job runs all steps in one invocation:
 //
 //	go test -run '^$' -bench 'Table2|Cluster|QoS' -benchtime 1x . | tee bench.txt
-//	benchjson -in bench.txt -out BENCH_ci.json \
-//	          -baseline BENCH_baseline.json -match 'Table2' -tolerance 0.25
+//	benchjson -in bench.txt -out BENCH_ci.json -hostout BENCH_host.json \
+//	          -baseline BENCH_baseline.json -match 'Table2' -tolerance 0.25 \
+//	          -hostbudget 'Table2_GCM_1core_128=60'
 //
 // Only deterministic virtual-time throughput metrics (*_Mbps at the
-// modeled 190 MHz, voice_retention) participate in the gate; ns/op and
-// host_Mbps describe the host machine and are recorded but never gated.
-// Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+// modeled 190 MHz, voice_retention) participate in the gate; ns/op,
+// host_Mbps and allocs/op describe the host machine and are recorded —
+// -hostout writes them to a separate informational trajectory file — but
+// never gated. The one exception is -hostbudget, a catastrophic-regression
+// smoke check: it fails the run only when a named benchmark's wall clock
+// (ns/op x iterations) exceeds a deliberately generous budget in seconds,
+// which a >10x kernel slowdown would trip but machine-to-machine variance
+// cannot. Exit status: 0 clean, 1 regression/budget violation, 2 usage/IO
+// error.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"mccp/internal/benchfmt"
 )
@@ -24,10 +33,12 @@ import (
 func main() {
 	in := flag.String("in", "-", "bench output to read (- = stdin)")
 	out := flag.String("out", "", "write trajectory JSON here (empty = skip)")
+	hostOut := flag.String("hostout", "", "write host-speed metrics (ns/op, host_Mbps, allocs/op) here (empty = skip)")
 	benchExpr := flag.String("bench", "", "provenance note: the -bench expression the run used")
 	baselinePath := flag.String("baseline", "", "baseline JSON to gate against (empty = no gate)")
 	match := flag.String("match", "Table2", "regexp of benchmark names the gate covers")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput drop before the gate fails")
+	hostBudget := flag.String("hostbudget", "", "host-speed smoke check, 'BenchName=seconds': fail if that benchmark's wall clock exceeded the budget")
 	flag.Parse()
 
 	results, err := parseInput(*in)
@@ -39,17 +50,20 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
+		writeResults(*out, *benchExpr, results)
+	}
+	if *hostOut != "" {
+		host := benchfmt.HostOnly(results)
+		if len(host) == 0 {
+			fatal(fmt.Errorf("no host metrics found for -hostout"))
 		}
-		if err := benchfmt.WriteJSON(f, *benchExpr, results); err != nil {
-			fatal(err)
+		writeResults(*hostOut, *benchExpr, host)
+	}
+	if *hostBudget != "" {
+		if err := checkHostBudget(*hostBudget, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("benchjson: wrote %d results to %s\n", len(results), *out)
 	}
 
 	if *baselinePath == "" {
@@ -78,6 +92,47 @@ func main() {
 	}
 	fmt.Printf("benchjson: gate clean (%q, tolerance %.0f%%) against %s\n",
 		*match, 100**tolerance, *baselinePath)
+}
+
+func writeResults(path, benchExpr string, results []benchfmt.Result) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := benchfmt.WriteJSON(f, benchExpr, results); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(results), path)
+}
+
+// checkHostBudget enforces 'BenchName=seconds': the named benchmark's total
+// wall clock (ns/op x iterations) must stay under the budget. This is a
+// catastrophic-kernel-regression smoke check, so budgets should be set an
+// order of magnitude above a healthy run.
+func checkHostBudget(spec string, results []benchfmt.Result) error {
+	name, limitStr, ok := strings.Cut(spec, "=")
+	if !ok {
+		fatal(fmt.Errorf("bad -hostbudget %q (want 'BenchName=seconds')", spec))
+	}
+	limit, err := strconv.ParseFloat(limitStr, 64)
+	if err != nil || limit <= 0 {
+		fatal(fmt.Errorf("bad -hostbudget seconds in %q", spec))
+	}
+	for _, r := range results {
+		if r.Name != name {
+			continue
+		}
+		wall := r.Metrics["ns_op"] * float64(r.Iterations) / 1e9
+		if wall > limit {
+			return fmt.Errorf("host-speed smoke check failed: %s took %.1fs (budget %.0fs) — the simulation kernel has regressed catastrophically", name, wall, limit)
+		}
+		fmt.Printf("benchjson: host budget ok: %s took %.2fs (budget %.0fs)\n", name, wall, limit)
+		return nil
+	}
+	return fmt.Errorf("host budget benchmark %q missing from results", name)
 }
 
 func parseInput(path string) ([]benchfmt.Result, error) {

@@ -1,0 +1,159 @@
+// Differential determinism tests: the simulation kernel's fast paths
+// (PicoBlaze instruction batching, crossbar burst transfers, bulk FIFO
+// moves, the windowed GHASH/AES functional models) must be invisible in
+// virtual time. Every workload here runs twice on the fast kernel (run-to-
+// run determinism) and once against the retained cycle-by-cycle reference
+// path (sim.CompatDefault), asserting identical cycle counts, throughput
+// figures and packet digests. These tests are the guard that keeps the
+// fast path honest forever: any divergence — a reordered event, a word
+// arriving a cycle early — shows up as a changed cycle count or digest.
+package mccp_test
+
+import (
+	"testing"
+
+	"mccp/internal/cluster"
+	"mccp/internal/cryptocore"
+	"mccp/internal/harness"
+	"mccp/internal/qos"
+	"mccp/internal/sim"
+)
+
+// onReference runs fn with every engine created inside forced onto the
+// cycle-by-cycle reference path.
+func onReference(fn func()) {
+	sim.CompatDefault = true
+	defer func() { sim.CompatDefault = false }()
+	fn()
+}
+
+func TestFastPathTableIIIdentical(t *testing.T) {
+	cells := []struct {
+		name string
+		fam  cryptocore.Family
+		m    harness.Mapping
+		kb   int
+	}{
+		{"GCM/1core/128", cryptocore.FamilyGCM, harness.GCM1, 16},
+		{"GCM/4x1/128", cryptocore.FamilyGCM, harness.GCM4x1, 16},
+		{"GCM/1core/256", cryptocore.FamilyGCM, harness.GCM1, 32},
+		{"CCM/1core/128", cryptocore.FamilyCCM, harness.CCM1, 16},
+		{"CCM/2core/128", cryptocore.FamilyCCM, harness.CCM2, 16},
+		{"CCM/2x2/128", cryptocore.FamilyCCM, harness.CCM2x2, 16},
+	}
+	for _, c := range cells {
+		total := 4 * c.m.Streams
+		fast1 := harness.MeasureThroughput(c.fam, c.m, c.kb, harness.PacketBytes, total)
+		fast2 := harness.MeasureThroughput(c.fam, c.m, c.kb, harness.PacketBytes, total)
+		if fast1 != fast2 {
+			t.Errorf("%s: fast path not deterministic: %v vs %v", c.name, fast1, fast2)
+		}
+		var ref float64
+		onReference(func() {
+			ref = harness.MeasureThroughput(c.fam, c.m, c.kb, harness.PacketBytes, total)
+		})
+		if fast1 != ref {
+			t.Errorf("%s: fast path %v Mbps != reference %v Mbps", c.name, fast1, ref)
+		}
+	}
+}
+
+func TestFastPathLoopTimesIdentical(t *testing.T) {
+	fast := harness.MeasureLoopTimes()
+	var ref []harness.LoopTimeRow
+	onReference(func() { ref = harness.MeasureLoopTimes() })
+	if len(fast) != len(ref) {
+		t.Fatalf("row count %d != %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Errorf("%s: fast %v cycles != reference %v cycles",
+				fast[i].Name, fast[i].MeasuredCycles, ref[i].MeasuredCycles)
+		}
+	}
+}
+
+func clusterRun(t *testing.T) cluster.WorkloadResult {
+	t.Helper()
+	res, err := cluster.RunWorkload(cluster.WorkloadConfig{
+		Shards:        4,
+		Router:        cluster.RouterLeastLoaded,
+		QueueRequests: true,
+		Packets:       64,
+		Sessions:      16,
+		Seed:          1,
+		BatchWindow:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFastPathClusterIdentical(t *testing.T) {
+	fast1 := clusterRun(t)
+	fast2 := clusterRun(t)
+	var ref cluster.WorkloadResult
+	onReference(func() { ref = clusterRun(t) })
+
+	check := func(label string, other cluster.WorkloadResult) {
+		if fast1.Metrics.ClusterCycles != other.Metrics.ClusterCycles {
+			t.Errorf("%s: cluster cycles %d != %d", label,
+				fast1.Metrics.ClusterCycles, other.Metrics.ClusterCycles)
+		}
+		if fast1.Metrics.Packets != other.Metrics.Packets || fast1.Metrics.Bytes != other.Metrics.Bytes {
+			t.Errorf("%s: packets/bytes %d/%d != %d/%d", label,
+				fast1.Metrics.Packets, fast1.Metrics.Bytes, other.Metrics.Packets, other.Metrics.Bytes)
+		}
+		for i := range fast1.ShardDigests {
+			if fast1.ShardDigests[i] != other.ShardDigests[i] {
+				t.Errorf("%s: shard %d digest %#x != %#x", label, i,
+					fast1.ShardDigests[i], other.ShardDigests[i])
+			}
+		}
+		for i := range fast1.Metrics.Shards {
+			a, b := fast1.Metrics.Shards[i], other.Metrics.Shards[i]
+			if a.Cycles != b.Cycles || a.CrossbarBusy != b.CrossbarBusy || a.Queued != b.Queued {
+				t.Errorf("%s: shard %d (cycles %d, xbar %d, queued %d) != (cycles %d, xbar %d, queued %d)",
+					label, i, a.Cycles, a.CrossbarBusy, a.Queued, b.Cycles, b.CrossbarBusy, b.Queued)
+			}
+		}
+	}
+	check("fast run-to-run", fast2)
+	check("fast vs reference", ref)
+}
+
+func TestFastPathQoSIdentical(t *testing.T) {
+	fast := harness.QoSTable(8)
+	var ref harness.QoSResult
+	onReference(func() { ref = harness.QoSTable(8) })
+	if fast.VoiceUncontendedMbps != ref.VoiceUncontendedMbps {
+		t.Errorf("uncontended voice %v != %v", fast.VoiceUncontendedMbps, ref.VoiceUncontendedMbps)
+	}
+	if len(fast.Scenarios) != len(ref.Scenarios) {
+		t.Fatalf("scenario count %d != %d", len(fast.Scenarios), len(ref.Scenarios))
+	}
+	for i := range fast.Scenarios {
+		fs, rs := fast.Scenarios[i], ref.Scenarios[i]
+		for _, cl := range []qos.Class{qos.Voice, qos.Background} {
+			fc, rc := fs.Cell(cl), rs.Cell(cl)
+			if fc.Mbps != rc.Mbps || fc.P50 != rc.P50 || fc.P99 != rc.P99 ||
+				fc.DeadlineMisses != rc.DeadlineMisses {
+				t.Errorf("%s/%v: fast cell %+v != reference %+v", fs.Policy, cl, fc, rc)
+			}
+		}
+	}
+
+	fastDrains := harness.QoSDrainComparison(8)
+	var refDrains []harness.QoSDrainRow
+	onReference(func() { refDrains = harness.QoSDrainComparison(8) })
+	if len(fastDrains) != len(refDrains) {
+		t.Fatalf("drain row count %d != %d", len(fastDrains), len(refDrains))
+	}
+	for i := range fastDrains {
+		if fastDrains[i] != refDrains[i] {
+			t.Errorf("drain %s: fast %+v != reference %+v",
+				fastDrains[i].Drain, fastDrains[i], refDrains[i])
+		}
+	}
+}

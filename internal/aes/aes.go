@@ -3,12 +3,14 @@
 // encryption core the MCCP paper instantiates (P. Chodowiec and K. Gaj,
 // "Very compact FPGA implementation of the AES algorithm", CHES 2003).
 //
-// The functional implementation is deliberately straightforward (S-box
-// lookup + explicit MixColumns) rather than T-table based: it mirrors the
-// hardware structure the paper describes ("the SubBytes transformation uses
-// look up tables", iterative round architecture) and is easy to audit
-// against FIPS-197. Tests check it against the FIPS vectors and
-// differentially against crypto/aes.
+// The structural implementation (S-box lookup + explicit MixColumns)
+// mirrors the hardware the paper describes ("the SubBytes transformation
+// uses look up tables", iterative round architecture) and is easy to audit
+// against FIPS-197; it remains as EncryptRef, the oracle for the FIPS
+// vectors and the differential tests. The hot Encrypt path used by the
+// simulator runs the same rounds through T-tables derived at init from the
+// (itself derived) S-box — bit-identical output, an order of magnitude
+// less host work per simulated block.
 package aes
 
 import (
@@ -102,7 +104,21 @@ func init() {
 		sbox[i] = y
 		invSbox[y] = byte(i)
 	}
+	// T-tables: te[0][x] packs one MixColumns column of sbox[x]
+	// (02·a, 01·a, 01·a, 03·a) most-significant row first; te[1..3] are the
+	// byte rotations used by the other state rows.
+	for i := 0; i < 256; i++ {
+		a := sbox[i]
+		w := uint32(xtime(a))<<24 | uint32(a)<<16 | uint32(a)<<8 | uint32(xtime(a)^a)
+		te[0][i] = w
+		te[1][i] = w>>8 | w<<24
+		te[2][i] = w>>16 | w<<16
+		te[3][i] = w>>24 | w<<8
+	}
 }
+
+// te holds the encryption T-tables (built in init from the derived S-box).
+var te [4][256]uint32
 
 // SBox returns the forward S-box value (exported for the resource model and
 // for tests that audit the derived tables).
@@ -182,8 +198,37 @@ func subWord(w uint32) uint32 {
 // Encrypt enciphers one block. Only encryption exists in the paper's
 // hardware ("Because AES-CCM and AES-GCM modes only use encryption mode, AES
 // decryption algorithm was not implemented"); Decrypt below is provided for
-// the software reference implementations and tests.
+// the software reference implementations and tests. This is the simulator's
+// hot path, so it runs the rounds through the derived T-tables; EncryptRef
+// is the structural reference it must match.
 func (c *Cipher) Encrypt(in bits.Block) bits.Block {
+	nr := c.size.Rounds()
+	k := c.enc[0]
+	s0 := in.Word(0) ^ k.Word(0)
+	s1 := in.Word(1) ^ k.Word(1)
+	s2 := in.Word(2) ^ k.Word(2)
+	s3 := in.Word(3) ^ k.Word(3)
+	for r := 1; r < nr; r++ {
+		k = c.enc[r]
+		t0 := te[0][s0>>24] ^ te[1][s1>>16&0xFF] ^ te[2][s2>>8&0xFF] ^ te[3][s3&0xFF] ^ k.Word(0)
+		t1 := te[0][s1>>24] ^ te[1][s2>>16&0xFF] ^ te[2][s3>>8&0xFF] ^ te[3][s0&0xFF] ^ k.Word(1)
+		t2 := te[0][s2>>24] ^ te[1][s3>>16&0xFF] ^ te[2][s0>>8&0xFF] ^ te[3][s1&0xFF] ^ k.Word(2)
+		t3 := te[0][s3>>24] ^ te[1][s0>>16&0xFF] ^ te[2][s1>>8&0xFF] ^ te[3][s2&0xFF] ^ k.Word(3)
+		s0, s1, s2, s3 = t0, t1, t2, t3
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	k = c.enc[nr]
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xFF])<<16 | uint32(sbox[s2>>8&0xFF])<<8 | uint32(sbox[s3&0xFF])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xFF])<<16 | uint32(sbox[s3>>8&0xFF])<<8 | uint32(sbox[s0&0xFF])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xFF])<<16 | uint32(sbox[s0>>8&0xFF])<<8 | uint32(sbox[s1&0xFF])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xFF])<<16 | uint32(sbox[s1>>8&0xFF])<<8 | uint32(sbox[s2&0xFF])
+	return bits.BlockFromWords([4]uint32{o0 ^ k.Word(0), o1 ^ k.Word(1), o2 ^ k.Word(2), o3 ^ k.Word(3)})
+}
+
+// EncryptRef is the structural FIPS-197 round sequence (SubBytes, ShiftRows,
+// MixColumns as separate audited transforms). Encrypt's T-table path is
+// checked against it differentially.
+func (c *Cipher) EncryptRef(in bits.Block) bits.Block {
 	s := in.XOR(c.enc[0])
 	nr := c.size.Rounds()
 	for r := 1; r < nr; r++ {

@@ -196,3 +196,21 @@ func BenchmarkEncryptFunctional(b *testing.B) {
 		pt = c.Encrypt(pt)
 	}
 }
+
+// TestEncryptMatchesRef pins the T-table hot path to the structural
+// FIPS-197 reference for random keys and blocks of every key size.
+func TestEncryptMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{16, 24, 32} {
+		for i := 0; i < 100; i++ {
+			key := make([]byte, n)
+			rng.Read(key)
+			c := MustNew(key)
+			var in bits.Block
+			rng.Read(in[:])
+			if got, want := c.Encrypt(in), c.EncryptRef(in); got != want {
+				t.Fatalf("AES-%d: T-table %s != reference %s", n*8, got.Hex(), want.Hex())
+			}
+		}
+	}
+}

@@ -99,6 +99,37 @@ func ReadJSON(r io.Reader) ([]Result, error) {
 	return f.Results, nil
 }
 
+// hostMetric reports whether a metric describes the simulator's host-side
+// cost rather than a virtual-time result: wall-clock figures (ns/op,
+// host_Mbps, MB/s) and allocator counters (allocs/op, B/op).
+func hostMetric(m string) bool {
+	switch m {
+	case "ns_op", "allocs_op", "B_op", "MB_s", "sim_Mcycles_per_s":
+		return true
+	}
+	return strings.Contains(m, "host")
+}
+
+// HostOnly projects results onto their host-side metrics, dropping
+// benchmarks that report none. cmd/benchjson uses it to record the
+// host-speed trajectory (BENCH_host.json) separately from the gated
+// virtual-time baseline.
+func HostOnly(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		h := Result{Name: r.Name, Iterations: r.Iterations, Metrics: map[string]float64{}}
+		for m, v := range r.Metrics {
+			if hostMetric(m) {
+				h.Metrics[m] = v
+			}
+		}
+		if len(h.Metrics) > 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // Regression is one gate violation.
 type Regression struct {
 	Benchmark string

@@ -103,3 +103,38 @@ func TestGateDetectsRegressions(t *testing.T) {
 		t.Fatalf("retention regression not caught: %v", regs)
 	}
 }
+
+func TestHostOnly(t *testing.T) {
+	results := []Result{
+		{Name: "Table2_GCM_1core_128", Iterations: 1, Metrics: map[string]float64{
+			"ns_op": 2.5e6, "host_Mbps": 53, "allocs_op": 11000, "B_op": 500000,
+			"system_Mbps": 436, "paper_methodology_Mbps": 436,
+		}},
+		{Name: "Resources", Iterations: 4, Metrics: map[string]float64{
+			"slices": 4084,
+		}},
+	}
+	host := HostOnly(results)
+	if len(host) != 1 {
+		t.Fatalf("HostOnly kept %d results, want 1 (metric-less benchmarks dropped)", len(host))
+	}
+	h := host[0]
+	if h.Name != "Table2_GCM_1core_128" || h.Iterations != 1 {
+		t.Fatalf("wrong result kept: %+v", h)
+	}
+	for _, m := range []string{"ns_op", "host_Mbps", "allocs_op", "B_op"} {
+		if _, ok := h.Metrics[m]; !ok {
+			t.Errorf("host metric %s dropped", m)
+		}
+	}
+	for _, m := range []string{"system_Mbps", "paper_methodology_Mbps"} {
+		if _, ok := h.Metrics[m]; ok {
+			t.Errorf("virtual-time metric %s leaked into host trajectory", m)
+		}
+	}
+	// The projection must not alias the input's metric maps.
+	h.Metrics["ns_op"] = 0
+	if results[0].Metrics["ns_op"] != 2.5e6 {
+		t.Error("HostOnly mutated its input")
+	}
+}

@@ -532,8 +532,7 @@ func (m *MCCP) WriteToCore(coreID int, words []uint32, done func()) {
 // grant, so a high-priority packet's upload never queues behind a backlog
 // of bulk transfers.
 func (m *MCCP) WriteToCorePrio(coreID int, words []uint32, prio int, done func()) {
-	c := m.Cores[coreID]
-	m.XBar.WriteWordsPrio(words, c.PushWord, prio, done)
+	m.XBar.WriteFIFOPrio(m.Cores[coreID].In, words, prio, done)
 }
 
 // ReadFromCore drains n words from a core's output FIFO through the Cross
@@ -545,6 +544,5 @@ func (m *MCCP) ReadFromCore(coreID int, n int, done func([]uint32)) {
 // ReadFromCorePrio is ReadFromCore with a QoS priority on the Cross Bar
 // grant.
 func (m *MCCP) ReadFromCorePrio(coreID int, n, prio int, done func([]uint32)) {
-	c := m.Cores[coreID]
-	m.XBar.ReadWordsPrio(n, c.PopWord, prio, done)
+	m.XBar.ReadFIFOPrio(m.Cores[coreID].Out, n, prio, done)
 }

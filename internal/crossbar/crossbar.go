@@ -13,6 +13,15 @@
 // every job at the same priority the grant order is exactly the paper's
 // FIFO and segmentation only interleaves concurrent streams without
 // changing any stream's own word order or the total occupancy.
+//
+// Transfers against a core FIFO (WriteFIFO/ReadFIFO) take a burst fast
+// path: when the whole segment can move without blocking, it is handed to
+// the FIFO in one event with the per-word ready/cooling schedule a
+// word-per-cycle transfer would have produced, and the grant completes at
+// the arithmetically computed cycle. Segment boundaries — the QoS
+// preemption points — are preserved exactly, and the word-paced reference
+// path remains both as the fallback when a segment would block and as the
+// Engine.Compat oracle the differential determinism tests compare against.
 package crossbar
 
 import "mccp/internal/sim"
@@ -105,7 +114,9 @@ func (x *Crossbar) WriteWords(words []uint32, push func(w uint32, then func()), 
 }
 
 // WriteWordsPrio is WriteWords granted at a QoS priority, one
-// SegmentWords-bounded grant per segment.
+// SegmentWords-bounded grant per segment. It is the word-paced generic
+// path; transfers against a WordFIFO should use WriteFIFOPrio, which adds
+// the burst fast path.
 func (x *Crossbar) WriteWordsPrio(words []uint32, push func(w uint32, then func()), prio int, done func()) {
 	seg := words
 	if len(seg) > SegmentWords {
@@ -139,7 +150,9 @@ func (x *Crossbar) ReadWords(n int, pop func(then func(uint32)), done func([]uin
 }
 
 // ReadWordsPrio is ReadWords granted at a QoS priority, one
-// SegmentWords-bounded grant per segment.
+// SegmentWords-bounded grant per segment. It is the word-paced generic
+// path; transfers against a WordFIFO should use ReadFIFOPrio, which adds
+// the burst fast path.
 func (x *Crossbar) ReadWordsPrio(n int, pop func(then func(uint32)), prio int, done func([]uint32)) {
 	x.readSegmented(nil, n, pop, prio, done)
 }
@@ -170,4 +183,124 @@ func (x *Crossbar) readSegmented(acc []uint32, n int, pop func(then func(uint32)
 		}
 		step()
 	}, prio)
+}
+
+// WriteFIFO streams words into a core input FIFO at priority 0.
+func (x *Crossbar) WriteFIFO(f *sim.WordFIFO, words []uint32, done func()) {
+	x.WriteFIFOPrio(f, words, 0, done)
+}
+
+// WriteFIFOPrio streams words into a core input FIFO, one SegmentWords-
+// bounded grant per segment at a QoS priority. A segment the FIFO can
+// absorb whole moves as a single burst: the words are handed over in one
+// event carrying the word-per-cycle ready schedule, and the grant releases
+// at the arithmetically computed completion cycle. A segment that would
+// block (FIFO backpressure) falls back to the word-paced reference
+// transfer, which is also forced by Engine.Compat.
+func (x *Crossbar) WriteFIFOPrio(f *sim.WordFIFO, words []uint32, prio int, done func()) {
+	seg := words
+	if len(seg) > SegmentWords {
+		seg = words[:SegmentWords]
+	}
+	rest := words[len(seg):]
+	x.SubmitPrio(func(release func()) {
+		finish := func() {
+			release()
+			if len(rest) > 0 {
+				x.WriteFIFOPrio(f, rest, prio, done)
+				return
+			}
+			done()
+		}
+		if len(seg) == 0 {
+			// Empty transfer: completes within its grant event, exactly
+			// like the word-paced loop below.
+			finish()
+			return
+		}
+		start := x.eng.Now()
+		if !x.eng.Compat && f.CanPush(len(seg)) {
+			f.BulkPush(seg, start, WordCycle)
+			x.finishAt(start, len(seg), finish)
+			return
+		}
+		var step func(i int)
+		step = func(i int) {
+			if i == len(seg) {
+				finish()
+				return
+			}
+			f.PushWord(seg[i], func() {
+				x.eng.After(WordCycle, func() { step(i + 1) })
+			})
+		}
+		step(0)
+	}, prio)
+}
+
+// ReadFIFO drains n words from a core output FIFO at priority 0.
+func (x *Crossbar) ReadFIFO(f *sim.WordFIFO, n int, done func([]uint32)) {
+	x.ReadFIFOPrio(f, n, 0, done)
+}
+
+// ReadFIFOPrio drains n words from a core output FIFO, one SegmentWords-
+// bounded grant per segment at a QoS priority. A segment whose words are
+// all deliverable on the word-per-cycle schedule is drained as a single
+// burst (the freed slots cool down on the reference schedule); otherwise
+// the word-paced reference transfer runs, as it always does under
+// Engine.Compat.
+func (x *Crossbar) ReadFIFOPrio(f *sim.WordFIFO, n, prio int, done func([]uint32)) {
+	x.readFIFOSegmented(f, make([]uint32, 0, n), n, prio, done)
+}
+
+func (x *Crossbar) readFIFOSegmented(f *sim.WordFIFO, acc []uint32, n, prio int, done func([]uint32)) {
+	seg := n - len(acc)
+	if seg > SegmentWords {
+		seg = SegmentWords
+	}
+	x.SubmitPrio(func(release func()) {
+		finish := func() {
+			release()
+			if len(acc) < n {
+				x.readFIFOSegmented(f, acc, n, prio, done)
+				return
+			}
+			done(acc)
+		}
+		if seg == 0 {
+			// Empty transfer: completes within its grant event, exactly
+			// like the word-paced loop below.
+			finish()
+			return
+		}
+		start := x.eng.Now()
+		if !x.eng.Compat && f.CanPopSchedule(seg, start, WordCycle) {
+			acc = f.BulkPop(acc, seg, start, WordCycle)
+			x.finishAt(start, seg, finish)
+			return
+		}
+		got := 0
+		var step func()
+		step = func() {
+			if got == seg {
+				finish()
+				return
+			}
+			f.PopWord(func(w uint32) {
+				acc = append(acc, w)
+				got++
+				x.eng.After(WordCycle, step)
+			})
+		}
+		step()
+	}, prio)
+}
+
+// finishAt schedules a burst segment's completion. The release is issued
+// in two hops — the last word's cycle, then one WordCycle — so its event
+// is created at the same virtual instant as the word-paced reference
+// path's release, keeping same-cycle arbitration order identical.
+func (x *Crossbar) finishAt(start sim.Time, seg int, finish func()) {
+	last := start + sim.Time(seg-1)*WordCycle
+	x.eng.At(last, func() { x.eng.After(WordCycle, finish) })
 }

@@ -135,3 +135,64 @@ func TestInterleavedReadWriteStayOrdered(t *testing.T) {
 		t.Errorf("read finished at %d before write at %d", readDone, writeDone)
 	}
 }
+
+func TestFIFOEmptyTransfers(t *testing.T) {
+	// Zero-length transfers through the burst-capable FIFO paths must
+	// complete (regression: the burst completion underflowed on an empty
+	// segment). They still consume a grant, like the word-paced path.
+	eng := sim.NewEngine()
+	x := New(eng)
+	f := sim.NewWordFIFO(eng, 8)
+	eng.After(5, func() {}) // move the clock off zero first
+	eng.Run()
+	wrote, read := false, false
+	x.WriteFIFO(f, nil, func() { wrote = true })
+	x.ReadFIFO(f, 0, func(ws []uint32) { read = len(ws) == 0 })
+	eng.Run()
+	if !wrote || !read {
+		t.Fatalf("empty transfers did not complete: wrote=%v read=%v", wrote, read)
+	}
+	if x.Grants != 2 {
+		t.Errorf("grants = %d, want 2", x.Grants)
+	}
+}
+
+func TestFIFOBurstMatchesWordPaced(t *testing.T) {
+	// The burst fast path and the word-paced reference must complete a
+	// segment chain at the same cycle.
+	run := func(compat bool) (sim.Time, []uint32) {
+		eng := sim.NewEngine()
+		eng.Compat = compat
+		x := New(eng)
+		in := sim.NewWordFIFO(eng, 256)
+		words := make([]uint32, 130) // 3 segments: 64+64+2
+		for i := range words {
+			words[i] = uint32(i)
+		}
+		var doneAt sim.Time
+		x.WriteFIFO(in, words, func() { doneAt = eng.Now() })
+		eng.Run()
+		var got []uint32
+		for {
+			w, ok := in.TryPop()
+			if !ok {
+				break
+			}
+			got = append(got, w)
+		}
+		return doneAt, got
+	}
+	fastAt, fastWords := run(false)
+	refAt, refWords := run(true)
+	if fastAt != refAt {
+		t.Errorf("burst completion at %d, reference at %d", fastAt, refAt)
+	}
+	if len(fastWords) != len(refWords) || len(fastWords) != 130 {
+		t.Fatalf("word counts: fast %d ref %d", len(fastWords), len(refWords))
+	}
+	for i := range fastWords {
+		if fastWords[i] != refWords[i] {
+			t.Fatalf("word %d: fast %d ref %d", i, fastWords[i], refWords[i])
+		}
+	}
+}

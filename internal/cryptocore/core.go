@@ -209,20 +209,9 @@ func (c *Core) finishTask(code uint8) {
 }
 
 // PushWord writes one 32-bit word into the input FIFO, blocking the caller
-// (callback-style) until space is available. The crossbar uses it.
-func (c *Core) PushWord(w uint32, then func()) {
-	if c.In.TryPush(w) {
-		c.eng.After(0, then)
-		return
-	}
-	c.In.WhenPushable(1, func() { c.PushWord(w, then) })
-}
+// (callback-style) until space is available (the reference upload
+// handshake, now hosted on sim.WordFIFO).
+func (c *Core) PushWord(w uint32, then func()) { c.In.PushWord(w, then) }
 
 // PopWord reads one word from the output FIFO, blocking until available.
-func (c *Core) PopWord(then func(uint32)) {
-	if w, ok := c.Out.TryPop(); ok {
-		c.eng.After(0, func() { then(w) })
-		return
-	}
-	c.Out.WhenPoppable(1, func() { c.PopWord(then) })
-}
+func (c *Core) PopWord(then func(uint32)) { c.Out.PopWord(then) }

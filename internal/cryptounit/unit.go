@@ -79,12 +79,31 @@ type Unit struct {
 	// GHash is the digit-serial GHASH core (static region).
 	GHash *ghash.Core
 
-	bank [4]bits.Block
-	mask uint16
-	equ  bool
+	bank    [4]bits.Block
+	mask    uint16
+	maskBlk bits.Block // cached bits.ByteMask(mask)
+	equ     bool
 
 	busy        bool
 	idleWaiters *sim.Waiters
+
+	// Completion plumbing. One foreground instruction executes at a time,
+	// so a single pending-effect slot suffices: tick fires the completion
+	// event, applying pendingFn (a prebuilt per-opcode callback bound to
+	// effA/effB) and idling the unit. Keeping the callbacks prebuilt makes
+	// the per-instruction hot path allocation-free.
+	tick       *sim.Ticker
+	pendingFn  func()
+	effA, effB int
+	effLoadH   func()
+	effFGFM    func()
+	effFAES    func()
+	effChunk   func()
+	effINC     func()
+	effXOR     func()
+	effEQU     func()
+	effMOV     func()
+	effSTORE   func()
 
 	// Trace, when non-nil, receives every accepted instruction with its
 	// acceptance cycle (used by the disassembling tracer and tests).
@@ -102,20 +121,48 @@ type Unit struct {
 // The cipher engine and mailboxes are wired by the enclosing Cryptographic
 // Core.
 func New(eng *sim.Engine, in, out *sim.WordFIFO) *Unit {
-	return &Unit{
+	u := &Unit{
 		eng:         eng,
 		In:          in,
 		Out:         out,
 		GHash:       ghash.NewCore(),
 		mask:        0xFFFF,
+		maskBlk:     bits.ByteMask(0xFFFF),
 		idleWaiters: sim.NewWaiters(eng),
 	}
+	u.tick = eng.NewTicker(func() {
+		if fn := u.pendingFn; fn != nil {
+			u.pendingFn = nil
+			fn()
+		}
+		u.complete()
+	})
+	u.effLoadH = func() { u.GHash.LoadH(u.bank[u.effA]) }
+	u.effFGFM = func() { u.bank[u.effA] = u.GHash.Collect() }
+	u.effFAES = func() { u.bank[u.effA] = u.Cipher.Collect() }
+	u.effChunk = func() { u.bank[u.effA] = u.Cipher.(ChunkReader).ReadChunk() }
+	u.effINC = func() { u.bank[u.effA] = u.bank[u.effA].Inc16(uint16(u.effB) + 1) }
+	u.effXOR = func() { u.bank[u.effB] = u.bank[u.effA].XOR(u.bank[u.effB]).AND(u.maskBlk) }
+	u.effEQU = func() { u.equ = u.bank[u.effA].XOR(u.bank[u.effB]).AND(u.maskBlk).IsZero() }
+	u.effMOV = func() { u.bank[u.effB] = u.bank[u.effA] }
+	u.effSTORE = func() {
+		v := u.bank[u.effA]
+		for i := 0; i < 4; i++ {
+			if !u.Out.TryPush(v.Word(i)) {
+				panic("cryptounit: FIFO overflow after CanPush")
+			}
+		}
+	}
+	return u
 }
 
 // SetMask writes the 16-bit byte mask used by XOR and EQU. The controller
 // writes it through its port map; each 8-bit half costs a controller OUTPUT
 // instruction, which the controller model accounts for.
-func (u *Unit) SetMask(m uint16) { u.mask = m }
+func (u *Unit) SetMask(m uint16) {
+	u.mask = m
+	u.maskBlk = bits.ByteMask(m)
+}
 
 // Mask returns the current byte mask.
 func (u *Unit) Mask() uint16 { return u.mask }
@@ -143,6 +190,7 @@ func (u *Unit) Reset() {
 	u.bank = [4]bits.Block{}
 	u.equ = false
 	u.mask = 0xFFFF
+	u.maskBlk = bits.ByteMask(0xFFFF)
 }
 
 // WhenIdle parks fn until no foreground instruction is executing. The
@@ -184,13 +232,13 @@ func (u *Unit) complete() {
 	}
 }
 
+// doneAfter schedules the instruction's completion d cycles out; fn (nil,
+// or one of the prebuilt effect callbacks) applies the architectural effect
+// at the done edge. Only one instruction is in flight, so the single
+// pending slot cannot be overwritten.
 func (u *Unit) doneAfter(d sim.Time, fn func()) {
-	u.eng.After(d, func() {
-		if fn != nil {
-			fn()
-		}
-		u.complete()
-	})
+	u.pendingFn = fn
+	u.tick.After(d)
 }
 
 func (u *Unit) execute(in cuisa.Instr) {
@@ -207,7 +255,8 @@ func (u *Unit) execute(in cuisa.Instr) {
 		u.storeWhenReady(a)
 
 	case cuisa.OpLOADH:
-		u.doneAfter(SimpleLatency, func() { u.GHash.LoadH(u.bank[a]) })
+		u.effA = a
+		u.doneAfter(SimpleLatency, u.effLoadH)
 
 	case cuisa.OpSGFM:
 		start := now
@@ -222,9 +271,8 @@ func (u *Unit) execute(in cuisa.Instr) {
 		if u.GHash.Busy() && u.GHash.ReadyAt() > now {
 			ready = u.GHash.ReadyAt()
 		}
-		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
-			u.bank[a] = u.GHash.Collect()
-		})
+		u.effA = a
+		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, u.effFGFM)
 
 	case cuisa.OpSAES:
 		if u.Cipher == nil {
@@ -243,40 +291,35 @@ func (u *Unit) execute(in cuisa.Instr) {
 		if !u.Cipher.Busy() {
 			// Hash engines expose their wide result through the finalize
 			// path: FAES on an idle ChunkReader reads the next digest chunk.
-			r, ok := u.Cipher.(ChunkReader)
-			if !ok {
+			if _, ok := u.Cipher.(ChunkReader); !ok {
 				panic("cryptounit: FAES with no computation in flight")
 			}
 			ready := now
 			if ra := u.Cipher.ReadyAt(); ra > now {
 				ready = ra
 			}
-			u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
-				u.bank[a] = r.ReadChunk()
-			})
+			u.effA = a
+			u.doneAfter(sim.Time(ready-now)+FinalizeLatency, u.effChunk)
 			return
 		}
 		ready := u.Cipher.ReadyAt()
 		if ready < now {
 			ready = now
 		}
-		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, func() {
-			u.bank[a] = u.Cipher.Collect()
-		})
+		u.effA = a
+		u.doneAfter(sim.Time(ready-now)+FinalizeLatency, u.effFAES)
 
 	case cuisa.OpINC:
-		delta := uint16(in.B()) + 1
-		u.doneAfter(SimpleLatency, func() { u.bank[a] = u.bank[a].Inc16(delta) })
+		u.effA, u.effB = a, int(in.B())
+		u.doneAfter(SimpleLatency, u.effINC)
 
 	case cuisa.OpXOR:
-		u.doneAfter(SimpleLatency, func() {
-			u.bank[b] = u.bank[a].XOR(u.bank[b]).AND(bits.ByteMask(u.mask))
-		})
+		u.effA, u.effB = a, b
+		u.doneAfter(SimpleLatency, u.effXOR)
 
 	case cuisa.OpEQU:
-		u.doneAfter(SimpleLatency, func() {
-			u.equ = u.bank[a].XOR(u.bank[b]).AND(bits.ByteMask(u.mask)).IsZero()
-		})
+		u.effA, u.effB = a, b
+		u.doneAfter(SimpleLatency, u.effEQU)
 
 	case cuisa.OpSHIN:
 		u.shiftInWhenReady(a)
@@ -285,7 +328,8 @@ func (u *Unit) execute(in cuisa.Instr) {
 		u.shiftOutWhenReady(a)
 
 	case cuisa.OpMOV:
-		u.doneAfter(SimpleLatency, func() { u.bank[b] = u.bank[a] })
+		u.effA, u.effB = a, b
+		u.doneAfter(SimpleLatency, u.effMOV)
 
 	default:
 		panic(fmt.Sprintf("cryptounit: invalid instruction %#02x", uint8(in)))
@@ -312,20 +356,16 @@ func (u *Unit) loadWhenReady(a int) {
 }
 
 // storeWhenReady waits for space, then pushes the register at completion so
-// downstream consumers observe the data when the instruction retires.
+// downstream consumers observe the data when the instruction retires. (The
+// bank cannot change in between — the unit stays busy — so the prebuilt
+// effect reads it at the done edge.)
 func (u *Unit) storeWhenReady(a int) {
 	if !u.Out.CanPush(4) {
 		u.Out.WhenPushable(4, func() { u.storeWhenReady(a) })
 		return
 	}
-	v := u.bank[a]
-	u.doneAfter(SimpleLatency, func() {
-		for i := 0; i < 4; i++ {
-			if !u.Out.TryPush(v.Word(i)) {
-				panic("cryptounit: FIFO overflow after CanPush")
-			}
-		}
-	})
+	u.effA = a
+	u.doneAfter(SimpleLatency, u.effSTORE)
 }
 
 func (u *Unit) shiftInWhenReady(a int) {

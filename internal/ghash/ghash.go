@@ -69,24 +69,102 @@ func DigitSerialCycles(digitBits int) uint64 {
 	return uint64((128 + digitBits - 1) / digitBits)
 }
 
-// MulDigitSerial multiplies processing digitBits coefficient bits of x per
-// iteration, mirroring the hardware schedule: each cycle the partial product
-// accumulates digitBits shifted copies of the multiplicand. The result is
-// bit-identical to Mul for every digit width.
+// MulDigitSerial is the digit-serial multiplier's functional model. The
+// digit width only affects the cycle count (DigitSerialCycles); the product
+// is the plain GF(2^128) product for every width, so the value is computed
+// by the fast windowed multiply and is bit-identical to Mul (a property
+// test checks this across widths).
 func MulDigitSerial(x, y bits.Block, digitBits int) bits.Block {
-	var z bits.Block
-	v := y
-	bit := 0
-	for bit < 128 {
-		for d := 0; d < digitBits && bit < 128; d++ {
-			if x[bit/8]&(0x80>>uint(bit%8)) != 0 {
-				z = z.XOR(v)
-			}
-			v = shiftRight1(v)
-			bit++
+	if digitBits <= 0 || digitBits > 128 {
+		panic("ghash: digit width out of range")
+	}
+	var t mulTable
+	t.init(y)
+	return t.mul(x)
+}
+
+// fieldEl is a GF(2^128) element split into two big-endian uint64 halves,
+// still in GCM's reflected bit convention.
+type fieldEl struct{ low, high uint64 }
+
+func blockToEl(b bits.Block) fieldEl {
+	return fieldEl{
+		low: uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+			uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]),
+		high: uint64(b[8])<<56 | uint64(b[9])<<48 | uint64(b[10])<<40 | uint64(b[11])<<32 |
+			uint64(b[12])<<24 | uint64(b[13])<<16 | uint64(b[14])<<8 | uint64(b[15]),
+	}
+}
+
+func elToBlock(e fieldEl) bits.Block {
+	var b bits.Block
+	for i := 0; i < 8; i++ {
+		b[i] = byte(e.low >> uint(56-8*i))
+		b[8+i] = byte(e.high >> uint(56-8*i))
+	}
+	return b
+}
+
+// elDouble multiplies by x (a right shift in the reflected representation,
+// reducing by the field polynomial when a bit falls off position 127).
+func elDouble(e fieldEl) fieldEl {
+	msbSet := e.high&1 == 1
+	var d fieldEl
+	d.high = e.high>>1 | e.low<<63
+	d.low = e.low >> 1
+	if msbSet {
+		d.low ^= 0xe100000000000000
+	}
+	return d
+}
+
+// reductionTable folds the four bits shifted out of a windowed step back
+// into the top of the element (the standard 4-bit GHASH reduction).
+var reductionTable = [16]uint16{
+	0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+	0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+}
+
+// reverse4 reverses a 4-bit value (table indices are bit-reversed so the
+// multiply loop can consume plain 4-bit digits).
+func reverse4(i int) int {
+	return i&8>>3 | i&4>>1 | i&2<<1 | i&1<<3
+}
+
+// mulTable holds the 16 small multiples of a fixed multiplicand for the
+// 4-bit windowed multiply. The GHASH core caches one per LoadH, so the
+// per-block cost is 32 table steps instead of 128 shift-and-adds.
+type mulTable [16]fieldEl
+
+func (t *mulTable) init(y bits.Block) {
+	x := blockToEl(y)
+	t[reverse4(1)] = x
+	for i := 2; i < 16; i += 2 {
+		d := elDouble(t[reverse4(i/2)])
+		t[reverse4(i)] = d
+		t[reverse4(i+1)] = fieldEl{low: d.low ^ x.low, high: d.high ^ x.high}
+	}
+}
+
+func (t *mulTable) mul(x bits.Block) bits.Block {
+	e := blockToEl(x)
+	var z fieldEl
+	for i := 0; i < 2; i++ {
+		word := e.high
+		if i == 1 {
+			word = e.low
+		}
+		for j := 0; j < 64; j += 4 {
+			msw := z.high & 0xf
+			z.high = z.high>>4 | z.low<<60
+			z.low = z.low>>4 ^ uint64(reductionTable[msw])<<48
+			m := t[word&0xf]
+			z.low ^= m.low
+			z.high ^= m.high
+			word >>= 4
 		}
 	}
-	return z
+	return elToBlock(z)
 }
 
 // Core models the GHASH core inside each Cryptographic Unit: it holds the
@@ -98,6 +176,7 @@ type Core struct {
 	DigitBits int
 
 	h         bits.Block
+	htable    mulTable // windowed multiples of h, rebuilt by LoadH
 	acc       bits.Block
 	busyUntil uint64
 	busy      bool
@@ -110,6 +189,7 @@ func NewCore() *Core { return &Core{DigitBits: DefaultDigitBits} }
 // LOADH instruction ("loads the computed H constant into the GHASH core").
 func (c *Core) LoadH(h bits.Block) {
 	c.h = h
+	c.htable.init(h)
 	c.acc = bits.Block{}
 	c.busy = false
 }
@@ -126,11 +206,9 @@ func (c *Core) Cycles() uint64 {
 // Start begins one iteration acc = (acc XOR x) * H at absolute cycle now and
 // returns the completion cycle (the SGFM instruction).
 func (c *Core) Start(now uint64, x bits.Block) uint64 {
-	d := c.DigitBits
-	if d == 0 {
-		d = DefaultDigitBits
-	}
-	c.acc = MulDigitSerial(c.acc.XOR(x), c.h, d)
+	// The digit width sets the latency only; the product itself comes from
+	// the cached windowed table for H (bit-identical, see MulDigitSerial).
+	c.acc = c.htable.mul(c.acc.XOR(x))
 	c.busyUntil = now + c.Cycles()
 	c.busy = true
 	return c.busyUntil

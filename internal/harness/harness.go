@@ -6,7 +6,9 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"mccp/internal/aes"
 	"mccp/internal/cluster"
@@ -16,6 +18,26 @@ import (
 	"mccp/internal/radio"
 	"mccp/internal/sim"
 )
+
+// HostStats records what a measurement cost the host machine: wall-clock
+// time and heap allocations. Unlike every virtual-time figure in this
+// package it is nondeterministic and informational only (the CI gate
+// ignores host metrics; see internal/benchfmt).
+type HostStats struct {
+	WallSeconds float64
+	Allocs      uint64
+}
+
+// measureHost runs fn and captures its wall-clock and allocation cost.
+func measureHost(fn func()) HostStats {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	return HostStats{WallSeconds: wall, Allocs: m1.Mallocs - m0.Mallocs}
+}
 
 // Mapping is a Table II column: how packets map onto cores.
 type Mapping struct {
@@ -77,6 +99,12 @@ type TableIIRow struct {
 	// PaperTheoreticalMbps / Paper2KBMbps are Table II's printed values.
 	PaperTheoreticalMbps float64
 	Paper2KBMbps         float64
+	// HostMBs and AllocsPerPacket describe what producing the SystemMbps
+	// measurement cost the simulator on this host: payload megabytes
+	// simulated per wall second and heap allocations per packet
+	// (nondeterministic, informational only).
+	HostMBs         float64
+	AllocsPerPacket float64
 }
 
 // paperTableII holds the printed values, keyed by family/mapping/keybits.
@@ -191,12 +219,18 @@ func TableII(packets int) []TableIIRow {
 			key := fmt.Sprintf("%v/%s/%d", c.fam, c.m.Name, kb*8)
 			paper := paperTableII[key]
 			single := Mapping{Name: c.m.Name, Streams: 1, Split: c.m.Split}
-			perInstance := MeasureThroughput(c.fam, single, kb, PacketBytes, packets)
-			system := perInstance
-			if c.m.Streams > 1 {
-				system = MeasureThroughput(c.fam, c.m, kb, PacketBytes, packets*c.m.Streams)
-			}
-			rows = append(rows, TableIIRow{
+			var perInstance, system float64
+			total := packets
+			host := measureHost(func() {
+				perInstance = MeasureThroughput(c.fam, single, kb, PacketBytes, packets)
+				system = perInstance
+				if c.m.Streams > 1 {
+					total = packets * c.m.Streams
+					system = MeasureThroughput(c.fam, c.m, kb, PacketBytes, total)
+					total += packets
+				}
+			})
+			row := TableIIRow{
 				Family:               c.fam,
 				Mapping:              c.m,
 				KeyBits:              kb * 8,
@@ -205,22 +239,30 @@ func TableII(packets int) []TableIIRow {
 				SystemMbps:           system,
 				PaperTheoreticalMbps: paper[0],
 				Paper2KBMbps:         paper[1],
-			})
+				AllocsPerPacket:      float64(host.Allocs) / float64(total),
+			}
+			if host.WallSeconds > 0 {
+				row.HostMBs = float64(total) * PacketBytes / host.WallSeconds / 1e6
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows
 }
 
-// FormatTableII renders rows in the paper's layout.
+// FormatTableII renders rows in the paper's layout, with the simulator's
+// own host-side cost (payload MB/s and allocations per packet) appended.
 func FormatTableII(rows []TableIIRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table II: MCCP encryption throughput at 190 MHz (Mbps)\n")
-	fmt.Fprintf(&b, "%-8s %-12s %-5s | %12s %12s %12s | %10s %10s\n",
-		"Mode", "Mapping", "Key", "theor(model)", "2KB(model)", "system", "theor(ppr)", "2KB(ppr)")
+	fmt.Fprintf(&b, "%-8s %-12s %-5s | %12s %12s %12s | %10s %10s | %9s %10s\n",
+		"Mode", "Mapping", "Key", "theor(model)", "2KB(model)", "system", "theor(ppr)", "2KB(ppr)",
+		"host MB/s", "allocs/pkt")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "AES-%-4v %-12s %-5d | %12.0f %12.0f %12.0f | %10.0f %10.0f\n",
+		fmt.Fprintf(&b, "AES-%-4v %-12s %-5d | %12.0f %12.0f %12.0f | %10.0f %10.0f | %9.1f %10.0f\n",
 			r.Family, r.Mapping.Name, r.KeyBits,
-			r.TheoreticalMbps, r.MeasuredMbps, r.SystemMbps, r.PaperTheoreticalMbps, r.Paper2KBMbps)
+			r.TheoreticalMbps, r.MeasuredMbps, r.SystemMbps, r.PaperTheoreticalMbps, r.Paper2KBMbps,
+			r.HostMBs, r.AllocsPerPacket)
 	}
 	return b.String()
 }

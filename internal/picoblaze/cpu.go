@@ -21,6 +21,21 @@ type Bus interface {
 }
 
 // CPU is one PicoBlaze-style controller instance.
+//
+// The controller retires one instruction every CyclesPerInstr cycles. The
+// reference model schedules one engine event per instruction; this
+// implementation instead batches straight-line runs inside a single event,
+// advancing the clock arithmetically via Engine.TryAdvance. The batch
+// yields back to the event queue exactly when the reference model's
+// interleaving could differ: when a pending engine event would fire at or
+// before the next retire cycle, at an OUTPUT whose handshake defers the
+// done strobe, at HALT, at Stop, and at the RunUntil horizon. Cross-
+// component state only changes through engine events, so between yields
+// the batch is invisible — every instruction still executes at its exact
+// retire cycle (Engine.Now advances through the batch) and virtual-time
+// results are bit-identical to the reference model, which remains
+// available via Engine.Compat and is pinned by the differential
+// determinism tests.
 type CPU struct {
 	eng *sim.Engine
 	bus Bus
@@ -40,6 +55,11 @@ type CPU struct {
 	halted  bool // parked by HALT, waiting for Wake
 	stopped bool // Stop was called (core shut down / reprogrammed)
 
+	// tick reschedules step without allocating a closure per event;
+	// outDone is the reusable OUTPUT completion continuation.
+	tick    *sim.Ticker
+	outDone func()
+
 	// Executed counts retired instructions (including stalled OUTPUT as one).
 	Executed uint64
 	// Trace, if non-nil, sees every retired instruction.
@@ -55,7 +75,10 @@ func New(eng *sim.Engine, bus Bus, program []Word) *CPU {
 	}
 	imem := make([]Word, IMemWords)
 	copy(imem, program)
-	return &CPU{eng: eng, bus: bus, imem: imem}
+	c := &CPU{eng: eng, bus: bus, imem: imem, stack: make([]uint16, 0, StackDepth)}
+	c.tick = eng.NewTicker(c.step)
+	c.outDone = func() { c.next(true) }
+	return c
 }
 
 // LoadProgram replaces the instruction memory (program swap on channel
@@ -92,7 +115,7 @@ func (c *CPU) Start() {
 	c.running = true
 	// Each instruction retires at the end of its two-cycle fetch/execute,
 	// so the first instruction's effects land at cycle +2.
-	c.eng.After(CyclesPerInstr, c.step)
+	c.tick.After(CyclesPerInstr)
 }
 
 // Stop freezes the CPU after the current instruction; Start resumes it.
@@ -114,7 +137,7 @@ func (c *CPU) Wake() {
 		c.running = true
 		// The HALT instruction's own two-cycle cost is charged here, on the
 		// wake edge.
-		c.eng.After(CyclesPerInstr, c.step)
+		c.tick.After(CyclesPerInstr)
 	}
 }
 
@@ -127,6 +150,9 @@ func (c *CPU) PC() uint16 { return c.pc }
 // Flags returns (zero, carry).
 func (c *CPU) Flags() (bool, bool) { return c.zero, c.carry }
 
+// next resumes execution after an OUTPUT handshake completes: inline when
+// no pending event would interleave before the next retire cycle, through
+// the event queue otherwise (exactly the reference model's behaviour).
 func (c *CPU) next(advance bool) {
 	if advance {
 		c.pc = (c.pc + 1) & (IMemWords - 1)
@@ -135,201 +161,220 @@ func (c *CPU) next(advance bool) {
 		c.running = false
 		return
 	}
-	c.eng.After(CyclesPerInstr, c.step)
+	retire := c.eng.Now() + CyclesPerInstr
+	if c.eng.Compat || !c.eng.TryAdvance(retire) {
+		c.tick.At(retire)
+		return
+	}
+	c.step()
 }
 
-// step retires one instruction. The two-cycle cost is charged after
-// execution (fetch+execute), matching the controller's fixed rate.
+// step retires instructions. The two-cycle cost is charged after execution
+// (fetch+execute), matching the controller's fixed rate: the loop entry
+// time is the retire cycle of the instruction about to execute. Straight-
+// line runs stay inside the loop (see the CPU type comment for the exact
+// yield conditions).
 func (c *CPU) step() {
-	if c.stopped || c.halted {
-		c.running = false
-		return
-	}
-	w := c.imem[c.pc]
-	c.Executed++
-	if c.Trace != nil {
-		c.Trace(c.eng.Now(), c.pc, w)
-	}
-	op := w.op()
-	x, y, kk := w.x(), w.y(), w.kk()
+	for {
+		if c.stopped || c.halted {
+			c.running = false
+			return
+		}
+		w := c.imem[c.pc]
+		c.Executed++
+		if c.Trace != nil {
+			c.Trace(c.eng.Now(), c.pc, w)
+		}
+		op := w.op()
+		x, y, kk := w.x(), w.y(), w.kk()
+		advance := true
 
-	switch op {
-	case opLOADk:
-		c.regs[x] = kk
-	case opLOADr:
-		c.regs[x] = c.regs[y]
-	case opANDk, opANDr:
-		v := kk
-		if op == opANDr {
-			v = c.regs[y]
-		}
-		c.regs[x] &= v
-		c.zero, c.carry = c.regs[x] == 0, false
-	case opORk, opORr:
-		v := kk
-		if op == opORr {
-			v = c.regs[y]
-		}
-		c.regs[x] |= v
-		c.zero, c.carry = c.regs[x] == 0, false
-	case opXORk, opXORr:
-		v := kk
-		if op == opXORr {
-			v = c.regs[y]
-		}
-		c.regs[x] ^= v
-		c.zero, c.carry = c.regs[x] == 0, false
-	case opADDk, opADDr:
-		v := kk
-		if op == opADDr {
-			v = c.regs[y]
-		}
-		s := uint16(c.regs[x]) + uint16(v)
-		c.regs[x] = uint8(s)
-		c.zero, c.carry = c.regs[x] == 0, s > 0xFF
-	case opADDCYk, opADDCYr:
-		v := kk
-		if op == opADDCYr {
-			v = c.regs[y]
-		}
-		s := uint16(c.regs[x]) + uint16(v)
-		if c.carry {
-			s++
-		}
-		c.regs[x] = uint8(s)
-		c.zero, c.carry = c.regs[x] == 0, s > 0xFF
-	case opSUBk, opSUBr:
-		v := kk
-		if op == opSUBr {
-			v = c.regs[y]
-		}
-		d := uint16(c.regs[x]) - uint16(v)
-		c.regs[x] = uint8(d)
-		c.zero, c.carry = c.regs[x] == 0, d > 0xFF // borrow
-	case opSUBCYk, opSUBCYr:
-		v := kk
-		if op == opSUBCYr {
-			v = c.regs[y]
-		}
-		d := uint16(c.regs[x]) - uint16(v)
-		if c.carry {
-			d--
-		}
-		c.regs[x] = uint8(d)
-		c.zero, c.carry = c.regs[x] == 0, d > 0xFF
-	case opCOMPAREk, opCOMPAREr:
-		v := kk
-		if op == opCOMPAREr {
-			v = c.regs[y]
-		}
-		c.zero = c.regs[x] == v
-		c.carry = c.regs[x] < v
-	case opINPUTp:
-		c.regs[x] = c.bus.In(kk)
-	case opINPUTr:
-		c.regs[x] = c.bus.In(c.regs[y])
-	case opOUTPUTp, opOUTPUTr:
-		port := kk
-		if op == opOUTPUTr {
-			port = c.regs[y]
-		}
-		// The write may stall (Cryptographic Unit handshake); execution
-		// resumes CyclesPerInstr after the bus accepts it.
-		c.bus.Out(port, c.regs[x], func() { c.next(true) })
-		return
-	case opSHIFTR:
-		v := c.regs[x]
-		var in uint8
-		switch kk & 7 {
-		case sh0:
-			in = 0
-		case sh1:
-			in = 1
-		case shX:
-			in = v & 1
-		case shA:
+		switch op {
+		case opLOADk:
+			c.regs[x] = kk
+		case opLOADr:
+			c.regs[x] = c.regs[y]
+		case opANDk, opANDr:
+			v := kk
+			if op == opANDr {
+				v = c.regs[y]
+			}
+			c.regs[x] &= v
+			c.zero, c.carry = c.regs[x] == 0, false
+		case opORk, opORr:
+			v := kk
+			if op == opORr {
+				v = c.regs[y]
+			}
+			c.regs[x] |= v
+			c.zero, c.carry = c.regs[x] == 0, false
+		case opXORk, opXORr:
+			v := kk
+			if op == opXORr {
+				v = c.regs[y]
+			}
+			c.regs[x] ^= v
+			c.zero, c.carry = c.regs[x] == 0, false
+		case opADDk, opADDr:
+			v := kk
+			if op == opADDr {
+				v = c.regs[y]
+			}
+			s := uint16(c.regs[x]) + uint16(v)
+			c.regs[x] = uint8(s)
+			c.zero, c.carry = c.regs[x] == 0, s > 0xFF
+		case opADDCYk, opADDCYr:
+			v := kk
+			if op == opADDCYr {
+				v = c.regs[y]
+			}
+			s := uint16(c.regs[x]) + uint16(v)
 			if c.carry {
-				in = 1
+				s++
 			}
-		case shRot:
-			in = v & 1
-		}
-		c.carry = v&1 != 0
-		c.regs[x] = v>>1 | in<<7
-		c.zero = c.regs[x] == 0
-	case opSHIFTL:
-		v := c.regs[x]
-		var in uint8
-		switch kk & 7 {
-		case sh0:
-			in = 0
-		case sh1:
-			in = 1
-		case shX:
-			in = v & 1 // duplicate LSB
-		case shA:
+			c.regs[x] = uint8(s)
+			c.zero, c.carry = c.regs[x] == 0, s > 0xFF
+		case opSUBk, opSUBr:
+			v := kk
+			if op == opSUBr {
+				v = c.regs[y]
+			}
+			d := uint16(c.regs[x]) - uint16(v)
+			c.regs[x] = uint8(d)
+			c.zero, c.carry = c.regs[x] == 0, d > 0xFF // borrow
+		case opSUBCYk, opSUBCYr:
+			v := kk
+			if op == opSUBCYr {
+				v = c.regs[y]
+			}
+			d := uint16(c.regs[x]) - uint16(v)
 			if c.carry {
+				d--
+			}
+			c.regs[x] = uint8(d)
+			c.zero, c.carry = c.regs[x] == 0, d > 0xFF
+		case opCOMPAREk, opCOMPAREr:
+			v := kk
+			if op == opCOMPAREr {
+				v = c.regs[y]
+			}
+			c.zero = c.regs[x] == v
+			c.carry = c.regs[x] < v
+		case opINPUTp:
+			c.regs[x] = c.bus.In(kk)
+		case opINPUTr:
+			c.regs[x] = c.bus.In(c.regs[y])
+		case opOUTPUTp, opOUTPUTr:
+			port := kk
+			if op == opOUTPUTr {
+				port = c.regs[y]
+			}
+			// The write may stall (Cryptographic Unit handshake); execution
+			// resumes CyclesPerInstr after the bus accepts it.
+			c.bus.Out(port, c.regs[x], c.outDone)
+			return
+		case opSHIFTR:
+			v := c.regs[x]
+			var in uint8
+			switch kk & 7 {
+			case sh0:
+				in = 0
+			case sh1:
 				in = 1
+			case shX:
+				in = v & 1
+			case shA:
+				if c.carry {
+					in = 1
+				}
+			case shRot:
+				in = v & 1
 			}
-		case shRot:
-			in = v >> 7
-		}
-		c.carry = v&0x80 != 0
-		c.regs[x] = v<<1 | in
-		c.zero = c.regs[x] == 0
-	case opJUMP, opJUMPZ, opJUMPNZ, opJUMPC, opJUMPNC:
-		if c.cond(op - opJUMP) {
-			c.pc = w.addr()
-			c.next(false)
-			return
-		}
-	case opCALL, opCALLZ, opCALLNZ, opCALLC, opCALLNC:
-		if c.cond(op - opCALL) {
-			if len(c.stack) == StackDepth {
-				panic("picoblaze: CALL stack overflow")
+			c.carry = v&1 != 0
+			c.regs[x] = v>>1 | in<<7
+			c.zero = c.regs[x] == 0
+		case opSHIFTL:
+			v := c.regs[x]
+			var in uint8
+			switch kk & 7 {
+			case sh0:
+				in = 0
+			case sh1:
+				in = 1
+			case shX:
+				in = v & 1 // duplicate LSB
+			case shA:
+				if c.carry {
+					in = 1
+				}
+			case shRot:
+				in = v >> 7
 			}
-			c.stack = append(c.stack, c.pc)
-			c.pc = w.addr()
-			c.next(false)
+			c.carry = v&0x80 != 0
+			c.regs[x] = v<<1 | in
+			c.zero = c.regs[x] == 0
+		case opJUMP, opJUMPZ, opJUMPNZ, opJUMPC, opJUMPNC:
+			if c.cond(op - opJUMP) {
+				c.pc = w.addr()
+				advance = false
+			}
+		case opCALL, opCALLZ, opCALLNZ, opCALLC, opCALLNC:
+			if c.cond(op - opCALL) {
+				if len(c.stack) == StackDepth {
+					panic("picoblaze: CALL stack overflow")
+				}
+				c.stack = append(c.stack, c.pc)
+				c.pc = w.addr()
+				advance = false
+			}
+		case opRETURN, opRETURNZ, opRETURNNZ, opRETURNC, opRETURNNC:
+			if c.cond(op - opRETURN) {
+				if len(c.stack) == 0 {
+					panic("picoblaze: RETURN with empty stack")
+				}
+				c.pc = c.stack[len(c.stack)-1] + 1
+				c.stack = c.stack[:len(c.stack)-1]
+				advance = false
+			}
+		case opHALT:
+			// Park immediately; Wake charges the instruction's two cycles on
+			// resume. Parking synchronously (rather than after a delay) keeps a
+			// wake strobe arriving in the next cycle from being lost.
+			c.pc = (c.pc + 1) & (IMemWords - 1)
+			c.halted = true
+			c.running = false
 			return
-		}
-	case opRETURN, opRETURNZ, opRETURNNZ, opRETURNC, opRETURNNC:
-		if c.cond(op - opRETURN) {
+		case opEINT:
+			c.intEnabled = true
+		case opDINT:
+			c.intEnabled = false
+		case opRETI:
+			// Interrupt delivery is not modeled (see intEnabled); treat as
+			// RETURN so shared subroutines remain usable.
 			if len(c.stack) == 0 {
-				panic("picoblaze: RETURN with empty stack")
+				panic("picoblaze: RETURNI with empty stack")
 			}
 			c.pc = c.stack[len(c.stack)-1] + 1
 			c.stack = c.stack[:len(c.stack)-1]
-			c.next(false)
+			c.intEnabled = kk&1 != 0
+			advance = false
+		default:
+			panic(fmt.Sprintf("picoblaze: illegal opcode %#x at pc %#x", op, c.pc))
+		}
+
+		if advance {
+			c.pc = (c.pc + 1) & (IMemWords - 1)
+		}
+		if c.stopped {
+			c.running = false
 			return
 		}
-	case opHALT:
-		// Park immediately; Wake charges the instruction's two cycles on
-		// resume. Parking synchronously (rather than after a delay) keeps a
-		// wake strobe arriving in the next cycle from being lost.
-		c.pc = (c.pc + 1) & (IMemWords - 1)
-		c.halted = true
-		c.running = false
-		return
-	case opEINT:
-		c.intEnabled = true
-	case opDINT:
-		c.intEnabled = false
-	case opRETI:
-		// Interrupt delivery is not modeled (see intEnabled); treat as
-		// RETURN so shared subroutines remain usable.
-		if len(c.stack) == 0 {
-			panic("picoblaze: RETURNI with empty stack")
+		retire := c.eng.Now() + CyclesPerInstr
+		if c.eng.Compat || !c.eng.TryAdvance(retire) {
+			c.tick.At(retire)
+			return
 		}
-		c.pc = c.stack[len(c.stack)-1] + 1
-		c.stack = c.stack[:len(c.stack)-1]
-		c.intEnabled = kk&1 != 0
-		c.next(false)
-		return
-	default:
-		panic(fmt.Sprintf("picoblaze: illegal opcode %#x at pc %#x", op, c.pc))
 	}
-	c.next(true)
 }
 
 // cond evaluates a 0..4 condition index: always, Z, NZ, C, NC.

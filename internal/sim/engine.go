@@ -8,54 +8,90 @@
 // the timestamp of the mutating event, which keeps the simulation fully
 // deterministic regardless of scheduling order of same-cycle events (ties are
 // broken by insertion order).
+//
+// The event queue is built for throughput: a near-future timing wheel
+// absorbs the short constant delays that dominate the hot path (the
+// controller's 2-cycle instruction rate, the crossbar's 1-cycle word rate,
+// the Cryptographic Unit's <=64-cycle latencies) in O(1), and a value-typed
+// 4-ary min-heap holds the far future without per-event pointer allocation
+// or container/heap interface boxing. Hot components additionally batch
+// work inside one event and advance the clock arithmetically through
+// TryAdvance, which is legal exactly when no pending event would interleave.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Time is a point in simulated time, in clock cycles.
 type Time uint64
 
-// event is a scheduled callback.
+// maxTime is the "no horizon" sentinel for Run (RunUntil narrows it).
+const maxTime = ^Time(0)
+
+// The timing wheel covers [now, now+wheelSize): every short delay the model
+// schedules on the hot path (CyclesPerInstr=2, WordCycle=1, the unit's
+// <=64-cycle latencies, 64-word crossbar segments) lands here in O(1).
+const (
+	wheelBits  = 8
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
+)
+
+// event is a scheduled callback (far-future heap entry).
 type event struct {
 	at  Time
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// wheelEvt is a near-future entry; its bucket index encodes the timestamp.
+type wheelEvt struct {
+	seq uint64
+	fn  func()
 }
 
 // Engine is a discrete-event simulation kernel. It is not safe for
 // concurrent use; the whole simulation is single-threaded and deterministic.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	// Near-future timing wheel: bucket (t & wheelMask) holds the events at
+	// time t for t-now < wheelSize. Buckets are drained front-to-back
+	// (entries are appended in seq order), occ is the non-empty bitmap.
+	wheel      [wheelSize][]wheelEvt
+	wheelHead  [wheelSize]int
+	occ        [wheelWords]uint64
+	wheelCount int
+
+	// Far-future events: a value-typed 4-ary min-heap ordered by (at, seq).
+	heap []event
+
+	// horizon bounds arithmetic clock advances (TryAdvance) to the active
+	// RunUntil deadline, so batching components cannot overshoot it.
+	horizon Time
+
 	// FreqHz is the modeled clock frequency, used only to convert cycle
 	// counts into wall-clock throughput figures. The paper's MCCP runs at
 	// 190 MHz on a Virtex-4 SX35-11.
 	FreqHz float64
+
+	// Compat disables the fast paths layered on this kernel (PicoBlaze
+	// instruction batching, crossbar burst transfers, bulk FIFO moves) and
+	// forces the cycle-by-cycle reference behaviour. Virtual-time results
+	// are identical either way — the differential determinism tests assert
+	// it — so Compat exists as the reference oracle, not as a mode users
+	// should need.
+	Compat bool
 }
+
+// CompatDefault seeds Engine.Compat in NewEngine. The differential
+// determinism tests flip it to run whole workloads against the reference
+// slow path; production code leaves it false.
+var CompatDefault bool
 
 // DefaultFreqHz is the paper's reported operating frequency.
 const DefaultFreqHz = 190e6
@@ -63,7 +99,7 @@ const DefaultFreqHz = 190e6
 // NewEngine returns an engine with the clock at cycle 0 and the default
 // 190 MHz frequency model.
 func NewEngine() *Engine {
-	return &Engine{FreqHz: DefaultFreqHz}
+	return &Engine{FreqHz: DefaultFreqHz, horizon: maxTime, Compat: CompatDefault}
 }
 
 // Now returns the current simulated time.
@@ -77,21 +113,64 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	if t-e.now < wheelSize {
+		i := int(t) & wheelMask
+		b := e.wheel[i]
+		if e.wheelHead[i] == len(b) {
+			// Fully drained (or never used): recycle the bucket in place.
+			b = b[:0]
+			e.wheelHead[i] = 0
+			e.occ[i>>6] |= 1 << uint(i&63)
+		}
+		e.wheel[i] = append(b, wheelEvt{seq: e.seq, fn: fn})
+		e.wheelCount++
+		return
+	}
+	e.heapPush(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
+// NextAt reports the timestamp of the earliest pending event.
+func (e *Engine) NextAt() (Time, bool) {
+	wt, wok := e.wheelNext()
+	if len(e.heap) == 0 {
+		return wt, wok
+	}
+	ht := e.heap[0].at
+	if !wok || ht < wt {
+		return ht, true
+	}
+	return wt, true
+}
+
+// TryAdvance moves the clock forward to t inside the current event, and
+// reports whether it did. The advance is refused — leaving the clock
+// untouched — when a pending event at or before t would interleave, or when
+// t lies beyond the active RunUntil horizon. Batching components (the
+// PicoBlaze instruction loop) use it to charge time arithmetically while
+// provably preserving the reference event order.
+func (e *Engine) TryAdvance(t Time) bool {
+	if t < e.now || t > e.horizon {
+		return false
+	}
+	if n, ok := e.NextAt(); ok && n <= t {
+		return false
+	}
+	e.now = t
+	return true
+}
+
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was run.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	at, fn, ok := e.popNext()
+	if !ok {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
-	ev.fn()
+	e.now = at
+	fn()
 	return true
 }
 
@@ -106,9 +185,16 @@ func (e *Engine) Run() Time {
 // beyond the deadline remain queued. It returns the time of the last event
 // executed (or the current time if none ran).
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	prev := e.horizon
+	e.horizon = deadline
+	for {
+		t, ok := e.NextAt()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
+	e.horizon = prev
 	if e.now < deadline {
 		e.now = deadline
 	}
@@ -116,7 +202,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.wheelCount + len(e.heap) }
 
 // CyclesToSeconds converts a cycle count to seconds under the frequency model.
 func (e *Engine) CyclesToSeconds(c Time) float64 { return float64(c) / e.FreqHz }
@@ -128,6 +214,137 @@ func (e *Engine) ThroughputMbps(bits int, cycles Time) float64 {
 	}
 	return float64(bits) / float64(cycles) * e.FreqHz / 1e6
 }
+
+// wheelNext scans the occupancy bitmap for the nearest non-empty bucket.
+// Buckets are unique per timestamp inside the wheel window, so the first
+// set bit at or after now's slot (wrapping once) is the earliest entry.
+func (e *Engine) wheelNext() (Time, bool) {
+	if e.wheelCount == 0 {
+		return 0, false
+	}
+	p := int(e.now) & wheelMask
+	wi, off := p>>6, uint(p&63)
+	if w := e.occ[wi] >> off; w != 0 {
+		return e.bucketTime(p + bits.TrailingZeros64(w)), true
+	}
+	for k := 1; k < wheelWords; k++ {
+		wj := (wi + k) & (wheelWords - 1)
+		if w := e.occ[wj]; w != 0 {
+			return e.bucketTime(wj<<6 + bits.TrailingZeros64(w)), true
+		}
+	}
+	if w := e.occ[wi] & (1<<off - 1); w != 0 {
+		return e.bucketTime(wi<<6 + bits.TrailingZeros64(w)), true
+	}
+	panic("sim: wheel count/bitmap out of sync")
+}
+
+// bucketTime maps a bucket index back to its absolute timestamp.
+func (e *Engine) bucketTime(i int) Time {
+	return e.now + Time((i-int(e.now))&wheelMask)
+}
+
+// popNext removes the earliest pending event, merging wheel and heap by
+// (time, seq) so same-cycle entries run in insertion order regardless of
+// which structure holds them.
+func (e *Engine) popNext() (Time, func(), bool) {
+	wt, wok := e.wheelNext()
+	hok := len(e.heap) > 0
+	if !wok && !hok {
+		return 0, nil, false
+	}
+	if wok {
+		i := int(wt) & wheelMask
+		if !hok || wt < e.heap[0].at ||
+			(wt == e.heap[0].at && e.wheel[i][e.wheelHead[i]].seq < e.heap[0].seq) {
+			return wt, e.popBucket(i), true
+		}
+	}
+	ev := e.heapPop()
+	return ev.at, ev.fn, true
+}
+
+// popBucket removes the front entry of bucket i.
+func (e *Engine) popBucket(i int) func() {
+	b := e.wheel[i]
+	h := e.wheelHead[i]
+	fn := b[h].fn
+	b[h].fn = nil
+	h++
+	if h == len(b) {
+		e.wheel[i] = b[:0]
+		e.wheelHead[i] = 0
+		e.occ[i>>6] &^= 1 << uint(i&63)
+	} else {
+		e.wheelHead[i] = h
+	}
+	e.wheelCount--
+	return fn
+}
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the callback for GC
+	h = h[:n]
+	i := 0
+	for {
+		best := i
+		for c := 4*i + 1; c <= 4*i+4 && c < n; c++ {
+			if eventLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	e.heap = h
+	return top
+}
+
+// Ticker is a reusable scheduling handle: the callback is bound once at
+// construction and the handle is scheduled repeatedly without allocating a
+// closure per event. Hot components (the PicoBlaze step loop) use it so the
+// event queue's steady state is allocation-free.
+type Ticker struct {
+	eng *Engine
+	fn  func()
+}
+
+// NewTicker binds fn to the engine for repeated scheduling.
+func (e *Engine) NewTicker(fn func()) *Ticker { return &Ticker{eng: e, fn: fn} }
+
+// At schedules the ticker's callback at absolute time t.
+func (t *Ticker) At(at Time) { t.eng.At(at, t.fn) }
+
+// After schedules the ticker's callback d cycles from now.
+func (t *Ticker) After(d Time) { t.eng.After(d, t.fn) }
 
 // Waiters is a parking lot for callbacks blocked on a state change. It is
 // the building block for FIFOs, mailboxes and signal conditions.

@@ -1,14 +1,36 @@
 package sim
 
+import "fmt"
+
 // WordFIFO models a hardware FIFO of 32-bit words, as used between the
 // MCCP crossbar and each Cryptographic Core (512 x 32 bits in the paper,
 // i.e. one 2048-byte packet). Reads and writes are callback-based: a blocked
 // operation parks until the FIFO state changes.
+//
+// Besides the word-at-a-time reference operations, the FIFO supports burst
+// transfers that move a whole crossbar segment in one event while keeping
+// cycle-exact semantics: BulkPush records a per-word ready time (the cycle
+// the word would have arrived at one word per cycle), and BulkPop records
+// per-slot cooling times (the cycle each slot would have been freed). Every
+// observer — CanPush/CanPop, TryPush/TryPop, the When* wait operations —
+// accounts for ready and cooling times against the current clock, so the
+// FIFO's observable state at every virtual instant is identical to the
+// word-paced reference transfer. The differential determinism tests run
+// full workloads both ways to enforce this.
 type WordFIFO struct {
-	eng      *Engine
-	buf      []uint32
-	head     int
-	n        int
+	eng  *Engine
+	buf  []uint32
+	head int
+	n    int
+	// readyAt parallels buf: the cycle at which the word becomes visible
+	// to poppers. Word-at-a-time pushes use the push cycle; bulk pushes
+	// spread the burst over the reference schedule. Entries are
+	// nondecreasing in queue order (single-producer FIFOs; enforced).
+	readyAt []Time
+	// cooling holds future slot-release times from bulk pops, ascending.
+	// A slot still cooling counts as occupied; entries are pruned lazily
+	// against the clock.
+	cooling  []Time
 	notEmpty *Waiters
 	notFull  *Waiters
 	// Pushed and Popped count total words moved through the FIFO; they feed
@@ -25,6 +47,7 @@ func NewWordFIFO(eng *Engine, capacity int) *WordFIFO {
 	return &WordFIFO{
 		eng:      eng,
 		buf:      make([]uint32, capacity),
+		readyAt:  make([]Time, capacity),
 		notEmpty: NewWaiters(eng),
 		notFull:  NewWaiters(eng),
 	}
@@ -33,30 +56,98 @@ func NewWordFIFO(eng *Engine, capacity int) *WordFIFO {
 // Cap returns the FIFO capacity in words.
 func (f *WordFIFO) Cap() int { return len(f.buf) }
 
-// Len returns the number of words currently stored.
+// Len returns the number of words currently stored (including words of an
+// in-flight burst that are not yet poppable).
 func (f *WordFIFO) Len() int { return f.n }
 
-// CanPush reports whether at least k words of space are free.
-func (f *WordFIFO) CanPush(k int) bool { return f.n+k <= len(f.buf) }
+// pruneCooling drops slot-release times that have elapsed.
+func (f *WordFIFO) pruneCooling() {
+	now := f.eng.Now()
+	i := 0
+	for i < len(f.cooling) && f.cooling[i] <= now {
+		i++
+	}
+	if i > 0 {
+		f.cooling = append(f.cooling[:0], f.cooling[i:]...)
+	}
+}
 
-// CanPop reports whether at least k words are available.
-func (f *WordFIFO) CanPop(k int) bool { return f.n >= k }
+// occupied counts slots unavailable to pushers: stored words plus slots
+// still cooling after a bulk pop.
+func (f *WordFIFO) occupied() int {
+	f.pruneCooling()
+	return f.n + len(f.cooling)
+}
+
+// CanPush reports whether at least k words of space are free.
+func (f *WordFIFO) CanPush(k int) bool { return f.occupied()+k <= len(f.buf) }
+
+// CanPop reports whether at least k words are available (present and past
+// their ready time).
+func (f *WordFIFO) CanPop(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	return f.n >= k && f.readyAt[(f.head+k-1)%len(f.buf)] <= f.eng.Now()
+}
+
+// CanPopSchedule reports whether k words could be drained on the reference
+// word-per-cycle schedule: word i present now and ready by start+i*stride.
+// The crossbar's burst read path uses it as its fast-path guard.
+func (f *WordFIFO) CanPopSchedule(k int, start, stride Time) bool {
+	if f.n < k {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		if f.readyAt[(f.head+i)%len(f.buf)] > start+Time(i)*stride {
+			return false
+		}
+	}
+	return true
+}
+
+// push appends one word with the given ready time.
+func (f *WordFIFO) push(w uint32, ready Time) {
+	i := (f.head + f.n) % len(f.buf)
+	if f.n > 0 {
+		last := (f.head + f.n - 1) % len(f.buf)
+		if f.readyAt[last] > ready {
+			panic(fmt.Sprintf("sim: FIFO push ready at %d behind in-flight burst word at %d",
+				ready, f.readyAt[last]))
+		}
+	}
+	f.buf[i] = w
+	f.readyAt[i] = ready
+	f.n++
+	f.Pushed++
+}
 
 // TryPush appends w if space is available and reports success.
 func (f *WordFIFO) TryPush(w uint32) bool {
-	if f.n == len(f.buf) {
+	if f.occupied() == len(f.buf) {
 		return false
 	}
-	f.buf[(f.head+f.n)%len(f.buf)] = w
-	f.n++
-	f.Pushed++
+	f.push(w, f.eng.Now())
 	f.notEmpty.Release()
 	return true
 }
 
+// BulkPush appends a whole burst in one call: word i becomes poppable at
+// start+i*stride, exactly when a word-per-cycle reference transfer would
+// have delivered it. The caller must have checked CanPush(len(words)).
+func (f *WordFIFO) BulkPush(words []uint32, start, stride Time) {
+	if f.occupied()+len(words) > len(f.buf) {
+		panic("sim: BulkPush without space (check CanPush first)")
+	}
+	for i, w := range words {
+		f.push(w, start+Time(i)*stride)
+	}
+	f.notEmpty.Release()
+}
+
 // TryPop removes and returns the oldest word.
 func (f *WordFIFO) TryPop() (uint32, bool) {
-	if f.n == 0 {
+	if f.n == 0 || f.readyAt[f.head] > f.eng.Now() {
 		return 0, false
 	}
 	w := f.buf[f.head]
@@ -67,21 +158,79 @@ func (f *WordFIFO) TryPop() (uint32, bool) {
 	return w, true
 }
 
+// BulkPop removes the oldest k words in one call, appending them to dst.
+// Slot i is accounted occupied until start+i*stride — the cycle a
+// word-per-cycle reference drain would have freed it — via the cooling
+// list. The caller must have checked CanPopSchedule(k, start, stride).
+func (f *WordFIFO) BulkPop(dst []uint32, k int, start, stride Time) []uint32 {
+	if !f.CanPopSchedule(k, start, stride) {
+		panic("sim: BulkPop off schedule (check CanPopSchedule first)")
+	}
+	now := f.eng.Now()
+	for i := 0; i < k; i++ {
+		dst = append(dst, f.buf[f.head])
+		f.head = (f.head + 1) % len(f.buf)
+		f.n--
+		if t := start + Time(i)*stride; t > now {
+			// Grants are serialized, so successive bursts append ascending
+			// times and the cooling list stays sorted.
+			f.cooling = append(f.cooling, t)
+		}
+	}
+	f.Popped += uint64(k)
+	f.notFull.Release()
+	return dst
+}
+
+// PushWord delivers one word callback-style: then runs once the word has
+// been accepted, parking through the FIFO's backpressure if it is full.
+// This is the reference word-per-cycle upload handshake (the crossbar's
+// word-paced path and the core's upload port both use it).
+func (f *WordFIFO) PushWord(w uint32, then func()) {
+	if f.TryPush(w) {
+		f.eng.After(0, then)
+		return
+	}
+	f.WhenPushable(1, func() { f.PushWord(w, then) })
+}
+
+// PopWord removes the oldest word callback-style, parking until one is
+// available. The reference download handshake, mirroring PushWord.
+func (f *WordFIFO) PopWord(then func(uint32)) {
+	if w, ok := f.TryPop(); ok {
+		f.eng.After(0, func() { then(w) })
+		return
+	}
+	f.WhenPoppable(1, func() { f.PopWord(then) })
+}
+
 // WhenPushable parks fn until at least k words of space may be free.
-// fn must re-check CanPush (spurious wakeups are possible).
+// fn must re-check CanPush (spurious wakeups are possible). When the
+// shortfall is only cooling slots — space that frees by the passage of
+// time — fn is scheduled at the exact cycle the space appears instead of
+// parking, preserving the reference wakeup time without per-word events.
 func (f *WordFIFO) WhenPushable(k int, fn func()) {
 	if f.CanPush(k) {
 		f.eng.After(0, fn)
+		return
+	}
+	if need := f.n + len(f.cooling) + k - len(f.buf); need <= len(f.cooling) {
+		f.eng.At(f.cooling[need-1], fn)
 		return
 	}
 	f.notFull.Park(fn)
 }
 
 // WhenPoppable parks fn until at least k words may be available.
-// fn must re-check CanPop.
+// fn must re-check CanPop. Words already present but still in-flight from a
+// burst wake fn at their exact ready time.
 func (f *WordFIFO) WhenPoppable(k int, fn func()) {
 	if f.CanPop(k) {
 		f.eng.After(0, fn)
+		return
+	}
+	if f.n >= k {
+		f.eng.At(f.readyAt[(f.head+k-1)%len(f.buf)], fn)
 		return
 	}
 	f.notEmpty.Park(fn)
@@ -93,6 +242,7 @@ func (f *WordFIFO) WhenPoppable(k int, fn func()) {
 func (f *WordFIFO) Reset() {
 	f.head = 0
 	f.n = 0
+	f.cooling = f.cooling[:0]
 	f.notFull.Release()
 }
 

@@ -256,3 +256,177 @@ func TestFlag(t *testing.T) {
 		t.Errorf("fired = %d, want 3", fired)
 	}
 }
+
+func TestWheelHeapSameCycleOrdering(t *testing.T) {
+	// An event scheduled far ahead (heap) and one scheduled later but into
+	// the near-future wheel at the same timestamp must still run in
+	// insertion order.
+	e := NewEngine()
+	var order []int
+	e.At(300, func() { order = append(order, 0) }) // 300-0 >= wheel window: heap
+	e.At(100, func() { order = append(order, -1) })
+	e.Step() // now = 100; 300 is now inside the wheel window
+	e.At(300, func() { order = append(order, 1) })
+	e.At(300, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 4 || order[0] != -1 || order[1] != 0 || order[2] != 1 || order[3] != 2 {
+		t.Errorf("order = %v, want [-1 0 1 2]", order)
+	}
+}
+
+func TestFarFutureScheduling(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	for _, d := range []Time{1, 255, 256, 1000, 100000} {
+		e.After(d, func() { at = append(at, e.Now()) })
+	}
+	e.Run()
+	want := []Time{1, 255, 256, 1000, 100000}
+	if len(at) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Errorf("event %d ran at %d, want %d", i, at[i], want[i])
+		}
+	}
+}
+
+func TestNextAtAndTryAdvance(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt on empty engine reported an event")
+	}
+	if !e.TryAdvance(50) {
+		t.Error("TryAdvance with empty queue refused")
+	}
+	if e.Now() != 50 {
+		t.Errorf("now = %d, want 50", e.Now())
+	}
+	e.At(60, func() {})
+	if n, ok := e.NextAt(); !ok || n != 60 {
+		t.Errorf("NextAt = %d,%v want 60,true", n, ok)
+	}
+	if e.TryAdvance(60) {
+		t.Error("TryAdvance onto a pending event succeeded")
+	}
+	if !e.TryAdvance(59) {
+		t.Error("TryAdvance short of the pending event refused")
+	}
+	if e.TryAdvance(10) {
+		t.Error("TryAdvance into the past succeeded")
+	}
+}
+
+func TestTryAdvanceHonorsRunUntilHorizon(t *testing.T) {
+	// A batching component must not advance past the RunUntil deadline.
+	e := NewEngine()
+	reached := Time(0)
+	var batch func()
+	batch = func() {
+		for e.TryAdvance(e.Now() + 2) {
+			reached = e.Now()
+			if reached > 1000 {
+				t.Fatal("runaway batch")
+			}
+		}
+		if reached < 10 {
+			e.After(2, batch)
+		}
+	}
+	e.At(0, batch)
+	e.RunUntil(10)
+	if reached != 10 {
+		t.Errorf("batch reached %d, want exactly the deadline 10", reached)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = e.NewTicker(func() {
+		count++
+		if count < 5 {
+			tk.After(3)
+		}
+	})
+	tk.At(1)
+	end := e.Run()
+	if count != 5 || end != 13 {
+		t.Errorf("count=%d end=%d, want 5 at t=13", count, end)
+	}
+}
+
+func TestFIFOBulkPushReadySchedule(t *testing.T) {
+	// A bulk-pushed burst becomes poppable word by word on the reference
+	// one-word-per-cycle schedule.
+	e := NewEngine()
+	f := NewWordFIFO(e, 8)
+	e.At(10, func() { f.BulkPush([]uint32{1, 2, 3, 4}, 10, 1) })
+	var popped []Time
+	e.At(10, func() {
+		var drain func()
+		drain = func() {
+			for {
+				if _, ok := f.TryPop(); !ok {
+					break
+				}
+				popped = append(popped, e.Now())
+			}
+			if len(popped) < 4 {
+				f.WhenPoppable(1, drain)
+			}
+		}
+		drain()
+	})
+	e.Run()
+	want := []Time{10, 11, 12, 13}
+	if len(popped) != 4 {
+		t.Fatalf("popped %d words, want 4", len(popped))
+	}
+	for i := range want {
+		if popped[i] != want[i] {
+			t.Errorf("word %d popped at %d, want %d", i, popped[i], want[i])
+		}
+	}
+	if !f.CanPush(8) {
+		t.Error("drained FIFO should have full capacity")
+	}
+}
+
+func TestFIFOBulkPopCooling(t *testing.T) {
+	// Bulk-popped slots free on the reference schedule: a pusher blocked on
+	// the cooling space wakes exactly when the words would have drained.
+	e := NewEngine()
+	f := NewWordFIFO(e, 4)
+	for i := uint32(0); i < 4; i++ {
+		f.TryPush(i)
+	}
+	e.At(20, func() {
+		if !f.CanPopSchedule(4, 20, 1) {
+			t.Error("full FIFO should satisfy the drain schedule")
+		}
+		got := f.BulkPop(nil, 4, 20, 1)
+		if len(got) != 4 || got[0] != 0 || got[3] != 3 {
+			t.Errorf("BulkPop = %v", got)
+		}
+	})
+	var pushedAt Time
+	e.At(20, func() {
+		var try func()
+		try = func() {
+			if f.CanPush(4) {
+				pushedAt = e.Now()
+				return
+			}
+			f.WhenPushable(4, try)
+		}
+		try()
+	})
+	e.Run()
+	// Slot 3 cools until cycle 23: pushing 4 words is first possible then.
+	if pushedAt != 23 {
+		t.Errorf("pusher woke at %d, want 23", pushedAt)
+	}
+}
