@@ -237,6 +237,10 @@ func BenchmarkCluster(b *testing.B) {
 					Sessions:      16,
 					Seed:          1,
 					BatchWindow:   128,
+					// Prefetched generation: identical packet bytes and
+					// virtual-time results; generation overlaps shard
+					// simulation in wall time.
+					PrefetchDepth: 256,
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -8,15 +8,17 @@
 //	          -hostbudget 'Table2_GCM_1core_128=60'
 //
 // Only deterministic virtual-time throughput metrics (*_Mbps at the
-// modeled 190 MHz, voice_retention) participate in the gate; ns/op,
-// host_Mbps and allocs/op describe the host machine and are recorded —
-// -hostout writes them to a separate informational trajectory file — but
-// never gated. The one exception is -hostbudget, a catastrophic-regression
-// smoke check: it fails the run only when a named benchmark's wall clock
-// (ns/op x iterations) exceeds a deliberately generous budget in seconds,
-// which a >10x kernel slowdown would trip but machine-to-machine variance
-// cannot. Exit status: 0 clean, 1 regression/budget violation, 2 usage/IO
-// error.
+// modeled 190 MHz, voice_retention) participate in the baseline gate;
+// ns/op, host_Mbps and allocs/op describe the host machine and are
+// recorded — -hostout writes them to a separate informational trajectory
+// file — but never gated against the baseline. Three targeted host-side
+// checks exist instead: -hostbudget (catastrophic-regression smoke
+// check: a named benchmark's wall clock, ns/op x iterations, must stay
+// under a deliberately generous budget in seconds), -clusterscale (the
+// pipelined cluster dispatcher's host-scaling ratio, derated to the
+// run's CPU count and skipped on single-CPU machines) and -allocspacket
+// (the zero-alloc packet path's allocations-per-packet ceiling). Exit
+// status: 0 clean, 1 regression/budget violation, 2 usage/IO error.
 package main
 
 import (
@@ -39,6 +41,8 @@ func main() {
 	match := flag.String("match", "Table2", "regexp of benchmark names the gate covers")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput drop before the gate fails")
 	hostBudget := flag.String("hostbudget", "", "host-speed smoke check, 'BenchName=seconds': fail if that benchmark's wall clock exceeded the budget")
+	clusterScale := flag.String("clusterscale", "", "cluster host-scaling gate, 'Top:Base=ratio' (e.g. 'Cluster/shards=8:Cluster/shards=1=1.5'): fail if Top's host_Mbps is below ratio x Base's; derated to 0.6 x GOMAXPROCS and skipped on single-CPU runs, where host-parallel speedup is impossible")
+	allocsBudget := flag.String("allocspacket", "", "allocation ceiling, 'BenchName=allocs': fail if the benchmark's allocs_op per packet exceeds the ceiling")
 	flag.Parse()
 
 	results, err := parseInput(*in)
@@ -61,6 +65,18 @@ func main() {
 	}
 	if *hostBudget != "" {
 		if err := checkHostBudget(*hostBudget, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *clusterScale != "" {
+		if err := checkClusterScale(*clusterScale, results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *allocsBudget != "" {
+		if err := checkAllocsPerPacket(*allocsBudget, results); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -133,6 +149,75 @@ func checkHostBudget(spec string, results []benchfmt.Result) error {
 		return nil
 	}
 	return fmt.Errorf("host budget benchmark %q missing from results", name)
+}
+
+// checkClusterScale enforces 'Top:Base=ratio': Top's host_Mbps must reach
+// ratio x Base's. The requested ratio is derated to what the run's CPU
+// count makes possible (0.6 x GOMAXPROCS); single-CPU runs skip the
+// check with a notice — the pipelined dispatcher cannot manufacture
+// parallel wall-clock speedup without CPUs to run the shards on.
+func checkClusterScale(spec string, results []benchfmt.Result) error {
+	// Split on the LAST '=' — benchmark names (Cluster/shards=8) carry
+	// their own.
+	pair, ratioStr, ok := cutLast(spec, "=")
+	if !ok {
+		fatal(fmt.Errorf("bad -clusterscale %q (want 'Top:Base=ratio')", spec))
+	}
+	top, base, ok := strings.Cut(pair, ":")
+	if !ok {
+		fatal(fmt.Errorf("bad -clusterscale %q (want 'Top:Base=ratio')", spec))
+	}
+	minRatio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || minRatio <= 0 {
+		fatal(fmt.Errorf("bad -clusterscale ratio in %q", spec))
+	}
+	// A missing benchmark is a gate failure (exit 1), like -hostbudget's
+	// equivalent case — only malformed specs are usage errors.
+	h, err := benchfmt.CheckHostScale(results, top, base, minRatio)
+	if err != nil {
+		return err
+	}
+	if h.Skipped != "" {
+		fmt.Printf("benchjson: cluster scaling check skipped (%s; measured %.2fx)\n", h.Skipped, h.Ratio)
+		return nil
+	}
+	if !h.Pass() {
+		return fmt.Errorf("cluster host scaling regressed: %s is %.2fx %s in host_Mbps (want >= %.2fx) — the pipelined dispatch path has serialized", top, h.Ratio, base, h.Want)
+	}
+	fmt.Printf("benchjson: cluster scaling ok: %s = %.2fx %s host_Mbps (floor %.2fx)\n", top, h.Ratio, base, h.Want)
+	return nil
+}
+
+// checkAllocsPerPacket enforces 'BenchName=allocs': the benchmark's
+// allocs_op spread over its packets metric must stay under the ceiling —
+// the zero-alloc packet path's regression guard.
+func checkAllocsPerPacket(spec string, results []benchfmt.Result) error {
+	name, limitStr, ok := cutLast(spec, "=")
+	if !ok {
+		fatal(fmt.Errorf("bad -allocspacket %q (want 'BenchName=allocs')", spec))
+	}
+	limit, err := strconv.ParseFloat(limitStr, 64)
+	if err != nil || limit <= 0 {
+		fatal(fmt.Errorf("bad -allocspacket ceiling in %q", spec))
+	}
+	perPkt, err := benchfmt.AllocsPerPacket(results, name)
+	if err != nil {
+		return err // missing benchmark/metric fails the gate, not usage
+	}
+	if perPkt > limit {
+		return fmt.Errorf("allocation regression: %s allocates %.0f objects/packet (ceiling %.0f) — the packet path has started allocating again", name, perPkt, limit)
+	}
+	fmt.Printf("benchjson: allocs ok: %s at %.0f allocs/packet (ceiling %.0f)\n", name, perPkt, limit)
+	return nil
+}
+
+// cutLast splits s around its last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
 }
 
 func parseInput(path string) ([]benchfmt.Result, error) {

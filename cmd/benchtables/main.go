@@ -24,8 +24,9 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, all")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, all; 'sweep' (not in 'all') runs the scale-out sweep")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
+	sweepPackets := flag.Int("sweep-packets", 65536, "total packets for -table sweep (1000000 reproduces the million-packet sweep)")
 	flag.Parse()
 
 	run := func(name string) bool { return *table == "all" || *table == name }
@@ -140,6 +141,18 @@ func main() {
 		fmt.Print(harness.FormatClusterScaling(harness.ClusterScaling(16 * *packets)))
 		fmt.Println("(aggregate simulated Mbps at 190 MHz; cluster cycles = slowest shard's")
 		fmt.Println(" virtual makespan over the same total workload)")
+		fmt.Println()
+	}
+
+	// The sweep is opt-in (not part of "all"): at a million packets it runs
+	// minutes, not seconds.
+	if *table == "sweep" {
+		any = true
+		n := *sweepPackets
+		fmt.Printf("== E11b: scale-out sweep (%d packets, per-shard parallel generation) ==\n", n)
+		fmt.Print(harness.FormatClusterScaling(harness.ClusterSweep(n)))
+		fmt.Println("(per-session generators grouped per shard; a million packets is the")
+		fmt.Println(" headline configuration — see -sweep-packets)")
 		fmt.Println()
 	}
 

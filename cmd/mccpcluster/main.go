@@ -45,6 +45,7 @@ func main() {
 	qosPreset := flag.Bool("qos", false, "QoS preset: qos-aware router, qos-priority shard policy, all-class mix")
 	seed := flag.Int64("seed", 1, "deterministic workload seed")
 	scaling := flag.Bool("scaling", false, "sweep 1/2/4/8 shards over the same workload")
+	sweep := flag.Bool("sweep", false, "scale-out mode: per-session generators grouped per shard so packet generation parallelizes (pair with -packets 1000000 for the million-packet sweep)")
 	whirlpool := flag.Int("whirlpool", -1, "reconfigure one core of this shard to Whirlpool before the run")
 	flag.Parse()
 
@@ -90,6 +91,12 @@ func main() {
 		Seed:          *seed,
 		BatchWindow:   *batch,
 		ShardWindow:   *window,
+		PerShardGen:   *sweep,
+	}
+	if !*sweep {
+		// Overlap generation with shard simulation; identical packet bytes
+		// and virtual-time results either way.
+		cfg.PrefetchDepth = 2 * max(*batch, 1)
 	}
 
 	if *scaling {

@@ -138,3 +138,66 @@ func TestHostOnly(t *testing.T) {
 		t.Error("HostOnly mutated its input")
 	}
 }
+
+func scaleResults(procs int, topMbps, baseMbps float64) []Result {
+	return []Result{
+		{Name: "Cluster/shards=8", Iterations: 1, Procs: procs,
+			Metrics: map[string]float64{"host_Mbps": topMbps, "allocs_op": 12800, "packets": 256}},
+		{Name: "Cluster/shards=1", Iterations: 1, Procs: procs,
+			Metrics: map[string]float64{"host_Mbps": baseMbps}},
+	}
+}
+
+func TestCheckHostScale(t *testing.T) {
+	// Multi-core run below the bar fails.
+	h, err := CheckHostScale(scaleResults(8, 100, 90), "Cluster/shards=8", "Cluster/shards=1", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Pass() || h.Skipped != "" || h.Want != 1.5 {
+		t.Fatalf("sub-scaling run passed: %+v", h)
+	}
+	// Multi-core run above the bar passes.
+	h, err = CheckHostScale(scaleResults(8, 200, 100), "Cluster/shards=8", "Cluster/shards=1", 1.5)
+	if err != nil || !h.Pass() {
+		t.Fatalf("scaling run failed: %+v (%v)", h, err)
+	}
+	// Two CPUs derate the requested 3x to 1.2x.
+	h, _ = CheckHostScale(scaleResults(2, 160, 100), "Cluster/shards=8", "Cluster/shards=1", 3)
+	if h.Want != 1.2 || !h.Pass() {
+		t.Fatalf("2-CPU derating wrong: %+v", h)
+	}
+	// A single-CPU run skips (host parallelism impossible by construction)
+	// — including Procs 0, since go test omits the -N suffix at GOMAXPROCS 1.
+	for _, procs := range []int{1, 0} {
+		h, _ = CheckHostScale(scaleResults(procs, 100, 100), "Cluster/shards=8", "Cluster/shards=1", 1.5)
+		if h.Skipped == "" || !h.Pass() {
+			t.Fatalf("single-CPU run (procs=%d) not skipped: %+v", procs, h)
+		}
+	}
+	// Missing benchmark is an error.
+	if _, err := CheckHostScale(nil, "a", "b", 1.5); err == nil {
+		t.Fatal("missing benchmarks accepted")
+	}
+}
+
+func TestAllocsPerPacket(t *testing.T) {
+	per, err := AllocsPerPacket(scaleResults(8, 1, 1), "Cluster/shards=8")
+	if err != nil || per != 50 {
+		t.Fatalf("allocs/packet = %v (%v), want 50", per, err)
+	}
+	if _, err := AllocsPerPacket(scaleResults(8, 1, 1), "Cluster/shards=1"); err == nil {
+		t.Fatal("result without packets metric accepted")
+	}
+}
+
+func TestParseKeepsProcs(t *testing.T) {
+	in := "BenchmarkCluster/shards=8-4   1  1000 ns/op  62.8 host_Mbps\n"
+	res, err := Parse(strings.NewReader(in))
+	if err != nil || len(res) != 1 {
+		t.Fatalf("parse: %v (%d results)", err, len(res))
+	}
+	if res[0].Name != "Cluster/shards=8" || res[0].Procs != 4 {
+		t.Fatalf("name/procs = %q/%d, want Cluster/shards=8 / 4", res[0].Name, res[0].Procs)
+	}
+}

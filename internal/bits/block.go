@@ -147,6 +147,20 @@ func PadBlocks(p []byte) []Block {
 	return out
 }
 
+// AppendPadBlocks appends p's zero-padded 16-byte blocks to dst and
+// returns the extended slice — the allocation-free form of PadBlocks for
+// callers staging into a recycled buffer. Each appended block is fully
+// written (stale bytes in a recycled dst cannot leak into the padding).
+func AppendPadBlocks(dst []Block, p []byte) []Block {
+	n := (len(p) + BlockBytes - 1) / BlockBytes
+	for i := 0; i < n; i++ {
+		var b Block
+		copy(b[:], p[i*BlockBytes:min(len(p), (i+1)*BlockBytes)])
+		dst = append(dst, b)
+	}
+	return dst
+}
+
 // Flatten concatenates blocks into a byte slice.
 func Flatten(bs []Block) []byte {
 	out := make([]byte, 0, len(bs)*BlockBytes)

@@ -1,0 +1,124 @@
+// Package bufpool is the packet-buffer arena shared by the simulation's
+// host-side hot path: trafficgen packet buffers (nonce/AAD/payload), the
+// radio layer's frame-block and crossbar word staging buffers, and the
+// assembled ciphertext/plaintext results. Steady-state packet traffic
+// recycles every one of these instead of allocating, which is what keeps
+// BenchmarkCluster's allocs/packet near zero.
+//
+// Ownership is explicit and opt-in: Get hands the caller a buffer, Put
+// returns it. A consumer that never calls Put simply leaves the buffer to
+// the garbage collector — nothing is ever recycled behind a live
+// reference, so APIs that hand pooled buffers to callbacks stay safe for
+// callers that retain them. The flip side: a caller that does Put a
+// buffer must not touch it afterwards.
+//
+// The pools are deliberately content-agnostic: a recycled buffer carries
+// stale bytes, so producers must fully overwrite the range they hand out
+// (every in-repo user does — rand.Read fills, appends start from length
+// zero). Buffer reuse therefore cannot influence any simulated result,
+// and the pools are safe for concurrent use from the cluster's shard
+// goroutines.
+package bufpool
+
+import (
+	"sync"
+
+	"mccp/internal/bits"
+)
+
+// classes are power-of-two capacity buckets. Requests above the largest
+// class fall through to plain make and Puts of such buffers are dropped.
+const (
+	minClassBits = 6  // 64
+	maxClassBits = 13 // 8192
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// classFor returns the bucket index whose capacity is >= n, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for c := 0; c < numClasses; c++ {
+		if n <= 1<<(minClassBits+c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// putClassFor returns the bucket a buffer of capacity c can serve, or -1
+// when the capacity matches no class (foreign buffer: drop it).
+func putClassFor(c int) int {
+	for i := 0; i < numClasses; i++ {
+		if c == 1<<(minClassBits+i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// pool is one element type's class array. A mutex-protected stack per
+// class beats sync.Pool here: no per-Put boxing, and the packet rate
+// (microseconds apart, a handful of goroutines) never contends.
+type pool[T any] struct {
+	mu    sync.Mutex
+	stack [numClasses][][]T
+}
+
+func (p *pool[T]) get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, 0, n)
+	}
+	p.mu.Lock()
+	s := p.stack[c]
+	if len(s) == 0 {
+		p.mu.Unlock()
+		return make([]T, 0, 1<<(minClassBits+c))
+	}
+	b := s[len(s)-1]
+	s[len(s)-1] = nil
+	p.stack[c] = s[:len(s)-1]
+	p.mu.Unlock()
+	return b[:0]
+}
+
+func (p *pool[T]) put(b []T) {
+	c := putClassFor(cap(b))
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.stack[c] = append(p.stack[c], b[:0])
+	p.mu.Unlock()
+}
+
+var (
+	bytePool  pool[byte]
+	wordPool  pool[uint32]
+	blockPool pool[bits.Block]
+)
+
+// Bytes returns a zeroed-length byte buffer with capacity >= n.
+func Bytes(n int) []byte { return bytePool.get(n) }
+
+// BytesN returns a length-n byte buffer (contents undefined; overwrite it).
+func BytesN(n int) []byte { return bytePool.get(n)[:n] }
+
+// PutBytes recycles a buffer obtained from Bytes/BytesN. The caller must
+// not use b afterwards.
+func PutBytes(b []byte) { bytePool.put(b) }
+
+// Words returns a zeroed-length []uint32 with capacity >= n.
+func Words(n int) []uint32 { return wordPool.get(n) }
+
+// PutWords recycles a buffer obtained from Words.
+func PutWords(w []uint32) { wordPool.put(w) }
+
+// Blocks returns a zeroed-length []bits.Block with capacity >= n.
+func Blocks(n int) []bits.Block { return blockPool.get(n) }
+
+// PutBlocks recycles a buffer obtained from Blocks.
+func PutBlocks(b []bits.Block) { blockPool.put(b) }

@@ -1,0 +1,56 @@
+package bufpool
+
+import "testing"
+
+func TestClassRounding(t *testing.T) {
+	b := Bytes(100)
+	if cap(b) < 100 || len(b) != 0 {
+		t.Fatalf("Bytes(100): len=%d cap=%d", len(b), cap(b))
+	}
+	if cap(b) != 128 {
+		t.Fatalf("Bytes(100) capacity %d, want class 128", cap(b))
+	}
+	PutBytes(b)
+	b2 := Bytes(128)
+	if cap(b2) != 128 {
+		t.Fatalf("recycled capacity %d", cap(b2))
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	b := Bytes(1 << 20)
+	if cap(b) < 1<<20 {
+		t.Fatalf("oversize request shorted: cap=%d", cap(b))
+	}
+	PutBytes(b) // dropped, must not panic or poison a class
+	if got := Bytes(64); cap(got) > 8192 {
+		t.Fatalf("oversize buffer entered a class: cap=%d", cap(got))
+	}
+}
+
+func TestForeignPutDropped(t *testing.T) {
+	PutWords(make([]uint32, 0, 100)) // non-class capacity
+	w := Words(100)
+	if cap(w) != 128 {
+		t.Fatalf("foreign buffer served: cap=%d", cap(w))
+	}
+}
+
+func TestBytesN(t *testing.T) {
+	b := BytesN(300)
+	if len(b) != 300 || cap(b) != 512 {
+		t.Fatalf("BytesN(300): len=%d cap=%d", len(b), cap(b))
+	}
+}
+
+func TestRecycleIsAllocFree(t *testing.T) {
+	b := Bytes(2048)
+	PutBytes(b)
+	allocs := testing.AllocsPerRun(100, func() {
+		x := Bytes(2048)
+		PutBytes(x)
+	})
+	if allocs > 0 {
+		t.Fatalf("recycled Get/Put allocated %.1f objects per run", allocs)
+	}
+}

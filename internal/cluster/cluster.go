@@ -11,9 +11,11 @@
 //   - pluggable routing policies (hash-by-key, least-loaded,
 //     family-affinity, qos-aware) that decide which shard homes each
 //     session;
-//   - an asynchronous batch dispatcher that coalesces submitted packets
-//     per shard and drains each shard's engine once per batch instead of
-//     once per packet;
+//   - a pipelined batch dispatcher: queued operations coalesce per shard
+//     and are pushed onto each shard's bounded submission ring, so
+//     routing, shard simulation and completion draining overlap in wall
+//     time — no shard waits for another, and the front end only blocks
+//     when a ring is full or an explicit Flush needs results;
 //   - session management that opens a device channel on the owning shard
 //     and transparently re-opens it elsewhere when Rebalance or a shard's
 //     reconfiguration makes another home preferable;
@@ -22,8 +24,12 @@
 //     throughput of the simulation itself.
 //
 // The Cluster front end is single-caller: one goroutine submits work and
-// reads results (the shard goroutines are the concurrency). All
-// completion callbacks run on the caller's goroutine, in enqueue order.
+// reads results (the shard goroutines are the concurrency). Completion
+// callbacks always run on the caller's goroutine in global enqueue order
+// — the drainer merges each shard's completion stream back into sequence
+// — but they are delivered incrementally as batches finish, not only at
+// Flush barriers. Operation input buffers (nonce/AAD/payload) must stay
+// untouched until the operation's callback runs.
 package cluster
 
 import (
@@ -31,7 +37,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
 	"time"
 
 	"mccp/internal/core"
@@ -65,7 +70,8 @@ type Config struct {
 	// Seed drives deterministic key generation across the cluster.
 	Seed uint64
 	// BatchWindow is the number of queued operations that triggers an
-	// automatic Flush (default 32). Explicit Flush is always allowed.
+	// automatic batch dispatch (default 32). Explicit Flush is always
+	// allowed.
 	BatchWindow int
 	// ShardWindow bounds the packets a shard keeps in flight within one
 	// batch, pipelining oversized batches instead of saturating the
@@ -76,6 +82,11 @@ type Config struct {
 	// expected behaviour — split-CCM suites halve the effective capacity
 	// and should run with queueing on).
 	ShardWindow int
+	// RingDepth is each shard's submission-ring capacity in batches
+	// (default 4): how far the front end may run ahead of a shard before
+	// dispatch blocks. Depth only changes wall-clock overlap, never
+	// virtual time — batch contents and order are identical at any depth.
+	RingDepth int
 }
 
 func (c *Config) fill() {
@@ -95,20 +106,58 @@ func (c *Config) fill() {
 			c.ShardWindow = c.CoresPerShard
 		}
 	}
+	if c.RingDepth <= 0 {
+		c.RingDepth = 4
+	}
 }
 
-// pendingOp is one queued operation's result slot. The shard goroutine
-// fills out/ch/took/err during Flush; the front end reads them after the
-// batch barrier (shard and nbytes are set at enqueue time, for the
-// delivered-bytes accounting).
+// opKind selects a pendingOp's device operation.
+type opKind uint8
+
+const (
+	opEncrypt opKind = iota
+	opDecrypt
+	opHash
+	opGeneric
+)
+
+// pendingOp is one queued operation: its submission arguments, its result
+// slot and its place in the delivery sequence. Slots are pooled on the
+// front end; the finish callback is prebuilt once per slot so the packet
+// path never allocates a closure. The shard goroutine fills the result
+// fields while running the batch; the front end reads them only after
+// observing the shard's completed-batch counter (the happens-before
+// edge).
 type pendingOp struct {
-	out    []byte
-	ch     int
-	took   sim.Time
-	err    error
+	// Submission (set by the front end before dispatch).
+	kind  opKind
+	ch    int
+	nonce []byte
+	aad   []byte
+	data  []byte
+	tag   []byte
+	// run is the opGeneric body (session open/close, reconfiguration).
+	run func(sh *shard, op *pendingOp, done func())
+
+	// Results (set by the shard goroutine).
+	out   []byte
+	chOut int
+	took  sim.Time
+	err   error
+
+	// Delivery bookkeeping (front end).
 	cb     func([]byte, error)
 	shard  int
 	nbytes int
+	batch  uint64 // shard-local batch sequence this op ships in
+	sh     *shard
+	// retain keeps the slot alive past delivery so a barrier caller can
+	// read the result fields (Open/Close/Reconfigure); the caller then
+	// releases it with putSlot.
+	retain bool
+
+	finish func([]byte, error) // prebuilt: store result, notify shard pump
+	next   *pendingOp          // pool link
 }
 
 // Session is a cluster-level channel: a cipher suite bound to a session
@@ -118,7 +167,9 @@ type Session struct {
 	id     int
 	suite  core.Suite
 	keyLen int
-	key    []byte
+	// key holds the session key inline (satellite of the zero-alloc
+	// packet path: no per-open heap copy); key[:keyLen] is the material.
+	key    [32]byte
 	weight int
 
 	// hp marks a high-priority (video/voice class) session; the qos-aware
@@ -141,12 +192,13 @@ type Cluster struct {
 
 	// Per-shard routing state, owned by the front end. bytesRouted is the
 	// offered load (routing signal, counted at enqueue); bytesDone counts
-	// only payload bytes whose operation completed without error.
+	// only payload bytes whose operation completed without error and has
+	// been delivered.
 	shardSessions []int
 	shardWeight   []int
 	// shardHPWeight sums the weights of open high-priority sessions per
 	// shard; hpPending counts high-priority operations queued for each
-	// shard's next batch (cleared by Flush). Both feed the qos-aware
+	// shard's next batch (cleared at dispatch). Both feed the qos-aware
 	// router.
 	shardHPWeight []int
 	hpPending     []int
@@ -154,15 +206,28 @@ type Cluster struct {
 	bytesDone     []uint64
 	hashCores     []int
 
-	// Batch queues: perShard feeds the dispatcher, order preserves the
-	// global enqueue sequence for callback delivery.
-	perShard [][]shardOp
-	order    []*pendingOp
+	// Pipeline state: perShard accumulates the next batch per shard,
+	// subSeq counts batches pushed onto each shard's ring, order is the
+	// global delivery sequence (ordHead its delivered prefix), unpushed
+	// the operations enqueued since the last dispatch.
+	perShard   [][]*pendingOp
+	subSeq     []uint64
+	order      []*pendingOp
+	ordHead    int
+	unpushed   int
+	freeSlots  *pendingOp
+	delivering bool
 
 	keys *radio.Keystream
 
-	flushes     uint64
-	batches     uint64
+	flushes uint64
+	batches uint64
+	// Wall-clock accounting: the pipeline is "active" from a dispatch
+	// until every pushed batch has completed and been delivered;
+	// wallSeconds accumulates those active intervals (generation overlaps
+	// simulation, so this is the honest wall cost of the traffic phase).
+	active      bool
+	activeStart time.Time
 	wallSeconds float64
 	closed      bool
 }
@@ -190,7 +255,8 @@ func New(cfg Config) (*Cluster, error) {
 		bytesRouted:   make([]uint64, cfg.Shards),
 		bytesDone:     make([]uint64, cfg.Shards),
 		hashCores:     make([]int, cfg.Shards),
-		perShard:      make([][]shardOp, cfg.Shards),
+		perShard:      make([][]*pendingOp, cfg.Shards),
+		subSeq:        make([]uint64, cfg.Shards),
 		keys:          radio.NewKeystream(cfg.Seed ^ 0xC1A5731D),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -215,21 +281,20 @@ func (c *Cluster) Close() {
 	c.Flush()
 	c.closed = true
 	for _, sh := range c.shards {
-		close(sh.work)
+		close(sh.sub)
 		<-sh.done
 	}
 }
 
-// genKey produces deterministic session-key bytes from the cluster's
-// keystream. The front end generates keys itself (rather than per-shard
-// ProvisionKey) because the router hashes the key bytes before a shard
-// is chosen, and a re-homed session must carry its key to the new shard.
-func (c *Cluster) genKey(n int) []byte {
-	key := make([]byte, n)
-	for i := range key {
-		key[i] = c.keys.Next()
+// genKey fills dst with deterministic session-key bytes from the
+// cluster's keystream. The front end generates keys itself (rather than
+// per-shard ProvisionKey) because the router hashes the key bytes before
+// a shard is chosen, and a re-homed session must carry its key to the new
+// shard.
+func (c *Cluster) genKey(dst []byte) {
+	for i := range dst {
+		dst[i] = c.keys.Next()
 	}
-	return key
 }
 
 // views snapshots per-shard routing state for the router.
@@ -250,65 +315,177 @@ func (c *Cluster) views() []ShardView {
 	return vs
 }
 
-// enqueue appends an operation to a shard's next batch and records it in
-// the global callback order. hp marks a high-priority (video/voice class)
-// packet for the router's pending-depth signal.
-func (c *Cluster) enqueue(shardID, nbytes int, hp bool, cb func([]byte, error),
-	start func(sh *shard, slot *pendingOp, done func())) *pendingOp {
+// getSlot takes a pooled operation slot (allocating, with its prebuilt
+// finish callback, only on pool growth).
+func (c *Cluster) getSlot() *pendingOp {
+	op := c.freeSlots
+	if op == nil {
+		op = &pendingOp{}
+		op.finish = func(out []byte, err error) {
+			op.out, op.err = out, err
+			op.sh.opDone()
+		}
+		return op
+	}
+	c.freeSlots = op.next
+	op.next = nil
+	return op
+}
+
+// putSlot recycles a delivered slot.
+func (c *Cluster) putSlot(op *pendingOp) {
+	op.nonce, op.aad, op.data, op.tag = nil, nil, nil, nil
+	op.run, op.cb = nil, nil
+	op.out, op.err = nil, nil
+	op.sh = nil
+	op.retain = false
+	op.next = c.freeSlots
+	c.freeSlots = op
+}
+
+// enqueue appends a filled slot to its shard's next batch and records it
+// in the global delivery order. hp marks a high-priority (video/voice
+// class) packet for the router's pending-depth signal.
+func (c *Cluster) enqueue(slot *pendingOp, hp bool) *pendingOp {
 	if c.closed {
 		panic("cluster: operation submitted after Close")
 	}
-	slot := &pendingOp{cb: cb, shard: shardID, nbytes: nbytes}
-	c.perShard[shardID] = append(c.perShard[shardID], func(sh *shard, done func()) {
-		start(sh, slot, done)
-	})
+	shardID := slot.shard
+	slot.sh = c.shards[shardID]
+	slot.batch = c.subSeq[shardID] + 1
+	c.perShard[shardID] = append(c.perShard[shardID], slot)
 	c.order = append(c.order, slot)
-	c.bytesRouted[shardID] += uint64(nbytes)
+	c.unpushed++
+	c.bytesRouted[shardID] += uint64(slot.nbytes)
 	if hp {
 		c.hpPending[shardID]++
 	}
-	if len(c.order) >= c.cfg.BatchWindow {
-		c.Flush()
+	if c.unpushed >= c.cfg.BatchWindow {
+		c.dispatch()
 	}
+	c.deliverReady()
 	return slot
 }
 
-// Flush dispatches every queued operation as one batch per shard, runs
-// the shards concurrently to completion, then delivers completion
-// callbacks in enqueue order on the caller's goroutine.
-func (c *Cluster) Flush() {
-	if len(c.order) == 0 {
-		return
-	}
-	start := time.Now()
-	var wg sync.WaitGroup
+// dispatch pushes every non-empty per-shard queue onto its shard's
+// submission ring as one batch. It only blocks when a ring is full
+// (backpressure); it never waits for completion — that is Flush's job.
+// Batch boundaries are a pure function of the enqueue sequence (every
+// BatchWindow operations, plus explicit Flush points), so each shard sees
+// exactly the batch partitioning the barrier-based dispatcher produced
+// and its virtual timeline is unchanged.
+func (c *Cluster) dispatch() {
 	for i, sh := range c.shards {
 		if len(c.perShard[i]) == 0 {
 			continue
 		}
-		wg.Add(1)
+		if !c.active {
+			c.active = true
+			c.activeStart = time.Now()
+		}
+		c.subSeq[i]++
 		c.batches++
-		sh.work <- batch{ops: c.perShard[i], wg: &wg}
-		c.perShard[i] = nil
+		sh.sub <- batchMsg{ops: c.perShard[i], seq: c.subSeq[i]}
+		c.perShard[i] = c.takeOps(sh)
 		c.hpPending[i] = 0
 	}
-	wg.Wait()
-	c.wallSeconds += time.Since(start).Seconds()
-	c.flushes++
-	order := c.order
-	c.order = nil
-	// Count delivered bytes before delivering callbacks, so a callback
-	// reading Metrics sees its own batch accounted for.
-	for _, slot := range order {
+	c.unpushed = 0
+}
+
+// takeOps grabs a recycled batch slice from the shard, or grows a fresh
+// one.
+func (c *Cluster) takeOps(sh *shard) []*pendingOp {
+	select {
+	case ops := <-sh.freeOps:
+		return ops
+	default:
+		return make([]*pendingOp, 0, c.cfg.BatchWindow)
+	}
+}
+
+// deliverReady delivers every completed operation at the front of the
+// global order (the sequence-numbered merge of the per-shard completion
+// streams), on the caller's goroutine. Safe to call opportunistically;
+// re-entry from inside a callback is a no-op (the outer loop finishes the
+// job).
+func (c *Cluster) deliverReady() {
+	if c.delivering {
+		return
+	}
+	c.delivering = true
+	c.deliverLoop()
+	c.delivering = false
+}
+
+// deliverLoop is deliverReady's body; barrier calls it directly so a
+// nested Flush inside a callback (e.g. a synchronous Session.Encrypt)
+// still delivers its own results. Each iteration re-reads the cursor, so
+// nested delivery composes: a slot is popped exactly once.
+func (c *Cluster) deliverLoop() {
+	for c.ordHead < len(c.order) {
+		slot := c.order[c.ordHead]
+		if slot.sh.completed.Load() < slot.batch {
+			break
+		}
+		c.order[c.ordHead] = nil
+		c.ordHead++
+		// Count delivered bytes before the callback, so a callback
+		// reading Metrics sees its own packet accounted for.
 		if slot.err == nil {
 			c.bytesDone[slot.shard] += uint64(slot.nbytes)
 		}
-	}
-	for _, slot := range order {
-		if slot.cb != nil {
-			slot.cb(slot.out, slot.err)
+		cb, out, err := slot.cb, slot.out, slot.err
+		if !slot.retain {
+			c.putSlot(slot)
+		}
+		if cb != nil {
+			cb(out, err)
 		}
 	}
+	if c.ordHead == len(c.order) {
+		c.order = c.order[:0]
+		c.ordHead = 0
+		c.checkQuiescent()
+	}
+}
+
+// checkQuiescent closes the current wall-clock accounting interval once
+// every pushed batch has completed and been delivered.
+func (c *Cluster) checkQuiescent() {
+	if !c.active {
+		return
+	}
+	for i, sh := range c.shards {
+		if sh.completed.Load() < c.subSeq[i] {
+			return
+		}
+	}
+	c.active = false
+	c.wallSeconds += time.Since(c.activeStart).Seconds()
+}
+
+// Flush dispatches everything queued, waits for every shard to drain its
+// ring, then delivers all remaining completion callbacks in enqueue order
+// on the caller's goroutine.
+func (c *Cluster) Flush() {
+	if c.unpushed == 0 && c.ordHead == len(c.order) {
+		return
+	}
+	c.dispatch()
+	c.barrier()
+}
+
+// barrier waits until every shard has completed every batch pushed so
+// far, then delivers the backlog.
+func (c *Cluster) barrier() {
+	for i, sh := range c.shards {
+		target := c.subSeq[i]
+		for sh.completed.Load() < target {
+			<-sh.notify
+		}
+	}
+	c.flushes++
+	c.deliverLoop()
 }
 
 // OpenSpec parameterizes Open.
@@ -349,7 +526,7 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 		hp:     qos.ClassForPriority(spec.Suite.Priority).HighPriority(),
 	}
 	if !isHash {
-		ses.key = c.genKey(spec.KeyLen)
+		c.genKey(ses.key[:ses.keyLen])
 	}
 	shardID := c.router.Route(ses.info(), c.views())
 	if shardID < 0 {
@@ -360,12 +537,14 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 	}
 	slot := c.openOn(ses, shardID)
 	c.Flush()
-	if slot.err != nil {
-		return nil, slot.err
+	err, ch := slot.err, slot.chOut
+	c.putSlot(slot)
+	if err != nil {
+		return nil, err
 	}
 	c.nextSession++
 	ses.shardID = shardID
-	ses.chID = slot.ch
+	ses.chID = ch
 	c.sessions[ses.id] = ses
 	c.shardSessions[shardID]++
 	c.shardWeight[shardID] += ses.weight
@@ -375,33 +554,42 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 	return ses, nil
 }
 
-// openOn enqueues the install-key + OPEN composite on a shard.
+// openOn enqueues the install-key + OPEN composite on a shard. The
+// returned slot is retained past delivery; the caller reads its result
+// after a Flush and releases it.
 func (c *Cluster) openOn(ses *Session, shardID int) *pendingOp {
-	key := ses.key
+	key := ses.key[:ses.keyLen]
 	suite := ses.suite
-	return c.enqueue(shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
+	slot := c.getSlot()
+	slot.kind = opGeneric
+	slot.retain = true
+	slot.shard = shardID
+	slot.nbytes = 0
+	slot.cb = nil
+	slot.run = func(sh *shard, op *pendingOp, done func()) {
 		keyID := 0
 		if len(key) > 0 {
 			id, err := sh.mc.InstallKey(key)
 			if err != nil {
-				slot.err = err
+				op.err = err
 				done()
 				return
 			}
 			keyID = id
 		}
 		sh.cc.OpenChannel(suite, keyID, func(ch int, err error) {
-			slot.ch, slot.err = ch, err
+			op.chOut, op.err = ch, err
 			done()
 		})
-	})
+	}
+	return c.enqueue(slot, false)
 }
 
 // info builds the router's view of the session.
 func (s *Session) info() SessionInfo {
 	h := fnv.New64a()
-	if len(s.key) > 0 {
-		h.Write(s.key)
+	if s.keyLen > 0 {
+		h.Write(s.key[:s.keyLen])
 	} else {
 		var b [8]byte
 		binary.BigEndian.PutUint64(b[:], uint64(s.id))
@@ -417,40 +605,50 @@ func (s *Session) ID() int { return s.id }
 // Shard returns the shard currently homing the session.
 func (s *Session) Shard() int { return s.shardID }
 
-// EncryptAsync queues one packet for the session's shard; cb runs during
-// the Flush that completes it, receiving ciphertext||tag (GCM/CCM), the
-// transformed data (CTR) or the MAC (CBC-MAC).
+// EncryptAsync queues one packet for the session's shard; cb runs on the
+// caller's goroutine — in enqueue order, as soon as the batch that
+// carries the packet has completed — receiving ciphertext||tag (GCM/CCM),
+// the transformed data (CTR) or the MAC (CBC-MAC). nonce/aad/payload must
+// stay untouched until cb runs; the result buffer is pooled and may be
+// recycled by the callback with bufpool.PutBytes (retaining it is equally
+// safe).
 func (s *Session) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error)) {
-	ch := s.chID
-	s.cl.enqueue(s.shardID, len(payload), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
-		sh.cc.Encrypt(ch, nonce, aad, payload, func(out []byte, err error) {
-			slot.out, slot.err = out, err
-			done()
-		})
-	})
+	c := s.cl
+	slot := c.getSlot()
+	slot.kind = opEncrypt
+	slot.ch = s.chID
+	slot.nonce, slot.aad, slot.data = nonce, aad, payload
+	slot.cb = cb
+	slot.shard = s.shardID
+	slot.nbytes = len(payload)
+	c.enqueue(slot, s.hp)
 }
 
 // DecryptAsync queues one packet for verification and recovery; cb
 // receives the plaintext or ErrAuth.
 func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error)) {
-	ch := s.chID
-	s.cl.enqueue(s.shardID, len(ct), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
-		sh.cc.Decrypt(ch, nonce, aad, ct, tag, func(out []byte, err error) {
-			slot.out, slot.err = out, err
-			done()
-		})
-	})
+	c := s.cl
+	slot := c.getSlot()
+	slot.kind = opDecrypt
+	slot.ch = s.chID
+	slot.nonce, slot.aad, slot.data, slot.tag = nonce, aad, ct, tag
+	slot.cb = cb
+	slot.shard = s.shardID
+	slot.nbytes = len(ct)
+	c.enqueue(slot, s.hp)
 }
 
 // SumAsync queues a Whirlpool digest on a hash session.
 func (s *Session) SumAsync(msg []byte, cb func([]byte, error)) {
-	ch := s.chID
-	s.cl.enqueue(s.shardID, len(msg), s.hp, cb, func(sh *shard, slot *pendingOp, done func()) {
-		sh.cc.Hash(ch, msg, func(out []byte, err error) {
-			slot.out, slot.err = out, err
-			done()
-		})
-	})
+	c := s.cl
+	slot := c.getSlot()
+	slot.kind = opHash
+	slot.ch = s.chID
+	slot.data = msg
+	slot.cb = cb
+	slot.shard = s.shardID
+	slot.nbytes = len(msg)
+	c.enqueue(slot, s.hp)
 }
 
 // Encrypt is the synchronous form of EncryptAsync: it flushes the batch
@@ -481,6 +679,24 @@ func (s *Session) Sum(msg []byte) ([]byte, error) {
 	return out, err
 }
 
+// closeOn enqueues a channel close; the returned slot is retained for the
+// caller to read after a Flush.
+func (c *Cluster) closeOn(shardID, ch int) *pendingOp {
+	slot := c.getSlot()
+	slot.kind = opGeneric
+	slot.retain = true
+	slot.shard = shardID
+	slot.nbytes = 0
+	slot.cb = nil
+	slot.run = func(sh *shard, op *pendingOp, done func()) {
+		sh.cc.CloseChannel(ch, func(err error) {
+			op.err = err
+			done()
+		})
+	}
+	return c.enqueue(slot, false)
+}
+
 // Close drains outstanding work, closes the device channel and retires
 // the session.
 func (s *Session) Close() error {
@@ -490,21 +706,17 @@ func (s *Session) Close() error {
 	s.closed = true
 	c := s.cl
 	c.Flush()
-	ch := s.chID
-	slot := c.enqueue(s.shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
-		sh.cc.CloseChannel(ch, func(err error) {
-			slot.err = err
-			done()
-		})
-	})
+	slot := c.closeOn(s.shardID, s.chID)
 	c.Flush()
+	err := slot.err
+	c.putSlot(slot)
 	delete(c.sessions, s.id)
 	c.shardSessions[s.shardID]--
 	c.shardWeight[s.shardID] -= s.weight
 	if s.hp {
 		c.shardHPWeight[s.shardID] -= s.weight
 	}
-	return slot.err
+	return err
 }
 
 // Rebalance re-routes every session under the current policy and load
@@ -524,6 +736,7 @@ func (c *Cluster) Rebalance() int {
 		open *pendingOp
 	}
 	var moves []move
+	var closes []*pendingOp
 	for _, id := range ids {
 		ses := c.sessions[id]
 		// Withdraw the session's own load while deciding, so a heavy
@@ -545,23 +758,21 @@ func (c *Cluster) Rebalance() int {
 		if to == ses.shardID {
 			continue
 		}
-		from, ch := ses.shardID, ses.chID
-		c.enqueue(from, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
-			sh.cc.CloseChannel(ch, func(err error) {
-				slot.err = err
-				done()
-			})
-		})
+		closes = append(closes, c.closeOn(ses.shardID, ses.chID))
 		moves = append(moves, move{ses: ses, to: to, open: c.openOn(ses, to)})
 	}
 	c.Flush()
+	for _, slot := range closes {
+		c.putSlot(slot) // the close verdict is irrelevant on a move
+	}
 	for _, m := range moves {
 		if m.open.err != nil {
 			panic(fmt.Sprintf("cluster: rebalance could not re-open session %d on shard %d: %v",
 				m.ses.id, m.to, m.open.err))
 		}
 		m.ses.shardID = m.to
-		m.ses.chID = m.open.ch
+		m.ses.chID = m.open.chOut
+		c.putSlot(m.open)
 	}
 	return len(moves)
 }
@@ -580,19 +791,28 @@ func (c *Cluster) Reconfigure(shardID, coreID int, target reconfig.Engine, src r
 	if err := c.checkReconfigLeavesHomes(shardID, coreID, target); err != nil {
 		return 0, 0, err
 	}
-	slot := c.enqueue(shardID, 0, false, nil, func(sh *shard, slot *pendingOp, done func()) {
+	slot := c.getSlot()
+	slot.kind = opGeneric
+	slot.retain = true
+	slot.shard = shardID
+	slot.nbytes = 0
+	slot.cb = nil
+	slot.run = func(sh *shard, op *pendingOp, done func()) {
 		sh.rc.Reconfigure(coreID, target, src, func(took sim.Time, err error) {
-			slot.took, slot.err = took, err
+			op.took, op.err = took, err
 			done()
 		})
-	})
+	}
+	c.enqueue(slot, false)
 	c.Flush()
-	if slot.err != nil {
-		return 0, 0, slot.err
+	took, err := slot.took, slot.err
+	c.putSlot(slot)
+	if err != nil {
+		return 0, 0, err
 	}
 	c.hashCores[shardID] = c.shards[shardID].hashCores()
 	moved := c.Rebalance()
-	return slot.took, moved, nil
+	return took, moved, nil
 }
 
 // checkReconfigLeavesHomes refuses a swap that would strand an open

@@ -62,31 +62,37 @@ type Metrics struct {
 	ClusterCycles    sim.Time
 	AggregateSimMbps float64
 
-	// WallSeconds is host time spent inside Flush barriers; HostMbps is
-	// the wall-clock throughput of the simulation itself (nondeterministic,
-	// unlike every virtual-time figure above).
+	// WallSeconds is host time during which the pipeline had batches in
+	// flight (dispatch to drained); HostMbps is the wall-clock throughput
+	// of the simulation itself (nondeterministic, unlike every
+	// virtual-time figure above).
 	WallSeconds float64
 	HostMbps    float64
 }
 
-// Metrics snapshots the cluster. Safe whenever the caller could also
-// submit work (i.e. between batches).
+// Metrics snapshots the cluster without stopping the pipeline: per-shard
+// device counters come from the snapshot each shard publishes after every
+// completed batch, and byte counters reflect delivered operations. After
+// a Flush the snapshot is exact; mid-pipeline it trails by at most the
+// batches still in flight.
 func (c *Cluster) Metrics() Metrics {
+	c.deliverReady()
 	m := Metrics{Batches: c.batches, Flushes: c.flushes, WallSeconds: c.wallSeconds}
 	for i, sh := range c.shards {
-		cyc := sh.cycles()
+		snap := sh.snap.Load()
+		cyc := snap.cycles
 		sm := ShardMetrics{
 			Shard:         i,
 			Sessions:      c.shardSessions[i],
-			Packets:       sh.cc.Completions,
+			Packets:       snap.completions,
 			Bytes:         c.bytesDone[i],
 			OfferedBytes:  c.bytesRouted[i],
-			AuthFails:     sh.dev.Stats.AuthFails,
-			Rejected:      sh.dev.Stats.Rejected,
-			Queued:        sh.dev.Stats.Queued,
-			Shed:          sh.dev.Stats.Shed,
-			KeyExpansions: sh.dev.KeySched.Expansions,
-			CrossbarBusy:  sh.dev.XBar.BusyCycles,
+			AuthFails:     snap.authFails,
+			Rejected:      snap.rejected,
+			Queued:        snap.queued,
+			Shed:          snap.shed,
+			KeyExpansions: snap.keyExpansions,
+			CrossbarBusy:  snap.crossbarBusy,
 			Cycles:        cyc,
 			SimMbps:       mbpsAt190(c.bytesDone[i]*8, cyc),
 			PendingOps:    len(c.perShard[i]),

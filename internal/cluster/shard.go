@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"mccp/internal/core"
 	"mccp/internal/radio"
@@ -11,27 +11,39 @@ import (
 	"mccp/internal/sim"
 )
 
-// shardOp is one unit of work executed on a shard's goroutine. It must
-// call done exactly once when the operation's simulation events have all
-// been scheduled to completion; the shard uses the done count to window
-// in-flight packets and to detect stuck operations.
-type shardOp func(sh *shard, done func())
+// batchMsg is one dispatch quantum on a shard's submission ring: the ops
+// of one batch plus the shard-local batch sequence number the shard
+// publishes when the batch's simulation has run to completion.
+type batchMsg struct {
+	ops []*pendingOp
+	seq uint64
+}
 
-// batch is one dispatch quantum: the front end coalesces queued operations
-// per shard and hands each shard its slice in a single send, so the shard
-// drains its engine once per batch instead of once per packet.
-type batch struct {
-	ops []shardOp
-	wg  *sync.WaitGroup
+// shardSnap is a shard's counter snapshot, rebuilt after every batch and
+// published through an atomic pointer so the front end can read metrics
+// without stopping the pipeline. Values are as of the shard's last
+// completed batch — exactly the "between batches" view the barrier-based
+// design exposed.
+type shardSnap struct {
+	completions   uint64
+	authFails     uint64
+	rejected      uint64
+	queued        uint64
+	shed          uint64
+	keyExpansions uint64
+	crossbarBusy  sim.Time
+	cycles        sim.Time // virtual time consumed since settle
 }
 
 // shard is one independent MCCP platform: its own discrete-event engine,
 // device, radio controllers and reconfiguration controller, driven by a
 // dedicated goroutine. Shards never share simulation state, so each
 // shard's virtual timeline is exactly as deterministic as a single
-// Platform; the only cross-shard communication is the work channel and
-// the batch WaitGroup, which give the front end a happens-before edge for
-// reading shard state between batches.
+// Platform. The front end communicates through three channels — the
+// bounded submission ring (sub), the recycled-batch-slice return path
+// (freeOps) and the completion notifier — plus the atomic completed
+// counter, which is the happens-before edge for reading a batch's result
+// slots and the published snapshot.
 type shard struct {
 	id  int
 	eng *sim.Engine
@@ -51,8 +63,25 @@ type shard struct {
 	// are measured from here.
 	base sim.Time
 
-	work chan batch
-	done chan struct{}
+	// sub is the bounded submission ring; freeOps returns drained batch
+	// slices for reuse; notify wakes a barrier waiter after each batch.
+	sub     chan batchMsg
+	freeOps chan []*pendingOp
+	notify  chan struct{}
+	done    chan struct{}
+
+	// completed is the sequence number of the last finished batch; snap
+	// the counters published alongside it.
+	completed atomic.Uint64
+	snap      atomic.Pointer[shardSnap]
+
+	// Batch pump state (shard goroutine only). doneFn is the prebuilt
+	// per-operation completion shared by every op's finish callback.
+	ops      []*pendingOp
+	next     int
+	inFlight int
+	finished int
+	doneFn   func()
 }
 
 // newShard builds and starts one shard. pol must be a fresh policy
@@ -66,28 +95,46 @@ func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
 		MaxQueue:      cfg.MaxQueue,
 	})
 	sh := &shard{
-		id:     id,
-		eng:    eng,
-		dev:    dev,
-		cc:     radio.NewCommController(dev),
-		mc:     radio.NewMainController(dev, cfg.Seed^uint64(id)*0x9E3779B97F4A7C15^0xD1CE),
-		rc:     reconfig.NewController(eng, dev),
-		window: cfg.ShardWindow,
-		work:   make(chan batch),
-		done:   make(chan struct{}),
+		id:      id,
+		eng:     eng,
+		dev:     dev,
+		cc:      radio.NewCommController(dev),
+		mc:      radio.NewMainController(dev, cfg.Seed^uint64(id)*0x9E3779B97F4A7C15^0xD1CE),
+		rc:      reconfig.NewController(eng, dev),
+		window:  cfg.ShardWindow,
+		sub:     make(chan batchMsg, cfg.RingDepth),
+		freeOps: make(chan []*pendingOp, cfg.RingDepth+1),
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
+	sh.doneFn = sh.opDone
 	eng.Run() // settle core firmware into its idle loop
 	sh.base = eng.Now()
+	sh.publishSnap()
 	go sh.loop()
 	return sh
 }
 
-// loop services batches until the work channel closes.
+// loop services the submission ring until it closes. After each batch it
+// publishes the counter snapshot, advances the completed sequence (the
+// release edge for everything the batch wrote) and pokes the notifier.
 func (sh *shard) loop() {
 	defer close(sh.done)
-	for b := range sh.work {
+	for b := range sh.sub {
 		sh.runBatch(b.ops)
-		b.wg.Done()
+		sh.publishSnap()
+		sh.completed.Store(b.seq)
+		select {
+		case sh.notify <- struct{}{}:
+		default:
+		}
+		for i := range b.ops {
+			b.ops[i] = nil
+		}
+		select {
+		case sh.freeOps <- b.ops[:0]:
+		default:
+		}
 	}
 }
 
@@ -95,35 +142,63 @@ func (sh *shard) loop() {
 // window and drains the engine once. Launch order is the front end's
 // enqueue order, so the shard's virtual timeline is a pure function of the
 // batch sequence.
-func (sh *shard) runBatch(ops []shardOp) {
-	next, inFlight, completed := 0, 0, 0
-	var pump func()
-	pump = func() {
-		for inFlight < sh.window && next < len(ops) {
-			op := ops[next]
-			next++
-			inFlight++
-			op(sh, func() {
-				inFlight--
-				completed++
-				pump()
-			})
-		}
-	}
-	pump()
+func (sh *shard) runBatch(ops []*pendingOp) {
+	sh.ops, sh.next, sh.inFlight, sh.finished = ops, 0, 0, 0
+	sh.pump()
 	sh.eng.Run()
-	if completed != len(ops) {
+	if sh.finished != len(ops) {
 		panic(fmt.Sprintf("cluster: shard %d finished batch with %d/%d ops complete (simulation deadlock)",
-			sh.id, completed, len(ops)))
+			sh.id, sh.finished, len(ops)))
+	}
+	sh.ops = nil
+}
+
+func (sh *shard) pump() {
+	for sh.inFlight < sh.window && sh.next < len(sh.ops) {
+		op := sh.ops[sh.next]
+		sh.next++
+		sh.inFlight++
+		sh.exec(op)
 	}
 }
 
-// cycles returns the virtual time this shard has consumed since settle.
-// Only safe to call from the front end between batches.
-func (sh *shard) cycles() sim.Time { return sh.eng.Now() - sh.base }
+// opDone retires one operation and refills the window (prebuilt as doneFn
+// and referenced by every slot's finish callback).
+func (sh *shard) opDone() {
+	sh.inFlight--
+	sh.finished++
+	sh.pump()
+}
+
+// exec launches one operation on the shard's device.
+func (sh *shard) exec(op *pendingOp) {
+	switch op.kind {
+	case opEncrypt:
+		sh.cc.Encrypt(op.ch, op.nonce, op.aad, op.data, op.finish)
+	case opDecrypt:
+		sh.cc.Decrypt(op.ch, op.nonce, op.aad, op.data, op.tag, op.finish)
+	case opHash:
+		sh.cc.Hash(op.ch, op.data, op.finish)
+	default:
+		op.run(sh, op, sh.doneFn)
+	}
+}
+
+func (sh *shard) publishSnap() {
+	sh.snap.Store(&shardSnap{
+		completions:   sh.cc.Completions,
+		authFails:     sh.dev.Stats.AuthFails,
+		rejected:      sh.dev.Stats.Rejected,
+		queued:        sh.dev.Stats.Queued,
+		shed:          sh.dev.Stats.Shed,
+		keyExpansions: sh.dev.KeySched.Expansions,
+		crossbarBusy:  sh.dev.XBar.BusyCycles,
+		cycles:        sh.eng.Now() - sh.base,
+	})
+}
 
 // hashCores counts cores whose reconfigurable region currently holds the
-// Whirlpool engine. Only safe between batches.
+// Whirlpool engine. Only safe after a barrier (the shard must be idle).
 func (sh *shard) hashCores() int {
 	n := 0
 	for _, e := range sh.dev.Engines {

@@ -156,7 +156,12 @@ type MCCP struct {
 	nextReq   int
 	allocated []bool // core allocation (held until TRANSFER_DONE)
 	doneQ     []*request
-	waitQ     []*waiting
+	// waitQ is the QoS request queue; waitHead its consumed prefix (the
+	// backing array is reused instead of re-sliced away, keeping the
+	// queue-cycle allocation-free).
+	waitQ    []*waiting
+	waitHead int
+	viewsBuf []scheduler.CoreView // reused per dispatch (single-threaded)
 
 	// Stats aggregates device-level counters.
 	Stats Stats
@@ -230,9 +235,14 @@ func New(eng *sim.Engine, cfg Config) *MCCP {
 	return m
 }
 
-// views snapshots core state for the dispatch policy.
+// views snapshots core state for the dispatch policy. The returned slice
+// is reused across calls (the device is single-threaded and policies do
+// not retain it).
 func (m *MCCP) views(keyID int) []scheduler.CoreView {
-	vs := make([]scheduler.CoreView, len(m.Cores))
+	if m.viewsBuf == nil {
+		m.viewsBuf = make([]scheduler.CoreView, len(m.Cores))
+	}
+	vs := m.viewsBuf
 	for i := range m.Cores {
 		vs[i] = scheduler.CoreView{
 			ID:         i,
@@ -309,14 +319,14 @@ func (m *MCCP) tryDispatch(c *channel, encrypt bool, aadLen, dataLen int, cb fun
 		if m.Cfg.QueueRequests {
 			// Only fresh submissions are shed: a request re-tried from the
 			// queue by pump keeps its admission.
-			if fresh && m.Cfg.MaxQueue > 0 && len(m.waitQ) >= m.Cfg.MaxQueue {
+			if fresh && m.Cfg.MaxQueue > 0 && len(m.waitQ)-m.waitHead >= m.Cfg.MaxQueue {
 				m.Stats.Shed++
 				cb(Assignment{}, ErrQueueFull)
 				return
 			}
 			m.Stats.Queued++
 			w := &waiting{ch: c, encrypt: encrypt, aadLen: aadLen, dataLen: dataLen,
-				cb: cb, prio: c.suite.Priority, seq: len(m.waitQ)}
+				cb: cb, prio: c.suite.Priority, seq: len(m.waitQ) - m.waitHead}
 			m.enqueue(w)
 			return
 		}
@@ -339,10 +349,11 @@ func (m *MCCP) tryDispatch(c *channel, encrypt bool, aadLen, dataLen int, cb fun
 }
 
 func (m *MCCP) enqueue(w *waiting) {
-	// Priority queue: higher priority first, FIFO within a priority.
+	// Priority queue: higher priority first, FIFO within a priority. The
+	// live window is waitQ[waitHead:]; the consumed prefix is reused.
 	at := len(m.waitQ)
-	for i, q := range m.waitQ {
-		if w.prio > q.prio {
+	for i := m.waitHead; i < len(m.waitQ); i++ {
+		if w.prio > m.waitQ[i].prio {
 			at = i
 			break
 		}
@@ -503,12 +514,16 @@ func (m *MCCP) TransferDone(reqID int, cb func(error)) {
 
 // pump retries queued requests after resources free up (QoS extension).
 func (m *MCCP) pump() {
-	if len(m.waitQ) == 0 {
+	if m.waitHead == len(m.waitQ) {
+		if m.waitHead > 0 {
+			m.waitQ = m.waitQ[:0]
+			m.waitHead = 0
+		}
 		return
 	}
 	// Try in priority order; stop at the first that still cannot dispatch
 	// (strict priority, no bypass).
-	w := m.waitQ[0]
+	w := m.waitQ[m.waitHead]
 	req := scheduler.Request{
 		Family:    w.ch.suite.Family,
 		WantSplit: w.ch.suite.SplitCCM,
@@ -518,7 +533,8 @@ func (m *MCCP) pump() {
 	if m.policy.Pick(req, m.views(w.ch.keyID)) == nil {
 		return
 	}
-	m.waitQ = m.waitQ[1:]
+	m.waitQ[m.waitHead] = nil
+	m.waitHead++
 	m.tryDispatch(w.ch, w.encrypt, w.aadLen, w.dataLen, w.cb, false)
 }
 

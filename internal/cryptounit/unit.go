@@ -87,6 +87,17 @@ type Unit struct {
 	busy        bool
 	idleWaiters *sim.Waiters
 
+	// Single-slot stalled issue. The controller blocks on the start/ack
+	// handshake, so at most one instruction is ever waiting to be latched;
+	// holding it in fields with a prebuilt retry callback keeps the
+	// (extremely hot) stall path allocation-free. A second concurrent
+	// issue — only possible from tests driving the port directly — falls
+	// back to a closure.
+	stalled     bool
+	stallIn     cuisa.Instr
+	stallAccept func()
+	stallRetry  func()
+
 	// Completion plumbing. One foreground instruction executes at a time,
 	// so a single pending-effect slot suffices: tick fires the completion
 	// event, applying pendingFn (a prebuilt per-opcode callback bound to
@@ -153,6 +164,11 @@ func New(eng *sim.Engine, in, out *sim.WordFIFO) *Unit {
 			}
 		}
 	}
+	u.stallRetry = func() {
+		in, acc := u.stallIn, u.stallAccept
+		u.stalled, u.stallAccept = false, nil
+		u.Issue(in, acc)
+	}
 	return u
 }
 
@@ -208,7 +224,13 @@ func (u *Unit) WhenIdle(fn func()) {
 // onAccept runs at the cycle the unit latches the instruction.
 func (u *Unit) Issue(in cuisa.Instr, onAccept func()) {
 	if u.busy {
-		u.idleWaiters.Park(func() { u.Issue(in, onAccept) })
+		if !u.stalled {
+			u.stalled = true
+			u.stallIn, u.stallAccept = in, onAccept
+			u.idleWaiters.Park(u.stallRetry)
+		} else {
+			u.idleWaiters.Park(func() { u.Issue(in, onAccept) })
+		}
 		return
 	}
 	u.busy = true

@@ -374,7 +374,10 @@ func OurTableIIIRows(packets int) []TableIIIRow {
 // ClusterScaling runs the mixed multi-standard workload on 1/2/4/8-shard
 // clusters (experiment E11: the sharded service layer's head-room beyond
 // one device) and returns the sweep. packets sizes the workload; 256
-// gives stable figures in a few seconds.
+// gives stable figures in a few seconds. Packet generation runs on a
+// prefetch goroutine (identical draw order and bytes, so every
+// virtual-time figure matches the synchronous path) so it overlaps shard
+// simulation on multi-core hosts.
 func ClusterScaling(packets int) []cluster.ScalingRow {
 	rows, err := cluster.RunScaling([]int{1, 2, 4, 8}, cluster.WorkloadConfig{
 		Router:        cluster.RouterLeastLoaded,
@@ -383,6 +386,30 @@ func ClusterScaling(packets int) []cluster.ScalingRow {
 		Sessions:      16,
 		Seed:          1,
 		BatchWindow:   128,
+		PrefetchDepth: 256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rows
+}
+
+// ClusterSweep is the scale-out sweep mode: per-session generators,
+// grouped per shard so packet generation itself parallelizes, driving
+// packets (a million and beyond stays tractable after the pipelined
+// dispatch and zero-alloc packet path) through 1/2/4/8-shard clusters.
+// The workload differs from ClusterScaling's shared-generator stream but
+// is equally deterministic: two sweeps with the same arguments are
+// byte-identical.
+func ClusterSweep(packets int) []cluster.ScalingRow {
+	rows, err := cluster.RunScaling([]int{1, 2, 4, 8}, cluster.WorkloadConfig{
+		Router:        cluster.RouterLeastLoaded,
+		QueueRequests: true,
+		Packets:       packets,
+		Sessions:      32,
+		Seed:          1,
+		BatchWindow:   256,
+		PerShardGen:   true,
 	})
 	if err != nil {
 		panic(err)

@@ -1,6 +1,10 @@
 package modes
 
-import "mccp/internal/bits"
+import (
+	"fmt"
+
+	"mccp/internal/bits"
+)
 
 // The helpers in this file expose the mode-of-operation formatting rules
 // (SP 800-38C/D block construction) to the radio's communication
@@ -37,22 +41,42 @@ func GCMLengths(aadLen, ctLen int) bits.Block {
 }
 
 // CCMB0A0 builds CCM's first MAC block B0 and initial counter block A0 for
-// the given nonce, AAD length, payload length and tag length.
+// the given nonce, AAD length, payload length and tag length. It performs
+// the same parameter validation as the full formatter (ccmFormat) without
+// materializing any block stream, so the per-packet framing path never
+// allocates here.
 func CCMB0A0(nonce []byte, aadLen, payloadLen, tagLen int) (b0, a0 bits.Block, err error) {
-	payload := make([]byte, 0)
-	_ = payload
-	bblocks, a0, err := ccmFormat(nonce, make([]byte, minInt(aadLen, 1)), make([]byte, payloadLen), tagLen)
-	if err != nil {
-		return b0, a0, err
+	n := len(nonce)
+	if n < 7 || n > 13 {
+		return b0, a0, fmt.Errorf("modes: CCM nonce length %d not in [7,13]", n)
 	}
-	b0 = bblocks[0]
-	// ccmFormat sets the Adata flag from its aad argument; reproduce the
-	// real flag for the caller's aadLen.
+	if tagLen < 4 || tagLen > 16 || tagLen%2 != 0 {
+		return b0, a0, fmt.Errorf("modes: CCM tag length %d invalid", tagLen)
+	}
+	q := 15 - n
+	if q < 8 {
+		limit := uint64(1) << uint(8*q)
+		if uint64(payloadLen) >= limit {
+			return b0, a0, fmt.Errorf("modes: payload too long for %d-byte length field", q)
+		}
+	}
+	// B0: flags || nonce || Q (see ccmFormat, which the mode tests pin
+	// against this function).
+	flags := byte(0)
 	if aadLen > 0 {
-		b0[0] |= 0x40
-	} else {
-		b0[0] &^= 0x40
+		flags |= 0x40
 	}
+	flags |= byte((tagLen-2)/2) << 3
+	flags |= byte(q - 1)
+	b0[0] = flags
+	copy(b0[1:1+n], nonce)
+	plen := uint64(payloadLen)
+	for i := 0; i < q; i++ {
+		b0[15-i] = byte(plen >> uint(8*i))
+	}
+	// A0: flags' || nonce || counter(=0).
+	a0[0] = byte(q - 1)
+	copy(a0[1:1+n], nonce)
 	return b0, a0, nil
 }
 
@@ -62,20 +86,37 @@ func CCMEncodeAAD(aad []byte) []bits.Block {
 	if len(aad) == 0 {
 		return nil
 	}
-	var enc []byte
-	if len(aad) < 0xFF00 {
-		enc = append(enc, byte(len(aad)>>8), byte(len(aad)))
-	} else {
-		enc = append(enc, 0xFF, 0xFE,
-			byte(len(aad)>>24), byte(len(aad)>>16), byte(len(aad)>>8), byte(len(aad)))
-	}
-	enc = append(enc, aad...)
-	return bits.PadBlocks(enc)
+	return AppendCCMEncodeAAD(nil, aad)
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
+// AppendCCMEncodeAAD appends the CCM AAD encoding to dst and returns the
+// extended slice — the allocation-free form of CCMEncodeAAD. Every
+// appended block is fully written, so recycled destination buffers are
+// safe.
+func AppendCCMEncodeAAD(dst []bits.Block, aad []byte) []bits.Block {
+	if len(aad) == 0 {
+		return dst
 	}
-	return b
+	var pre [6]byte
+	np := 2
+	if len(aad) < 0xFF00 {
+		pre[0], pre[1] = byte(len(aad)>>8), byte(len(aad))
+	} else {
+		pre = [6]byte{0xFF, 0xFE,
+			byte(len(aad) >> 24), byte(len(aad) >> 16), byte(len(aad) >> 8), byte(len(aad))}
+		np = 6
+	}
+	total := np + len(aad)
+	for off := 0; off < total; off += bits.BlockBytes {
+		var b bits.Block
+		for i := 0; i < bits.BlockBytes && off+i < total; i++ {
+			if off+i < np {
+				b[i] = pre[off+i]
+			} else {
+				b[i] = aad[off+i-np]
+			}
+		}
+		dst = append(dst, b)
+	}
+	return dst
 }

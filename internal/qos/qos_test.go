@@ -238,6 +238,42 @@ func TestDeadlineTags(t *testing.T) {
 	}
 }
 
+// TestDropOnExpiry: a deadline-tagged packet still queued when its
+// deadline passes is dropped at dispatch time with ErrExpired, counted
+// under Shed and Expired, and never reaches the device.
+func TestDropOnExpiry(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1})
+
+	// Packet 1 occupies the single slot until cycle 100. Packet 2's
+	// deadline (50) expires while it waits, so the completion pump at 100
+	// must drop it instead of dispatching; packet 3 (deadline 500) then
+	// dispatches and completes at 200.
+	var verdicts []error
+	record := func(_ []byte, err error) { verdicts = append(verdicts, err) }
+	s.EncryptDeadline(Voice, 1, nil, nil, make([]byte, 64), 400, record)
+	s.EncryptDeadline(Voice, 1, nil, nil, make([]byte, 64), 50, record)
+	s.EncryptDeadline(Voice, 1, nil, nil, make([]byte, 64), 500, record)
+	eng.Run()
+
+	st := s.Stats(Voice)
+	if st.Completed != 2 || st.Shed != 1 || st.Expired != 1 {
+		t.Fatalf("counters: %+v (want 2 completed, 1 shed, 1 expired)", st)
+	}
+	if st.DeadlineMisses != 0 {
+		t.Fatalf("an expired drop must not also count as a miss: %+v", st)
+	}
+	want := []error{nil, ErrExpired, nil}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Fatalf("verdicts %v, want %v", verdicts, want)
+	}
+	// The dropped packet never consumed a device slot: two operations of
+	// 100 cycles back-to-back end at cycle 200.
+	if eng.Now() != 200 {
+		t.Fatalf("virtual end time %d, want 200 (drop must not occupy the device)", eng.Now())
+	}
+}
+
 // TestLatencyPercentiles: nearest-rank percentiles over a known latency
 // population (queueing behind a single slot gives 100, 200, ..., cycles).
 func TestLatencyPercentiles(t *testing.T) {

@@ -14,6 +14,13 @@ import (
 // counter ticks).
 var ErrShed = fmt.Errorf("qos: class queue full (load shed)")
 
+// ErrExpired is returned to a packet whose deadline passed while it was
+// still queued: the shaper drops it at dispatch time instead of wasting
+// device capacity on work nobody can use. Expired drops count under the
+// class's Shed total (they are load shedding, decided by age instead of
+// queue depth) and separately under Expired.
+var ErrExpired = fmt.Errorf("qos: deadline expired before dispatch (dropped)")
+
 // Target is the device-facing surface the shaper drives — in practice
 // radio.CommController, but any packet engine with the same asynchronous
 // contract works (cores are a detail below this interface).
@@ -53,9 +60,13 @@ func (c *Config) fill() {
 type ClassStats struct {
 	Class Class
 	// Submitted counts arrivals; Completed successful round trips; Shed
-	// admission drops (queue full); Rejected device error-flag returns;
-	// Failed every other device error (auth failures included).
+	// load-shedding drops (admission at a full queue, or expiry at
+	// dispatch); Rejected device error-flag returns; Failed every other
+	// device error (auth failures included).
 	Submitted, Completed, Shed, Rejected, Failed uint64
+	// Expired counts the subset of Shed dropped at dispatch time because
+	// their deadline had already passed in the queue.
+	Expired uint64
 	// Bytes is the payload volume of completed operations.
 	Bytes uint64
 	// QueuedPeak is the deepest the class queue ever got; QueuedNow its
@@ -136,9 +147,10 @@ func (s *Shaper) Encrypt(c Class, ch int, nonce, aad, payload []byte, cb func([]
 }
 
 // EncryptDeadline submits one packet with an absolute virtual-time
-// deadline tag; a completion after the deadline ticks the class's
-// DeadlineMisses counter (the packet still completes — dropping expired
-// work is a ROADMAP follow-on).
+// deadline tag. A packet still queued when its deadline passes is dropped
+// at dispatch time with ErrExpired (counted under Shed/Expired); a packet
+// dispatched in time but completing late still completes and ticks the
+// class's DeadlineMisses counter.
 func (s *Shaper) EncryptDeadline(c Class, ch int, nonce, aad, payload []byte, deadline sim.Time, cb func([]byte, error)) {
 	s.submit(c, len(payload), deadline, cb, func(done func([]byte, error)) {
 		s.target.Encrypt(ch, nonce, aad, payload, done)
@@ -176,7 +188,9 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 func (s *Shaper) depth(c Class) int { return len(s.queues[c]) }
 
 // pump dispatches queued items while capacity allows, in drain-policy
-// order.
+// order. A deadline-tagged item whose deadline has already passed is
+// dropped here — at dispatch time, before it consumes device capacity —
+// and counted under Shed/Expired with an ErrExpired verdict.
 func (s *Shaper) pump() {
 	for s.cfg.Capacity == 0 || s.inFlight < s.cfg.Capacity {
 		c, ok := s.drain.Next(s.depth)
@@ -185,6 +199,15 @@ func (s *Shaper) pump() {
 		}
 		it := s.queues[c][0]
 		s.queues[c] = s.queues[c][1:]
+		if it.deadline != 0 && s.eng.Now() > it.deadline {
+			st := &s.stats[c]
+			st.Shed++
+			st.Expired++
+			if it.cb != nil {
+				it.cb(nil, ErrExpired)
+			}
+			continue
+		}
 		s.inFlight++
 		if !s.dispatched[c] {
 			s.dispatched[c] = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mccp/internal/bits"
+	"mccp/internal/bufpool"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/firmware"
@@ -15,13 +16,34 @@ import (
 // it owns the MCCP control port, formats packets per the mode-of-operation
 // specifications, streams them through the Cross Bar, services the Data
 // Available interrupt and reassembles results.
+//
+// Result buffers handed to completion callbacks come from bufpool: a
+// consumer that is done with one may recycle it with bufpool.PutBytes
+// (the cluster workload drivers do); retaining it is equally safe — a
+// buffer is never recycled behind the callback's back.
 type CommController struct {
 	dev *core.MCCP
 
-	// inflight tracks requests between dispatch and retrieval.
+	// inflight tracks requests between dispatch and retrieval; freeReq
+	// heads the request pool (requests carry prebuilt callbacks, so the
+	// steady-state packet path does not allocate here).
 	inflight map[int]*inflightReq
+	freeReq  *inflightReq
 	suites   map[int]core.Suite // channel -> suite (for formatting)
 	draining bool
+
+	// Current retrieval state. The drain loop is strictly serialized
+	// (retrieve -> read -> transfer-done -> next), so a single set of
+	// fields plus prebuilt continuations replaces a closure chain per
+	// packet.
+	cur     *inflightReq
+	curR    core.Retrieval
+	pendOut []byte
+	pendErr error
+
+	onRetrieve func(core.Retrieval, error)
+	onWords    func([]uint32)
+	onTD       func(error)
 
 	// Completions counts packets fully round-tripped.
 	Completions uint64
@@ -35,10 +57,24 @@ type inflightReq struct {
 	family     cryptocore.Family
 	prio       int // QoS priority for the download-side crossbar grant
 	cb         func([]byte, error)
+
+	// Upload bookkeeping: remaining counts core streams still being
+	// written; wordBufs holds their pooled word staging buffers until the
+	// upload completes; onWrite is the prebuilt per-stream completion.
+	cc        *CommController
+	reqID     int
+	remaining int
+	wordBufs  [2][]uint32
+	onWrite   func()
+
+	next *inflightReq // pool link
 }
 
 // ErrAuth mirrors modes.ErrAuth for the device path.
 var ErrAuth = modes.ErrAuth
+
+// nopErr absorbs protocol acknowledgements nobody waits on.
+var nopErr = func(error) {}
 
 // NewCommController wires a controller to the device's interrupt line.
 func NewCommController(dev *core.MCCP) *CommController {
@@ -48,7 +84,44 @@ func NewCommController(dev *core.MCCP) *CommController {
 		suites:   make(map[int]core.Suite),
 	}
 	dev.OnDataAvailable = cc.drain
+	cc.onRetrieve = cc.retrieved
+	cc.onWords = cc.assembleAndFinish
+	cc.onTD = cc.transferDone
 	return cc
+}
+
+func (cc *CommController) getReq() *inflightReq {
+	req := cc.freeReq
+	if req == nil {
+		req = &inflightReq{cc: cc}
+		req.onWrite = req.streamWritten
+		return req
+	}
+	cc.freeReq = req.next
+	req.next = nil
+	return req
+}
+
+func (cc *CommController) putReq(req *inflightReq) {
+	req.cb = nil
+	req.next = cc.freeReq
+	cc.freeReq = req
+}
+
+// streamWritten fires when one core stream's upload transfer completes;
+// the last one recycles the word buffers and acknowledges the upload.
+func (req *inflightReq) streamWritten() {
+	req.remaining--
+	if req.remaining > 0 {
+		return
+	}
+	for i, w := range req.wordBufs {
+		if w != nil {
+			bufpool.PutWords(w)
+			req.wordBufs[i] = nil
+		}
+	}
+	req.cc.dev.TransferDone(req.reqID, nopErr)
 }
 
 // OpenChannel opens an MCCP channel and remembers its suite for packet
@@ -97,78 +170,83 @@ func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag 
 			cb(nil, err)
 			return
 		}
-		streams, err := cc.streamsFor(a, s, encrypt, nonce, aad, payload, tag)
+		streams, nstreams, err := cc.streamsFor(a, s, encrypt, nonce, aad, payload, tag)
 		if err != nil {
 			cb(nil, err)
 			return
 		}
-		cc.inflight[a.ReqID] = &inflightReq{
-			encrypt:    encrypt,
-			dataLen:    len(payload),
-			dataBlocks: int(a.Tasks[len(a.Tasks)-1].DataBlocks),
-			tagLen:     s.TagLen,
-			family:     s.Family,
-			prio:       s.Priority,
-			cb:         cb,
-		}
+		req := cc.getReq()
+		req.encrypt = encrypt
+		req.dataLen = len(payload)
+		req.dataBlocks = int(a.Tasks[len(a.Tasks)-1].DataBlocks)
+		req.tagLen = s.TagLen
+		req.family = s.Family
+		req.prio = s.Priority
+		req.cb = cb
+		req.reqID = a.ReqID
+		req.remaining = nstreams
+		cc.inflight[a.ReqID] = req
 		// Stream every engaged core's input through the Cross Bar at the
 		// channel's QoS priority, then acknowledge the upload with the
-		// first TRANSFER_DONE.
-		remaining := len(streams)
-		for i := range streams {
-			words := blocksToWords(streams[i])
-			coreID := a.CoreIDs[i]
-			cc.dev.WriteToCorePrio(coreID, words, s.Priority, func() {
-				remaining--
-				if remaining == 0 {
-					cc.dev.TransferDone(a.ReqID, func(error) {})
-				}
-			})
+		// first TRANSFER_DONE. Each stream's staged blocks are recycled as
+		// soon as they are converted to words; the word buffers when the
+		// upload completes.
+		if nstreams == 0 {
+			cc.dev.TransferDone(a.ReqID, nopErr)
+			return
 		}
-		if len(streams) == 0 {
-			cc.dev.TransferDone(a.ReqID, func(error) {})
+		for i := 0; i < nstreams; i++ {
+			words := blocksToWords(streams[i])
+			bufpool.PutBlocks(streams[i])
+			req.wordBufs[i] = words
+			cc.dev.WriteToCorePrio(a.CoreIDs[i], words, s.Priority, req.onWrite)
 		}
 	})
 }
 
 // streamsFor builds each engaged core's input FIFO stream for the
-// scheduler's chosen mapping.
-func (cc *CommController) streamsFor(a core.Assignment, s core.Suite, encrypt bool, nonce, aad, payload, tag []byte) ([][]bits.Block, error) {
+// scheduler's chosen mapping. The returned streams are pooled block
+// buffers owned by the caller.
+func (cc *CommController) streamsFor(a core.Assignment, s core.Suite, encrypt bool, nonce, aad, payload, tag []byte) (streams [2][]bits.Block, n int, err error) {
+	one := func(f Frame, e error) ([2][]bits.Block, int, error) {
+		return [2][]bits.Block{f.In}, 1, e
+	}
 	switch a.Tasks[0].Mode {
 	case firmware.ModeGCMEnc:
 		f, err := FrameGCMEnc(nonce, aad, payload)
-		return [][]bits.Block{f.In}, err
+		return one(f, err)
 	case firmware.ModeGCMDec:
 		f, err := FrameGCMDec(nonce, aad, payload, tag)
-		return [][]bits.Block{f.In}, err
+		return one(f, err)
 	case firmware.ModeCCMEnc:
 		f, err := FrameCCMEnc(nonce, aad, payload, s.TagLen)
-		return [][]bits.Block{f.In}, err
+		return one(f, err)
 	case firmware.ModeCCMDec:
 		f, err := FrameCCMDec(nonce, aad, payload, tag, s.TagLen)
-		return [][]bits.Block{f.In}, err
+		return one(f, err)
 	case firmware.ModeCCM2MacEnc, firmware.ModeCCM2MacDec:
 		mac, ctr, err := FrameCCM2(encrypt, nonce, aad, payload, tag, s.TagLen)
-		return [][]bits.Block{mac.In, ctr.In}, err
+		return [2][]bits.Block{mac.In, ctr.In}, 2, err
 	case firmware.ModeCTR:
 		var icb bits.Block
 		if len(nonce) != 16 {
-			return nil, fmt.Errorf("radio: CTR needs a 16-byte initial counter block")
+			return streams, 0, fmt.Errorf("radio: CTR needs a 16-byte initial counter block")
 		}
 		copy(icb[:], nonce)
 		f, err := FrameCTR(icb, payload)
-		return [][]bits.Block{f.In}, err
+		return one(f, err)
 	case firmware.ModeCBCMAC:
 		if len(payload)%16 != 0 {
-			return nil, fmt.Errorf("radio: CBC-MAC needs whole blocks")
+			return streams, 0, fmt.Errorf("radio: CBC-MAC needs whole blocks")
 		}
-		f, err := FrameCBCMAC(bits.PadBlocks(payload))
-		return [][]bits.Block{f.In}, err
+		f, err := FrameCBCMAC(bits.AppendPadBlocks(bufpool.Blocks(len(payload)/16), payload))
+		return one(f, err)
 	case firmware.ModeHash:
 		// payload already carries Whirlpool padding (see Hash).
-		return [][]bits.Block{bits.PadBlocks(payload)}, nil
+		nb := blockCount(len(payload))
+		return one(Frame{In: bits.AppendPadBlocks(bufpool.Blocks(nb), payload)}, nil)
 	}
-	return nil, fmt.Errorf("radio: cannot format mode %v", a.Tasks[0].Mode)
+	return streams, 0, fmt.Errorf("radio: cannot format mode %v", a.Tasks[0].Mode)
 }
 
 // Hash digests msg on a Whirlpool-reconfigured channel, delivering the
@@ -194,70 +272,95 @@ func (cc *CommController) drainOne() {
 		cc.draining = false
 		return
 	}
-	cc.dev.RetrieveData(func(r core.Retrieval, err error) {
-		if err != nil {
-			cc.draining = false
-			return
-		}
-		req := cc.inflight[r.ReqID]
-		delete(cc.inflight, r.ReqID)
-		finish := func(out []byte, e error) {
-			cc.dev.TransferDone(r.ReqID, func(error) {
-				cc.Completions++
-				if req != nil {
-					req.cb(out, e)
-				}
-				cc.drainOne()
-			})
-		}
-		if r.Code == firmware.ResultAuthFail {
-			finish(nil, ErrAuth)
-			return
-		}
-		if r.OutWords == 0 {
-			finish(nil, nil)
-			return
-		}
-		prio := 0
-		if req != nil {
-			prio = req.prio
-		}
-		cc.dev.ReadFromCorePrio(r.OutCore, r.OutWords, prio, func(words []uint32) {
-			finish(cc.assemble(req, words), nil)
-		})
-	})
+	cc.dev.RetrieveData(cc.onRetrieve)
+}
+
+// retrieved handles one RETRIEVE_DATA result (prebuilt as onRetrieve).
+func (cc *CommController) retrieved(r core.Retrieval, err error) {
+	if err != nil {
+		cc.draining = false
+		return
+	}
+	req := cc.inflight[r.ReqID]
+	delete(cc.inflight, r.ReqID)
+	cc.cur, cc.curR = req, r
+	if r.Code == firmware.ResultAuthFail {
+		cc.finish(nil, ErrAuth)
+		return
+	}
+	if r.OutWords == 0 {
+		cc.finish(nil, nil)
+		return
+	}
+	prio := 0
+	if req != nil {
+		prio = req.prio
+	}
+	cc.dev.ReadFromCorePrio(r.OutCore, r.OutWords, prio, cc.onWords)
+}
+
+// assembleAndFinish converts the drained output FIFO words (prebuilt as
+// onWords).
+func (cc *CommController) assembleAndFinish(words []uint32) {
+	out := cc.assemble(cc.cur, words)
+	bufpool.PutWords(words)
+	cc.finish(out, nil)
+}
+
+func (cc *CommController) finish(out []byte, e error) {
+	cc.pendOut, cc.pendErr = out, e
+	cc.dev.TransferDone(cc.curR.ReqID, cc.onTD)
+}
+
+// transferDone delivers the completed packet and loops (prebuilt as onTD).
+func (cc *CommController) transferDone(error) {
+	cc.Completions++
+	req, out, e := cc.cur, cc.pendOut, cc.pendErr
+	cc.cur, cc.pendOut, cc.pendErr = nil, nil, nil
+	if req != nil {
+		cb := req.cb
+		cc.putReq(req)
+		cb(out, e)
+	}
+	cc.drainOne()
 }
 
 // assemble converts raw output FIFO words into the caller-visible bytes:
 // truncating padded blocks to the true data length and the tag to the
-// suite's tag length.
+// suite's tag length. The returned buffer is pooled (see the type
+// comment); the raw staging buffer is recycled before returning.
 func (cc *CommController) assemble(req *inflightReq, words []uint32) []byte {
-	raw := make([]byte, 0, 4*len(words))
-	for _, w := range words {
-		raw = append(raw, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+	raw := bufpool.BytesN(4 * len(words))
+	for i, w := range words {
+		raw[4*i] = byte(w >> 24)
+		raw[4*i+1] = byte(w >> 16)
+		raw[4*i+2] = byte(w >> 8)
+		raw[4*i+3] = byte(w)
 	}
-	if req == nil {
-		return raw
-	}
+	var out []byte
 	switch {
+	case req == nil:
+		out = append(bufpool.Bytes(len(raw)), raw...)
 	case req.family == cryptocore.FamilyHash:
-		return raw[:whirlpool.DigestBytes]
+		out = append(bufpool.Bytes(whirlpool.DigestBytes), raw[:whirlpool.DigestBytes]...)
 	case req.family == cryptocore.FamilyCBCMAC:
-		return raw[:16]
+		out = append(bufpool.Bytes(16), raw[:16]...)
 	case req.family == cryptocore.FamilyCTR:
-		return raw[:req.dataLen]
+		out = append(bufpool.Bytes(req.dataLen), raw[:req.dataLen]...)
 	case req.encrypt:
 		// [CT blocks][TAG block] -> ct || tag[:tagLen]
 		ctEnd := 16 * req.dataBlocks
-		out := append([]byte(nil), raw[:req.dataLen]...)
-		return append(out, raw[ctEnd:ctEnd+req.tagLen]...)
+		out = append(bufpool.Bytes(req.dataLen+req.tagLen), raw[:req.dataLen]...)
+		out = append(out, raw[ctEnd:ctEnd+req.tagLen]...)
 	default:
-		return raw[:req.dataLen]
+		out = append(bufpool.Bytes(req.dataLen), raw[:req.dataLen]...)
 	}
+	bufpool.PutBytes(raw)
+	return out
 }
 
 func blocksToWords(blocks []bits.Block) []uint32 {
-	out := make([]uint32, 0, 4*len(blocks))
+	out := bufpool.Words(4 * len(blocks))
 	for _, b := range blocks {
 		w := b.Words()
 		out = append(out, w[0], w[1], w[2], w[3])

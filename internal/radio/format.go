@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mccp/internal/bits"
+	"mccp/internal/bufpool"
 	"mccp/internal/cryptocore"
 	"mccp/internal/firmware"
 	"mccp/internal/modes"
@@ -21,11 +22,19 @@ const MaxPayload = 2048
 // Frame is a formatted task for one Cryptographic Core: the input FIFO
 // block stream, the task parameters, and the number of 32-bit words the
 // core will produce in its output FIFO on success.
+//
+// In is staged in a bufpool block buffer: the owner may recycle it with
+// bufpool.PutBlocks once the stream has been consumed (the communication
+// controller does, right after converting it to crossbar words); callers
+// that keep it simply leave it to the GC.
 type Frame struct {
 	In       []bits.Block
 	Task     cryptocore.Task
 	OutWords int
 }
+
+// blockCount returns the padded block count of an n-byte field.
+func blockCount(n int) int { return (n + bits.BlockBytes - 1) / bits.BlockBytes }
 
 func dataParams(n int) (blocks uint8, lastMask uint16) {
 	nb := (n + bits.BlockBytes - 1) / bits.BlockBytes
@@ -52,18 +61,18 @@ func FrameGCMEnc(nonce, aad, payload []byte) (Frame, error) {
 	if err := checkSizes(aad, payload); err != nil {
 		return Frame{}, err
 	}
-	var in []bits.Block
-	in = append(in, modes.GCMJ0(nonce))
-	aadBlocks := bits.PadBlocks(aad)
-	in = append(in, aadBlocks...)
+	aadBlocks := blockCount(len(aad))
 	dataBlocks, lastMask := dataParams(len(payload))
-	in = append(in, bits.PadBlocks(payload)...)
+	in := bufpool.Blocks(2 + aadBlocks + int(dataBlocks))
+	in = append(in, modes.GCMJ0(nonce))
+	in = bits.AppendPadBlocks(in, aad)
+	in = bits.AppendPadBlocks(in, payload)
 	in = append(in, modes.GCMLengths(len(aad), len(payload)))
 	return Frame{
 		In: in,
 		Task: cryptocore.Task{
 			Mode:       firmware.ModeGCMEnc,
-			HdrBlocks:  uint8(len(aadBlocks)),
+			HdrBlocks:  uint8(aadBlocks),
 			DataBlocks: dataBlocks,
 			LastMask:   lastMask,
 		},
@@ -80,12 +89,12 @@ func FrameGCMDec(nonce, aad, ct, tag []byte) (Frame, error) {
 	if len(tag) == 0 || len(tag) > 16 {
 		return Frame{}, fmt.Errorf("radio: tag length %d out of range", len(tag))
 	}
-	var in []bits.Block
-	in = append(in, modes.GCMJ0(nonce))
-	aadBlocks := bits.PadBlocks(aad)
-	in = append(in, aadBlocks...)
+	aadBlocks := blockCount(len(aad))
 	dataBlocks, lastMask := dataParams(len(ct))
-	in = append(in, bits.PadBlocks(ct)...)
+	in := bufpool.Blocks(3 + aadBlocks + int(dataBlocks))
+	in = append(in, modes.GCMJ0(nonce))
+	in = bits.AppendPadBlocks(in, aad)
+	in = bits.AppendPadBlocks(in, ct)
 	in = append(in, modes.GCMLengths(len(aad), len(ct)))
 	var tagBlock bits.Block
 	copy(tagBlock[:], tag)
@@ -94,7 +103,7 @@ func FrameGCMDec(nonce, aad, ct, tag []byte) (Frame, error) {
 		In: in,
 		Task: cryptocore.Task{
 			Mode:       firmware.ModeGCMDec,
-			HdrBlocks:  uint8(len(aadBlocks)),
+			HdrBlocks:  uint8(aadBlocks),
 			DataBlocks: dataBlocks,
 			LastMask:   lastMask,
 			TagMask:    bits.MaskForLen(len(tag)),
@@ -113,23 +122,36 @@ func FrameCCMEnc(nonce, aad, payload []byte, tagLen int) (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
-	aadBlocks := modes.CCMEncodeAAD(aad)
+	aadBlocks := ccmAADBlocks(len(aad))
 	dataBlocks, lastMask := dataParams(len(payload))
-	var in []bits.Block
+	in := bufpool.Blocks(3 + aadBlocks + int(dataBlocks))
 	in = append(in, a0, b0)
-	in = append(in, aadBlocks...)
-	in = append(in, bits.PadBlocks(payload)...)
+	in = modes.AppendCCMEncodeAAD(in, aad)
+	in = bits.AppendPadBlocks(in, payload)
 	in = append(in, a0)
 	return Frame{
 		In: in,
 		Task: cryptocore.Task{
 			Mode:       firmware.ModeCCMEnc,
-			HdrBlocks:  uint8(len(aadBlocks)),
+			HdrBlocks:  uint8(aadBlocks),
 			DataBlocks: dataBlocks,
 			LastMask:   lastMask,
 		},
 		OutWords: 4*int(dataBlocks) + 4,
 	}, nil
+}
+
+// ccmAADBlocks returns the block count of CCM's length-prefixed AAD
+// encoding (see modes.AppendCCMEncodeAAD).
+func ccmAADBlocks(aadLen int) int {
+	if aadLen == 0 {
+		return 0
+	}
+	prefix := 2
+	if aadLen >= 0xFF00 {
+		prefix = 6
+	}
+	return blockCount(prefix + aadLen)
 }
 
 // FrameCCMDec builds the one-core CCM decryption stream:
@@ -145,12 +167,12 @@ func FrameCCMDec(nonce, aad, ct, tag []byte, tagLen int) (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
-	aadBlocks := modes.CCMEncodeAAD(aad)
+	aadBlocks := ccmAADBlocks(len(aad))
 	dataBlocks, lastMask := dataParams(len(ct))
-	var in []bits.Block
+	in := bufpool.Blocks(4 + aadBlocks + int(dataBlocks))
 	in = append(in, a0, b0)
-	in = append(in, aadBlocks...)
-	in = append(in, bits.PadBlocks(ct)...)
+	in = modes.AppendCCMEncodeAAD(in, aad)
+	in = bits.AppendPadBlocks(in, ct)
 	in = append(in, a0)
 	var tagBlock bits.Block
 	copy(tagBlock[:], tag)
@@ -159,7 +181,7 @@ func FrameCCMDec(nonce, aad, ct, tag []byte, tagLen int) (Frame, error) {
 		In: in,
 		Task: cryptocore.Task{
 			Mode:       firmware.ModeCCMDec,
-			HdrBlocks:  uint8(len(aadBlocks)),
+			HdrBlocks:  uint8(aadBlocks),
 			DataBlocks: dataBlocks,
 			LastMask:   lastMask,
 			TagMask:    bits.MaskForLen(tagLen),
@@ -174,7 +196,8 @@ func FrameCTR(icb bits.Block, data []byte) (Frame, error) {
 		return Frame{}, err
 	}
 	dataBlocks, lastMask := dataParams(len(data))
-	in := append([]bits.Block{icb}, bits.PadBlocks(data)...)
+	in := append(bufpool.Blocks(1+int(dataBlocks)), icb)
+	in = bits.AppendPadBlocks(in, data)
 	return Frame{
 		In: in,
 		Task: cryptocore.Task{
@@ -214,29 +237,31 @@ func FrameCCM2(encrypt bool, nonce, aad, payload, tag []byte, tagLen int) (mac F
 	if err != nil {
 		return Frame{}, Frame{}, err
 	}
-	aadBlocks := modes.CCMEncodeAAD(aad)
+	aadBlocks := ccmAADBlocks(len(aad))
 	dataBlocks, lastMask := dataParams(len(payload))
 
 	// CBC-MAC half: encrypt reads plaintext from its FIFO; decrypt receives
 	// the recovered plaintext over the shift register.
+	mac.In = bufpool.Blocks(1 + aadBlocks + int(dataBlocks))
 	mac.In = append(mac.In, b0)
-	mac.In = append(mac.In, aadBlocks...)
+	mac.In = modes.AppendCCMEncodeAAD(mac.In, aad)
 	macMode := firmware.ModeCCM2MacEnc
 	if encrypt {
-		mac.In = append(mac.In, bits.PadBlocks(payload)...)
+		mac.In = bits.AppendPadBlocks(mac.In, payload)
 	} else {
 		macMode = firmware.ModeCCM2MacDec
 	}
 	mac.Task = cryptocore.Task{
 		Mode:       macMode,
-		HdrBlocks:  uint8(len(aadBlocks)),
+		HdrBlocks:  uint8(aadBlocks),
 		DataBlocks: dataBlocks,
 		LastMask:   0xFFFF,
 	}
 
 	// CTR half.
+	ctr.In = bufpool.Blocks(3 + int(dataBlocks))
 	ctr.In = append(ctr.In, a0)
-	ctr.In = append(ctr.In, bits.PadBlocks(payload)...)
+	ctr.In = bits.AppendPadBlocks(ctr.In, payload)
 	ctr.In = append(ctr.In, a0)
 	ctrMode := firmware.ModeCCM2CtrEnc
 	ctr.OutWords = 4*int(dataBlocks) + 4

@@ -99,8 +99,22 @@ const DefaultFreqHz = 190e6
 // NewEngine returns an engine with the clock at cycle 0 and the default
 // 190 MHz frequency model.
 func NewEngine() *Engine {
-	return &Engine{FreqHz: DefaultFreqHz, horizon: maxTime, Compat: CompatDefault}
+	e := &Engine{FreqHz: DefaultFreqHz, horizon: maxTime, Compat: CompatDefault}
+	// Pre-size every wheel bucket out of one backing array: the first few
+	// events per bucket then never allocate, which removes the per-engine
+	// warm-up churn that dominated shard-construction allocations. A bucket
+	// that outgrows its carve-out reallocates privately (append semantics),
+	// so buckets stay disjoint.
+	backing := make([]wheelEvt, wheelSize*wheelSeedCap)
+	for i := range e.wheel {
+		e.wheel[i] = backing[i*wheelSeedCap : i*wheelSeedCap : (i+1)*wheelSeedCap]
+	}
+	e.heap = make([]event, 0, 64)
+	return e
 }
+
+// wheelSeedCap is the pre-allocated capacity of each wheel bucket.
+const wheelSeedCap = 8
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -351,6 +365,10 @@ func (t *Ticker) After(d Time) { t.eng.After(d, t.fn) }
 type Waiters struct {
 	eng *Engine
 	fns []func()
+	// spare recycles the previous fns backing array so the park/release
+	// cycle is allocation-free in steady state (releasing used to nil the
+	// slice, making every subsequent Park re-allocate it).
+	spare []func()
 }
 
 // NewWaiters returns an empty parking lot bound to eng.
@@ -367,10 +385,14 @@ func (w *Waiters) Release() {
 		return
 	}
 	fns := w.fns
-	w.fns = nil
+	w.fns = w.spare[:0]
 	for _, fn := range fns {
 		w.eng.After(0, fn)
 	}
+	for i := range fns {
+		fns[i] = nil // release the closures for GC
+	}
+	w.spare = fns[:0]
 }
 
 // Len reports the number of parked callbacks.

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"mccp/internal/bufpool"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/qos"
@@ -104,12 +105,25 @@ func SuiteFor(s Standard) core.Suite {
 // Class returns the standard's QoS class (derived from its priority tag).
 func (s Standard) Class() qos.Class { return qos.ClassForPriority(s.Priority) }
 
-// Packet is one generated packet.
+// Packet is one generated packet. Its buffers come from bufpool: release
+// them with ReleasePacket once the packet's operation has completed (its
+// callback ran), or keep them and let the GC collect them. Buffer reuse
+// never changes packet contents — the generator fully overwrites every
+// buffer it hands out, in the same RNG draw order as freshly allocated
+// ones.
 type Packet struct {
 	Channel int
 	Nonce   []byte
 	AAD     []byte
 	Payload []byte
+}
+
+// ReleasePacket recycles a packet's buffers. The packet must no longer be
+// referenced by an in-flight operation.
+func ReleasePacket(p Packet) {
+	bufpool.PutBytes(p.Nonce)
+	bufpool.PutBytes(p.AAD)
+	bufpool.PutBytes(p.Payload)
 }
 
 // Generator produces packets for a set of opened channels.
@@ -136,13 +150,13 @@ func (g *Generator) Next(i, ch int) Packet {
 	if s.Family == cryptocore.FamilyCCM {
 		nonceLen = 13
 	}
-	nonce := make([]byte, nonceLen)
+	nonce := bufpool.BytesN(nonceLen)
 	g.rng.Read(nonce)
 	// Keep the counter portion clear of 16-bit wrap.
 	nonce[nonceLen-1] = byte(g.seq)
-	payload := make([]byte, n)
+	payload := bufpool.BytesN(n)
 	g.rng.Read(payload)
-	aad := make([]byte, 8+g.rng.Intn(16))
+	aad := bufpool.BytesN(8 + g.rng.Intn(16))
 	g.rng.Read(aad)
 	return Packet{Channel: ch, Nonce: nonce, AAD: aad, Payload: payload}
 }
@@ -239,8 +253,10 @@ func RunMixed(cfg MixedConfig) RunResult {
 			inFlight++
 			sent := eng.Now()
 			res.Bytes += len(pkt.Payload)
-			cc.Encrypt(ci.id, pkt.Nonce, pkt.AAD, pkt.Payload, func(_ []byte, err error) {
+			cc.Encrypt(ci.id, pkt.Nonce, pkt.AAD, pkt.Payload, func(out []byte, err error) {
 				inFlight--
+				ReleasePacket(pkt)
+				bufpool.PutBytes(out)
 				if err == core.ErrNoResources {
 					res.Rejected++
 					pump()
