@@ -311,6 +311,42 @@ func BenchmarkQoS_Drains(b *testing.B) {
 	}
 }
 
+// --- E13: open-loop load curves ---------------------------------------------
+
+// BenchmarkLoadCurve runs the open-loop offered-load sweep at three
+// points per policy and reports per-class loss and latency. Every metric
+// is virtual-time and deterministic; voice_delivered_frac (the fraction
+// of offered voice packets actually delivered) participates in the
+// baseline regression gate — it must stay ~1.0 under qos-priority.
+func BenchmarkLoadCurve(b *testing.B) {
+	b.ReportAllocs()
+	var res harness.LoadCurveResult
+	for i := 0; i < b.N; i++ {
+		res = harness.LoadCurve(harness.LoadCurveConfig{
+			Offered:           []float64{0.5, 1.0, 2.0},
+			BackgroundPackets: 200,
+		})
+	}
+	for _, p := range res.Points {
+		p := p
+		b.Run(fmt.Sprintf("%s/offered=%.1f", p.Policy, p.Offered), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p // measured above; subruns report the cells
+			}
+			v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+			b.ReportMetric(p.TotalOfferedMbps, "offered_Mbps")
+			b.ReportMetric(p.TotalDeliveredMbps, "delivered_Mbps")
+			b.ReportMetric(100*v.LossFrac, "voice_loss_pct")
+			b.ReportMetric(100*bg.LossFrac, "background_loss_pct")
+			b.ReportMetric(1-v.LossFrac, "voice_delivered_frac")
+			b.ReportMetric(float64(v.P99), "voice_p99_cycles")
+			b.ReportMetric(float64(bg.P99), "background_p99_cycles")
+			b.ReportMetric(float64(v.Misses), "voice_deadline_misses")
+		})
+	}
+}
+
 // --- E10: ablations ---------------------------------------------------------
 
 // BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:

@@ -30,6 +30,8 @@ import (
 	"strings"
 
 	"mccp/internal/benchfmt"
+	"mccp/internal/harness"
+	"mccp/internal/qos"
 )
 
 func main() {
@@ -43,7 +45,21 @@ func main() {
 	hostBudget := flag.String("hostbudget", "", "host-speed smoke check, 'BenchName=seconds': fail if that benchmark's wall clock exceeded the budget")
 	clusterScale := flag.String("clusterscale", "", "cluster host-scaling gate, 'Top:Base=ratio' (e.g. 'Cluster/shards=8:Cluster/shards=1=1.5'): fail if Top's host_Mbps is below ratio x Base's; derated to 0.6 x GOMAXPROCS and skipped on single-CPU runs, where host-parallel speedup is impossible")
 	allocsBudget := flag.String("allocspacket", "", "allocation ceiling, 'BenchName=allocs': fail if the benchmark's allocs_op per packet exceeds the ceiling")
+	loadSmoke := flag.Bool("loadsmoke", false, "run the E13 mini load curve in-process and fail if the voice class loses >1% of its packets at 0.5x saturation under qos-priority")
 	flag.Parse()
+
+	// -loadsmoke runs the simulation directly (no bench input needed), so
+	// it is checked before input parsing and composes with the other
+	// gates when input is present.
+	if *loadSmoke {
+		if err := checkLoadSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if *in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
+			return // smoke-only invocation
+		}
+	}
 
 	results, err := parseInput(*in)
 	if err != nil {
@@ -208,6 +224,25 @@ func checkAllocsPerPacket(spec string, results []benchfmt.Result) error {
 		return fmt.Errorf("allocation regression: %s allocates %.0f objects/packet (ceiling %.0f) — the packet path has started allocating again", name, perPkt, limit)
 	}
 	fmt.Printf("benchjson: allocs ok: %s at %.0f allocs/packet (ceiling %.0f)\n", name, perPkt, limit)
+	return nil
+}
+
+// checkLoadSmoke runs the 3-point E13 mini load curve (a few hundred
+// simulated packets, deterministic) and enforces the voice-protection
+// floor: under qos-priority, voice loss at 0.5x saturation must stay at
+// or below 1%.
+func checkLoadSmoke() error {
+	v := harness.LoadSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — the QoS layer no longer protects voice under moderate load", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	for _, p := range v.Points {
+		voice := p.Cell(qos.Voice)
+		bg := p.Cell(qos.Background)
+		fmt.Printf("benchjson:   offered %.2fx: voice loss %.2f%% p99 %d cyc, background loss %.2f%%\n",
+			p.Offered, 100*voice.LossFrac, voice.P99, 100*bg.LossFrac)
+	}
 	return nil
 }
 

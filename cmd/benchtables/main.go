@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, all; 'sweep' (not in 'all') runs the scale-out sweep")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, all; 'sweep' (not in 'all') runs the scale-out sweep")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	sweepPackets := flag.Int("sweep-packets", 65536, "total packets for -table sweep (1000000 reproduces the million-packet sweep)")
 	flag.Parse()
@@ -165,6 +165,18 @@ func main() {
 		fmt.Println()
 		fmt.Println("shaper drain fairness (sustained voice + background burst, capacity 4):")
 		fmt.Print(harness.FormatQoSDrains(harness.QoSDrainComparison(4 * *packets)))
+		fmt.Println()
+	}
+
+	if run("loadcurve") {
+		any = true
+		fmt.Println("== E13: open-loop load curves (loss/latency vs offered load) ==")
+		fmt.Print(harness.FormatLoadCurve(harness.LoadCurve(harness.LoadCurveConfig{
+			BackgroundPackets: 16 * *packets,
+		})))
+		fmt.Println("(open-loop Poisson arrivals into a bounded shaper; the knee is where")
+		fmt.Println(" delivered throughput plateaus — voice must hold ~0% loss and a flat")
+		fmt.Println(" p99 past it under qos-priority while background loss climbs)")
 		fmt.Println()
 	}
 

@@ -7,6 +7,8 @@
 //	mccpsim -cores 4 -family gcm -key 16 -packets 20 -size 2048
 //	mccpsim -mixed -packets 100         # mixed multi-standard traffic
 //	mccpsim -qos                        # E12: QoS overload + drain policies
+//	mccpsim -arrivals poisson -offered 0.8   # one open-loop load point
+//	mccpsim -loadcurve                  # E13: full offered-load sweep
 package main
 
 import (
@@ -14,11 +16,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"mccp/internal/arrivals"
 	"mccp/internal/cryptocore"
 	"mccp/internal/firmware"
 	"mccp/internal/fpga"
 	"mccp/internal/harness"
+	"mccp/internal/qos"
 	"mccp/internal/scheduler"
 	"mccp/internal/trafficgen"
 )
@@ -33,7 +38,13 @@ func main() {
 	packets := flag.Int("packets", 20, "packets to run")
 	size := flag.Int("size", 2048, "payload bytes per packet")
 	streams := flag.Int("streams", 1, "packets kept in flight")
-	policy := flag.String("policy", "first-idle", "dispatch policy (mixed mode)")
+	policy := flag.String("policy", "first-idle", "dispatch policy (mixed / open-loop modes)")
+	arrivalsProc := flag.String("arrivals", "", "open-loop arrival process: "+
+		strings.Join(arrivals.Names(), ", ")+" (runs one E13 load point)")
+	offered := flag.Float64("offered", 1.0, "offered load as a fraction of saturation (open-loop modes)")
+	drain := flag.String("drain", "", "shaper drain policy for open-loop modes: "+
+		strings.Join(qos.DrainNames(), ", "))
+	loadCurve := flag.Bool("loadcurve", false, "run the full E13 offered-load sweep (first-idle vs qos-priority)")
 	flag.Parse()
 
 	// Validate user-facing names up front: a typo should produce a flag
@@ -41,10 +52,46 @@ func main() {
 	if _, err := scheduler.ByName(*policy); err != nil {
 		log.Fatalf("-policy: %v", err)
 	}
+	if *drain != "" {
+		if _, err := qos.DrainByName(*drain); err != nil {
+			log.Fatalf("-drain: %v", err)
+		}
+	}
+	if *arrivalsProc != "" {
+		if _, err := arrivals.ByName(*arrivalsProc, 1); err != nil {
+			log.Fatalf("-arrivals: %v", err)
+		}
+	}
+
+	if (*loadCurve || *arrivalsProc != "") && flagTouched("cores") && *cores != 4 {
+		log.Fatalf("-cores: the open-loop modes (-arrivals/-loadcurve) model the paper's fixed 4-core device; -cores is not applied there")
+	}
 
 	switch {
 	case *describe:
 		printArchitecture()
+	case *loadCurve:
+		fmt.Println("== E13: open-loop load curves (offered-load sweep) ==")
+		res := harness.LoadCurve(harness.LoadCurveConfig{
+			Process: *arrivalsProc,
+			Drain:   *drain,
+		})
+		fmt.Print(harness.FormatLoadCurve(res))
+	case *arrivalsProc != "":
+		cfg := harness.LoadCurveConfig{Process: *arrivalsProc, Drain: *drain}
+		sat := harness.SaturationMbps(harness.LoadMix, 8)
+		point := harness.LoadPointRun(*policy, *offered, sat, cfg)
+		fmt.Printf("open-loop %s arrivals at %.2fx saturation (%.0f Mbps), policy %s:\n",
+			*arrivalsProc, *offered, sat, *policy)
+		fmt.Printf("%-12s %10s %10s %8s %8s %8s %8s %10s %10s\n",
+			"class", "off Mbps", "del Mbps", "loss%", "shed", "expired", "misses", "p50 cyc", "p99 cyc")
+		for _, c := range point.Classes {
+			fmt.Printf("%-12s %10.0f %10.0f %7.2f%% %8d %8d %8d %10d %10d\n",
+				c.Class, c.OfferedMbps, c.DeliveredMbps, 100*c.LossFrac,
+				c.Shed, c.Expired, c.Misses, c.P50, c.P99)
+		}
+		fmt.Printf("total: offered %.0f Mbps, delivered %.0f Mbps, loss %.2f%%\n",
+			point.TotalOfferedMbps, point.TotalDeliveredMbps, 100*point.TotalLossFrac)
 	case *qosRun:
 		fmt.Println("== E12: QoS priority classes (§VIII extension) ==")
 		fmt.Print(harness.FormatQoSTable(harness.QoSTable(*packets)))
@@ -79,6 +126,17 @@ func main() {
 			*family, *keyLen*8, *packets, *size, *streams, mbps)
 	}
 	_ = os.Stdout
+}
+
+// flagTouched reports whether a flag was passed explicitly.
+func flagTouched(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func printArchitecture() {

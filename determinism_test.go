@@ -10,6 +10,7 @@
 package mccp_test
 
 import (
+	"reflect"
 	"testing"
 
 	"mccp/internal/cluster"
@@ -155,5 +156,57 @@ func TestFastPathQoSIdentical(t *testing.T) {
 			t.Errorf("drain %s: fast %+v != reference %+v",
 				fastDrains[i].Drain, fastDrains[i], refDrains[i])
 		}
+	}
+}
+
+// TestFastPathArrivalsIdentical: the open-loop workload engine (E13) is a
+// pure function of its seed — arrival times (witnessed by the digest),
+// verdict counts and latency percentiles are bit-identical across two
+// fast-kernel runs and against the cycle-by-cycle reference path.
+func TestFastPathArrivalsIdentical(t *testing.T) {
+	cfg := harness.LoadCurveConfig{BackgroundPackets: 100}
+	point := func() harness.LoadPoint {
+		return harness.LoadPointRun("qos-priority", 1.25, 1400, cfg)
+	}
+	fast1, fast2 := point(), point()
+	if !reflect.DeepEqual(fast1, fast2) {
+		t.Fatalf("open-loop point not deterministic run-to-run:\n%+v\n%+v", fast1, fast2)
+	}
+	var ref harness.LoadPoint
+	onReference(func() { ref = point() })
+	if fast1.ArrivalDigest != ref.ArrivalDigest {
+		t.Errorf("arrival digest %#x != reference %#x", fast1.ArrivalDigest, ref.ArrivalDigest)
+	}
+	if !reflect.DeepEqual(fast1, ref) {
+		t.Errorf("fast open-loop point != reference:\n%+v\n%+v", fast1, ref)
+	}
+}
+
+// TestFastPathClusterOpenLoopIdentical: the cluster-level open-loop run —
+// per-shard shapers, arrival sources on every shard's own engine — is
+// equally bit-identical across runs and against the reference kernel.
+func TestFastPathClusterOpenLoopIdentical(t *testing.T) {
+	run := func() cluster.OpenLoopResult {
+		res, err := cluster.RunOpenLoop(cluster.OpenLoopConfig{
+			Shards: 2, Policy: "qos-priority", Offered: 1.0,
+			SatMbpsPerShard: 1400, Horizon: 400000, Seed: 13,
+			Profiles: harness.LoadMix,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast1, fast2 := run(), run()
+	if !reflect.DeepEqual(fast1, fast2) {
+		t.Fatalf("cluster open-loop not deterministic run-to-run:\n%+v\n%+v", fast1, fast2)
+	}
+	var ref cluster.OpenLoopResult
+	onReference(func() { ref = run() })
+	if !reflect.DeepEqual(fast1.ArrivalDigests, ref.ArrivalDigests) {
+		t.Errorf("arrival digests %x != reference %x", fast1.ArrivalDigests, ref.ArrivalDigests)
+	}
+	if !reflect.DeepEqual(fast1, ref) {
+		t.Errorf("fast cluster open-loop != reference:\n%+v\n%+v", fast1, ref)
 	}
 }

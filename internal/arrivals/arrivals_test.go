@@ -1,0 +1,181 @@
+package arrivals
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mccp/internal/sim"
+)
+
+// TestRandSplitIndependence: a split child stream diverges from the
+// parent and from a sibling, and the same seed reproduces everything.
+func TestRandSplitIndependence(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("same seed must reproduce the stream")
+	}
+	c1 := a.Split()
+	c2 := a.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits should diverge")
+	}
+	// Replaying the parent reproduces the same children in order.
+	d1, d2 := b.Split(), b.Split()
+	d1.Uint64() // d1 aligns with c1, whose first draw was consumed above
+	if d1.Uint64() != c1.Uint64() || d2.Uint64() == c1.Uint64() {
+		t.Fatal("split streams must be a pure function of the seed")
+	}
+}
+
+// TestPoissonMeanRate: the empirical mean gap converges to the configured
+// mean (within a few percent over many draws).
+func TestPoissonMeanRate(t *testing.T) {
+	p := Poisson{Mean: 500}
+	r := NewRand(7)
+	var sum sim.Time
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += p.Gap(r)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-500)/500 > 0.05 {
+		t.Fatalf("poisson mean gap %.1f, want ~500", mean)
+	}
+}
+
+// TestOnOffMeanRateAndBurstiness: same mean as Poisson, but clumped — the
+// variance of the gaps must be well above the exponential's.
+func TestOnOffMeanRateAndBurstiness(t *testing.T) {
+	r := NewRand(11)
+	p := NewOnOff(500, DefaultDuty, DefaultBurstLen)
+	n := 50000
+	gaps := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		g := float64(p.Gap(r))
+		gaps[i] = g
+		sum += g
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-500)/500 > 0.10 {
+		t.Fatalf("onoff mean gap %.1f, want ~500", mean)
+	}
+	var varSum float64
+	for _, g := range gaps {
+		varSum += (g - mean) * (g - mean)
+	}
+	cv2 := varSum / float64(n) / (mean * mean) // squared coefficient of variation
+	if cv2 < 2 {
+		t.Fatalf("onoff squared CV %.2f, want > 2 (exponential is 1: not bursty enough)", cv2)
+	}
+}
+
+// TestTraceReplaysCyclically.
+func TestTraceReplaysCyclically(t *testing.T) {
+	tr := &Trace{Gaps: []sim.Time{10, 0, 30}}
+	var got []sim.Time
+	for i := 0; i < 6; i++ {
+		got = append(got, tr.Gap(nil))
+	}
+	want := []sim.Time{10, 1, 30, 10, 1, 30} // 0 lifted to 1
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace gaps %v, want %v", got, want)
+	}
+}
+
+// TestSourceOpenLoop: arrivals fire at process-determined virtual times
+// regardless of what emit does, the budget bounds the count, and Done
+// fires exactly once.
+func TestSourceOpenLoop(t *testing.T) {
+	eng := sim.NewEngine()
+	var times []sim.Time
+	doneCount := 0
+	s := NewSource(eng, Deterministic{Interval: 100}, NewRand(1), func(seq int) {
+		times = append(times, eng.Now())
+	})
+	s.Done = func() { doneCount++ }
+	s.Start(5, 0)
+	eng.Run()
+	want := []sim.Time{100, 200, 300, 400, 500}
+	if !reflect.DeepEqual(times, want) {
+		t.Fatalf("arrival times %v, want %v", times, want)
+	}
+	if s.Emitted() != 5 || !s.Stopped() || doneCount != 1 {
+		t.Fatalf("emitted=%d stopped=%v done=%d", s.Emitted(), s.Stopped(), doneCount)
+	}
+}
+
+// TestSourceHorizon: an unbounded source stops at the horizon; an arrival
+// that would land past it is not emitted.
+func TestSourceHorizon(t *testing.T) {
+	eng := sim.NewEngine()
+	n := 0
+	s := NewSource(eng, Deterministic{Interval: 100}, NewRand(1), func(int) { n++ })
+	s.Start(-1, 350)
+	eng.Run()
+	if n != 3 { // arrivals at 100, 200, 300; 400 > 350
+		t.Fatalf("emitted %d arrivals before horizon 350, want 3", n)
+	}
+	if !s.Stopped() {
+		t.Fatal("source should have stopped at the horizon")
+	}
+}
+
+// TestSourceDeterminism: two sources with the same seed produce identical
+// arrival schedules.
+func TestSourceDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		eng := sim.NewEngine()
+		var times []sim.Time
+		root := NewRand(99)
+		s := NewSource(eng, Poisson{Mean: 250}, root.Split(), func(int) {
+			times = append(times, eng.Now())
+		})
+		s.Start(64, 0)
+		eng.Run()
+		return times
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give bit-identical arrival times")
+	}
+}
+
+// TestByName: names resolve to fresh instances with the requested mean;
+// unknown names and bad means error.
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		mk, err := ByName(name, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p1, p2 := mk(), mk()
+		if p1.Name() != name {
+			t.Fatalf("%s: got %s", name, p1.Name())
+		}
+		// Stateful processes must be distinct instances.
+		if _, ok := p1.(*OnOff); ok && p1 == p2 {
+			t.Fatalf("%s: factory returned a shared instance", name)
+		}
+	}
+	if _, err := ByName("bogus", 500); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if _, err := ByName(ProcPoisson, 0); err == nil {
+		t.Fatal("non-positive mean accepted")
+	}
+}
+
+// TestClassProfileMeanGap.
+func TestClassProfileMeanGap(t *testing.T) {
+	p := ClassProfile{Share: 0.5, Bytes: 2048}
+	// Total 8 bits/cycle, class share 4 bits/cycle -> 2048*8/4 cycles/packet.
+	if g := p.MeanGap(8); g != 4096 {
+		t.Fatalf("mean gap %v, want 4096", g)
+	}
+	if g := (ClassProfile{Share: 0, Bytes: 64}).MeanGap(8); !math.IsInf(g, 1) {
+		t.Fatalf("zero-share gap %v, want +Inf", g)
+	}
+}

@@ -228,12 +228,31 @@ func (r Regression) String() string {
 }
 
 // gated reports whether a metric participates in the regression gate:
-// deterministic higher-is-better throughput figures only.
+// deterministic higher-is-better figures only — virtual-time throughput
+// (*_Mbps), the E12 voice retention ratio, and the E13 delivered
+// fractions (*_delivered_frac, a loss curve read as higher-is-better so
+// the same below-baseline rule applies).
 func gated(metric string) bool {
 	if strings.Contains(metric, "host") {
 		return false // wall-clock throughput of the simulator itself
 	}
-	return strings.HasSuffix(metric, "_Mbps") || metric == "voice_retention"
+	return strings.HasSuffix(metric, "_Mbps") || metric == "voice_retention" ||
+		strings.HasSuffix(metric, "_delivered_frac")
+}
+
+// DeliveredFracTolerance caps the gate tolerance applied to
+// *_delivered_frac metrics. A delivered fraction near 1.0 is a loss
+// figure in disguise: the throughput gate's default 25% headroom would
+// let a recorded ~0%-loss point silently decay to ~25% loss, so these
+// metrics gate at the tighter of the requested tolerance and 2%.
+const DeliveredFracTolerance = 0.02
+
+// metricTolerance returns the effective tolerance for one gated metric.
+func metricTolerance(metric string, tolerance float64) float64 {
+	if strings.HasSuffix(metric, "_delivered_frac") && tolerance > DeliveredFracTolerance {
+		return DeliveredFracTolerance
+	}
+	return tolerance
 }
 
 // Gate compares current results against a baseline for every benchmark
@@ -274,7 +293,7 @@ func Gate(current, baseline []Result, match string, tolerance float64) ([]Regres
 			}
 			got, ok := now.Metrics[m]
 			ratio := got / want
-			if !ok || ratio < 1-tolerance {
+			if !ok || ratio < 1-metricTolerance(m, tolerance) {
 				out = append(out, Regression{
 					Benchmark: base.Name, Metric: m,
 					Baseline: want, Current: got, Ratio: ratio,

@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTable2_GCM_1core_128-8    1    56789012 ns/op    437.0 system_Mbps    496.2 paper_methodology_Mbps
 BenchmarkQoS_Overload/qos-priority-8    1    1843 ns/op    1105 background_Mbps    179.7 voice_Mbps    0.9710 voice_retention
 BenchmarkCluster/shards=4-8    1    9000000 ns/op    3400 aggregate_Mbps    120 host_Mbps
+BenchmarkLoadCurve/qos-priority/offered=2.0-8    1    2000 ns/op    1388 delivered_Mbps    1.000 voice_delivered_frac    7066 voice_p99_cycles
 PASS
 ok   mccp  0.222s
 `
@@ -22,8 +23,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(results))
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
 	}
 	r := results[0]
 	if r.Name != "Table2_GCM_1core_128" || r.Iterations != 1 {
@@ -101,6 +102,27 @@ func TestGateDetectsRegressions(t *testing.T) {
 	regs, _ = Gate(current, baseline, "QoS", 0.25)
 	if len(regs) != 1 || regs[0].Metric != "voice_retention" {
 		t.Fatalf("retention regression not caught: %v", regs)
+	}
+	current[1].Metrics["voice_retention"] = 0.9710
+	// The E13 delivered fraction is gated (a loss-curve point read as
+	// higher-is-better); its latency cycles are not (cycle counts are not
+	// throughput figures).
+	current[3].Metrics["voice_delivered_frac"] = 0.5
+	current[3].Metrics["voice_p99_cycles"] = 1e9
+	regs, _ = Gate(current, baseline, "LoadCurve", 0.25)
+	if len(regs) != 1 || regs[0].Metric != "voice_delivered_frac" {
+		t.Fatalf("delivered-fraction regression not caught: %v", regs)
+	}
+	// ...and at the tight per-metric tolerance: a 5% voice loss is far
+	// inside the 25% throughput headroom but must still fail.
+	current[3].Metrics["voice_delivered_frac"] = 0.95
+	regs, _ = Gate(current, baseline, "LoadCurve", 0.25)
+	if len(regs) != 1 || regs[0].Metric != "voice_delivered_frac" {
+		t.Fatalf("5%% voice loss slipped through the delivered-frac tolerance: %v", regs)
+	}
+	current[3].Metrics["voice_delivered_frac"] = 0.99
+	if regs, _ = Gate(current, baseline, "LoadCurve", 0.25); len(regs) != 0 {
+		t.Fatalf("1%% drift should pass the 2%% delivered-frac tolerance: %v", regs)
 	}
 }
 

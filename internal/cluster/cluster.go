@@ -87,6 +87,17 @@ type Config struct {
 	// dispatch blocks. Depth only changes wall-clock overlap, never
 	// virtual time — batch contents and order are identical at any depth.
 	RingDepth int
+	// Shape gives every shard its own qos.Shaper between the batch pump
+	// and the device, so per-class virtual-time latency percentiles and
+	// shed/expired/aged verdicts are attributable per shard and
+	// aggregatable across the cluster. Off (the default), the packet path
+	// is byte-identical to the unshaped cluster.
+	Shape bool
+	// Shaper configures the per-shard shapers when Shape is on (drain
+	// policy, weights, capacity, class-queue depth, age limit). The zero
+	// value is a pass-through shaper that only classes, counts and
+	// measures.
+	Shaper qos.Config
 }
 
 func (c *Config) fill() {
@@ -136,6 +147,12 @@ type pendingOp struct {
 	aad   []byte
 	data  []byte
 	tag   []byte
+	// class and deadline feed the per-shard shaper (Config.Shape):
+	// deadline is a relative virtual-time budget, converted to an
+	// absolute shard time at dispatch (the front end cannot know a
+	// shard's clock).
+	class    qos.Class
+	deadline sim.Time
 	// run is the opGeneric body (session open/close, reconfiguration).
 	run func(sh *shard, op *pendingOp, done func())
 
@@ -172,9 +189,11 @@ type Session struct {
 	key    [32]byte
 	weight int
 
-	// hp marks a high-priority (video/voice class) session; the qos-aware
-	// router balances these separately.
-	hp bool
+	// class is the session's QoS class (from the suite's priority tag);
+	// hp marks the high-priority (video/voice) tier the qos-aware router
+	// balances separately.
+	class qos.Class
+	hp    bool
 
 	shardID int
 	chID    int // device channel ID on the owning shard
@@ -219,6 +238,11 @@ type Cluster struct {
 	delivering bool
 
 	keys *radio.Keystream
+
+	// lastMoves records the session IDs the most recent Rebalance moved,
+	// in re-homing order (voice first) — observability for tests and the
+	// migration report.
+	lastMoves []int
 
 	flushes uint64
 	batches uint64
@@ -338,6 +362,7 @@ func (c *Cluster) putSlot(op *pendingOp) {
 	op.run, op.cb = nil, nil
 	op.out, op.err = nil, nil
 	op.sh = nil
+	op.class, op.deadline = 0, 0
 	op.retain = false
 	op.next = c.freeSlots
 	c.freeSlots = op
@@ -517,13 +542,15 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 		}
 	}
 	c.Flush()
+	class := qos.ClassForPriority(spec.Suite.Priority)
 	ses := &Session{
 		cl:     c,
 		id:     c.nextSession,
 		suite:  spec.Suite,
 		keyLen: spec.KeyLen,
 		weight: spec.Weight,
-		hp:     qos.ClassForPriority(spec.Suite.Priority).HighPriority(),
+		class:  class,
+		hp:     class.HighPriority(),
 	}
 	if !isHash {
 		c.genKey(ses.key[:ses.keyLen])
@@ -613,11 +640,21 @@ func (s *Session) Shard() int { return s.shardID }
 // recycled by the callback with bufpool.PutBytes (retaining it is equally
 // safe).
 func (s *Session) EncryptAsync(nonce, aad, payload []byte, cb func([]byte, error)) {
+	s.EncryptDeadlineAsync(nonce, aad, payload, 0, cb)
+}
+
+// EncryptDeadlineAsync is EncryptAsync with a relative virtual-time
+// deadline budget (cycles from dispatch on the owning shard; 0 = none).
+// Deadlines only act when the cluster runs per-shard shapers
+// (Config.Shape): a packet still queued past its budget is dropped with
+// qos.ErrExpired, a late completion ticks the class's DeadlineMisses.
+func (s *Session) EncryptDeadlineAsync(nonce, aad, payload []byte, deadline sim.Time, cb func([]byte, error)) {
 	c := s.cl
 	slot := c.getSlot()
 	slot.kind = opEncrypt
 	slot.ch = s.chID
 	slot.nonce, slot.aad, slot.data = nonce, aad, payload
+	slot.class, slot.deadline = s.class, deadline
 	slot.cb = cb
 	slot.shard = s.shardID
 	slot.nbytes = len(payload)
@@ -632,6 +669,7 @@ func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error
 	slot.kind = opDecrypt
 	slot.ch = s.chID
 	slot.nonce, slot.aad, slot.data, slot.tag = nonce, aad, ct, tag
+	slot.class = s.class
 	slot.cb = cb
 	slot.shard = s.shardID
 	slot.nbytes = len(ct)
@@ -723,13 +761,28 @@ func (s *Session) Close() error {
 // view, transparently re-opening moved sessions on their new shard (the
 // session key is re-installed there; in-flight work is flushed first so
 // no packet straddles the move). It returns the number of sessions moved.
+//
+// Re-homing is class-prioritized: voice sessions are routed first (they
+// claim the best placements before anyone else), then video, data and
+// background in that order, with session IDs breaking ties inside a
+// class. Because the migration operations (key re-install + OPEN) are
+// enqueued in the same order, a moving voice session's crossbar transfers
+// also run ahead of any bulk session's — bulk migrations yield the
+// crossbar to voice during the shuffle.
 func (c *Cluster) Rebalance() int {
 	c.Flush()
 	ids := make([]int, 0, len(c.sessions))
 	for id := range c.sessions {
 		ids = append(ids, id)
 	}
-	sort.Ints(ids)
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := c.sessions[ids[i]], c.sessions[ids[j]]
+		if a.class != b.class {
+			return a.class > b.class
+		}
+		return a.id < b.id
+	})
+	c.lastMoves = c.lastMoves[:0]
 	type move struct {
 		ses  *Session
 		to   int
@@ -758,6 +811,7 @@ func (c *Cluster) Rebalance() int {
 		if to == ses.shardID {
 			continue
 		}
+		c.lastMoves = append(c.lastMoves, ses.id)
 		closes = append(closes, c.closeOn(ses.shardID, ses.chID))
 		moves = append(moves, move{ses: ses, to: to, open: c.openOn(ses, to)})
 	}
@@ -813,6 +867,61 @@ func (c *Cluster) Reconfigure(shardID, coreID int, target reconfig.Engine, src r
 	c.hashCores[shardID] = c.shards[shardID].hashCores()
 	moved := c.Rebalance()
 	return took, moved, nil
+}
+
+// LastMoves returns the session IDs the most recent Rebalance moved, in
+// re-homing order (voice sessions first). The slice is reused by the next
+// Rebalance.
+func (c *Cluster) LastMoves() []int { return c.lastMoves }
+
+// Shaped reports whether the cluster runs per-shard QoS shapers.
+func (c *Cluster) Shaped() bool { return c.cfg.Shape }
+
+// ShardClassStats returns one shard's per-class shaper counters, highest
+// priority first (nil without Config.Shape). It flushes first: the shard
+// must be idle for the front end to read its shaper.
+func (c *Cluster) ShardClassStats(shard int) []qos.ClassStats {
+	if !c.cfg.Shape || shard < 0 || shard >= len(c.shards) {
+		return nil
+	}
+	c.Flush()
+	return c.shards[shard].shaper.AllStats()
+}
+
+// ClassStats aggregates per-class shaper counters across every shard,
+// highest priority first (nil without Config.Shape). Counters are summed;
+// the virtual-time interval fields are left zero because shard timelines
+// are independent — use ClassLatencyPercentile for cross-shard latency.
+func (c *Cluster) ClassStats() []qos.ClassStats {
+	if !c.cfg.Shape {
+		return nil
+	}
+	c.Flush()
+	out := make([]qos.ClassStats, 0, qos.NumClasses)
+	for _, class := range qos.Classes() {
+		agg := qos.ClassStats{Class: class}
+		for _, sh := range c.shards {
+			agg.Accumulate(sh.shaper.Stats(class))
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// ClassLatencyPercentile merges every shard's enqueue-to-completion
+// latency samples for a class and returns the p-th nearest-rank
+// percentile in cycles (0 without Config.Shape or samples). Samples are
+// durations, so they compare across independent shard timelines.
+func (c *Cluster) ClassLatencyPercentile(class qos.Class, p float64) sim.Time {
+	if !c.cfg.Shape {
+		return 0
+	}
+	c.Flush()
+	var samples []sim.Time
+	for _, sh := range c.shards {
+		samples = sh.shaper.AppendLatencySamples(class, samples)
+	}
+	return qos.PercentileOf(samples, p)
 }
 
 // checkReconfigLeavesHomes refuses a swap that would strand an open

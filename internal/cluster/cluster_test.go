@@ -5,8 +5,10 @@ import (
 	"reflect"
 	"testing"
 
+	"mccp/internal/arrivals"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/trafficgen"
 	"mccp/internal/whirlpool"
@@ -557,5 +559,165 @@ func TestMixedStandardsLookup(t *testing.T) {
 	}
 	if _, err := trafficgen.StandardsByName([]string{"lte-nope"}); err == nil {
 		t.Fatal("unknown standard accepted")
+	}
+}
+
+// TestRebalanceVoiceFirst: re-homing is class-prioritized — when a voice
+// and a background session both need to move, the voice session is routed
+// (and its migration traffic enqueued) first, so it claims the best
+// placement.
+func TestRebalanceVoiceFirst(t *testing.T) {
+	cl, err := New(Config{Shards: 2, Router: RouterLeastLoaded, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	open := func(prio, weight int) *Session {
+		suite := core.Suite{Family: cryptocore.FamilyGCM, TagLen: 16, Priority: prio}
+		ses, err := cl.Open(OpenSpec{Suite: suite, KeyLen: 16, Weight: weight})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ses
+	}
+	heavy := open(0, 8) // -> shard 0
+	voice := open(3, 1) // -> shard 1
+	bg := open(0, 1)    // -> shard 1
+	bg2 := open(0, 1)   // -> shard 1
+	if heavy.Shard() != 0 || voice.Shard() != 1 || bg.Shard() != 1 || bg2.Shard() != 1 {
+		t.Fatalf("unexpected placement: %d/%d/%d/%d", heavy.Shard(), voice.Shard(), bg.Shard(), bg2.Shard())
+	}
+	if err := heavy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 is empty: the voice session must be re-homed before any
+	// background session gets to pick.
+	moved := cl.Rebalance()
+	if moved != 2 {
+		t.Fatalf("rebalance moved %d sessions, want 2 (order %v)", moved, cl.LastMoves())
+	}
+	wantOrder := []int{voice.ID(), bg.ID()}
+	if !reflect.DeepEqual(cl.LastMoves(), wantOrder) {
+		t.Fatalf("move order %v, want voice first %v", cl.LastMoves(), wantOrder)
+	}
+	if voice.Shard() != 0 {
+		t.Fatalf("voice session re-homed to shard %d, want the freed shard 0", voice.Shard())
+	}
+}
+
+// TestShapedPassThroughIsInvisible: a pass-through per-shard shaper (zero
+// qos.Config) must not change a single virtual-time result — it only adds
+// per-class attribution.
+func TestShapedPassThroughIsInvisible(t *testing.T) {
+	base := WorkloadConfig{
+		Shards: 4, Router: RouterLeastLoaded, QueueRequests: true,
+		Packets: 96, Sessions: 8, Seed: 3, Mix: trafficgen.QoSMix,
+	}
+	plain, err := RunWorkload(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := base
+	shaped.Shape = true
+	got, err := RunWorkload(shaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.ShardDigests, got.ShardDigests) {
+		t.Fatalf("digests diverged under pass-through shaping:\n%v\n%v", plain.ShardDigests, got.ShardDigests)
+	}
+	for i := range plain.Metrics.Shards {
+		a, b := plain.Metrics.Shards[i], got.Metrics.Shards[i]
+		if a.Cycles != b.Cycles || a.Packets != b.Packets || a.Bytes != b.Bytes {
+			t.Fatalf("shard %d virtual results diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	// ...and the shaped run attributes every class.
+	if got.Metrics.Classes == nil {
+		t.Fatal("shaped run reported no per-class metrics")
+	}
+	var submitted uint64
+	for _, cs := range got.Metrics.Classes {
+		submitted += cs.Submitted
+	}
+	if submitted != uint64(base.Packets) {
+		t.Fatalf("class-attributed %d packets, want %d", submitted, base.Packets)
+	}
+}
+
+// openLoopProfiles is a compact all-class mix for the open-loop tests.
+func openLoopProfiles() []arrivals.ClassProfile {
+	return []arrivals.ClassProfile{
+		{Class: qos.Voice, Share: 0.10, Bytes: 256, Family: cryptocore.FamilyCCM, KeyLen: 16, TagLen: 8, Deadline: 16000},
+		{Class: qos.Video, Share: 0.15, Bytes: 1024, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16},
+		{Class: qos.Data, Share: 0.15, Bytes: 512, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16},
+		{Class: qos.Background, Share: 0.60, Bytes: 2048, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16},
+	}
+}
+
+// TestOpenLoopDeterminism: two open-loop runs with the same seed are
+// bit-identical — arrival digests, verdict counts, percentiles, shard
+// cycles, everything.
+func TestOpenLoopDeterminism(t *testing.T) {
+	run := func() OpenLoopResult {
+		res, err := RunOpenLoop(OpenLoopConfig{
+			Shards: 2, Policy: "qos-priority", Offered: 0.6,
+			SatMbpsPerShard: 1500, Horizon: 600000, Seed: 21,
+			Profiles: openLoopProfiles(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("open-loop run not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Errors != 0 {
+		t.Fatalf("unexpected hard errors: %d", a.Errors)
+	}
+}
+
+// TestOpenLoopAttribution: every shard attributes every class, the
+// aggregate adds up, and cross-shard latency percentiles are readable.
+func TestOpenLoopAttribution(t *testing.T) {
+	res, err := RunOpenLoop(OpenLoopConfig{
+		Shards: 2, Policy: "qos-priority", Offered: 0.5,
+		SatMbpsPerShard: 1500, Horizon: 600000, Seed: 4,
+		Profiles: openLoopProfiles(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerShard) != 2 || len(res.Classes) != qos.NumClasses {
+		t.Fatalf("shape: %d shards, %d classes", len(res.PerShard), len(res.Classes))
+	}
+	var total uint64
+	for s, stats := range res.PerShard {
+		for _, cs := range stats {
+			if cs.Submitted == 0 {
+				t.Errorf("shard %d class %v saw no arrivals", s, cs.Class)
+			}
+			total += cs.Submitted
+		}
+	}
+	var agg uint64
+	for _, c := range res.Classes {
+		agg += c.Submitted
+		if c.Submitted > 0 && c.Completed > 0 && c.P99 == 0 {
+			t.Errorf("class %v: completions without latency percentiles", c.Class)
+		}
+		if c.OfferedMbps <= 0 {
+			t.Errorf("class %v: no offered rate", c.Class)
+		}
+	}
+	if agg != total {
+		t.Fatalf("aggregate submitted %d != per-shard sum %d", agg, total)
+	}
+	for s, d := range res.ArrivalDigests {
+		if d == 0 {
+			t.Errorf("shard %d has no arrival digest", s)
+		}
 	}
 }

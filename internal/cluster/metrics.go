@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mccp/internal/qos"
 	"mccp/internal/sim"
 )
 
@@ -34,6 +35,9 @@ type ShardMetrics struct {
 	SimMbps float64
 	// PendingOps counts operations queued for the next batch.
 	PendingOps int
+	// Classes is the shard shaper's per-class counter snapshot, highest
+	// priority first (nil unless the cluster runs per-shard shapers).
+	Classes []qos.ClassStats
 }
 
 // Metrics is the aggregated cluster snapshot.
@@ -50,6 +54,12 @@ type Metrics struct {
 	Rejected     uint64
 	Queued       uint64
 	Shed         uint64
+
+	// Classes aggregates the per-shard shaper counters across the cluster,
+	// highest priority first (nil unless the cluster runs per-shard
+	// shapers). Interval fields stay zero — shard timelines are
+	// independent; Cluster.ClassLatencyPercentile merges latency samples.
+	Classes []qos.ClassStats
 
 	// Batches counts per-shard batch dispatches; Flushes counts front-end
 	// flush barriers.
@@ -96,8 +106,18 @@ func (c *Cluster) Metrics() Metrics {
 			Cycles:        cyc,
 			SimMbps:       mbpsAt190(c.bytesDone[i]*8, cyc),
 			PendingOps:    len(c.perShard[i]),
+			Classes:       snap.classes,
 		}
 		m.Shards = append(m.Shards, sm)
+		for k, cs := range snap.classes {
+			if m.Classes == nil {
+				m.Classes = make([]qos.ClassStats, len(snap.classes))
+				for j := range m.Classes {
+					m.Classes[j].Class = snap.classes[j].Class
+				}
+			}
+			m.Classes[k].Accumulate(cs)
+		}
 		m.Packets += sm.Packets
 		m.Bytes += sm.Bytes
 		m.OfferedBytes += sm.OfferedBytes
@@ -137,5 +157,14 @@ func (m Metrics) Format() string {
 		m.Packets, m.Bytes, m.ClusterCycles, m.AggregateSimMbps)
 	fmt.Fprintf(&b, "host:  %d batches over %d flushes in %.1f ms -> %.0f Mbps wall-clock\n",
 		m.Batches, m.Flushes, m.WallSeconds*1e3, m.HostMbps)
+	if len(m.Classes) > 0 {
+		fmt.Fprintf(&b, "%-12s %10s %10s %8s %8s %8s %8s %10s\n",
+			"class", "submitted", "completed", "shed", "expired", "aged", "misses", "bytes")
+		for _, cs := range m.Classes {
+			fmt.Fprintf(&b, "%-12s %10d %10d %8d %8d %8d %8d %10d\n",
+				cs.Class, cs.Submitted, cs.Completed, cs.Shed, cs.Expired, cs.Aged,
+				cs.DeadlineMisses, cs.Bytes)
+		}
+	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"mccp/internal/core"
+	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
@@ -33,6 +34,9 @@ type shardSnap struct {
 	keyExpansions uint64
 	crossbarBusy  sim.Time
 	cycles        sim.Time // virtual time consumed since settle
+	// classes carries the shard shaper's per-class counters (only filled
+	// with Config.Shape), highest priority first.
+	classes []qos.ClassStats
 }
 
 // shard is one independent MCCP platform: its own discrete-event engine,
@@ -51,6 +55,11 @@ type shard struct {
 	cc  *radio.CommController
 	mc  *radio.MainController
 	rc  *reconfig.Controller
+	// shaper is the shard's QoS front end (nil without Config.Shape):
+	// packet operations route through it, so per-class latency and
+	// shed/expired/aged verdicts are attributable on this shard's own
+	// virtual timeline.
+	shaper *qos.Shaper
 
 	// window bounds the packets kept in flight inside one batch, so a
 	// batch larger than the device's capacity pipelines instead of
@@ -106,6 +115,9 @@ func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
 		freeOps: make(chan []*pendingOp, cfg.RingDepth+1),
 		notify:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
+	}
+	if cfg.Shape {
+		sh.shaper = qos.NewShaper(eng, sh.cc, cfg.Shaper)
 	}
 	sh.doneFn = sh.opDone
 	eng.Run() // settle core firmware into its idle loop
@@ -170,12 +182,27 @@ func (sh *shard) opDone() {
 	sh.pump()
 }
 
-// exec launches one operation on the shard's device.
+// exec launches one operation on the shard's device — through the
+// shard's shaper when the cluster is shaped, so the operation is classed,
+// queued under the drain policy and latency-tracked. Relative deadline
+// budgets become absolute shard times here.
 func (sh *shard) exec(op *pendingOp) {
 	switch op.kind {
 	case opEncrypt:
+		if sh.shaper != nil {
+			deadline := sim.Time(0)
+			if op.deadline != 0 {
+				deadline = sh.eng.Now() + op.deadline
+			}
+			sh.shaper.EncryptDeadline(op.class, op.ch, op.nonce, op.aad, op.data, deadline, op.finish)
+			return
+		}
 		sh.cc.Encrypt(op.ch, op.nonce, op.aad, op.data, op.finish)
 	case opDecrypt:
+		if sh.shaper != nil {
+			sh.shaper.Decrypt(op.class, op.ch, op.nonce, op.aad, op.data, op.tag, op.finish)
+			return
+		}
 		sh.cc.Decrypt(op.ch, op.nonce, op.aad, op.data, op.tag, op.finish)
 	case opHash:
 		sh.cc.Hash(op.ch, op.data, op.finish)
@@ -185,7 +212,7 @@ func (sh *shard) exec(op *pendingOp) {
 }
 
 func (sh *shard) publishSnap() {
-	sh.snap.Store(&shardSnap{
+	snap := &shardSnap{
 		completions:   sh.cc.Completions,
 		authFails:     sh.dev.Stats.AuthFails,
 		rejected:      sh.dev.Stats.Rejected,
@@ -194,7 +221,11 @@ func (sh *shard) publishSnap() {
 		keyExpansions: sh.dev.KeySched.Expansions,
 		crossbarBusy:  sh.dev.XBar.BusyCycles,
 		cycles:        sh.eng.Now() - sh.base,
-	})
+	}
+	if sh.shaper != nil {
+		snap.classes = sh.shaper.AllStats()
+	}
+	sh.snap.Store(snap)
 }
 
 // hashCores counts cores whose reconfigurable region currently holds the

@@ -3,9 +3,12 @@ package cluster
 import (
 	"fmt"
 
+	"mccp/internal/arrivals"
 	"mccp/internal/bufpool"
+	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/qos"
+	"mccp/internal/sim"
 	"mccp/internal/trafficgen"
 )
 
@@ -46,6 +49,11 @@ type WorkloadConfig struct {
 	// different but equally deterministic workload), which is what makes
 	// generation embarrassingly parallel for million-packet sweeps.
 	PerShardGen bool
+	// Shape runs a qos.Shaper on every shard (see Config.Shape); Shaper
+	// configures it. A pass-through shaper (zero Shaper) leaves every
+	// virtual-time result identical and adds per-class attribution.
+	Shape  bool
+	Shaper qos.Config
 }
 
 // WorkloadResult is a run summary.
@@ -103,6 +111,8 @@ func RunWorkload(cfg WorkloadConfig) (WorkloadResult, error) {
 		BatchWindow:   cfg.BatchWindow,
 		ShardWindow:   cfg.ShardWindow,
 		RingDepth:     cfg.RingDepth,
+		Shape:         cfg.Shape,
+		Shaper:        cfg.Shaper,
 	})
 	if err != nil {
 		return WorkloadResult{}, err
@@ -240,6 +250,311 @@ func runPerShardGen(cl *Cluster, cfg WorkloadConfig, sessions []*Session, submit
 	for p := 0; p < cfg.Packets; p++ {
 		submit(p, <-perSession[p%cfg.Sessions])
 	}
+}
+
+// OpenLoopConfig parameterizes RunOpenLoop: the cluster-level open-loop
+// arrivals experiment. Every shard gets one session per class profile and
+// its own arrival sources, scheduled as events on the shard's engine, so
+// offered load is an input per shard — not an outcome of backpressure —
+// and per-class verdicts and latency are attributable per shard.
+type OpenLoopConfig struct {
+	Shards        int
+	CoresPerShard int
+	Router        string // default least-loaded (spreads one session per class per shard)
+	Policy        string // per-shard dispatch policy (the E13 contrast axis)
+	// Process selects the arrival process by name (default poisson).
+	Process string
+	// Drain, Weights, ShaperCapacity, ClassQueueDepth and AgeLimit
+	// configure the per-shard shapers. ShaperCapacity defaults to
+	// 2 x CoresPerShard; ClassQueueDepth to 32.
+	Drain           string
+	Weights         qos.Weights
+	ShaperCapacity  int
+	ClassQueueDepth int
+	AgeLimit        sim.Time
+	// Offered is the offered load per shard as a fraction of
+	// SatMbpsPerShard (1.0 = the saturation knee).
+	Offered float64
+	// SatMbpsPerShard is the nominal per-shard capacity used to convert
+	// Offered into arrival rates (the harness calibrates it).
+	SatMbpsPerShard float64
+	// Horizon is the measurement window in cycles on every shard's own
+	// clock: sources emit arrivals until the window closes.
+	Horizon sim.Time
+	// Profiles is the class mix (default harness-style all-class mix is
+	// supplied by callers; must be non-empty with positive shares).
+	Profiles []arrivals.ClassProfile
+	Seed     uint64
+}
+
+// OpenLoopClass is one class's aggregated open-loop measurement.
+type OpenLoopClass struct {
+	Class                                             qos.Class
+	Submitted, Completed, Shed, Expired, Aged, Misses uint64
+	// OfferedMbps and DeliveredMbps are at the modeled clock over the
+	// measurement horizon, summed across shards.
+	OfferedMbps, DeliveredMbps float64
+	// LossFrac is (Submitted-Completed)/Submitted.
+	LossFrac float64
+	// P50 and P99 are enqueue-to-completion latency percentiles in
+	// cycles, merged across every shard's samples.
+	P50, P99 sim.Time
+}
+
+// OpenLoopResult is the RunOpenLoop summary.
+type OpenLoopResult struct {
+	// Classes aggregates per class, highest priority first; PerShard
+	// holds each shard's shaper counters in the same order.
+	Classes  []OpenLoopClass
+	PerShard [][]qos.ClassStats
+	// ArrivalDigests fold every arrival's (session, sequence, virtual
+	// time) per shard — the determinism witness: same seed, same digests.
+	ArrivalDigests []uint64
+	// ShardCycles is each shard's virtual time consumed by the run.
+	ShardCycles []sim.Time
+	// Errors counts verdicts other than success/shed/expired/aged.
+	Errors int
+}
+
+// openLoopProgram is the per-shard arrival program state, driven entirely
+// inside the shard goroutine (one generic operation per shard). The front
+// end prepares it deterministically (session list, split RNG streams) and
+// reads the results only after the flush barrier.
+type openLoopProgram struct {
+	sessions []*Session
+	profiles []arrivals.ClassProfile
+	rngs     []*arrivals.Rand
+	slot     *pendingOp
+	digest   uint64
+	cycles   sim.Time
+	errors   int
+}
+
+// RunOpenLoop drives the open-loop class mix through a shaped cluster and
+// reports per-class loss/latency, per shard and aggregated. Every random
+// draw descends from cfg.Seed through splittable streams, so two runs are
+// bit-identical.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if len(cfg.Profiles) == 0 {
+		return OpenLoopResult{}, fmt.Errorf("cluster: open-loop run needs class profiles")
+	}
+	if cfg.Offered <= 0 || cfg.SatMbpsPerShard <= 0 || cfg.Horizon == 0 {
+		return OpenLoopResult{}, fmt.Errorf("cluster: open-loop run needs positive Offered, SatMbpsPerShard and Horizon")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.ShaperCapacity <= 0 {
+		cores := cfg.CoresPerShard
+		if cores <= 0 {
+			cores = 4
+		}
+		cfg.ShaperCapacity = 2 * cores
+	}
+	if cfg.ClassQueueDepth <= 0 {
+		cfg.ClassQueueDepth = 32
+	}
+	procName := cfg.Process
+	if procName == "" {
+		procName = arrivals.ProcPoisson
+	}
+	// Validate user-supplied names here, where an error can be returned:
+	// past this point a bad name would surface as a panic on a shard
+	// goroutine (process) or inside qos.NewShaper (drain).
+	if _, err := arrivals.ByName(procName, 1); err != nil {
+		return OpenLoopResult{}, err
+	}
+	if _, err := qos.DrainByName(cfg.Drain); err != nil {
+		return OpenLoopResult{}, err
+	}
+	router := cfg.Router
+	if router == "" {
+		router = RouterLeastLoaded
+	}
+	cl, err := New(Config{
+		Shards:        cfg.Shards,
+		CoresPerShard: cfg.CoresPerShard,
+		Router:        router,
+		Policy:        cfg.Policy,
+		QueueRequests: true,
+		Seed:          cfg.Seed,
+		Shape:         true,
+		Shaper: qos.Config{
+			Capacity:   cfg.ShaperCapacity,
+			QueueDepth: cfg.ClassQueueDepth,
+			Drain:      cfg.Drain,
+			Weights:    cfg.Weights,
+			AgeLimit:   cfg.AgeLimit,
+		},
+	})
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+	defer cl.Close()
+
+	// One session per class per shard, opened class-major so the
+	// least-loaded router spreads each wave evenly (weight 1 across the
+	// board keeps the tie-breaks session-count based).
+	bitsPerCycle := cfg.Offered * cfg.SatMbpsPerShard * 1e6 / sim.DefaultFreqHz
+	programs := make([]*openLoopProgram, cl.Shards())
+	for i := range programs {
+		programs[i] = &openLoopProgram{digest: arrivals.DigestInit}
+	}
+	root := arrivals.NewRand(cfg.Seed ^ 0xA881F5)
+	seen := map[qos.Class]bool{}
+	for _, prof := range cfg.Profiles {
+		if prof.Share <= 0 || prof.Bytes <= 0 {
+			return OpenLoopResult{}, fmt.Errorf("cluster: profile %v needs positive share and size", prof.Class)
+		}
+		// One profile per class: the rate split and the per-class Mbps
+		// aggregation both key on the class, so duplicates would silently
+		// halve rates and misattribute byte counts.
+		if seen[prof.Class] {
+			return OpenLoopResult{}, fmt.Errorf("cluster: duplicate %v profile in open-loop mix", prof.Class)
+		}
+		seen[prof.Class] = true
+		for s := 0; s < cl.Shards(); s++ {
+			suite := core.Suite{Family: prof.Family, TagLen: prof.TagLen, Priority: prof.Class.Priority()}
+			ses, err := cl.Open(OpenSpec{Suite: suite, KeyLen: prof.KeyLen})
+			if err != nil {
+				return OpenLoopResult{}, fmt.Errorf("cluster: opening %v session for shard wave %d: %w", prof.Class, s, err)
+			}
+			p := programs[ses.Shard()]
+			p.sessions = append(p.sessions, ses)
+			p.profiles = append(p.profiles, prof)
+			p.rngs = append(p.rngs, root.Split())
+		}
+	}
+
+	res := OpenLoopResult{
+		PerShard:       make([][]qos.ClassStats, cl.Shards()),
+		ArrivalDigests: make([]uint64, cl.Shards()),
+		ShardCycles:    make([]sim.Time, cl.Shards()),
+	}
+	for shardID, p := range programs {
+		if len(p.sessions) == 0 {
+			continue
+		}
+		p := p
+		slot := cl.getSlot()
+		slot.kind = opGeneric
+		slot.retain = true
+		slot.shard = shardID
+		slot.nbytes = 0
+		slot.cb = nil
+		slot.run = func(sh *shard, op *pendingOp, done func()) {
+			runOpenLoopShard(sh, p, procName, bitsPerCycle, cfg.Horizon, done)
+		}
+		// The retained slot is released after the flush below.
+		p.slot = slot
+		cl.enqueue(slot, false)
+	}
+	cl.Flush()
+	for shardID, p := range programs {
+		if p.slot != nil {
+			cl.putSlot(p.slot)
+		}
+		res.ArrivalDigests[shardID] = p.digest
+		res.ShardCycles[shardID] = p.cycles
+		res.Errors += p.errors
+	}
+
+	// Aggregate per-class counters and merged latency percentiles. Rates
+	// are over the per-shard measurement window, summed across shards.
+	byClass := map[qos.Class]arrivals.ClassProfile{}
+	for _, prof := range cfg.Profiles {
+		byClass[prof.Class] = prof
+	}
+	toMbps := func(bytes uint64) float64 {
+		return float64(bytes*8) / float64(cfg.Horizon) * sim.DefaultFreqHz / 1e6
+	}
+	for _, class := range qos.Classes() {
+		prof, have := byClass[class]
+		acc := qos.ClassStats{Class: class}
+		var samples []sim.Time
+		for _, sh := range cl.shards {
+			acc.Accumulate(sh.shaper.Stats(class))
+			samples = sh.shaper.AppendLatencySamples(class, samples)
+		}
+		agg := OpenLoopClass{
+			Class:     class,
+			Submitted: acc.Submitted,
+			Completed: acc.Completed,
+			Shed:      acc.Shed,
+			Expired:   acc.Expired,
+			Aged:      acc.Aged,
+			Misses:    acc.DeadlineMisses,
+		}
+		if !have && agg.Submitted == 0 {
+			continue
+		}
+		agg.P50 = qos.PercentileOf(samples, 50)
+		agg.P99 = qos.PercentileOf(samples, 99)
+		if agg.Submitted > 0 {
+			agg.LossFrac = float64(agg.Submitted-agg.Completed) / float64(agg.Submitted)
+		}
+		agg.OfferedMbps = toMbps(agg.Submitted * uint64(prof.Bytes))
+		agg.DeliveredMbps = toMbps(agg.Completed * uint64(prof.Bytes))
+		res.Classes = append(res.Classes, agg)
+	}
+	for s := range cl.shards {
+		res.PerShard[s] = cl.shards[s].shaper.AllStats()
+	}
+	return res, nil
+}
+
+// runOpenLoopShard is the arrival program body, running on the shard
+// goroutine: it creates one open-loop source per local session, lets them
+// emit into the shard's shaper until the horizon closes, and calls done
+// once every source has stopped and every submitted packet has a verdict.
+func runOpenLoopShard(sh *shard, p *openLoopProgram, procName string, bitsPerCycle float64, horizon sim.Time, done func()) {
+	start := sh.eng.Now()
+	until := start + horizon
+	outstanding := 0
+	stopped := 0
+	finished := false
+	check := func() {
+		if !finished && stopped == len(p.sessions) && outstanding == 0 {
+			finished = true
+			p.cycles = sh.eng.Now() - start
+			done()
+		}
+	}
+	// The class's per-shard rate splits evenly across its local sessions
+	// (normally exactly one per class per shard under the least-loaded
+	// router, but any router-driven grouping keeps the offered rate).
+	var perClass [qos.NumClasses]int
+	for _, prof := range p.profiles {
+		perClass[prof.Class]++
+	}
+	for i := range p.sessions {
+		ses := p.sessions[i]
+		prof := p.profiles[i]
+		mean := prof.MeanGap(bitsPerCycle) * float64(perClass[prof.Class])
+		mk, err := arrivals.ByName(procName, mean)
+		if err != nil {
+			panic(err) // validated by RunOpenLoop before dispatch
+		}
+		em := arrivals.NewEmitter(sh.eng, prof, uint64(i), &p.digest,
+			func(class qos.Class, nonce, payload []byte, deadline sim.Time) {
+				outstanding++
+				sh.shaper.EncryptDeadline(class, ses.chID, nonce, nil, payload, deadline,
+					func(_ []byte, err error) {
+						outstanding--
+						if !arrivals.ExpectedVerdict(err) {
+							p.errors++
+						}
+						check()
+					})
+			})
+		src := arrivals.NewSource(sh.eng, mk(), p.rngs[i], em.Emit)
+		src.Done = func() {
+			stopped++
+			check()
+		}
+		src.Start(-1, until)
+	}
+	check() // a shard with zero sessions (or all-stopped sources) still completes
 }
 
 // ScalingRow is one line of a shard-count sweep.

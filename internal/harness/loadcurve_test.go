@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"mccp/internal/qos"
+)
+
+// loadCurveFixture runs one moderate-size E13 sweep shared by the
+// acceptance tests (the sweep is deterministic, so sharing is safe).
+var loadCurveFixture *LoadCurveResult
+
+func e13(t *testing.T) LoadCurveResult {
+	t.Helper()
+	if loadCurveFixture == nil {
+		res := LoadCurve(LoadCurveConfig{BackgroundPackets: 200})
+		loadCurveFixture = &res
+	}
+	return *loadCurveFixture
+}
+
+// TestLoadCurveShape is the E13 acceptance gate: the loss curve is
+// monotone in offered load with a visible saturation knee — delivered
+// throughput plateaus and background loss climbs steeply past it.
+func TestLoadCurveShape(t *testing.T) {
+	res := e13(t)
+	if res.SaturationMbps < 500 || res.SaturationMbps > 4000 {
+		t.Fatalf("implausible calibrated saturation %.0f Mbps", res.SaturationMbps)
+	}
+	for _, pol := range []string{"first-idle", "qos-priority"} {
+		pts := res.PolicyPoints(pol)
+		if len(pts) != len(DefaultOfferedPoints) {
+			t.Fatalf("%s: %d points", pol, len(pts))
+		}
+		const eps = 0.02
+		for i := 1; i < len(pts); i++ {
+			if pts[i].TotalLossFrac+eps < pts[i-1].TotalLossFrac {
+				t.Errorf("%s: total loss not monotone: %.3f at %.2fx after %.3f at %.2fx",
+					pol, pts[i].TotalLossFrac, pts[i].Offered, pts[i-1].TotalLossFrac, pts[i-1].Offered)
+			}
+			bg, prev := pts[i].Cell(qos.Background), pts[i-1].Cell(qos.Background)
+			if bg.LossFrac+eps < prev.LossFrac {
+				t.Errorf("%s: background loss not monotone at %.2fx", pol, pts[i].Offered)
+			}
+		}
+		// Underload is lossless; deep overload loses a big background
+		// fraction (the knee is visible).
+		for _, p := range pts {
+			bg := p.Cell(qos.Background)
+			if p.Offered <= 0.75 && bg.LossFrac > 0.01 {
+				t.Errorf("%s: background loses %.1f%% at %.2fx (underload must be lossless)",
+					pol, 100*bg.LossFrac, p.Offered)
+			}
+		}
+		last := pts[len(pts)-1]
+		if bg := last.Cell(qos.Background); bg.LossFrac < 0.2 {
+			t.Errorf("%s: background loss %.1f%% at %.2fx, want a steep climb past the knee",
+				pol, 100*bg.LossFrac, last.Offered)
+		}
+		// Delivered throughput saturates: the 2x point delivers no more
+		// than ~15% above the 1.5x point (offered grows 33%, delivery
+		// has hit the ceiling).
+		var at15, at2 float64
+		for _, p := range pts {
+			if p.Offered == 1.5 {
+				at15 = p.TotalDeliveredMbps
+			}
+			if p.Offered == 2.0 {
+				at2 = p.TotalDeliveredMbps
+			}
+		}
+		if at15 <= 0 || at2 > 1.15*at15 {
+			t.Errorf("%s: no saturation plateau: delivered %.0f at 1.5x vs %.0f at 2x", pol, at15, at2)
+		}
+	}
+}
+
+// TestLoadCurveVoiceProtection: under qos-priority the voice class holds
+// ~0%% loss everywhere and a flat p99 past the knee, while first-idle's
+// voice p99 keeps climbing — the E13 headline.
+func TestLoadCurveVoiceProtection(t *testing.T) {
+	res := e13(t)
+	qp := res.PolicyPoints("qos-priority")
+	fi := res.PolicyPoints("first-idle")
+	for _, p := range qp {
+		v := p.Cell(qos.Voice)
+		if v.LossFrac > 0.01 {
+			t.Errorf("qos-priority: voice loses %.2f%% at %.2fx, want <= 1%%", 100*v.LossFrac, p.Offered)
+		}
+	}
+	// Flatness past the knee: across the points at or beyond 1.25x, the
+	// voice p99 spread stays within 1.5x.
+	var pastKnee []float64
+	for _, p := range qp {
+		if p.Offered >= 1.25 {
+			pastKnee = append(pastKnee, float64(p.Cell(qos.Voice).P99))
+		}
+	}
+	min, max := pastKnee[0], pastKnee[0]
+	for _, v := range pastKnee {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min <= 0 || max/min > 1.5 {
+		t.Errorf("qos-priority: voice p99 not flat past the knee: %v", pastKnee)
+	}
+	// The contrast: at deep overload first-idle's voice p99 exceeds
+	// qos-priority's.
+	lastQP, lastFI := qp[len(qp)-1].Cell(qos.Voice), fi[len(fi)-1].Cell(qos.Voice)
+	if lastFI.P99 <= lastQP.P99 {
+		t.Errorf("first-idle voice p99 %d should exceed qos-priority %d at 2x overload",
+			lastFI.P99, lastQP.P99)
+	}
+}
+
+// TestLoadPointDeterminism: a load point is a pure function of its
+// configuration — counters, percentiles and the arrival digest all match
+// across runs.
+func TestLoadPointDeterminism(t *testing.T) {
+	cfg := LoadCurveConfig{BackgroundPackets: 80}
+	cfg.fill()
+	sat := SaturationMbps(cfg.Mix, cfg.SatPackets)
+	a := LoadPointRun("qos-priority", 1.25, sat, cfg)
+	b := LoadPointRun("qos-priority", 1.25, sat, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("load point not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.ArrivalDigest == 0 {
+		t.Fatal("no arrival digest recorded")
+	}
+}
+
+// TestLoadSmoke: the CI mini-curve gate passes on a healthy tree and
+// carries the three points it measured.
+func TestLoadSmoke(t *testing.T) {
+	v := LoadSmoke()
+	if !v.Pass() {
+		t.Fatalf("%s", v)
+	}
+	if len(v.Points) != 3 {
+		t.Fatalf("smoke ran %d points, want 3", len(v.Points))
+	}
+	if v.VoiceLossAtHalf > 0.01 {
+		t.Fatalf("voice loss at 0.5x = %.3f", v.VoiceLossAtHalf)
+	}
+}
+
+// TestLoadCurveProcesses: the deterministic and bursty on/off processes
+// drive the same machinery; the bursty source sheds more background at
+// the same mean load (clumps overflow the bounded queue).
+func TestLoadCurveProcesses(t *testing.T) {
+	base := LoadCurveConfig{BackgroundPackets: 150}
+	base.fill()
+	sat := SaturationMbps(base.Mix, base.SatPackets)
+
+	det := base
+	det.Process = "deterministic"
+	onoff := base
+	onoff.Process = "onoff"
+	pDet := LoadPointRun("qos-priority", 1.0, sat, det)
+	pBurst := LoadPointRun("qos-priority", 1.0, sat, onoff)
+	if pDet.Cell(qos.Background).Submitted == 0 || pBurst.Cell(qos.Background).Submitted == 0 {
+		t.Fatal("process sweep produced no arrivals")
+	}
+	lossDet := pDet.Cell(qos.Background).LossFrac
+	lossBurst := pBurst.Cell(qos.Background).LossFrac
+	if lossBurst <= lossDet {
+		t.Errorf("bursty on/off background loss %.3f should exceed deterministic %.3f at the knee",
+			lossBurst, lossDet)
+	}
+}

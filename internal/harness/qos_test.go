@@ -61,21 +61,28 @@ func TestQoSTableDeterministic(t *testing.T) {
 // shed the burst overflow at the bounded class queue.
 func TestQoSDrainComparison(t *testing.T) {
 	rows := QoSDrainComparison(40)
-	if len(rows) != 2 {
+	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byName := map[string]QoSDrainRow{}
 	for _, r := range rows {
 		byName[r.Drain] = r
 	}
-	strict, wfq := byName[qos.DrainStrict], byName[qos.DrainWeightedFair]
-	if strict.BackgroundShed != 4 || wfq.BackgroundShed != 4 {
-		t.Errorf("burst overflow: strict shed %d, wfq shed %d, want 4 each",
-			strict.BackgroundShed, wfq.BackgroundShed)
+	strict, wfq, drr := byName[qos.DrainStrict], byName[qos.DrainWeightedFair], byName[qos.DrainDRRBytes]
+	if strict.BackgroundShed != 4 || wfq.BackgroundShed != 4 || drr.BackgroundShed != 4 {
+		t.Errorf("burst overflow: strict shed %d, wfq shed %d, drr shed %d, want 4 each",
+			strict.BackgroundShed, wfq.BackgroundShed, drr.BackgroundShed)
 	}
-	if strict.BackgroundCompleted != 8 || wfq.BackgroundCompleted != 8 {
-		t.Errorf("admitted background must complete: %d/%d",
-			strict.BackgroundCompleted, wfq.BackgroundCompleted)
+	if strict.BackgroundCompleted != 8 || wfq.BackgroundCompleted != 8 || drr.BackgroundCompleted != 8 {
+		t.Errorf("admitted background must complete: %d/%d/%d",
+			strict.BackgroundCompleted, wfq.BackgroundCompleted, drr.BackgroundCompleted)
+	}
+	// DRR-by-bytes under the default voice-heavy weights is at least as
+	// voice-friendly as weighted-fair in *bytes* (an 8:1 byte ratio is far
+	// stricter than 8:1 in packets when background packets are 8x larger),
+	// but must never leave background worse off than strict priority.
+	if drr.BackgroundP95 > strict.BackgroundP95 {
+		t.Errorf("drr-bytes bg p95 %d worse than strict %d", drr.BackgroundP95, strict.BackgroundP95)
 	}
 	// Strict priority privileges voice latency; weighted-fair trades some
 	// of it for background service.

@@ -6,18 +6,33 @@ import "fmt"
 const (
 	DrainStrict       = "strict-priority"
 	DrainWeightedFair = "weighted-fair"
+	DrainDRRBytes     = "drr-bytes"
 )
 
 // DrainNames lists the selectable drain policies.
-func DrainNames() []string { return []string{DrainStrict, DrainWeightedFair} }
+func DrainNames() []string { return []string{DrainStrict, DrainWeightedFair, DrainDRRBytes} }
+
+// Weights is a per-class service ratio for the weighted drains, indexed
+// by Class (Background first, Voice last — the Class numbering).
+type Weights [NumClasses]int
+
+// QueueView is the drain policy's read-only view of the class queues:
+// occupancy for every policy, head-packet size for byte-based ones.
+type QueueView interface {
+	// Depth reports a class queue's occupancy.
+	Depth(c Class) int
+	// HeadBytes reports the payload size of the packet at the front of a
+	// class queue (0 when empty).
+	HeadBytes(c Class) int
+}
 
 // DrainPolicy picks which class queue to pop next when a dispatch slot
-// frees. depth reports each class's current queue depth; Next returns
-// false when every queue is empty. Policies may keep state (weighted-fair
-// credits), so every Shaper gets a fresh instance.
+// frees. Next returns false when every queue is empty. Policies may keep
+// state (weighted-fair credits, DRR deficits), so every Shaper gets a
+// fresh instance.
 type DrainPolicy interface {
 	Name() string
-	Next(depth func(Class) int) (Class, bool)
+	Next(q QueueView) (Class, bool)
 }
 
 // DrainByName returns a fresh drain policy; the empty string selects
@@ -28,53 +43,59 @@ func DrainByName(name string) (DrainPolicy, error) {
 		return StrictDrain{}, nil
 	case DrainWeightedFair:
 		return NewWeightedFair(DefaultWeights), nil
+	case DrainDRRBytes:
+		return NewDRRBytes(DefaultWeights), nil
 	}
-	return nil, fmt.Errorf("qos: unknown drain policy %q (have %s, %s)",
-		name, DrainStrict, DrainWeightedFair)
+	return nil, fmt.Errorf("qos: unknown drain policy %q (have %s, %s, %s)",
+		name, DrainStrict, DrainWeightedFair, DrainDRRBytes)
 }
 
 // StrictDrain always serves the highest-priority non-empty class. Voice
 // latency is minimal, but sustained high-priority load starves background
-// completely — the documented trade-off the weighted-fair policy exists
-// to fix.
+// completely — the documented trade-off the weighted policies exist to
+// fix.
 type StrictDrain struct{}
 
 // Name implements DrainPolicy.
 func (StrictDrain) Name() string { return DrainStrict }
 
 // Next implements DrainPolicy.
-func (StrictDrain) Next(depth func(Class) int) (Class, bool) {
+func (StrictDrain) Next(q QueueView) (Class, bool) {
 	for c := Class(NumClasses - 1); c >= 0; c-- {
-		if depth(c) > 0 {
+		if q.Depth(c) > 0 {
 			return c, true
 		}
 	}
 	return 0, false
 }
 
-// DefaultWeights is the weighted-fair service ratio, voice-heavy but
-// never zero: background gets one dispatch for every eight voice
-// dispatches under full load, which bounds its wait instead of starving
-// it.
-var DefaultWeights = [NumClasses]int{Background: 1, Data: 2, Video: 4, Voice: 8}
+// DefaultWeights is the default service ratio, voice-heavy but never
+// zero: background gets one dispatch for every eight voice dispatches
+// under full load, which bounds its wait instead of starving it.
+var DefaultWeights = Weights{Background: 1, Data: 2, Video: 4, Voice: 8}
 
 // WeightedFair is a smooth weighted round-robin over the non-empty
 // classes: each call credits every backlogged class with its weight and
 // serves the largest accumulated credit, then charges the served class
-// the round's total. Service converges to the weight ratio, is
-// deterministic, and never starves a backlogged class.
+// the round's total. Service converges to the weight ratio in packets,
+// is deterministic, and never starves a backlogged class.
 type WeightedFair struct {
-	weights [NumClasses]int
+	weights Weights
 	credit  [NumClasses]int
 }
 
 // NewWeightedFair builds a weighted-fair drain; non-positive weights are
 // lifted to 1 so no class can be configured into starvation.
-func NewWeightedFair(weights [NumClasses]int) *WeightedFair {
-	w := &WeightedFair{weights: weights}
-	for i := range w.weights {
-		if w.weights[i] <= 0 {
-			w.weights[i] = 1
+func NewWeightedFair(weights Weights) *WeightedFair {
+	w := &WeightedFair{weights: weights.sanitized()}
+	return w
+}
+
+// sanitized lifts non-positive weights to 1.
+func (w Weights) sanitized() Weights {
+	for i := range w {
+		if w[i] <= 0 {
+			w[i] = 1
 		}
 	}
 	return w
@@ -84,12 +105,12 @@ func NewWeightedFair(weights [NumClasses]int) *WeightedFair {
 func (*WeightedFair) Name() string { return DrainWeightedFair }
 
 // Next implements DrainPolicy.
-func (w *WeightedFair) Next(depth func(Class) int) (Class, bool) {
+func (w *WeightedFair) Next(q QueueView) (Class, bool) {
 	total := 0
 	best, bestCredit := Class(-1), 0
 	// Highest priority first, so equal credits break toward voice.
 	for _, c := range Classes() {
-		if depth(c) == 0 {
+		if q.Depth(c) == 0 {
 			continue
 		}
 		w.credit[c] += w.weights[c]
@@ -103,4 +124,73 @@ func (w *WeightedFair) Next(depth func(Class) int) (Class, bool) {
 	}
 	w.credit[best] -= total
 	return best, true
+}
+
+// DRRQuantumBytes is the deficit-round-robin base quantum: a class with
+// weight w earns w*512 bytes of credit per visit. 512 sits between the
+// voice frame (256 B) and the bulk packet (2048 B), so small-packet
+// classes do not need multiple visits per dispatch while large-packet
+// classes cannot overdraw more than a few visits ahead.
+const DRRQuantumBytes = 512
+
+// DRRBytes is deficit round robin by payload bytes: classes are visited
+// in priority order, each visit earns the class its weight's worth of
+// byte credit, and a class dispatches only while its accumulated credit
+// covers its head packet. Unlike the packet-count WeightedFair, service
+// converges to the weight ratio in *bytes*, which is what a mixed
+// packet-size workload (256 B voice frames vs 2 KB bulk) needs for the
+// configured ratio to mean anything on the wire.
+type DRRBytes struct {
+	weights Weights
+	deficit [NumClasses]int
+	cur     int  // index into Classes() order (voice first)
+	fresh   bool // quantum not yet granted for the current visit
+}
+
+// NewDRRBytes builds a DRR-by-bytes drain; non-positive weights are
+// lifted to 1.
+func NewDRRBytes(weights Weights) *DRRBytes {
+	return &DRRBytes{weights: weights.sanitized(), fresh: true}
+}
+
+// Name implements DrainPolicy.
+func (*DRRBytes) Name() string { return DrainDRRBytes }
+
+// Next implements DrainPolicy.
+func (d *DRRBytes) Next(q QueueView) (Class, bool) {
+	order := Classes()
+	backlog := 0
+	for _, c := range order {
+		backlog += q.Depth(c)
+	}
+	if backlog == 0 {
+		// Idle resets all credit: a class must not bank deficit across
+		// idle periods and burst later (classic DRR empties its quantum
+		// when the queue empties).
+		d.deficit = [NumClasses]int{}
+		d.cur, d.fresh = 0, true
+		return 0, false
+	}
+	for {
+		c := order[d.cur]
+		if q.Depth(c) == 0 {
+			d.deficit[c] = 0
+			d.advance()
+			continue
+		}
+		if d.fresh {
+			d.deficit[c] += d.weights[c] * DRRQuantumBytes
+			d.fresh = false
+		}
+		if hb := q.HeadBytes(c); d.deficit[c] >= hb {
+			d.deficit[c] -= hb
+			return c, true
+		}
+		d.advance()
+	}
+}
+
+func (d *DRRBytes) advance() {
+	d.cur = (d.cur + 1) % NumClasses
+	d.fresh = true
 }

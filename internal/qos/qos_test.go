@@ -364,7 +364,221 @@ func TestDrainByName(t *testing.T) {
 	if d, err := DrainByName(DrainWeightedFair); err != nil || d.Name() != DrainWeightedFair {
 		t.Fatalf("weighted-fair: %v", err)
 	}
+	if d, err := DrainByName(DrainDRRBytes); err != nil || d.Name() != DrainDRRBytes {
+		t.Fatalf("drr-bytes: %v", err)
+	}
 	if _, err := DrainByName("fifo"); err == nil {
 		t.Fatal("unknown drain accepted")
+	}
+}
+
+// TestInQueueAging: with an AgeLimit, a stale packet is dropped before it
+// reaches the device — at dispatch time with an ErrAged verdict, counted
+// under Shed and Aged (distinct from Expired) — while fresh packets are
+// unaffected.
+func TestInQueueAging(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, AgeLimit: 150})
+
+	var verdicts []error
+	record := func(_ []byte, err error) { verdicts = append(verdicts, err) }
+	// Packet 1 holds the single slot until cycle 100; packets 2-4 queue at
+	// cycle 0. When the slot frees at 100, packet 2 (age 100 <= 150)
+	// dispatches and completes at 200; packets 3-4 are then 200 cycles old
+	// and age out without touching the device.
+	for i := 0; i < 4; i++ {
+		s.Encrypt(Background, 1, nil, nil, make([]byte, 64), record)
+	}
+	eng.Run()
+
+	st := s.Stats(Background)
+	if st.Completed != 2 || st.Shed != 2 || st.Aged != 2 || st.Expired != 0 {
+		t.Fatalf("counters: %+v (want 2 completed, 2 shed, 2 aged, 0 expired)", st)
+	}
+	want := []error{nil, nil, ErrAged, ErrAged}
+	if !reflect.DeepEqual(verdicts, want) {
+		t.Fatalf("verdicts %v, want %v", verdicts, want)
+	}
+	// The aged packets never consumed device time: two 100-cycle ops.
+	if eng.Now() != 200 {
+		t.Fatalf("virtual end time %d, want 200", eng.Now())
+	}
+}
+
+// TestAgingMakesRoomAtAdmission: a full queue of stale packets is aged
+// out on admission so the fresh arrival is admitted instead of shed.
+func TestAgingMakesRoomAtAdmission(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, QueueDepth: 2, AgeLimit: 50})
+
+	var fresh error = fmt.Errorf("sentinel: callback never ran")
+	// Packet 1 dispatches and holds the slot until cycle 100; 2-3 fill the
+	// 2-deep queue at cycle 0.
+	for i := 0; i < 3; i++ {
+		s.Encrypt(Background, 1, nil, nil, make([]byte, 64), nil)
+	}
+	// At cycle 60 the queued pair is stale (age 60 > 50): the new arrival
+	// must evict them and be admitted, not shed.
+	eng.RunUntil(60)
+	s.Encrypt(Background, 1, nil, nil, make([]byte, 64), func(_ []byte, err error) { fresh = err })
+	eng.Run()
+
+	st := s.Stats(Background)
+	if fresh != nil {
+		t.Fatalf("fresh arrival verdict %v, want admission and completion", fresh)
+	}
+	if st.Aged != 2 || st.Shed != 2 || st.Completed != 2 {
+		t.Fatalf("counters: %+v (want 2 aged/shed, 2 completed)", st)
+	}
+}
+
+// drainHarness runs a synthetic backlog through a drain policy and
+// reports per-class served packet and byte counts.
+type drainQueues struct {
+	depth [NumClasses]int
+	bytes [NumClasses]int
+}
+
+func (q *drainQueues) Depth(c Class) int     { return q.depth[c] }
+func (q *drainQueues) HeadBytes(c Class) int { return q.bytes[c] }
+
+// TestDRRBytesConvergesToByteRatio: with 256 B voice frames against
+// 2048 B bulk packets and equal weights, DRR-by-bytes serves ~8 voice
+// packets per bulk packet (equal bytes), where the packet-count
+// weighted-fair at equal weights would alternate packets (8:1 in bytes
+// toward bulk).
+func TestDRRBytesConvergesToByteRatio(t *testing.T) {
+	q := &drainQueues{}
+	q.depth[Voice], q.bytes[Voice] = 1<<30, 256
+	q.depth[Background], q.bytes[Background] = 1<<30, 2048
+	equal := Weights{Background: 1, Data: 1, Video: 1, Voice: 1}
+
+	serve := func(d DrainPolicy, n int) (bytes [NumClasses]int) {
+		for i := 0; i < n; i++ {
+			c, ok := d.Next(q)
+			if !ok {
+				t.Fatal("drain stalled on a backlogged queue")
+			}
+			bytes[c] += q.bytes[c]
+		}
+		return bytes
+	}
+
+	drr := serve(NewDRRBytes(equal), 900)
+	ratio := float64(drr[Voice]) / float64(drr[Background])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("drr-bytes byte ratio voice/background = %.2f, want ~1 at equal weights", ratio)
+	}
+	wf := serve(NewWeightedFair(equal), 900)
+	wfRatio := float64(wf[Voice]) / float64(wf[Background])
+	if wfRatio > 0.2 {
+		t.Fatalf("weighted-fair byte ratio %.2f should be far below 1 (it balances packets, not bytes)", wfRatio)
+	}
+
+	// Weighted DRR: voice weight 4 should buy ~4x the bytes.
+	weighted := serve(NewDRRBytes(Weights{Background: 1, Data: 1, Video: 1, Voice: 4}), 1200)
+	wr := float64(weighted[Voice]) / float64(weighted[Background])
+	if wr < 3.5 || wr > 4.5 {
+		t.Fatalf("drr-bytes weighted byte ratio %.2f, want ~4", wr)
+	}
+}
+
+// TestDRRBytesNeverStarves: a backlogged bulk queue keeps receiving
+// service under sustained voice load through the shaper (equal weights:
+// equal bytes, so one 2 KB bulk packet per eight 256 B voice frames).
+func TestDRRBytesNeverStarves(t *testing.T) {
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{
+		Capacity: 1,
+		Drain:    DrainDRRBytes,
+		Weights:  Weights{Background: 1, Data: 1, Video: 1, Voice: 1},
+	})
+	var order []Class
+	left := 24
+	var launch func()
+	launch = func() {
+		if left == 0 {
+			return
+		}
+		left--
+		s.Encrypt(Voice, 1, nil, nil, make([]byte, 256), func(_ []byte, _ error) {
+			order = append(order, Voice)
+			launch()
+		})
+	}
+	launch()
+	for i := 0; i < 2; i++ {
+		s.Encrypt(Background, 1, nil, nil, make([]byte, 2048), func(_ []byte, _ error) {
+			order = append(order, Background)
+		})
+	}
+	for i := 0; i < 4; i++ {
+		launch()
+	}
+	eng.Run()
+	firstBG := -1
+	for i, c := range order {
+		if c == Background {
+			firstBG = i
+			break
+		}
+	}
+	if firstBG < 0 || firstBG > 20 {
+		t.Fatalf("first background completion at index %d (order %v): starved", firstBG, order)
+	}
+}
+
+// TestConfigWeightsReachWeightedDrains: Config.Weights parameterizes both
+// weighted drains.
+func TestConfigWeightsReachWeightedDrains(t *testing.T) {
+	heavy := Weights{Background: 16, Data: 1, Video: 1, Voice: 1}
+
+	// Weighted-fair, behaviorally: a background-heavy ratio inverts the
+	// usual drain order.
+	eng, ft := newFake(1)
+	s := NewShaper(eng, ft, Config{Capacity: 1, Drain: DrainWeightedFair, Weights: heavy})
+	var order []Class
+	rec := func(c Class) func([]byte, error) {
+		return func(_ []byte, _ error) { order = append(order, c) }
+	}
+	for i := 0; i < 6; i++ {
+		s.Encrypt(Voice, 1, nil, nil, make([]byte, 64), rec(Voice))
+		s.Encrypt(Background, 1, nil, nil, make([]byte, 64), rec(Background))
+	}
+	eng.Run()
+	bgFirst := 0
+	for _, c := range order[1:7] {
+		if c == Background {
+			bgFirst++
+		}
+	}
+	if bgFirst < 4 {
+		t.Fatalf("weighted-fair: weights %v ignored: only %d of the first 6 drains were background (%v)",
+			heavy, bgFirst, order)
+	}
+
+	// DRR-by-bytes: the shaper-configured weights must drive the byte
+	// ratio (measured over a sustained synthetic backlog, where quantum
+	// granularity averages out).
+	eng2, ft2 := newFake(1)
+	s2 := NewShaper(eng2, ft2, Config{Capacity: 1, Drain: DrainDRRBytes, Weights: heavy})
+	drr, ok := s2.drain.(*DRRBytes)
+	if !ok {
+		t.Fatalf("drr-bytes shaper built %T", s2.drain)
+	}
+	q := &drainQueues{}
+	q.depth[Voice], q.bytes[Voice] = 1<<30, 256
+	q.depth[Background], q.bytes[Background] = 1<<30, 2048
+	var served [NumClasses]int
+	for i := 0; i < 2000; i++ {
+		c, ok := drr.Next(q)
+		if !ok {
+			t.Fatal("drain stalled on a backlogged queue")
+		}
+		served[c] += q.bytes[c]
+	}
+	ratio := float64(served[Background]) / float64(served[Voice])
+	if ratio < 14 || ratio > 18 {
+		t.Fatalf("drr-bytes: byte ratio background/voice = %.1f, want ~16 from Config.Weights", ratio)
 	}
 }

@@ -21,6 +21,13 @@ var ErrShed = fmt.Errorf("qos: class queue full (load shed)")
 // queue depth) and separately under Expired.
 var ErrExpired = fmt.Errorf("qos: deadline expired before dispatch (dropped)")
 
+// ErrAged is returned to a packet that sat in its class queue longer than
+// the shaper's AgeLimit: the CoDel-style in-queue aging drops stale
+// packets (typically bulk traffic with no explicit deadline) before they
+// reach the device, instead of serving data nobody is waiting for
+// anymore. Aged drops count under Shed plus the dedicated Aged counter.
+var ErrAged = fmt.Errorf("qos: queue age limit exceeded (dropped stale packet)")
+
 // Target is the device-facing surface the shaper drives — in practice
 // radio.CommController, but any packet engine with the same asynchronous
 // contract works (cores are a detail below this interface).
@@ -41,16 +48,23 @@ type Config struct {
 	QueueDepth int
 	// Drain selects the drain policy by name (default strict-priority).
 	Drain string
-	// Weights overrides the weighted-fair service ratio (zero value picks
-	// DefaultWeights; ignored by strict priority).
-	Weights [NumClasses]int
+	// Weights overrides the weighted drains' service ratio (zero value
+	// picks DefaultWeights; ignored by strict priority). Weighted-fair
+	// converges to the ratio in packets, drr-bytes in payload bytes.
+	Weights Weights
+	// AgeLimit enables CoDel-style in-queue aging (0 = off): a packet
+	// still queued AgeLimit cycles after arrival is dropped with ErrAged
+	// — at dispatch time, and also on admission when its queue is full,
+	// so a stale backlog makes room for fresh traffic instead of shedding
+	// it.
+	AgeLimit sim.Time
 }
 
 func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
-	var zero [NumClasses]int
+	var zero Weights
 	if c.Weights == zero {
 		c.Weights = DefaultWeights
 	}
@@ -67,6 +81,10 @@ type ClassStats struct {
 	// Expired counts the subset of Shed dropped at dispatch time because
 	// their deadline had already passed in the queue.
 	Expired uint64
+	// Aged counts the subset of Shed dropped by in-queue aging: queued
+	// longer than the shaper's AgeLimit (distinct from Expired, which is
+	// a per-packet deadline verdict).
+	Aged uint64
 	// Bytes is the payload volume of completed operations.
 	Bytes uint64
 	// QueuedPeak is the deepest the class queue ever got; QueuedNow its
@@ -78,6 +96,27 @@ type ClassStats struct {
 	// in virtual time (for per-class throughput over the class's own
 	// window).
 	FirstDispatch, LastCompletion sim.Time
+}
+
+// Accumulate adds another snapshot's counters into s — the one merge
+// definition every cross-shaper aggregate uses. Counter fields sum
+// (QueuedPeak takes the max); the virtual-time interval fields
+// (FirstDispatch, LastCompletion) are left untouched, because they are
+// only meaningful on a single timeline.
+func (s *ClassStats) Accumulate(o ClassStats) {
+	s.Submitted += o.Submitted
+	s.Completed += o.Completed
+	s.Shed += o.Shed
+	s.Rejected += o.Rejected
+	s.Failed += o.Failed
+	s.Expired += o.Expired
+	s.Aged += o.Aged
+	s.Bytes += o.Bytes
+	s.DeadlineMisses += o.DeadlineMisses
+	s.QueuedNow += o.QueuedNow
+	if o.QueuedPeak > s.QueuedPeak {
+		s.QueuedPeak = o.QueuedPeak
+	}
 }
 
 // Mbps returns the class's delivered throughput at the modeled clock over
@@ -127,8 +166,11 @@ func NewShaper(eng *sim.Engine, target Target, cfg Config) *Shaper {
 	if err != nil {
 		panic(err)
 	}
-	if wf, ok := drain.(*WeightedFair); ok {
-		*wf = *NewWeightedFair(cfg.Weights)
+	switch dr := drain.(type) {
+	case *WeightedFair:
+		*dr = *NewWeightedFair(cfg.Weights)
+	case *DRRBytes:
+		*dr = *NewDRRBytes(cfg.Weights)
 	}
 	s := &Shaper{eng: eng, target: target, cfg: cfg, drain: drain}
 	for c := 0; c < NumClasses; c++ {
@@ -169,6 +211,13 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	st := &s.stats[c]
 	st.Submitted++
 	if len(s.queues[c]) >= s.cfg.QueueDepth {
+		// Before shedding the arrival, drop any dead backlog at the front
+		// of the queue (over-age or already past its deadline): a full
+		// queue of packets nobody wants is the exact situation in-queue
+		// aging exists for.
+		s.evictStale(c)
+	}
+	if len(s.queues[c]) >= s.cfg.QueueDepth {
 		st.Shed++
 		if cb != nil {
 			cb(nil, ErrShed)
@@ -184,30 +233,68 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	s.pump()
 }
 
-// depth reports a class queue's occupancy to the drain policy.
-func (s *Shaper) depth(c Class) int { return len(s.queues[c]) }
+// Depth reports a class queue's occupancy (the drain policies' QueueView).
+func (s *Shaper) Depth(c Class) int { return len(s.queues[c]) }
+
+// HeadBytes reports the payload size at the front of a class queue (the
+// byte-based drain policies' QueueView; 0 when empty).
+func (s *Shaper) HeadBytes(c Class) int {
+	if len(s.queues[c]) == 0 {
+		return 0
+	}
+	return s.queues[c][0].bytes
+}
+
+// aged reports whether an item has outlived the shaper's age limit.
+func (s *Shaper) aged(it item) bool {
+	return s.cfg.AgeLimit != 0 && s.eng.Now()-it.enqueued > s.cfg.AgeLimit
+}
+
+// evictStale drops dead items from the front of a class queue — older
+// than the AgeLimit (Shed/Aged, ErrAged) or past their deadline
+// (Shed/Expired, ErrExpired). CoDel style: the oldest packets go first.
+// Eviction runs before the drain policy ever sees the queue, so
+// weighted-fair credit and DRR byte-deficit are only ever charged for
+// packets that actually dispatch.
+func (s *Shaper) evictStale(c Class) {
+	for len(s.queues[c]) > 0 {
+		it := s.queues[c][0]
+		st := &s.stats[c]
+		var verdict error
+		switch {
+		case s.aged(it):
+			st.Shed++
+			st.Aged++
+			verdict = ErrAged
+		case it.deadline != 0 && s.eng.Now() > it.deadline:
+			st.Shed++
+			st.Expired++
+			verdict = ErrExpired
+		default:
+			return
+		}
+		s.queues[c] = s.queues[c][1:]
+		if it.cb != nil {
+			it.cb(nil, verdict)
+		}
+	}
+}
 
 // pump dispatches queued items while capacity allows, in drain-policy
-// order. A deadline-tagged item whose deadline has already passed is
-// dropped here — at dispatch time, before it consumes device capacity —
-// and counted under Shed/Expired with an ErrExpired verdict.
+// order. Deadline-expired and over-age items are dropped first — at
+// dispatch time, before they consume device capacity or drain-policy
+// credit — with their verdict counted under Shed/Expired or Shed/Aged.
 func (s *Shaper) pump() {
 	for s.cfg.Capacity == 0 || s.inFlight < s.cfg.Capacity {
-		c, ok := s.drain.Next(s.depth)
+		for c := Class(0); int(c) < NumClasses; c++ {
+			s.evictStale(c)
+		}
+		c, ok := s.drain.Next(s)
 		if !ok {
 			return
 		}
 		it := s.queues[c][0]
 		s.queues[c] = s.queues[c][1:]
-		if it.deadline != 0 && s.eng.Now() > it.deadline {
-			st := &s.stats[c]
-			st.Shed++
-			st.Expired++
-			if it.cb != nil {
-				it.cb(nil, ErrExpired)
-			}
-			continue
-		}
 		s.inFlight++
 		if !s.dispatched[c] {
 			s.dispatched[c] = true
@@ -264,18 +351,29 @@ func (s *Shaper) AllStats() []ClassStats {
 // class's enqueue-to-completion latency in cycles, or 0 with no samples.
 // Percentiles use the nearest-rank method on the recorded samples.
 func (s *Shaper) LatencyPercentile(c Class, p float64) sim.Time {
-	samples := s.latency[c]
+	return PercentileOf(append([]sim.Time(nil), s.latency[c]...), p)
+}
+
+// AppendLatencySamples appends a class's recorded enqueue-to-completion
+// latency samples to dst and returns it. The cluster layer uses it to
+// merge per-shard samples into cluster-wide per-class percentiles.
+func (s *Shaper) AppendLatencySamples(c Class, dst []sim.Time) []sim.Time {
+	return append(dst, s.latency[c]...)
+}
+
+// PercentileOf returns the p-th nearest-rank percentile of samples (which
+// it sorts in place), or 0 with no samples.
+func PercentileOf(samples []sim.Time, p float64) sim.Time {
 	if len(samples) == 0 {
 		return 0
 	}
-	sorted := append([]sim.Time(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := int(p/100*float64(len(samples))+0.5) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank >= len(samples) {
+		rank = len(samples) - 1
 	}
-	return sorted[rank]
+	return samples[rank]
 }

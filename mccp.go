@@ -89,6 +89,14 @@ var ErrQueueFull = core.ErrQueueFull
 // ErrShed is the QoS shaper's admission verdict: a class queue was full.
 var ErrShed = qos.ErrShed
 
+// ErrExpired is the QoS shaper's deadline verdict: the packet's deadline
+// passed while it was still queued, so it was dropped at dispatch time.
+var ErrExpired = qos.ErrExpired
+
+// ErrAged is the QoS shaper's in-queue aging verdict: the packet sat in
+// its class queue longer than the configured AgeLimit.
+var ErrAged = qos.ErrAged
+
 // Config sizes a Platform.
 type Config struct {
 	// Cores is the number of Cryptographic Cores (default 4, as in the
@@ -344,7 +352,15 @@ const (
 const (
 	QoSDrainStrict       = qos.DrainStrict
 	QoSDrainWeightedFair = qos.DrainWeightedFair
+	// QoSDrainDRRBytes drains by deficit round robin over payload bytes,
+	// so the configured ratio holds on the wire even with mixed packet
+	// sizes (256 B voice frames vs 2 KB bulk).
+	QoSDrainDRRBytes = qos.DrainDRRBytes
 )
+
+// QoSWeights is the per-class service ratio for the weighted drains,
+// indexed by QoSClass.
+type QoSWeights = qos.Weights
 
 // Shaper is the QoS front end over a Platform: per-class bounded FIFO
 // queues, strict-priority or weighted-fair drain, admission control with
