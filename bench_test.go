@@ -347,6 +347,44 @@ func BenchmarkLoadCurve(b *testing.B) {
 	}
 }
 
+// --- E14: wire-level latency curves -----------------------------------------
+
+// BenchmarkWireLatency runs the loopback mccpserver in front of the
+// cluster and replays the open-loop mix through the wire protocol at
+// three offered points. wire_Mbps (delivered wire throughput) gates
+// higher-is-better; voice_wire_p99_cycles gates lower-is-better — both
+// are virtual-time figures, deterministic on the loopback transport with
+// a single connection.
+func BenchmarkWireLatency(b *testing.B) {
+	b.ReportAllocs()
+	cfg := harness.WireConfig{
+		Sessions: 64,
+		Offered:  []float64{0.5, 1.0, 2.0},
+		Windows:  24,
+	}
+	var res harness.WireResult
+	for i := 0; i < b.N; i++ {
+		res = harness.WireLatency(cfg)
+	}
+	for _, p := range res.Points {
+		p := p
+		b.Run(fmt.Sprintf("offered=%.1f", p.Offered), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p // measured above; subruns report the cells
+			}
+			v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+			b.ReportMetric(p.TotalOfferedMbps, "offered_Mbps")
+			b.ReportMetric(p.WireMbps, "wire_Mbps")
+			b.ReportMetric(float64(v.P99), "voice_wire_p99_cycles")
+			b.ReportMetric(float64(bg.P99), "background_wire_p99_cycles")
+			b.ReportMetric(100*v.LossFrac, "voice_loss_pct")
+			b.ReportMetric(100*bg.LossFrac, "background_loss_pct")
+			b.ReportMetric(float64(v.Shed), "voice_shed")
+		})
+	}
+}
+
 // --- E10: ablations ---------------------------------------------------------
 
 // BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:

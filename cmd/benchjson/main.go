@@ -46,19 +46,27 @@ func main() {
 	clusterScale := flag.String("clusterscale", "", "cluster host-scaling gate, 'Top:Base=ratio' (e.g. 'Cluster/shards=8:Cluster/shards=1=1.5'): fail if Top's host_Mbps is below ratio x Base's; derated to 0.6 x GOMAXPROCS and skipped on single-CPU runs, where host-parallel speedup is impossible")
 	allocsBudget := flag.String("allocspacket", "", "allocation ceiling, 'BenchName=allocs': fail if the benchmark's allocs_op per packet exceeds the ceiling")
 	loadSmoke := flag.Bool("loadsmoke", false, "run the E13 mini load curve in-process and fail if the voice class loses >1% of its packets at 0.5x saturation under qos-priority")
+	wireSmoke := flag.Bool("wiresmoke", false, "run the one-point loopback E14 gate and fail if voice wire p99 at 0.5x saturation exceeds 2x the in-process E13 p99, or if any voice packet is shed")
 	flag.Parse()
 
-	// -loadsmoke runs the simulation directly (no bench input needed), so
-	// it is checked before input parsing and composes with the other
+	// The smoke gates run the simulation directly (no bench input needed),
+	// so they are checked before input parsing and compose with the other
 	// gates when input is present.
 	if *loadSmoke {
 		if err := checkLoadSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		if *in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
-			return // smoke-only invocation
+	}
+	if *wireSmoke {
+		if err := checkWireSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
+	}
+	if (*loadSmoke || *wireSmoke) &&
+		*in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
+		return // smoke-only invocation
 	}
 
 	results, err := parseInput(*in)
@@ -243,6 +251,22 @@ func checkLoadSmoke() error {
 		fmt.Printf("benchjson:   offered %.2fx: voice loss %.2f%% p99 %d cyc, background loss %.2f%%\n",
 			p.Offered, 100*voice.LossFrac, voice.P99, 100*bg.LossFrac)
 	}
+	return nil
+}
+
+// checkWireSmoke runs the one-point loopback E14 measurement (a real
+// mccpserver on an in-process transport, deterministic) and enforces the
+// service-boundary bar: at 0.5x saturation, voice wire p99 must stay
+// within 2x of the in-process E13 p99 and no voice packet may be shed.
+func checkWireSmoke() error {
+	v := harness.WireSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — the server front end costs voice more than the service boundary should", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	bg := v.Point.Cell(qos.Background)
+	fmt.Printf("benchjson:   offered %.2fx: wire %.0f Mbps, background wire p99 %d cyc, loss %.2f%%\n",
+		v.Point.Offered, v.Point.WireMbps, bg.P99, 100*bg.LossFrac)
 	return nil
 }
 

@@ -290,5 +290,8 @@ func runWithReconfig(cfg cluster.WorkloadConfig, shardID int) {
 		log.Fatal(err)
 	}
 	fmt.Printf("whirlpool digest: %x...\n", digest[:16])
-	fmt.Print(cl.Metrics().Format())
+	// Snapshot instead of Metrics: the summary printer only reads counters,
+	// and Snapshot is safe to call without the front-end drain (the verdict
+	// and byte counters are atomics polled without stopping the shards).
+	fmt.Print(cl.Snapshot().Format())
 }

@@ -1,0 +1,106 @@
+// mccpserver fronts the MCCP cluster with the paper's §III.C control
+// protocol over TCP: OPEN/CLOSE bind wire sessions to cluster sessions,
+// ENCRYPT/DECRYPT carry packets, RETRIEVE_DATA reports wire statistics.
+// Concurrent callers are coalesced into per-shard ring submissions by the
+// request batcher (size or deadline trigger).
+//
+// Usage:
+//
+//	mccpserver -listen :9650 -shards 4 -policy qos-priority -shape
+//	mccpserver -listen 127.0.0.1:0 -batch 128 -flush-every 200us
+//	mccpserver -idle-timeout 30s -max-sessions 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mccp/internal/cluster"
+	"mccp/internal/qos"
+	"mccp/internal/scheduler"
+	"mccp/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9650", "TCP listen address")
+	shards := flag.Int("shards", 4, "number of MCCP shards")
+	cores := flag.Int("cores", 4, "cryptographic cores per shard")
+	router := flag.String("router", cluster.RouterQoSAware,
+		"session routing policy: "+strings.Join(cluster.RouterNames(), ", "))
+	policy := flag.String("policy", "qos-priority",
+		"per-shard dispatch policy: "+strings.Join(scheduler.Names(), ", "))
+	drain := flag.String("drain", "", "per-shard shaper drain policy: "+strings.Join(qos.DrainNames(), ", "))
+	shape := flag.Bool("shape", true, "give every shard a QoS shaper (class queues, deadline budgets)")
+	capacity := flag.Int("capacity", 4, "shaper concurrency bound per shard")
+	queueDepth := flag.Int("queue-depth", 16, "shaper class-queue depth per shard")
+	batch := flag.Int("batch", 64, "requests coalesced before a batch flush (size trigger)")
+	flushEvery := flag.Duration("flush-every", 200*time.Microsecond,
+		"deadline trigger: flush a non-empty batch at least this often (0 = size/FLUSH only)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle this long (0 = never)")
+	maxSessions := flag.Int("max-sessions", 0, "reject OPEN beyond this many live sessions (0 = unbounded)")
+	seed := flag.Uint64("seed", 1, "deterministic cluster seed")
+	flag.Parse()
+
+	if _, err := cluster.RouterByName(*router); err != nil {
+		log.Fatalf("-router: %v", err)
+	}
+	if _, err := scheduler.ByName(*policy); err != nil {
+		log.Fatalf("-policy: %v", err)
+	}
+	if *drain != "" {
+		if _, err := qos.DrainByName(*drain); err != nil {
+			log.Fatalf("-drain: %v", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Cluster: cluster.Config{
+			Shards:        *shards,
+			CoresPerShard: *cores,
+			Router:        *router,
+			Policy:        *policy,
+			QueueRequests: true,
+			Shape:         *shape,
+			Seed:          *seed,
+			Shaper: qos.Config{
+				Capacity:   *capacity,
+				QueueDepth: *queueDepth,
+				Drain:      *drain,
+			},
+		},
+		BatchOps:      *batch,
+		FlushInterval: *flushEvery,
+		IdleTimeout:   *idleTimeout,
+		MaxSessions:   *maxSessions,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mccpserver listening on %s: %d shards x %d cores, router %s, policy %s, batch %d",
+		ln.Addr(), *shards, *cores, *router, *policy, *batch)
+	srv.Serve(ln)
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
+	// batches, answer stragglers, then print the final cluster snapshot.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("%s: draining and shutting down", s)
+	cl := srv.Cluster()
+	if err := srv.Close(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Print(cl.Snapshot().Format())
+}

@@ -13,10 +13,13 @@ import (
 	"reflect"
 	"testing"
 
+	"mccp/internal/arrivals"
 	"mccp/internal/cluster"
+	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/harness"
 	"mccp/internal/qos"
+	"mccp/internal/server"
 	"mccp/internal/sim"
 )
 
@@ -179,6 +182,192 @@ func TestFastPathArrivalsIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fast1, ref) {
 		t.Errorf("fast open-loop point != reference:\n%+v\n%+v", fast1, ref)
+	}
+}
+
+// wireGuardSessions is the session mix for the batch-boundary guard:
+// CCM voice and GCM background alternating, no deadlines, so every
+// packet succeeds and the output bytes are pure crypto results.
+var wireGuardSessions = []struct {
+	family  cryptocore.Family
+	tagLen  int
+	class   qos.Class
+	payload int
+}{
+	{cryptocore.FamilyCCM, 8, qos.Voice, 256},
+	{cryptocore.FamilyGCM, 16, qos.Background, 512},
+	{cryptocore.FamilyGCM, 16, qos.Background, 2048},
+	{cryptocore.FamilyCCM, 8, qos.Voice, 256},
+	{cryptocore.FamilyGCM, 16, qos.Data, 1024},
+	{cryptocore.FamilyGCM, 12, qos.Video, 512},
+}
+
+const wireGuardPackets = 60
+
+// wireGuardCluster is the backend both sides of the guard run on. The
+// server overlays its own BatchWindow, which is the point: batch
+// chunking must be invisible in the output bytes.
+func wireGuardCluster() cluster.Config {
+	return cluster.Config{
+		Shards:        2,
+		Router:        cluster.RouterLeastLoaded,
+		QueueRequests: true,
+		Seed:          7,
+	}
+}
+
+// wireGuardPacket returns packet seq's session index, stamped nonce and
+// payload — shared by the in-process and wire replays.
+func wireGuardPacket(seq int) (sess int, nonce, payload []byte) {
+	sess = seq % len(wireGuardSessions)
+	s := wireGuardSessions[sess]
+	n := 12
+	if s.family == cryptocore.FamilyCCM {
+		n = 13
+	}
+	base := make([]byte, n)
+	base[0] = byte(sess)
+	payload = make([]byte, s.payload)
+	for j := range payload {
+		payload[j] = byte(sess*31 + j)
+	}
+	return sess, arrivals.StampNonce(base, seq), payload
+}
+
+// wireGuardInProcess replays the guard workload straight into a cluster
+// with the library API and folds per-shard digests exactly the way the
+// server's RETRIEVE_DATA report does: FNV-64a over output bytes in
+// delivery (= enqueue) order.
+func wireGuardInProcess(t *testing.T) []uint64 {
+	t.Helper()
+	cfg := wireGuardCluster()
+	cfg.BatchWindow = 16
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	digests := make([]uint64, cl.Shards())
+	for i := range digests {
+		digests[i] = 0xcbf29ce484222325
+	}
+	sessions := make([]*cluster.Session, len(wireGuardSessions))
+	for i, s := range wireGuardSessions {
+		ses, err := cl.Open(cluster.OpenSpec{
+			Suite:  core.Suite{Family: s.family, TagLen: s.tagLen, Priority: s.class.Priority()},
+			KeyLen: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = ses
+	}
+	for seq := 0; seq < wireGuardPackets; seq++ {
+		si, nonce, payload := wireGuardPacket(seq)
+		ses := sessions[si]
+		shard := ses.Shard()
+		ses.EncryptWireAsync(nonce, nil, payload, 0, func(out []byte, _ sim.Time, err error) {
+			if err != nil {
+				t.Errorf("in-process packet %d: %v", seq, err)
+				return
+			}
+			d := digests[shard]
+			for _, by := range out {
+				d = (d ^ uint64(by)) * 0x100000001b3
+			}
+			digests[shard] = d
+		})
+	}
+	cl.Flush()
+	return digests
+}
+
+// wireGuardServer replays the same workload through a loopback
+// mccpserver — single connection, single-threaded client, the given
+// batch size trigger and client FLUSH cadence — and returns the server's
+// per-shard digests.
+func wireGuardServer(t *testing.T, batchOps, flushEvery int) []uint64 {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Cluster:  wireGuardCluster(),
+		BatchOps: batchOps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	lb := server.NewLoopback()
+	srv.Serve(lb)
+	nc, err := lb.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := server.NewClient(nc)
+	defer c.Close()
+
+	specs := make([]server.OpenRequest, len(wireGuardSessions))
+	for i, s := range wireGuardSessions {
+		specs[i] = server.OpenRequest{
+			Family: s.family, KeyLen: 16, TagLen: s.tagLen, Class: s.class,
+		}
+	}
+	ids, err := c.OpenMany(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect := 0
+	for seq := 0; seq < wireGuardPackets; seq++ {
+		si, nonce, payload := wireGuardPacket(seq)
+		if _, err := c.SendEncrypt(ids[si], nonce, nil, payload); err != nil {
+			t.Fatal(err)
+		}
+		expect++
+		if (seq+1)%flushEvery == 0 {
+			if _, err := c.SendFlush(); err != nil {
+				t.Fatal(err)
+			}
+			expect++
+		}
+	}
+	if _, err := c.SendFlush(); err != nil {
+		t.Fatal(err)
+	}
+	expect++
+	for i := 0; i < expect; i++ {
+		r, err := c.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != server.StatusOK {
+			t.Fatalf("response %d: status %s", i, r.Status)
+		}
+	}
+	stats, err := c.Retrieve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Digests
+}
+
+// TestWireBatchBoundariesInvisible: the server's request batcher may
+// chunk the stream at any size or FLUSH cadence — the per-shard output
+// digests must stay bit-identical to the in-process cluster program
+// replaying the same packets. This is the guard that the service
+// boundary adds wiring, not behaviour.
+func TestWireBatchBoundariesInvisible(t *testing.T) {
+	want := wireGuardInProcess(t)
+	cadences := []struct{ batchOps, flushEvery int }{
+		{3, 7},   // size trigger dominates
+		{64, 5},  // client FLUSH dominates
+		{64, 17}, // sparse barriers
+		{1, 1},   // fully serialized
+	}
+	for _, cad := range cadences {
+		got := wireGuardServer(t, cad.batchOps, cad.flushEvery)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("batchOps=%d flushEvery=%d: server digests %x != in-process %x",
+				cad.batchOps, cad.flushEvery, got, want)
+		}
 	}
 }
 

@@ -240,6 +240,17 @@ func gated(metric string) bool {
 		strings.HasSuffix(metric, "_delivered_frac")
 }
 
+// gatedLower reports whether a metric participates in the gate as a
+// lower-is-better figure: the E14 wire-level latency percentiles
+// (*wire*_p99_cycles). Deterministic virtual-time cycle counts, so a rise
+// past tolerance is a real service-path regression, not noise. Scoped to
+// names containing "wire" on purpose — the E13 in-process p99 metrics
+// (voice_p99_cycles etc.) ride in the baseline ungated, and a blanket
+// suffix rule would silently start gating them.
+func gatedLower(metric string) bool {
+	return strings.Contains(metric, "wire") && strings.HasSuffix(metric, "_p99_cycles")
+}
+
 // DeliveredFracTolerance caps the gate tolerance applied to
 // *_delivered_frac metrics. A delivered fraction near 1.0 is a loss
 // figure in disguise: the throughput gate's default 25% headroom would
@@ -257,8 +268,9 @@ func metricTolerance(metric string, tolerance float64) float64 {
 
 // Gate compares current results against a baseline for every benchmark
 // whose name matches match (a regexp; empty matches all) and returns the
-// violations: any gated metric below (1-tolerance) x baseline, and any
-// matched baseline benchmark absent from the current run. Improvements
+// violations: any gated metric below (1-tolerance) x baseline, any
+// lower-is-better wire latency metric above (1+tolerance) x baseline, and
+// any matched baseline benchmark absent from the current run. Improvements
 // and new benchmarks never fail the gate — the baseline is refreshed by
 // committing a new BENCH_baseline.json.
 func Gate(current, baseline []Result, match string, tolerance float64) ([]Regression, error) {
@@ -288,12 +300,24 @@ func Gate(current, baseline []Result, match string, tolerance float64) ([]Regres
 		sort.Strings(metrics)
 		for _, m := range metrics {
 			want := base.Metrics[m]
-			if !gated(m) || want <= 0 {
+			if want <= 0 {
+				continue
+			}
+			lower := gatedLower(m)
+			if !lower && !gated(m) {
 				continue
 			}
 			got, ok := now.Metrics[m]
 			ratio := got / want
-			if !ok || ratio < 1-metricTolerance(m, tolerance) {
+			bad := !ok
+			if !bad {
+				if lower {
+					bad = ratio > 1+metricTolerance(m, tolerance)
+				} else {
+					bad = ratio < 1-metricTolerance(m, tolerance)
+				}
+			}
+			if bad {
 				out = append(out, Regression{
 					Benchmark: base.Name, Metric: m,
 					Baseline: want, Current: got, Ratio: ratio,

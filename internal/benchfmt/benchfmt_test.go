@@ -14,6 +14,7 @@ BenchmarkTable2_GCM_1core_128-8    1    56789012 ns/op    437.0 system_Mbps    4
 BenchmarkQoS_Overload/qos-priority-8    1    1843 ns/op    1105 background_Mbps    179.7 voice_Mbps    0.9710 voice_retention
 BenchmarkCluster/shards=4-8    1    9000000 ns/op    3400 aggregate_Mbps    120 host_Mbps
 BenchmarkLoadCurve/qos-priority/offered=2.0-8    1    2000 ns/op    1388 delivered_Mbps    1.000 voice_delivered_frac    7066 voice_p99_cycles
+BenchmarkWireLatency/offered=0.5-8    1    1500 ns/op    1374 wire_Mbps    10198 voice_wire_p99_cycles
 PASS
 ok   mccp  0.222s
 `
@@ -23,8 +24,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("parsed %d results, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(results))
 	}
 	r := results[0]
 	if r.Name != "Table2_GCM_1core_128" || r.Iterations != 1 {
@@ -123,6 +124,26 @@ func TestGateDetectsRegressions(t *testing.T) {
 	current[3].Metrics["voice_delivered_frac"] = 0.99
 	if regs, _ = Gate(current, baseline, "LoadCurve", 0.25); len(regs) != 0 {
 		t.Fatalf("1%% drift should pass the 2%% delivered-frac tolerance: %v", regs)
+	}
+	// The E14 wire p99 gates lower-is-better: a blow-up past tolerance
+	// fails, a drop (improvement) passes, and the rule is scoped to
+	// metrics containing "wire" — the E13 voice_p99_cycles above stayed
+	// ungated even at 1e9.
+	current[4].Metrics["voice_wire_p99_cycles"] = 10198 * 1.5
+	regs, _ = Gate(current, baseline, "Wire", 0.25)
+	if len(regs) != 1 || regs[0].Metric != "voice_wire_p99_cycles" {
+		t.Fatalf("wire p99 blow-up not caught: %v", regs)
+	}
+	current[4].Metrics["voice_wire_p99_cycles"] = 10198 * 0.5
+	if regs, _ = Gate(current, baseline, "Wire", 0.25); len(regs) != 0 {
+		t.Fatalf("wire p99 improvement gated: %v", regs)
+	}
+	current[4].Metrics["voice_wire_p99_cycles"] = 10198
+	// wire_Mbps rides the ordinary higher-is-better throughput rule.
+	current[4].Metrics["wire_Mbps"] = 1374 * 0.5
+	regs, _ = Gate(current, baseline, "Wire", 0.25)
+	if len(regs) != 1 || regs[0].Metric != "wire_Mbps" {
+		t.Fatalf("wire throughput regression not caught: %v", regs)
 	}
 }
 

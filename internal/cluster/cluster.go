@@ -36,7 +36,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"mccp/internal/core"
@@ -162,8 +164,13 @@ type pendingOp struct {
 	took  sim.Time
 	err   error
 
-	// Delivery bookkeeping (front end).
+	// Delivery bookkeeping (front end). cb is the plain completion; cbt
+	// the timing-aware variant (EncryptWireAsync/DecryptWireAsync) that
+	// also receives the shard-side service latency — cycles from the
+	// carrying batch's start to the operation's completion. At most one of
+	// the two is set.
 	cb     func([]byte, error)
+	cbt    func([]byte, sim.Time, error)
 	shard  int
 	nbytes int
 	batch  uint64 // shard-local batch sequence this op ships in
@@ -212,8 +219,10 @@ type Cluster struct {
 	// Per-shard routing state, owned by the front end. bytesRouted is the
 	// offered load (routing signal, counted at enqueue); bytesDone counts
 	// only payload bytes whose operation completed without error and has
-	// been delivered.
-	shardSessions []int
+	// been delivered. shardSessions and the byte counters are atomics so
+	// Snapshot can read them from any goroutine while the front end runs;
+	// they are still written only by the front-end goroutine.
+	shardSessions []atomic.Int64
 	shardWeight   []int
 	// shardHPWeight sums the weights of open high-priority sessions per
 	// shard; hpPending counts high-priority operations queued for each
@@ -221,8 +230,8 @@ type Cluster struct {
 	// router.
 	shardHPWeight []int
 	hpPending     []int
-	bytesRouted   []uint64
-	bytesDone     []uint64
+	bytesRouted   []atomic.Uint64
+	bytesDone     []atomic.Uint64
 	hashCores     []int
 
 	// Pipeline state: perShard accumulates the next batch per shard,
@@ -244,15 +253,20 @@ type Cluster struct {
 	// migration report.
 	lastMoves []int
 
-	flushes uint64
-	batches uint64
+	flushes atomic.Uint64
+	batches atomic.Uint64
+	// verdicts tallies the wire-protocol verdict of every delivered packet
+	// operation (opGeneric control ops excluded), indexed by the vOK..vFailed
+	// constants. Atomics so Snapshot reads them concurrently.
+	verdicts [numVerdicts]atomic.Uint64
 	// Wall-clock accounting: the pipeline is "active" from a dispatch
 	// until every pushed batch has completed and been delivered;
 	// wallSeconds accumulates those active intervals (generation overlaps
 	// simulation, so this is the honest wall cost of the traffic phase).
+	// Stored as float64 bits so Snapshot can read it concurrently.
 	active      bool
 	activeStart time.Time
-	wallSeconds float64
+	wallSeconds atomic.Uint64
 	closed      bool
 }
 
@@ -272,12 +286,12 @@ func New(cfg Config) (*Cluster, error) {
 		router:        router,
 		sessions:      make(map[int]*Session),
 		nextSession:   1,
-		shardSessions: make([]int, cfg.Shards),
+		shardSessions: make([]atomic.Int64, cfg.Shards),
 		shardWeight:   make([]int, cfg.Shards),
 		shardHPWeight: make([]int, cfg.Shards),
 		hpPending:     make([]int, cfg.Shards),
-		bytesRouted:   make([]uint64, cfg.Shards),
-		bytesDone:     make([]uint64, cfg.Shards),
+		bytesRouted:   make([]atomic.Uint64, cfg.Shards),
+		bytesDone:     make([]atomic.Uint64, cfg.Shards),
 		hashCores:     make([]int, cfg.Shards),
 		perShard:      make([][]*pendingOp, cfg.Shards),
 		subSeq:        make([]uint64, cfg.Shards),
@@ -327,9 +341,9 @@ func (c *Cluster) views() []ShardView {
 	for i := range vs {
 		vs[i] = ShardView{
 			ID:              i,
-			Sessions:        c.shardSessions[i],
+			Sessions:        int(c.shardSessions[i].Load()),
 			SessionWeight:   c.shardWeight[i],
-			Bytes:           c.bytesRouted[i],
+			Bytes:           c.bytesRouted[i].Load(),
 			HashCores:       c.hashCores[i],
 			Cores:           c.cfg.CoresPerShard,
 			HighPrioWeight:  c.shardHPWeight[i],
@@ -347,6 +361,7 @@ func (c *Cluster) getSlot() *pendingOp {
 		op = &pendingOp{}
 		op.finish = func(out []byte, err error) {
 			op.out, op.err = out, err
+			op.took = op.sh.eng.Now() - op.sh.batchStart
 			op.sh.opDone()
 		}
 		return op
@@ -359,10 +374,10 @@ func (c *Cluster) getSlot() *pendingOp {
 // putSlot recycles a delivered slot.
 func (c *Cluster) putSlot(op *pendingOp) {
 	op.nonce, op.aad, op.data, op.tag = nil, nil, nil, nil
-	op.run, op.cb = nil, nil
+	op.run, op.cb, op.cbt = nil, nil, nil
 	op.out, op.err = nil, nil
 	op.sh = nil
-	op.class, op.deadline = 0, 0
+	op.class, op.deadline, op.took = 0, 0, 0
 	op.retain = false
 	op.next = c.freeSlots
 	c.freeSlots = op
@@ -381,7 +396,7 @@ func (c *Cluster) enqueue(slot *pendingOp, hp bool) *pendingOp {
 	c.perShard[shardID] = append(c.perShard[shardID], slot)
 	c.order = append(c.order, slot)
 	c.unpushed++
-	c.bytesRouted[shardID] += uint64(slot.nbytes)
+	c.bytesRouted[shardID].Add(uint64(slot.nbytes))
 	if hp {
 		c.hpPending[shardID]++
 	}
@@ -409,7 +424,7 @@ func (c *Cluster) dispatch() {
 			c.activeStart = time.Now()
 		}
 		c.subSeq[i]++
-		c.batches++
+		c.batches.Add(1)
 		sh.sub <- batchMsg{ops: c.perShard[i], seq: c.subSeq[i]}
 		c.perShard[i] = c.takeOps(sh)
 		c.hpPending[i] = 0
@@ -457,14 +472,19 @@ func (c *Cluster) deliverLoop() {
 		// Count delivered bytes before the callback, so a callback
 		// reading Metrics sees its own packet accounted for.
 		if slot.err == nil {
-			c.bytesDone[slot.shard] += uint64(slot.nbytes)
+			c.bytesDone[slot.shard].Add(uint64(slot.nbytes))
 		}
-		cb, out, err := slot.cb, slot.out, slot.err
+		if slot.kind != opGeneric {
+			c.verdicts[verdictIndex(slot.err)].Add(1)
+		}
+		cb, cbt, out, took, err := slot.cb, slot.cbt, slot.out, slot.took, slot.err
 		if !slot.retain {
 			c.putSlot(slot)
 		}
 		if cb != nil {
 			cb(out, err)
+		} else if cbt != nil {
+			cbt(out, took, err)
 		}
 	}
 	if c.ordHead == len(c.order) {
@@ -486,7 +506,8 @@ func (c *Cluster) checkQuiescent() {
 		}
 	}
 	c.active = false
-	c.wallSeconds += time.Since(c.activeStart).Seconds()
+	was := math.Float64frombits(c.wallSeconds.Load())
+	c.wallSeconds.Store(math.Float64bits(was + time.Since(c.activeStart).Seconds()))
 }
 
 // Flush dispatches everything queued, waits for every shard to drain its
@@ -509,7 +530,7 @@ func (c *Cluster) barrier() {
 			<-sh.notify
 		}
 	}
-	c.flushes++
+	c.flushes.Add(1)
 	c.deliverLoop()
 }
 
@@ -573,7 +594,7 @@ func (c *Cluster) Open(spec OpenSpec) (*Session, error) {
 	ses.shardID = shardID
 	ses.chID = ch
 	c.sessions[ses.id] = ses
-	c.shardSessions[shardID]++
+	c.shardSessions[shardID].Add(1)
 	c.shardWeight[shardID] += ses.weight
 	if ses.hp {
 		c.shardHPWeight[shardID] += ses.weight
@@ -676,6 +697,39 @@ func (s *Session) DecryptAsync(nonce, aad, ct, tag []byte, cb func([]byte, error
 	c.enqueue(slot, s.hp)
 }
 
+// EncryptWireAsync is EncryptDeadlineAsync for service-boundary callers:
+// cb additionally receives the shard-side service latency — virtual
+// cycles from the start of the batch that carried the packet to the
+// packet's completion (or verdict). The server front end adds this to the
+// client-side batching wait to report end-to-end wire latency.
+func (s *Session) EncryptWireAsync(nonce, aad, payload []byte, deadline sim.Time, cb func([]byte, sim.Time, error)) {
+	c := s.cl
+	slot := c.getSlot()
+	slot.kind = opEncrypt
+	slot.ch = s.chID
+	slot.nonce, slot.aad, slot.data = nonce, aad, payload
+	slot.class, slot.deadline = s.class, deadline
+	slot.cbt = cb
+	slot.shard = s.shardID
+	slot.nbytes = len(payload)
+	c.enqueue(slot, s.hp)
+}
+
+// DecryptWireAsync is DecryptAsync with the same shard-side service
+// latency reporting as EncryptWireAsync.
+func (s *Session) DecryptWireAsync(nonce, aad, ct, tag []byte, cb func([]byte, sim.Time, error)) {
+	c := s.cl
+	slot := c.getSlot()
+	slot.kind = opDecrypt
+	slot.ch = s.chID
+	slot.nonce, slot.aad, slot.data, slot.tag = nonce, aad, ct, tag
+	slot.class = s.class
+	slot.cbt = cb
+	slot.shard = s.shardID
+	slot.nbytes = len(ct)
+	c.enqueue(slot, s.hp)
+}
+
 // SumAsync queues a Whirlpool digest on a hash session.
 func (s *Session) SumAsync(msg []byte, cb func([]byte, error)) {
 	c := s.cl
@@ -749,7 +803,7 @@ func (s *Session) Close() error {
 	err := slot.err
 	c.putSlot(slot)
 	delete(c.sessions, s.id)
-	c.shardSessions[s.shardID]--
+	c.shardSessions[s.shardID].Add(-1)
 	c.shardWeight[s.shardID] -= s.weight
 	if s.hp {
 		c.shardHPWeight[s.shardID] -= s.weight
@@ -794,7 +848,7 @@ func (c *Cluster) Rebalance() int {
 		ses := c.sessions[id]
 		// Withdraw the session's own load while deciding, so a heavy
 		// session is free to stay put.
-		c.shardSessions[ses.shardID]--
+		c.shardSessions[ses.shardID].Add(-1)
 		c.shardWeight[ses.shardID] -= ses.weight
 		if ses.hp {
 			c.shardHPWeight[ses.shardID] -= ses.weight
@@ -803,7 +857,7 @@ func (c *Cluster) Rebalance() int {
 		if to < 0 {
 			to = ses.shardID
 		}
-		c.shardSessions[to]++
+		c.shardSessions[to].Add(1)
 		c.shardWeight[to] += ses.weight
 		if ses.hp {
 			c.shardHPWeight[to] += ses.weight

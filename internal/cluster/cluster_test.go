@@ -509,7 +509,7 @@ func TestSessionDoubleClose(t *testing.T) {
 	if err := ses.Close(); err == nil {
 		t.Fatal("second Close succeeded")
 	}
-	if got := cl.shardSessions[ses.Shard()]; got != 0 {
+	if got := cl.shardSessions[ses.Shard()].Load(); got != 0 {
 		t.Fatalf("session counter corrupted: %d", got)
 	}
 }

@@ -2,11 +2,67 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"mccp/internal/core"
 	"mccp/internal/qos"
+	"mccp/internal/radio"
 	"mccp/internal/sim"
 )
+
+// Verdict indices for the Cluster.verdicts counters — the wire-protocol
+// classification of every delivered packet operation's error.
+const (
+	vOK = iota
+	vRejected
+	vShed
+	vExpired
+	vAged
+	vAuthFail
+	vFailed
+	numVerdicts
+)
+
+// verdictIndex classifies a delivered operation's error into the wire
+// verdict the server front end reports as a protocol status code.
+func verdictIndex(err error) int {
+	switch err {
+	case nil:
+		return vOK
+	case core.ErrNoResources:
+		return vRejected
+	case qos.ErrShed, core.ErrQueueFull:
+		return vShed
+	case qos.ErrExpired:
+		return vExpired
+	case qos.ErrAged:
+		return vAged
+	case radio.ErrAuth:
+		return vAuthFail
+	}
+	return vFailed
+}
+
+// VerdictCounts tallies delivered packet operations by wire verdict: OK
+// for clean completions, Rejected for the paper's no-idle-core error
+// flag, Shed/Expired/Aged for the QoS admission verdicts, AuthFail for
+// failed tag verification, Failed for anything else. Control operations
+// (open/close/reconfigure) are not counted.
+type VerdictCounts struct {
+	OK       uint64
+	Rejected uint64
+	Shed     uint64
+	Expired  uint64
+	Aged     uint64
+	AuthFail uint64
+	Failed   uint64
+}
+
+// Total sums every verdict bucket.
+func (v VerdictCounts) Total() uint64 {
+	return v.OK + v.Rejected + v.Shed + v.Expired + v.Aged + v.AuthFail + v.Failed
+}
 
 // ShardMetrics is one shard's counter snapshot.
 type ShardMetrics struct {
@@ -55,6 +111,11 @@ type Metrics struct {
 	Queued       uint64
 	Shed         uint64
 
+	// Verdicts is the per-verdict split of every delivered packet
+	// operation in wire-protocol terms (OK/Rejected/Shed/Expired/Aged/
+	// AuthFail/Failed), counted at delivery on the front end.
+	Verdicts VerdictCounts
+
 	// Classes aggregates the per-shard shaper counters across the cluster,
 	// highest priority first (nil unless the cluster runs per-shard
 	// shapers). Interval fields stay zero — shard timelines are
@@ -84,19 +145,51 @@ type Metrics struct {
 // device counters come from the snapshot each shard publishes after every
 // completed batch, and byte counters reflect delivered operations. After
 // a Flush the snapshot is exact; mid-pipeline it trails by at most the
-// batches still in flight.
+// batches still in flight. Metrics is front-end-only (it delivers ready
+// completions first); any other goroutine must use Snapshot.
 func (c *Cluster) Metrics() Metrics {
 	c.deliverReady()
-	m := Metrics{Batches: c.batches, Flushes: c.flushes, WallSeconds: c.wallSeconds}
+	return c.buildMetrics(true)
+}
+
+// Snapshot builds the same aggregated view as Metrics but is safe to call
+// from any goroutine while the pipeline runs — the server front end polls
+// it without stopping shards. It never touches front-end-only state:
+// PendingOps is reported as 0 and delivered-byte/verdict counters reflect
+// operations the front-end goroutine has delivered so far.
+func (c *Cluster) Snapshot() Metrics {
+	return c.buildMetrics(false)
+}
+
+func (c *Cluster) buildMetrics(frontEnd bool) Metrics {
+	m := Metrics{
+		Batches:     c.batches.Load(),
+		Flushes:     c.flushes.Load(),
+		WallSeconds: math.Float64frombits(c.wallSeconds.Load()),
+		Verdicts: VerdictCounts{
+			OK:       c.verdicts[vOK].Load(),
+			Rejected: c.verdicts[vRejected].Load(),
+			Shed:     c.verdicts[vShed].Load(),
+			Expired:  c.verdicts[vExpired].Load(),
+			Aged:     c.verdicts[vAged].Load(),
+			AuthFail: c.verdicts[vAuthFail].Load(),
+			Failed:   c.verdicts[vFailed].Load(),
+		},
+	}
 	for i, sh := range c.shards {
 		snap := sh.snap.Load()
 		cyc := snap.cycles
+		done := c.bytesDone[i].Load()
+		pending := 0
+		if frontEnd {
+			pending = len(c.perShard[i])
+		}
 		sm := ShardMetrics{
 			Shard:         i,
-			Sessions:      c.shardSessions[i],
+			Sessions:      int(c.shardSessions[i].Load()),
 			Packets:       snap.completions,
-			Bytes:         c.bytesDone[i],
-			OfferedBytes:  c.bytesRouted[i],
+			Bytes:         done,
+			OfferedBytes:  c.bytesRouted[i].Load(),
 			AuthFails:     snap.authFails,
 			Rejected:      snap.rejected,
 			Queued:        snap.queued,
@@ -104,8 +197,8 @@ func (c *Cluster) Metrics() Metrics {
 			KeyExpansions: snap.keyExpansions,
 			CrossbarBusy:  snap.crossbarBusy,
 			Cycles:        cyc,
-			SimMbps:       mbpsAt190(c.bytesDone[i]*8, cyc),
-			PendingOps:    len(c.perShard[i]),
+			SimMbps:       mbpsAt190(done*8, cyc),
+			PendingOps:    pending,
 			Classes:       snap.classes,
 		}
 		m.Shards = append(m.Shards, sm)

@@ -86,11 +86,15 @@ type shard struct {
 
 	// Batch pump state (shard goroutine only). doneFn is the prebuilt
 	// per-operation completion shared by every op's finish callback.
-	ops      []*pendingOp
-	next     int
-	inFlight int
-	finished int
-	doneFn   func()
+	// batchStart is the shard's virtual time at the start of the running
+	// batch; each op's finish records its completion offset from it (the
+	// shard-side service latency wire callers report).
+	ops        []*pendingOp
+	next       int
+	inFlight   int
+	finished   int
+	doneFn     func()
+	batchStart sim.Time
 }
 
 // newShard builds and starts one shard. pol must be a fresh policy
@@ -156,6 +160,7 @@ func (sh *shard) loop() {
 // batch sequence.
 func (sh *shard) runBatch(ops []*pendingOp) {
 	sh.ops, sh.next, sh.inFlight, sh.finished = ops, 0, 0, 0
+	sh.batchStart = sh.eng.Now()
 	sh.pump()
 	sh.eng.Run()
 	if sh.finished != len(ops) {

@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"mccp/internal/arrivals"
+	"mccp/internal/cluster"
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+	"mccp/internal/server"
+	"mccp/internal/sim"
+)
+
+// This file is experiment E14: wire-level latency curves. E13 measured
+// the QoS story in-process — arrivals fed a shaper sitting directly on a
+// device. Here the same open-loop mixes cross a service boundary: an
+// mccpserver fronts the cluster, an open-loop client generates per-
+// session arrival streams on a wire clock, batches each fixed window
+// behind a FLUSH barrier, and measures end-to-end wire latency — the
+// client-side batching wait plus the shard-side service cycles each
+// response reports. On the loopback transport with one connection the
+// whole table is a pure function of (config, seed): bit-reproducible,
+// CI-runnable, and still showing the saturation knee with voice held
+// flat under qos-priority.
+
+// WireMix is the E14 class mix: E13's LoadMix with deadline budgets on
+// the bulk classes. On the wire every packet inherits its session's
+// deadline; the bulk budget (~1.5 client windows) is what converts a
+// shard's growing per-window drain time into expiry verdicts past the
+// knee, while voice keeps E13's generous 16000-cycle budget and the
+// strict-priority drain keeps its service wait flat.
+var WireMix = []arrivals.ClassProfile{
+	{Class: qos.Voice, Share: 0.10, Bytes: 256, Family: cryptocore.FamilyCCM, KeyLen: 16, TagLen: 8, Deadline: 16000},
+	{Class: qos.Video, Share: 0.15, Bytes: 1024, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Deadline: 12000},
+	{Class: qos.Data, Share: 0.15, Bytes: 512, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Deadline: 12000},
+	{Class: qos.Background, Share: 0.60, Bytes: 2048, Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Deadline: 12000},
+}
+
+// WireConfig parameterizes WireLatency.
+type WireConfig struct {
+	// Shards and CoresPerShard size the backend cluster (defaults 2 and
+	// 4); Router and Policy its routing and dispatch (defaults qos-aware
+	// and qos-priority); Drain the per-shard shaper policy.
+	Shards, CoresPerShard int
+	Router, Policy, Drain string
+	// Sessions is the concurrent wire session count (default 1000 —
+	// the E14 table's 10^3 point; the server stress test covers 10^5).
+	Sessions int
+	// Offered are the load points as fractions of cluster saturation
+	// (default DefaultOfferedPoints).
+	Offered []float64
+	// WindowCycles is the client batching window on the wire clock
+	// (default 8192); Windows the measurement length per point (default
+	// 48).
+	WindowCycles sim.Time
+	Windows      int
+	// BatchOps is the server's size trigger (default 256, above any
+	// window's packet count, so the per-window FLUSH is the only batch
+	// boundary and the run is sequence-deterministic).
+	BatchOps int
+	// Capacity and QueueDepth size each shard's shaper (defaults 4, 16).
+	Capacity, QueueDepth int
+	// Mix, Process, Seed as in the E13 config (defaults WireMix,
+	// poisson, 31).
+	Mix     []arrivals.ClassProfile
+	Process string
+	Seed    uint64
+	// SatMbps overrides the calibrated cluster saturation (0 =
+	// calibrate: per-shard mix saturation times the shard count).
+	SatMbps float64
+	// SatPackets sizes the calibration (default 8).
+	SatPackets int
+}
+
+func (c *WireConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.CoresPerShard <= 0 {
+		c.CoresPerShard = 4
+	}
+	if c.Router == "" {
+		c.Router = "qos-aware"
+	}
+	if c.Policy == "" {
+		c.Policy = "qos-priority"
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 1000
+	}
+	if len(c.Offered) == 0 {
+		c.Offered = DefaultOfferedPoints
+	}
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 8192
+	}
+	if c.Windows <= 0 {
+		c.Windows = 48
+	}
+	if c.BatchOps <= 0 {
+		c.BatchOps = 256
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = WireMix
+	}
+	if c.Seed == 0 {
+		c.Seed = 31
+	}
+	if c.SatPackets <= 0 {
+		c.SatPackets = 8
+	}
+}
+
+// WireClassCell is one class's measurement at one offered point.
+type WireClassCell struct {
+	Class qos.Class
+	// Verdict counts from the protocol status codes.
+	Submitted, Completed, Rejected, Shed, Expired, Aged, Failed uint64
+	// LossFrac is (Submitted-Completed)/Submitted.
+	LossFrac float64
+	// P50/P99 are end-to-end wire latency percentiles in cycles:
+	// batching wait (window end minus arrival on the wire clock) plus
+	// shard-side service.
+	P50, P99 sim.Time
+	// DeliveredMbps is the class's delivered rate over the wire-clock
+	// horizon at the modeled frequency.
+	DeliveredMbps float64
+}
+
+// WirePoint is one offered-rate measurement of the E14 table.
+type WirePoint struct {
+	Offered  float64
+	Sessions int
+	Classes  []WireClassCell // highest priority first
+	// Totals: WireMbps is the delivered wire throughput over the
+	// horizon.
+	TotalOfferedMbps float64
+	WireMbps         float64
+	TotalLossFrac    float64
+	// ArrivalDigest witnesses the generated arrival stream;
+	// ServerDigests are the server's per-shard output-byte folds
+	// (RETRIEVE_DATA); ClusterCycles the slowest shard's virtual time.
+	ArrivalDigest uint64
+	ServerDigests []uint64
+	ClusterCycles sim.Time
+}
+
+// Cell returns the point's cell for a class (zero value if absent).
+func (p WirePoint) Cell(c qos.Class) WireClassCell {
+	for _, cell := range p.Classes {
+		if cell.Class == c {
+			return cell
+		}
+	}
+	return WireClassCell{Class: c}
+}
+
+// WireResult is the E14 table.
+type WireResult struct {
+	// SaturationMbps is the calibrated cluster capacity for the mix.
+	SaturationMbps float64
+	Policy         string
+	Sessions       int
+	Points         []WirePoint
+}
+
+// WireLatency runs E14: for each offered point it starts a fresh
+// loopback server in front of a fresh cluster, opens cfg.Sessions
+// sessions, replays the open-loop mix through the wire protocol and
+// tears everything down. Single connection, no wall-clock flush trigger:
+// the table is deterministic.
+func WireLatency(cfg WireConfig) WireResult {
+	cfg.fill()
+	sat := cfg.SatMbps
+	if sat <= 0 {
+		sat = SaturationMbps(cfg.Mix, cfg.SatPackets) * float64(cfg.Shards) *
+			float64(cfg.CoresPerShard) / 4
+	}
+	res := WireResult{SaturationMbps: sat, Policy: cfg.Policy, Sessions: cfg.Sessions}
+	for _, offered := range cfg.Offered {
+		res.Points = append(res.Points, WirePointRun(offered, sat, cfg))
+	}
+	return res
+}
+
+// WirePointRun measures one offered point of the E14 table.
+func WirePointRun(offered, satMbps float64, cfg WireConfig) WirePoint {
+	cfg.fill()
+	srv, err := server.New(server.Config{
+		Cluster: cluster.Config{
+			Shards:        cfg.Shards,
+			CoresPerShard: cfg.CoresPerShard,
+			Router:        cfg.Router,
+			Policy:        cfg.Policy,
+			QueueRequests: true,
+			Shape:         true,
+			// The whole batch enters the shaper as one burst, anchoring
+			// deadline budgets at batch start and letting the class
+			// queues express the drain order — the wire analogue of
+			// E13's open-loop shaper feed.
+			ShardWindow: cfg.BatchOps,
+			Seed:        cfg.Seed,
+			Shaper: qos.Config{
+				Capacity:   cfg.Capacity,
+				QueueDepth: cfg.QueueDepth,
+				Drain:      cfg.Drain,
+			},
+		},
+		BatchOps: cfg.BatchOps,
+	})
+	if err != nil {
+		panic(err) // experiment drivers pass literal configurations
+	}
+	defer srv.Close()
+	lb := server.NewLoopback()
+	srv.Serve(lb)
+
+	bitsPerCycle := offered * satMbps * 1e6 / sim.DefaultFreqHz
+	load, err := server.RunLoad(func() (net.Conn, error) { return lb.Dial() }, server.LoadConfig{
+		Sessions:     cfg.Sessions,
+		Mix:          cfg.Mix,
+		Process:      cfg.Process,
+		BitsPerCycle: bitsPerCycle,
+		WindowCycles: cfg.WindowCycles,
+		Windows:      cfg.Windows,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	horizon := load.HorizonCycles
+	toMbps := func(bytes uint64) float64 {
+		return float64(bytes*8) / float64(horizon) * sim.DefaultFreqHz / 1e6
+	}
+	point := WirePoint{
+		Offered:       offered,
+		Sessions:      cfg.Sessions,
+		ArrivalDigest: load.ArrivalDigest,
+	}
+	if load.Stats != nil {
+		point.ServerDigests = load.Stats.Digests
+		point.ClusterCycles = load.Stats.ClusterCycles
+	}
+	var submitted, completed uint64
+	var deliveredBytes uint64
+	for _, class := range qos.Classes() {
+		cl := load.Classes[class]
+		cell := WireClassCell{
+			Class:         class,
+			Submitted:     cl.Submitted,
+			Completed:     cl.OK,
+			Rejected:      cl.Rejected,
+			Shed:          cl.Shed,
+			Expired:       cl.Expired,
+			Aged:          cl.Aged,
+			Failed:        cl.AuthFail + cl.Failed,
+			P50:           qos.PercentileOf(cl.WireSamples, 50),
+			P99:           qos.PercentileOf(cl.WireSamples, 99),
+			DeliveredMbps: toMbps(cl.DeliveredBytes),
+		}
+		if cl.Submitted > 0 {
+			cell.LossFrac = float64(cl.Submitted-cl.OK) / float64(cl.Submitted)
+		}
+		submitted += cl.Submitted
+		completed += cl.OK
+		deliveredBytes += cl.DeliveredBytes
+		point.Classes = append(point.Classes, cell)
+	}
+	point.TotalOfferedMbps = offered * satMbps
+	point.WireMbps = toMbps(deliveredBytes)
+	if submitted > 0 {
+		point.TotalLossFrac = float64(submitted-completed) / float64(submitted)
+	}
+	return point
+}
+
+// FormatWireLatency renders the E14 table.
+func FormatWireLatency(r WireResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Wire-level latency curves (E14): loopback mccpserver, %d sessions, policy %s, cluster saturation ~%.0f Mbps\n",
+		r.Sessions, r.Policy, r.SaturationMbps)
+	fmt.Fprintf(&b, "wire latency = client batching wait + shard service; loss%% = arrivals not delivered (verdict mix at right)\n")
+	fmt.Fprintf(&b, "%8s | %9s %9s | %10s %10s | %10s %10s %8s | %8s %8s %8s\n",
+		"offered", "off Mbps", "wire Mbps",
+		"v p50 cyc", "v p99 cyc", "bg p50", "bg p99", "bg loss%", "shed", "expired", "aged")
+	for _, p := range r.Points {
+		v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+		var shed, expired, aged uint64
+		for _, c := range p.Classes {
+			shed += c.Shed
+			expired += c.Expired
+			aged += c.Aged
+		}
+		fmt.Fprintf(&b, "%7.2fx | %9.0f %9.0f | %10d %10d | %10d %10d %7.2f%% | %8d %8d %8d\n",
+			p.Offered, p.TotalOfferedMbps, p.WireMbps,
+			v.P50, v.P99, bg.P50, bg.P99, 100*bg.LossFrac, shed, expired, aged)
+	}
+	return b.String()
+}
+
+// WireSmokeVerdict is the CI -wiresmoke gate's result: at half the
+// saturation load the service boundary must cost voice at most a factor
+// of two in p99 versus the in-process E13 measurement, and shed nothing.
+type WireSmokeVerdict struct {
+	// VoiceWireP99 is the wire-level voice p99 at 0.5x saturation;
+	// VoiceE13P99 the in-process E13 voice p99 at the same point; Factor
+	// the allowed ratio.
+	VoiceWireP99 sim.Time
+	VoiceE13P99  sim.Time
+	Factor       float64
+	VoiceShed    uint64
+	Point        WirePoint
+}
+
+// Pass reports whether the gate held.
+func (v WireSmokeVerdict) Pass() bool {
+	return v.VoiceShed == 0 &&
+		float64(v.VoiceWireP99) <= v.Factor*float64(v.VoiceE13P99)
+}
+
+func (v WireSmokeVerdict) String() string {
+	verdict := "ok"
+	if !v.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("wiresmoke %s: voice wire p99 %d cycles vs %d in-process at 0.5x saturation (limit %.0fx), voice shed %d (limit 0)",
+		verdict, v.VoiceWireP99, v.VoiceE13P99, v.Factor, v.VoiceShed)
+}
+
+// WireSmoke runs the one-point loopback E14 gate CI checks. Small on
+// purpose: one offered point, a short window, 64 sessions.
+func WireSmoke() WireSmokeVerdict {
+	e13 := LoadPointRun("qos-priority", 0.5, SaturationMbps(LoadMix, 8),
+		LoadCurveConfig{BackgroundPackets: 120})
+	cfg := WireConfig{
+		Sessions:     64,
+		Offered:      []float64{0.5},
+		WindowCycles: 4096,
+		Windows:      24,
+	}
+	res := WireLatency(cfg)
+	p := res.Points[0]
+	return WireSmokeVerdict{
+		VoiceWireP99: p.Cell(qos.Voice).P99,
+		VoiceE13P99:  e13.Cell(qos.Voice).P99,
+		Factor:       2,
+		VoiceShed:    p.Cell(qos.Voice).Shed,
+		Point:        p,
+	}
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client speaks the wire protocol over one connection. It is not safe
+// for concurrent use — the open-loop load generator runs one Client per
+// connection goroutine. Requests may be pipelined: the Send* methods
+// buffer frames without reading anything back; Flush pushes them to the
+// wire and ReadResponse collects answers in order.
+type Client struct {
+	nc             net.Conn
+	br             *bufio.Reader
+	bw             *bufio.Writer
+	nextID         uint64
+	scratch, frame []byte
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Dial connects to a TCP server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// Close closes the connection (open sessions are reclaimed server-side).
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) send(body []byte) (uint64, error) {
+	id := c.nextID
+	c.frame = appendFrame(c.frame[:0], body)
+	_, err := c.bw.Write(c.frame)
+	return id, err
+}
+
+// SendOpen pipelines an OPEN.
+func (c *Client) SendOpen(spec OpenRequest) (uint64, error) {
+	c.nextID++
+	c.scratch = encodeOpen(c.scratch[:0], c.nextID, spec)
+	return c.send(c.scratch)
+}
+
+// SendClose pipelines a CLOSE.
+func (c *Client) SendClose(sess uint64) (uint64, error) {
+	c.nextID++
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, byte(OpClose))
+	c.scratch = putU64(c.scratch, c.nextID)
+	c.scratch = putU64(c.scratch, sess)
+	return c.send(c.scratch)
+}
+
+// SendEncrypt pipelines an ENCRYPT.
+func (c *Client) SendEncrypt(sess uint64, nonce, aad, payload []byte) (uint64, error) {
+	c.nextID++
+	c.scratch = encodePacket(c.scratch[:0], OpEncrypt, c.nextID, sess, nonce, aad, payload, nil)
+	return c.send(c.scratch)
+}
+
+// SendDecrypt pipelines a DECRYPT.
+func (c *Client) SendDecrypt(sess uint64, nonce, aad, ct, tag []byte) (uint64, error) {
+	c.nextID++
+	c.scratch = encodePacket(c.scratch[:0], OpDecrypt, c.nextID, sess, nonce, aad, ct, tag)
+	return c.send(c.scratch)
+}
+
+// SendFlush pipelines a FLUSH barrier marker.
+func (c *Client) SendFlush() (uint64, error) {
+	c.nextID++
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, byte(OpFlush))
+	c.scratch = putU64(c.scratch, c.nextID)
+	return c.send(c.scratch)
+}
+
+// SendRetrieve pipelines a RETRIEVE_DATA.
+func (c *Client) SendRetrieve() (uint64, error) {
+	c.nextID++
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, byte(OpRetrieve))
+	c.scratch = putU64(c.scratch, c.nextID)
+	return c.send(c.scratch)
+}
+
+// Flush pushes buffered request frames onto the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// ReadResponse reads the next response frame (flushing buffered requests
+// first, so a lock-step caller cannot deadlock on its own buffer).
+func (c *Client) ReadResponse() (Response, error) {
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	body, err := readFrame(c.br, c.frame)
+	if err != nil {
+		return Response{}, err
+	}
+	c.frame = body
+	return DecodeResponse(body)
+}
+
+// roundTrip sends one buffered request and reads its response lock-step.
+func (c *Client) roundTrip(id uint64) (Response, error) {
+	r, err := c.ReadResponse()
+	if err != nil {
+		return r, err
+	}
+	if r.ReqID != id {
+		return r, fmt.Errorf("server: response for request %d while waiting for %d (pipelined requests outstanding?)", r.ReqID, id)
+	}
+	return r, nil
+}
+
+// Open opens a session lock-step, returning its wire id.
+func (c *Client) Open(spec OpenRequest) (uint64, error) {
+	id, err := c.SendOpen(spec)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.roundTrip(id)
+	if err != nil {
+		return 0, err
+	}
+	return r.Session, r.Err()
+}
+
+// openChunk bounds pipelined OPENs in flight so the server's per-conn
+// write buffer can never fill before the client starts reading.
+const openChunk = 512
+
+// OpenMany opens len(specs) sessions, pipelined in bounded chunks, and
+// returns their wire ids in order.
+func (c *Client) OpenMany(specs []OpenRequest) ([]uint64, error) {
+	ids := make([]uint64, 0, len(specs))
+	for lo := 0; lo < len(specs); lo += openChunk {
+		hi := lo + openChunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		first := uint64(0)
+		for i := lo; i < hi; i++ {
+			id, err := c.SendOpen(specs[i])
+			if err != nil {
+				return ids, err
+			}
+			if i == lo {
+				first = id
+			}
+		}
+		for i := lo; i < hi; i++ {
+			r, err := c.ReadResponse()
+			if err != nil {
+				return ids, err
+			}
+			if r.ReqID != first+uint64(i-lo) {
+				return ids, fmt.Errorf("server: OPEN responses out of order (%d)", r.ReqID)
+			}
+			if err := r.Err(); err != nil {
+				return ids, err
+			}
+			ids = append(ids, r.Session)
+		}
+	}
+	return ids, nil
+}
+
+// CloseSession closes a session lock-step, returning the protocol
+// status.
+func (c *Client) CloseSession(sess uint64) (Status, error) {
+	id, err := c.SendClose(sess)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.roundTrip(id)
+	return r.Status, err
+}
+
+// packetRoundTrip follows a pipelined packet with a FLUSH (a lone packet
+// would otherwise sit in the batcher until the size or deadline trigger),
+// then reads the packet response and the FLUSH ack.
+func (c *Client) packetRoundTrip(id uint64) (Response, error) {
+	fid, err := c.SendFlush()
+	if err != nil {
+		return Response{}, err
+	}
+	r, err := c.roundTrip(id)
+	if err != nil {
+		return r, err
+	}
+	if _, err := c.roundTrip(fid); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Encrypt round-trips one ENCRYPT lock-step (with a piggybacked FLUSH).
+func (c *Client) Encrypt(sess uint64, nonce, aad, payload []byte) (Response, error) {
+	id, err := c.SendEncrypt(sess, nonce, aad, payload)
+	if err != nil {
+		return Response{}, err
+	}
+	return c.packetRoundTrip(id)
+}
+
+// Decrypt round-trips one DECRYPT lock-step (with a piggybacked FLUSH).
+func (c *Client) Decrypt(sess uint64, nonce, aad, ct, tag []byte) (Response, error) {
+	id, err := c.SendDecrypt(sess, nonce, aad, ct, tag)
+	if err != nil {
+		return Response{}, err
+	}
+	return c.packetRoundTrip(id)
+}
+
+// Barrier round-trips a FLUSH: when it returns, every earlier request on
+// this connection has been answered.
+func (c *Client) Barrier() error {
+	id, err := c.SendFlush()
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(id)
+	return err
+}
+
+// Retrieve round-trips a RETRIEVE_DATA and returns the server's report.
+func (c *Client) Retrieve() (*Stats, error) {
+	id, err := c.SendRetrieve()
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.roundTrip(id)
+	if err != nil {
+		return nil, err
+	}
+	return r.Stats, nil
+}

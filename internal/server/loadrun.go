@@ -1,0 +1,411 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"mccp/internal/arrivals"
+	"mccp/internal/qos"
+	"mccp/internal/sim"
+)
+
+// LoadConfig drives RunLoad, the open-loop wire workload shared by
+// cmd/mccploadgen and the harness's E14 table.
+//
+// Arrival times live on a client-side "wire clock" in virtual cycles:
+// each session draws interarrival gaps from its own split PRNG stream,
+// the merged stream is partitioned into fixed windows of WindowCycles,
+// and each window's packets are sent pipelined and closed with a FLUSH
+// barrier. A packet's wire latency is its batching wait (window end
+// minus arrival) plus the shard-side service cycles the response
+// reports — so with one connection the whole measurement is a pure
+// function of (config, seed) and reproduces bit-identically.
+type LoadConfig struct {
+	// Sessions is the total concurrent session count (default 64),
+	// dealt round-robin over the Mix profiles and split evenly across
+	// Conns.
+	Sessions int
+	// Mix is the class mix (required). Shares weight the offered bits.
+	Mix []arrivals.ClassProfile
+	// Process names the arrival process per session (arrivals.ByName;
+	// default poisson).
+	Process string
+	// BitsPerCycle is the total offered load on the wire clock.
+	BitsPerCycle float64
+	// WindowCycles is the client batching window (default 8192): the
+	// deadline by which every arrival in a window is on the wire.
+	WindowCycles sim.Time
+	// Windows is the measurement length in windows (default 48).
+	Windows int
+	// Seed roots the splittable PRNG tree.
+	Seed uint64
+	// Conns is the connection count (default 1). Each connection runs
+	// its own goroutine, client and PRNG stream split from the root in
+	// connection order; with more than one connection the interleaving
+	// at the server is scheduling-dependent, so virtual-time results are
+	// no longer bit-reproducible.
+	Conns int
+	// Pipeline bounds outstanding unanswered sends per connection
+	// (default 512; must stay below the server's WriteBuffer).
+	Pipeline int
+	// Trace, when set, receives one CSV line per packet.
+	Trace io.Writer
+}
+
+func (c *LoadConfig) fill() error {
+	if c.Sessions <= 0 {
+		c.Sessions = 64
+	}
+	if len(c.Mix) == 0 {
+		return fmt.Errorf("server: RunLoad needs a class mix")
+	}
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 8192
+	}
+	if c.Windows <= 0 {
+		c.Windows = 48
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 512
+	}
+	if c.BitsPerCycle <= 0 {
+		return fmt.Errorf("server: RunLoad needs a positive offered load")
+	}
+	return nil
+}
+
+// ClassLoad is one class's client-side tally.
+type ClassLoad struct {
+	Class     qos.Class
+	Submitted uint64
+	// Verdict counts by response status.
+	OK, Rejected, Shed, Expired, Aged, AuthFail, Failed uint64
+	// DeliveredBytes counts OK responses' plaintext/ciphertext payload
+	// bytes (the request size — the wire-throughput numerator).
+	DeliveredBytes uint64
+	// WireSamples are completed packets' end-to-end wire latencies in
+	// cycles: batching wait plus shard service.
+	WireSamples []sim.Time
+}
+
+func (cl *ClassLoad) count(st Status) {
+	switch st {
+	case StatusOK:
+		cl.OK++
+	case StatusRejected:
+		cl.Rejected++
+	case StatusShed:
+		cl.Shed++
+	case StatusExpired:
+		cl.Expired++
+	case StatusAged:
+		cl.Aged++
+	case StatusAuthFail:
+		cl.AuthFail++
+	default:
+		cl.Failed++
+	}
+}
+
+// LoadResult is RunLoad's merged outcome.
+type LoadResult struct {
+	// Classes is indexed by qos.Class.
+	Classes [qos.NumClasses]ClassLoad
+	// ArrivalDigest folds every generated arrival (XOR-merged across
+	// connections).
+	ArrivalDigest uint64
+	// HorizonCycles is the wire-clock measurement span.
+	HorizonCycles sim.Time
+	// Stats is the server's RETRIEVE_DATA report after the run.
+	Stats *Stats
+}
+
+// lockedWriter serializes trace lines across connection goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// wireArrival is one generated packet-to-be.
+type wireArrival struct {
+	at   sim.Time
+	sess int // local session index on this connection
+	seq  int
+	prof *arrivals.ClassProfile
+}
+
+// sentMeta tracks one in-flight request for response matching (FIFO —
+// responses arrive in request order on a connection).
+type sentMeta struct {
+	flush  bool
+	arr    wireArrival
+	window sim.Time // wire-clock window end = the dispatch instant
+}
+
+// RunLoad opens Sessions sessions over Conns connections and replays the
+// open-loop mix against a server, lock-stepping each window. dial is
+// called once per connection.
+func RunLoad(dial func() (net.Conn, error), cfg LoadConfig) (LoadResult, error) {
+	if err := cfg.fill(); err != nil {
+		return LoadResult{}, err
+	}
+	if cfg.Trace != nil && cfg.Conns > 1 {
+		cfg.Trace = &lockedWriter{w: cfg.Trace}
+	}
+
+	root := arrivals.NewRand(cfg.Seed ^ 0xE14A77)
+	connRands := make([]*arrivals.Rand, cfg.Conns)
+	for i := range connRands {
+		connRands[i] = root.Split()
+	}
+
+	// Deal sessions: global index -> (conn, profile). Class rates divide
+	// by the class's global session count, so the superposed offered
+	// load matches BitsPerCycle regardless of the split.
+	per := cfg.Sessions / cfg.Conns
+	extra := cfg.Sessions % cfg.Conns
+	classSessions := make([]int, len(cfg.Mix))
+	for g := 0; g < cfg.Sessions; g++ {
+		classSessions[g%len(cfg.Mix)]++
+	}
+
+	var (
+		mu      sync.Mutex
+		res     LoadResult
+		firstCl *Client
+		runErr  error
+	)
+	res.HorizonCycles = sim.Time(cfg.Windows) * cfg.WindowCycles
+
+	var wg sync.WaitGroup
+	base := 0
+	for ci := 0; ci < cfg.Conns; ci++ {
+		n := per
+		if ci < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(ci, base, n int, rng *arrivals.Rand) {
+			defer wg.Done()
+			cl, cr, err := runConn(dial, cfg, ci, base, n, classSessions, rng)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && runErr == nil {
+				runErr = err
+			}
+			if cl != nil {
+				if ci == 0 {
+					firstCl = cl
+				} else {
+					cl.Close()
+				}
+			}
+			if cr != nil {
+				for c := range res.Classes {
+					agg := &res.Classes[c]
+					add := &cr.Classes[c]
+					agg.Class = qos.Class(c)
+					agg.Submitted += add.Submitted
+					agg.OK += add.OK
+					agg.Rejected += add.Rejected
+					agg.Shed += add.Shed
+					agg.Expired += add.Expired
+					agg.Aged += add.Aged
+					agg.AuthFail += add.AuthFail
+					agg.Failed += add.Failed
+					agg.DeliveredBytes += add.DeliveredBytes
+					agg.WireSamples = append(agg.WireSamples, add.WireSamples...)
+				}
+				res.ArrivalDigest ^= cr.ArrivalDigest
+			}
+		}(ci, base, n, connRands[ci])
+		base += n
+	}
+	wg.Wait()
+	if runErr != nil {
+		if firstCl != nil {
+			firstCl.Close()
+		}
+		return res, runErr
+	}
+	if firstCl != nil {
+		st, err := firstCl.Retrieve()
+		firstCl.Close()
+		if err != nil {
+			return res, err
+		}
+		res.Stats = st
+	}
+	return res, nil
+}
+
+// runConn drives one connection's share of the load and returns its
+// client (left open for the final RETRIEVE) and tallies.
+func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
+	classSessions []int, rng *arrivals.Rand) (*Client, *LoadResult, error) {
+	nc, err := dial()
+	if err != nil {
+		return nil, nil, err
+	}
+	cl := NewClient(nc)
+
+	// Open this connection's sessions in global order.
+	specs := make([]OpenRequest, n)
+	profs := make([]*arrivals.ClassProfile, n)
+	for i := 0; i < n; i++ {
+		p := &cfg.Mix[(base+i)%len(cfg.Mix)]
+		profs[i] = p
+		specs[i] = OpenRequest{
+			Family:   p.Family,
+			KeyLen:   p.KeyLen,
+			TagLen:   p.TagLen,
+			Class:    p.Class,
+			Deadline: p.Deadline,
+		}
+	}
+	ids, err := cl.OpenMany(specs)
+	if err != nil {
+		cl.Close()
+		return nil, nil, err
+	}
+
+	// Generate every session's arrivals on the wire clock, folding the
+	// digest in session-major order, then merge-sort by (time, session,
+	// seq).
+	horizon := sim.Time(cfg.Windows) * cfg.WindowCycles
+	cr := &LoadResult{}
+	cr.ArrivalDigest = arrivals.DigestInit
+	var all []wireArrival
+	nonces := make([][]byte, n)
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		p := profs[i]
+		gap := p.MeanGap(cfg.BitsPerCycle) * float64(classSessions[(base+i)%len(cfg.Mix)])
+		mk, err := arrivals.ByName(cfg.Process, gap)
+		if err != nil {
+			cl.Close()
+			return nil, nil, err
+		}
+		proc := mk()
+		srng := rng.Split()
+		at := sim.Time(0)
+		seq := 0
+		for {
+			at += proc.Gap(srng)
+			if at >= horizon {
+				break
+			}
+			cr.ArrivalDigest = arrivals.FoldArrival(cr.ArrivalDigest, uint64(base+i), uint64(seq), at)
+			all = append(all, wireArrival{at: at, sess: i, seq: seq, prof: p})
+			seq++
+		}
+		nonces[i] = make([]byte, p.NonceLen())
+		nonces[i][0] = byte(base + i)
+		payloads[i] = make([]byte, p.Bytes)
+		for j := range payloads[i] {
+			payloads[i][j] = byte((base+i)*31 + j)
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].at != all[b].at {
+			return all[a].at < all[b].at
+		}
+		if all[a].sess != all[b].sess {
+			return all[a].sess < all[b].sess
+		}
+		return all[a].seq < all[b].seq
+	})
+
+	// Replay window by window, lock-stepping at each FLUSH barrier (and
+	// at the pipeline bound within a window).
+	inflight := make([]sentMeta, 0, cfg.Pipeline+1)
+	head := 0
+	pop := func() (*sentMeta, error) {
+		r, err := cl.ReadResponse()
+		if err != nil {
+			return nil, err
+		}
+		m := &inflight[head]
+		head++
+		if m.flush {
+			if r.Op != OpFlush {
+				return nil, fmt.Errorf("server: expected FLUSH ack, got %s", r.Op)
+			}
+			return m, nil
+		}
+		if r.Op != OpEncrypt {
+			return nil, fmt.Errorf("server: expected ENCRYPT response, got %s", r.Op)
+		}
+		wait := m.window - m.arr.at
+		total := wait + r.Timing.WireCycles
+		tally := &cr.Classes[m.arr.prof.Class]
+		tally.count(r.Status)
+		if r.Status == StatusOK {
+			tally.DeliveredBytes += uint64(m.arr.prof.Bytes)
+			tally.WireSamples = append(tally.WireSamples, total)
+		}
+		if cfg.Trace != nil {
+			fmt.Fprintf(cfg.Trace, "%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d\n",
+				ci, base+m.arr.sess, m.arr.prof.Class, m.arr.seq, m.arr.at,
+				m.arr.prof.Bytes, r.Status, r.Timing.WireCycles, total,
+				r.Timing.QueueNs, r.Timing.ServiceNs)
+		}
+		return m, nil
+	}
+	barrier := func() error {
+		if _, err := cl.SendFlush(); err != nil {
+			return err
+		}
+		inflight = append(inflight, sentMeta{flush: true})
+		if err := cl.Flush(); err != nil {
+			return err
+		}
+		for head < len(inflight) {
+			if _, err := pop(); err != nil {
+				return err
+			}
+		}
+		inflight = inflight[:0]
+		head = 0
+		return nil
+	}
+
+	next := 0
+	for w := 0; w < cfg.Windows; w++ {
+		winEnd := sim.Time(w+1) * cfg.WindowCycles
+		for next < len(all) && all[next].at < winEnd {
+			a := all[next]
+			next++
+			nonce := arrivals.StampNonce(nonces[a.sess], a.seq)
+			if _, err := cl.SendEncrypt(ids[a.sess], nonce, nil, payloads[a.sess]); err != nil {
+				cl.Close()
+				return nil, cr, err
+			}
+			cr.Classes[a.prof.Class].Submitted++
+			inflight = append(inflight, sentMeta{arr: a, window: winEnd})
+			if len(inflight)-head >= cfg.Pipeline {
+				if err := barrier(); err != nil {
+					cl.Close()
+					return nil, cr, err
+				}
+			}
+		}
+		if err := barrier(); err != nil {
+			cl.Close()
+			return nil, cr, err
+		}
+	}
+	return cl, cr, nil
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"net"
+	"sync"
+)
+
+// Loopback is an in-process net.Listener whose Dial side hands the
+// server synchronous net.Pipe connections: no sockets, no kernel
+// buffering, no scheduling jitter from the network stack — the transport
+// the deterministic E14 table and CI run on.
+type Loopback struct {
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewLoopback builds a loopback listener ready to Serve and Dial.
+func NewLoopback() *Loopback {
+	return &Loopback{
+		conns:  make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+}
+
+// Dial opens a new connection to the listener's accept side.
+func (l *Loopback) Dial() (net.Conn, error) {
+	server, client := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		server.Close()
+		client.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Loopback) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *Loopback) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+type loopbackAddr struct{}
+
+func (loopbackAddr) Network() string { return "loopback" }
+func (loopbackAddr) String() string  { return "loopback" }
+
+// Addr implements net.Listener.
+func (l *Loopback) Addr() net.Addr { return loopbackAddr{} }

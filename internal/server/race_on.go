@@ -1,0 +1,6 @@
+//go:build race
+
+package server
+
+// raceEnabled lets tests derate scale targets under the race detector.
+const raceEnabled = true

@@ -1,0 +1,625 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccp/internal/cluster"
+	"mccp/internal/core"
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+	"mccp/internal/sim"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Cluster configures the sharded MCCP backend. When
+	// Cluster.BatchWindow is 0 the server raises it to 2xBatchOps so the
+	// server's own flush triggers are the only batch-boundary driver —
+	// batch partitioning then depends only on the request sequence.
+	Cluster cluster.Config
+	// BatchOps is the size trigger: queued packet operations that force a
+	// flush (default 64).
+	BatchOps int
+	// FlushInterval is the wall-clock deadline trigger: a periodic flush
+	// bounding how long a lone request waits for batch-mates. 0 disables
+	// it — flushes then happen only on the size trigger and FLUSH frames,
+	// keeping batch boundaries (and so every virtual-time figure) a pure
+	// function of the request sequence. Deterministic runs use 0.
+	FlushInterval time.Duration
+	// IdleTimeout reaps connections with no inbound frame for this long
+	// (0 = never). Reaping closes the connection; its sessions are
+	// drained and released in request order.
+	IdleTimeout time.Duration
+	// MaxSessions bounds concurrently open wire sessions across all
+	// connections (0 = unbounded); OPEN past the bound is Rejected —
+	// admission control at the session level, upstream of the per-packet
+	// QoS verdicts.
+	MaxSessions int
+	// QueueDepth is the shared inbound request channel's capacity
+	// (default 4096): how far connection readers may run ahead of the
+	// batcher before backpressure reaches the sockets.
+	QueueDepth int
+	// WriteBuffer is each connection's outbound response-frame buffer
+	// (default 1024). A client must read responses; a connection whose
+	// peer stops reading stalls the batcher once its buffer fills (until
+	// the idle reaper claims it).
+	WriteBuffer int
+}
+
+func (c *Config) fill() {
+	if c.BatchOps <= 0 {
+		c.BatchOps = 64
+	}
+	if c.Cluster.BatchWindow <= 0 {
+		c.Cluster.BatchWindow = 2 * c.BatchOps
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.WriteBuffer <= 0 {
+		c.WriteBuffer = 1024
+	}
+}
+
+// maxWireSamples caps the per-class service-latency sample buffers
+// feeding RETRIEVE_DATA percentiles; later samples are dropped (the cap
+// is far above any CI run, and dropping is deterministic).
+const maxWireSamples = 1 << 20
+
+// conn is one accepted connection. The reader goroutine decodes frames
+// onto the server's request channel; the writer drains the bounded out
+// channel to the socket. sessions and cleaned are batcher-owned.
+type conn struct {
+	s          *Server
+	nc         net.Conn
+	out        chan []byte
+	done       chan struct{} // closed by the batcher when the conn is cleaned
+	lastActive atomic.Int64  // UnixNano of the last inbound frame
+
+	sessions map[uint64]struct{}
+	cleaned  bool
+}
+
+// wireSession binds a wire session id to a cluster session (batcher
+// state).
+type wireSession struct {
+	id       uint64
+	ses      *cluster.Session
+	conn     *conn
+	class    qos.Class
+	deadline sim.Time
+	shard    int
+	closed   bool
+}
+
+// serverStats is the batcher's wire-level accounting behind
+// RETRIEVE_DATA.
+type serverStats struct {
+	sessionsOpen   uint64
+	sessionsOpened uint64
+	verdicts       [11]uint64
+	bytesIn        uint64
+	bytesOut       uint64
+}
+
+// Server is the MCCP network front end.
+type Server struct {
+	cfg Config
+	cl  *cluster.Cluster
+
+	reqCh chan *request
+
+	ln      net.Listener
+	serving bool
+	closing atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	wgAccept  sync.WaitGroup
+	wgReaders sync.WaitGroup
+	wgWriters sync.WaitGroup
+
+	batcherDone chan struct{}
+	reaperStop  chan struct{}
+	reaperDone  chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// Batcher-owned state.
+	sessions    map[uint64]*wireSession
+	nextSess    uint64
+	pending     []*request
+	pendingOps  int
+	stats       serverStats
+	digests     []uint64
+	wireSamples [qos.NumClasses][]sim.Time
+}
+
+// New builds the backend cluster and starts the batcher (and, with
+// Config.IdleTimeout set, the reaper). The server accepts no connections
+// until Serve.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:         cfg,
+		cl:          cl,
+		reqCh:       make(chan *request, cfg.QueueDepth),
+		conns:       make(map[*conn]struct{}),
+		batcherDone: make(chan struct{}),
+		reaperStop:  make(chan struct{}),
+		reaperDone:  make(chan struct{}),
+		sessions:    make(map[uint64]*wireSession),
+		nextSess:    1,
+		digests:     make([]uint64, cl.Shards()),
+	}
+	for i := range s.digests {
+		s.digests[i] = digestInit
+	}
+	go s.batcher()
+	if cfg.IdleTimeout > 0 {
+		go s.reaper()
+	} else {
+		close(s.reaperDone)
+	}
+	return s, nil
+}
+
+// digestInit is the FNV-64a offset basis, the same fold the in-process
+// workload digests use — the determinism guard compares the two directly.
+const digestInit = 0xcbf29ce484222325
+
+// Cluster exposes the backend for in-process observability (Snapshot is
+// safe concurrently; everything else is not while the server runs).
+func (s *Server) Cluster() *cluster.Cluster { return s.cl }
+
+// Serve starts accepting connections on ln (non-blocking). It may be
+// called once; Close closes ln.
+func (s *Server) Serve(ln net.Listener) {
+	if s.serving {
+		panic("server: Serve called twice")
+	}
+	s.serving = true
+	s.ln = ln
+	s.wgAccept.Add(1)
+	go func() {
+		defer s.wgAccept.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.addConn(nc)
+		}
+	}()
+}
+
+func (s *Server) addConn(nc net.Conn) {
+	c := &conn{
+		s:        s,
+		nc:       nc,
+		out:      make(chan []byte, s.cfg.WriteBuffer),
+		done:     make(chan struct{}),
+		sessions: make(map[uint64]struct{}),
+	}
+	c.lastActive.Store(time.Now().UnixNano())
+	s.connMu.Lock()
+	if s.closing.Load() {
+		s.connMu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+	s.wgReaders.Add(1)
+	s.wgWriters.Add(1)
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// readLoop decodes inbound frames onto the request channel until the
+// connection dies, then injects the cleanup marker — after every request
+// the connection sent, preserving order.
+func (c *conn) readLoop() {
+	defer c.s.wgReaders.Done()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	for {
+		body, err := readFrame(br, buf)
+		if err != nil {
+			break
+		}
+		buf = body
+		c.lastActive.Store(time.Now().UnixNano())
+		req := &request{conn: c, enq: time.Now().UnixNano()}
+		if !decodeRequest(body, req) {
+			req.malformed = true
+		}
+		c.s.reqCh <- req
+	}
+	c.nc.Close()
+	c.s.reqCh <- &request{op: opConnClosed, conn: c}
+}
+
+// writeLoop drains the out channel to the socket, buffering writes and
+// flushing when the channel is momentarily empty. After a write error it
+// keeps draining (discarding) so the batcher never blocks on a dead
+// connection's buffer.
+func (c *conn) writeLoop() {
+	defer c.s.wgWriters.Done()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var hdr [4]byte
+	failed := false
+	for body := range c.out {
+		if failed {
+			continue
+		}
+		putU32(hdr[:0], uint32(len(body)))
+		if _, err := bw.Write(hdr[:]); err != nil {
+			failed = true
+			continue
+		}
+		if _, err := bw.Write(body); err != nil {
+			failed = true
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				failed = true
+			}
+		}
+	}
+}
+
+// respond hands a response frame to the connection's writer; a cleaned
+// connection drops it.
+func (s *Server) respond(c *conn, frame []byte) {
+	select {
+	case c.out <- frame:
+	case <-c.done:
+	}
+}
+
+// reaper closes connections idle past IdleTimeout; the read error path
+// then drains and releases their sessions in order.
+func (s *Server) reaper() {
+	defer close(s.reaperDone)
+	tick := s.cfg.IdleTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case <-t.C:
+			cut := time.Now().Add(-s.cfg.IdleTimeout).UnixNano()
+			s.connMu.Lock()
+			var idle []*conn
+			for c := range s.conns {
+				if c.lastActive.Load() < cut {
+					idle = append(idle, c)
+				}
+			}
+			s.connMu.Unlock()
+			for _, c := range idle {
+				c.nc.Close()
+			}
+		}
+	}
+}
+
+// Close shuts the server down in order: stop accepting, sever every
+// connection, drain the readers, let the batcher finish in-flight
+// batches and answer or drop what remains, release all sessions, stop
+// the cluster. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.wgAccept.Wait()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.connMu.Unlock()
+		s.wgReaders.Wait()
+		close(s.reqCh)
+		<-s.batcherDone
+		s.wgWriters.Wait()
+		close(s.reaperStop)
+		<-s.reaperDone
+	})
+	return s.closeErr
+}
+
+// batcher is the server's heart: the single goroutine that owns the
+// cluster front end and all session state. Requests are processed in
+// channel order; packet operations batch until a trigger flushes them.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	var timerC <-chan time.Time
+	var timer *time.Ticker
+	if s.cfg.FlushInterval > 0 {
+		timer = time.NewTicker(s.cfg.FlushInterval)
+		timerC = timer.C
+		defer timer.Stop()
+	}
+	for {
+		select {
+		case req, ok := <-s.reqCh:
+			if !ok {
+				s.finalize()
+				return
+			}
+			s.handleReq(req)
+		case <-timerC:
+			s.flush()
+		}
+	}
+}
+
+// finalize runs after the request channel closes: every remaining
+// connection is cleaned (draining its in-flight operations and
+// answering them before the socket teardown discards the frames), then
+// the cluster stops.
+func (s *Server) finalize() {
+	s.connMu.Lock()
+	remaining := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		remaining = append(remaining, c)
+	}
+	s.connMu.Unlock()
+	for _, c := range remaining {
+		s.cleanupConn(c)
+	}
+	s.flush()
+	s.cl.Close()
+}
+
+// cleanupConn releases a dead connection's sessions (draining in-flight
+// work first so their responses are delivered or discarded cleanly) and
+// retires its writer.
+func (s *Server) cleanupConn(c *conn) {
+	if c.cleaned {
+		return
+	}
+	c.cleaned = true
+	s.flush()
+	for id := range c.sessions {
+		ws := s.sessions[id]
+		if ws != nil && !ws.closed {
+			ws.closed = true
+			ws.ses.Close()
+			s.stats.sessionsOpen--
+		}
+		delete(s.sessions, id)
+	}
+	close(c.done)
+	close(c.out)
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// flush stamps every pending packet request's dispatch time and runs the
+// cluster flush, delivering completions (and so responses) in enqueue
+// order.
+func (s *Server) flush() {
+	if s.pendingOps > 0 {
+		now := time.Now().UnixNano()
+		for _, r := range s.pending {
+			r.flushAt = now
+		}
+		s.pending = s.pending[:0]
+		s.pendingOps = 0
+	}
+	s.cl.Flush()
+}
+
+func (s *Server) handleReq(req *request) {
+	switch {
+	case req.op == opConnClosed:
+		s.cleanupConn(req.conn)
+		return
+	case req.malformed:
+		s.respondErr(req, StatusBadRequest, "malformed request frame")
+		return
+	}
+	switch req.op {
+	case OpOpen:
+		s.handleOpen(req)
+	case OpClose:
+		s.handleClose(req)
+	case OpEncrypt, OpDecrypt:
+		s.handlePacket(req)
+	case OpFlush:
+		n := uint32(s.pendingOps)
+		s.flush()
+		s.respond(req.conn, encodeFlushResp(req.reqID, StatusOK, n))
+	case OpRetrieve:
+		s.handleRetrieve(req)
+	}
+}
+
+// respondErr answers a request with an error status in the response
+// layout its opcode requires.
+func (s *Server) respondErr(req *request, st Status, msg string) {
+	switch req.op {
+	case OpEncrypt, OpDecrypt:
+		s.stats.verdicts[st]++
+		now := time.Now().UnixNano()
+		t := Timing{QueueNs: uint64(now - req.enq)}
+		s.respond(req.conn, encodePacketResp(req.op, req.reqID, st, t, nil))
+	case OpFlush:
+		s.respond(req.conn, encodeFlushResp(req.reqID, st, 0))
+	default:
+		s.respond(req.conn, encodeMsgResp(req.op, req.reqID, st, 0, msg))
+	}
+}
+
+func (s *Server) handleOpen(req *request) {
+	if s.closing.Load() {
+		s.respondErr(req, StatusShuttingDown, "server shutting down")
+		return
+	}
+	switch cryptocore.Family(req.family) {
+	case cryptocore.FamilyGCM, cryptocore.FamilyCCM, cryptocore.FamilyCTR, cryptocore.FamilyCBCMAC:
+	default:
+		s.respondErr(req, StatusBadRequest,
+			fmt.Sprintf("unknown algorithm family %d", req.family))
+		return
+	}
+	if req.class < 0 || int(req.class) >= qos.NumClasses {
+		s.respondErr(req, StatusBadRequest, fmt.Sprintf("unknown class %d", req.class))
+		return
+	}
+	if s.cfg.MaxSessions > 0 && int(s.stats.sessionsOpen) >= s.cfg.MaxSessions {
+		s.respondErr(req, StatusRejected, "session limit reached")
+		return
+	}
+	s.flush()
+	ses, err := s.cl.Open(cluster.OpenSpec{
+		Suite: core.Suite{
+			Family:   cryptocore.Family(req.family),
+			TagLen:   int(req.tagLen),
+			Priority: req.class.Priority(),
+		},
+		KeyLen: int(req.keyLen),
+		Weight: int(req.weight),
+	})
+	if err != nil {
+		s.respondErr(req, StatusBadRequest, err.Error())
+		return
+	}
+	id := s.nextSess
+	s.nextSess++
+	s.sessions[id] = &wireSession{
+		id:       id,
+		ses:      ses,
+		conn:     req.conn,
+		class:    req.class,
+		deadline: req.deadline,
+		shard:    ses.Shard(),
+	}
+	req.conn.sessions[id] = struct{}{}
+	s.stats.sessionsOpen++
+	s.stats.sessionsOpened++
+	s.respond(req.conn, encodeMsgResp(OpOpen, req.reqID, StatusOK, id, ""))
+}
+
+// lookup resolves a packet/close request's wire session, answering the
+// protocol error itself when the id is unknown, closed, or owned by
+// another connection.
+func (s *Server) lookup(req *request) *wireSession {
+	ws, ok := s.sessions[req.sess]
+	if !ok || ws.conn != req.conn {
+		s.respondErr(req, StatusUnknownSess, fmt.Sprintf("session %d not open on this connection", req.sess))
+		return nil
+	}
+	if ws.closed {
+		s.respondErr(req, StatusSessClosed, fmt.Sprintf("session %d already closed", req.sess))
+		return nil
+	}
+	return ws
+}
+
+func (s *Server) handleClose(req *request) {
+	ws := s.lookup(req)
+	if ws == nil {
+		return
+	}
+	s.flush()
+	ws.closed = true
+	err := ws.ses.Close()
+	s.stats.sessionsOpen--
+	// Keep the tombstone so a second CLOSE (or use after CLOSE) is
+	// distinguishable from a never-opened id; it is reclaimed with the
+	// connection.
+	st, msg := StatusOK, ""
+	if err != nil {
+		st, msg = StatusFailed, err.Error()
+	}
+	s.respond(req.conn, encodeMsgResp(OpClose, req.reqID, st, req.sess, msg))
+}
+
+func (s *Server) handlePacket(req *request) {
+	ws := s.lookup(req)
+	if ws == nil {
+		return
+	}
+	if s.closing.Load() {
+		s.respondErr(req, StatusShuttingDown, "")
+		return
+	}
+	s.stats.bytesIn += uint64(len(req.data))
+	s.pending = append(s.pending, req)
+	s.pendingOps++
+	shard := ws.shard
+	class := ws.class
+	done := func(out []byte, took sim.Time, err error) {
+		st := statusFor(err)
+		s.stats.verdicts[st]++
+		if err == nil {
+			s.stats.bytesOut += uint64(len(out))
+			d := s.digests[shard]
+			for _, by := range out {
+				d = (d ^ uint64(by)) * 0x100000001b3
+			}
+			s.digests[shard] = d
+			if len(s.wireSamples[class]) < maxWireSamples {
+				s.wireSamples[class] = append(s.wireSamples[class], took)
+			}
+		}
+		now := time.Now().UnixNano()
+		t := Timing{WireCycles: took,
+			QueueNs:   uint64(req.flushAt - req.enq),
+			ServiceNs: uint64(now - req.flushAt)}
+		s.respond(req.conn, encodePacketResp(req.op, req.reqID, st, t, out))
+	}
+	if req.op == OpEncrypt {
+		ws.ses.EncryptWireAsync(req.nonce, req.aad, req.data, ws.deadline, done)
+	} else {
+		ws.ses.DecryptWireAsync(req.nonce, req.aad, req.data, req.tag, done)
+	}
+	if s.pendingOps >= s.cfg.BatchOps {
+		s.flush()
+	}
+}
+
+func (s *Server) handleRetrieve(req *request) {
+	s.flush()
+	snap := s.cl.Snapshot()
+	st := &Stats{
+		SessionsOpen:   s.stats.sessionsOpen,
+		SessionsOpened: s.stats.sessionsOpened,
+		Verdicts:       s.stats.verdicts,
+		BytesIn:        s.stats.bytesIn,
+		BytesOut:       s.stats.bytesOut,
+		ClusterCycles:  snap.ClusterCycles,
+		Digests:        append([]uint64(nil), s.digests...),
+	}
+	for i, class := range qos.Classes() {
+		samples := s.wireSamples[class]
+		st.Classes[i] = ClassWire{
+			Count: uint64(len(samples)),
+			P50:   qos.PercentileOf(samples, 50),
+			P99:   qos.PercentileOf(samples, 99),
+		}
+	}
+	s.respond(req.conn, encodeStatsResp(req.reqID, st))
+}
