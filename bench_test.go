@@ -385,6 +385,43 @@ func BenchmarkWireLatency(b *testing.B) {
 	}
 }
 
+// --- E15: rolling reconfiguration under load --------------------------------
+
+// BenchmarkReconfigUnderLoad runs the E15 fleet-agility measurement — a
+// rolling Whirlpool swap across a two-shard cluster under a sustained
+// open-loop stream — and reports what the serving shards delivered
+// during the bitstream windows at each source speed and policy.
+// voice_delivered_frac participates in the tight baseline gate (voice
+// must ride out every swap); during_delivered_Mbps gates as throughput;
+// voice_swap_p99_cycles is informational (not a wire metric).
+func BenchmarkReconfigUnderLoad(b *testing.B) {
+	b.ReportAllocs()
+	var res harness.ReconfigLoadResult
+	for i := 0; i < b.N; i++ {
+		res = harness.ReconfigUnderLoad(harness.ReconfigLoadConfig{
+			Shards:    2,
+			TimeScale: 256,
+		})
+	}
+	for _, run := range res.Runs {
+		run := run
+		b.Run(fmt.Sprintf("%s/src=%s", run.Policy, run.Source), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = run // measured above; subruns report the cells
+			}
+			v, bg := run.Cell(qos.Voice), run.Cell(qos.Background)
+			b.ReportMetric(run.TrueWindowMillis, "window_ms")
+			b.ReportMetric(run.BaselineDelivered, "baseline_delivered_Mbps")
+			b.ReportMetric(run.DuringDelivered, "during_delivered_Mbps")
+			b.ReportMetric(1-v.LossFrac, "voice_delivered_frac")
+			b.ReportMetric(float64(v.P99), "voice_swap_p99_cycles")
+			b.ReportMetric(100*bg.LossFrac, "background_loss_pct")
+			b.ReportMetric(float64(run.Drained), "sessions_drained")
+		})
+	}
+}
+
 // --- E10: ablations ---------------------------------------------------------
 
 // BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:

@@ -47,6 +47,7 @@ func main() {
 	allocsBudget := flag.String("allocspacket", "", "allocation ceiling, 'BenchName=allocs': fail if the benchmark's allocs_op per packet exceeds the ceiling")
 	loadSmoke := flag.Bool("loadsmoke", false, "run the E13 mini load curve in-process and fail if the voice class loses >1% of its packets at 0.5x saturation under qos-priority")
 	wireSmoke := flag.Bool("wiresmoke", false, "run the one-point loopback E14 gate and fail if voice wire p99 at 0.5x saturation exceeds 2x the in-process E13 p99, or if any voice packet is shed")
+	reconfigSmoke := flag.Bool("reconfigsmoke", false, "run the E15 mini rolling-swap gate and fail if voice loses >1% or its p99 inflates past 3x baseline during the bitstream windows under qos-priority")
 	flag.Parse()
 
 	// The smoke gates run the simulation directly (no bench input needed),
@@ -64,7 +65,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*loadSmoke || *wireSmoke) &&
+	if *reconfigSmoke {
+		if err := checkReconfigSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*loadSmoke || *wireSmoke || *reconfigSmoke) &&
 		*in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
 		return // smoke-only invocation
 	}
@@ -267,6 +274,23 @@ func checkWireSmoke() error {
 	bg := v.Point.Cell(qos.Background)
 	fmt.Printf("benchjson:   offered %.2fx: wire %.0f Mbps, background wire p99 %d cyc, loss %.2f%%\n",
 		v.Point.Offered, v.Point.WireMbps, bg.P99, 100*bg.LossFrac)
+	return nil
+}
+
+// checkReconfigSmoke runs the E15 mini rolling-swap gate (two shards,
+// qos-priority, staging-RAM bitstream, deterministic) and enforces the
+// agility bar: during the bitstream windows voice loss must stay at or
+// below 1% and the during-swap voice p99 within 3x the all-shards
+// baseline plus scheduling slack.
+func checkReconfigSmoke() error {
+	v := harness.ReconfigSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — rolling swaps no longer protect voice while a shard is down", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	bg := v.Run.Cell(qos.Background)
+	fmt.Printf("benchjson:   source %s (%.1f ms window): delivered %.0f -> %.0f Mbps during swap, background loss %.2f%%\n",
+		v.Run.Source, v.Run.TrueWindowMillis, v.Run.BaselineDelivered, v.Run.DuringDelivered, 100*bg.LossFrac)
 	return nil
 }
 

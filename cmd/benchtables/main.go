@@ -23,8 +23,17 @@ import (
 	"mccp/internal/trafficgen"
 )
 
+// experimentTables maps -table names to harness experiment registry
+// IDs, in print order.
+var experimentTables = []struct{ name, id string }{
+	{"qos", "E12"},
+	{"loadcurve", "E13"},
+	{"wire", "E14"},
+	{"reconfig", "E15"},
+}
+
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, all; 'sweep' (not in 'all') runs the scale-out sweep")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, wire, reconfig, all; 'sweep' (not in 'all') runs the scale-out sweep")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	sweepPackets := flag.Int("sweep-packets", 65536, "total packets for -table sweep (1000000 reproduces the million-packet sweep)")
 	flag.Parse()
@@ -156,27 +165,21 @@ func main() {
 		fmt.Println()
 	}
 
-	if run("qos") {
+	// The composite experiments come from the harness registry: the table
+	// name selects an experiment ID, the registry owns the constructor,
+	// headline, and interpretation notes.
+	for _, sel := range experimentTables {
+		if !run(sel.name) {
+			continue
+		}
+		id := sel.id
 		any = true
-		fmt.Println("== E12: QoS priority classes (§VIII extension) ==")
-		fmt.Print(harness.FormatQoSTable(harness.QoSTable(2 * *packets)))
-		fmt.Println("(qos-priority must retain >= 90% of uncontended voice throughput;")
-		fmt.Println(" first-idle documents the head-of-line blocking the QoS layer removes)")
-		fmt.Println()
-		fmt.Println("shaper drain fairness (sustained voice + background burst, capacity 4):")
-		fmt.Print(harness.FormatQoSDrains(harness.QoSDrainComparison(4 * *packets)))
-		fmt.Println()
-	}
-
-	if run("loadcurve") {
-		any = true
-		fmt.Println("== E13: open-loop load curves (loss/latency vs offered load) ==")
-		fmt.Print(harness.FormatLoadCurve(harness.LoadCurve(harness.LoadCurveConfig{
-			BackgroundPackets: 16 * *packets,
-		})))
-		fmt.Println("(open-loop Poisson arrivals into a bounded shaper; the knee is where")
-		fmt.Println(" delivered throughput plateaus — voice must hold ~0% loss and a flat")
-		fmt.Println(" p99 past it under qos-priority while background loss climbs)")
+		exp := harness.Experiments[id]
+		fmt.Printf("== %s: %s ==\n", exp.ID, exp.Title)
+		fmt.Print(exp.Run(*packets))
+		for _, note := range exp.Notes {
+			fmt.Println(note)
+		}
 		fmt.Println()
 	}
 

@@ -23,10 +23,12 @@ import (
 	"strconv"
 	"strings"
 
+	"mccp"
 	"mccp/internal/arrivals"
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/fleet"
 	"mccp/internal/harness"
 	"mccp/internal/qos"
 	"mccp/internal/reconfig"
@@ -55,6 +57,8 @@ func main() {
 	scaling := flag.Bool("scaling", false, "sweep 1/2/4/8 shards over the same workload")
 	sweep := flag.Bool("sweep", false, "scale-out mode: per-session generators grouped per shard so packet generation parallelizes (pair with -packets 1000000 for the million-packet sweep)")
 	whirlpool := flag.Int("whirlpool", -1, "reconfigure one core of this shard to Whirlpool before the run")
+	scaleTo := flag.Int("scale", 0, "fleet demo: scale the serving set to this many shards (drain voice-first, re-home, report)")
+	rollingSrc := flag.String("rolling-swap", "", "fleet demo: rolling Whirlpool swap across every shard from this bitstream source (compact-flash, ram, icap)")
 	arrivalsProc := flag.String("arrivals", "", "open-loop mode: arrival process ("+
 		strings.Join(arrivals.Names(), ", ")+") feeding per-shard QoS shapers")
 	offered := flag.Float64("offered", 1.0, "offered load per shard as a fraction of saturation (open-loop mode)")
@@ -68,7 +72,7 @@ func main() {
 	if _, err := cluster.RouterByName(*router); err != nil {
 		log.Fatalf("-router: %v", err)
 	}
-	if _, err := scheduler.ByName(*policy); err != nil {
+	if _, err := mccp.ParsePolicy(*policy); err != nil {
 		log.Fatalf("-policy: %v", err)
 	}
 	var stds []trafficgen.Standard
@@ -142,6 +146,11 @@ func main() {
 			fmt.Printf("%-8d %14.0f %14d %9.2fx %12.0f\n",
 				r.Shards, r.AggregateSimMbps, r.ClusterCycles, r.Speedup, r.HostMbps)
 		}
+		return
+	}
+
+	if *scaleTo > 0 || *rollingSrc != "" {
+		runFleet(cfg, *scaleTo, *rollingSrc)
 		return
 	}
 
@@ -252,6 +261,67 @@ func flagSet(name string) bool {
 		}
 	})
 	return set
+}
+
+// runFleet demonstrates the elastic control plane: open sessions across
+// the pool, then scale the serving set and/or run a rolling Whirlpool
+// swap, reporting the voice-first drains and re-admissions per leg.
+func runFleet(cfg cluster.WorkloadConfig, scaleTo int, srcName string) {
+	cl, err := cluster.New(cluster.Config{
+		Shards:        cfg.Shards,
+		CoresPerShard: cfg.CoresPerShard,
+		Router:        cfg.Router,
+		Policy:        cfg.Policy,
+		QueueRequests: cfg.QueueRequests,
+		Seed:          uint64(cfg.Seed),
+		BatchWindow:   cfg.BatchWindow,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	f := fleet.New(cl)
+
+	// A handful of sessions so the drains have something to re-home.
+	var sessions []*cluster.Session
+	for i := 0; i < 2*cfg.Shards; i++ {
+		ses, err := cl.Open(cluster.OpenSpec{Suite: trafficgen.SuiteFor(trafficgen.WiMaxGCM), KeyLen: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions = append(sessions, ses)
+	}
+
+	if scaleTo > 0 {
+		rep, err := f.Scale(scaleTo)
+		if err != nil {
+			log.Fatalf("-scale: %v", err)
+		}
+		fmt.Printf("scaled serving set to %d of %d shards; %d sessions re-homed (voice first)\n",
+			rep.Active, cl.Shards(), rep.Moved)
+	}
+
+	if srcName != "" {
+		src, err := reconfig.SourceByName(srcName)
+		if err != nil {
+			log.Fatalf("-rolling-swap: %v", err)
+		}
+		reports, err := f.RollingSwap(0, reconfig.EngineWhirlpool, src, nil)
+		if err != nil {
+			log.Fatalf("rolling swap: %v", err)
+		}
+		fmt.Printf("rolling Whirlpool swap from %s (core 0 of every serving shard):\n", src.Name)
+		for _, rep := range reports {
+			fmt.Printf("  shard %d: %d cycles (%.0f ms), drained %d, readmitted %d\n",
+				rep.Shard, rep.Took, float64(rep.Took)/190e6*1e3, rep.Drained, rep.Readmitted)
+		}
+	}
+
+	// Traffic still flows on the reshaped fleet.
+	if _, err := sessions[0].Encrypt(make([]byte, 12), nil, []byte("served by the elastic fleet")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cl.Snapshot().Format())
 }
 
 // runWithReconfig demonstrates the re-homing path: reconfigure one core,

@@ -22,8 +22,11 @@ import (
 	"syscall"
 	"time"
 
+	"mccp"
 	"mccp/internal/cluster"
+	"mccp/internal/fleet"
 	"mccp/internal/qos"
+	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
 	"mccp/internal/server"
 )
@@ -46,12 +49,14 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle this long (0 = never)")
 	maxSessions := flag.Int("max-sessions", 0, "reject OPEN beyond this many live sessions (0 = unbounded)")
 	seed := flag.Uint64("seed", 1, "deterministic cluster seed")
+	active := flag.Int("active", 0, "serve on the first n shards only (0 = all): fleet scale-in before accepting connections")
+	swap := flag.String("swap", "", "rolling Whirlpool swap across every shard at boot from this bitstream source (compact-flash, ram, icap)")
 	flag.Parse()
 
 	if _, err := cluster.RouterByName(*router); err != nil {
 		log.Fatalf("-router: %v", err)
 	}
-	if _, err := scheduler.ByName(*policy); err != nil {
+	if _, err := mccp.ParsePolicy(*policy); err != nil {
 		log.Fatalf("-policy: %v", err)
 	}
 	if *drain != "" {
@@ -82,6 +87,33 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Boot-time fleet operations, applied before the listener opens so
+	// they never race the request batcher (the cluster front end is
+	// single-caller).
+	if *active > 0 || *swap != "" {
+		f := fleet.New(srv.Cluster())
+		if *active > 0 {
+			rep, err := f.Scale(*active)
+			if err != nil {
+				log.Fatalf("-active: %v", err)
+			}
+			log.Printf("serving on %d of %d shards (%d sessions re-homed)", rep.Active, *shards, rep.Moved)
+		}
+		if *swap != "" {
+			src, err := reconfig.SourceByName(*swap)
+			if err != nil {
+				log.Fatalf("-swap: %v", err)
+			}
+			reports, err := f.RollingSwap(0, reconfig.EngineWhirlpool, src, nil)
+			if err != nil {
+				log.Fatalf("-swap: %v", err)
+			}
+			for _, rep := range reports {
+				log.Printf("shard %d core 0 -> Whirlpool in %d cycles (%.0f ms)", rep.Shard, rep.Took, float64(rep.Took)/190e6*1e3)
+			}
+		}
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -19,6 +19,7 @@ import (
 	"mccp/internal/cryptocore"
 	"mccp/internal/harness"
 	"mccp/internal/qos"
+	"mccp/internal/reconfig"
 	"mccp/internal/server"
 	"mccp/internal/sim"
 )
@@ -368,6 +369,41 @@ func TestWireBatchBoundariesInvisible(t *testing.T) {
 			t.Errorf("batchOps=%d flushEvery=%d: server digests %x != in-process %x",
 				cad.batchOps, cad.flushEvery, got, want)
 		}
+	}
+}
+
+// TestRollingReconfigDeterministic: the E15 measurement — fleet
+// drain/swap/readmit legs interleaved with open-loop serving windows —
+// is a pure function of its configuration. Arrival digests, per-class
+// verdict counters and latency percentiles are bit-identical across two
+// fast-kernel runs and against the cycle-by-cycle reference path.
+func TestRollingReconfigDeterministic(t *testing.T) {
+	run := func() harness.ReconfigLoadResult {
+		return harness.ReconfigUnderLoad(harness.ReconfigLoadConfig{
+			Policies:  []string{"qos-priority"},
+			Sources:   []reconfig.Source{reconfig.StagingRAM},
+			Shards:    2,
+			TimeScale: 256,
+		})
+	}
+	fast1, fast2 := run(), run()
+	if !reflect.DeepEqual(fast1, fast2) {
+		t.Fatalf("rolling reconfig not deterministic run-to-run:\n%+v\n%+v", fast1, fast2)
+	}
+	var ref harness.ReconfigLoadResult
+	onReference(func() { ref = run() })
+	if fast1.Runs[0].Digest != ref.Runs[0].Digest {
+		t.Errorf("arrival digest %#x != reference %#x", fast1.Runs[0].Digest, ref.Runs[0].Digest)
+	}
+	if !reflect.DeepEqual(fast1, ref) {
+		t.Errorf("fast rolling reconfig != reference:\n%+v\n%+v", fast1, ref)
+	}
+	r := fast1.Runs[0]
+	if r.Digest == 0 || r.Legs != 2 {
+		t.Errorf("implausible run: digest %#x, %d legs", r.Digest, r.Legs)
+	}
+	if v := r.Cell(qos.Voice); v.Submitted == 0 || v.LossFrac > 0.01 {
+		t.Errorf("voice cell implausible during swaps: %+v", v)
 	}
 }
 

@@ -233,6 +233,11 @@ type Cluster struct {
 	bytesRouted   []atomic.Uint64
 	bytesDone     []atomic.Uint64
 	hashCores     []int
+	// inactive marks shards withdrawn from routing (fleet drain, scale-in):
+	// views() hides them, so Open and Rebalance place sessions only on
+	// active shards. An inactive shard keeps running — sessions that cannot
+	// re-home anywhere else stay where they are and stay served.
+	inactive []bool
 
 	// Pipeline state: perShard accumulates the next batch per shard,
 	// subSeq counts batches pushed onto each shard's ring, order is the
@@ -293,6 +298,7 @@ func New(cfg Config) (*Cluster, error) {
 		bytesRouted:   make([]atomic.Uint64, cfg.Shards),
 		bytesDone:     make([]atomic.Uint64, cfg.Shards),
 		hashCores:     make([]int, cfg.Shards),
+		inactive:      make([]bool, cfg.Shards),
 		perShard:      make([][]*pendingOp, cfg.Shards),
 		subSeq:        make([]uint64, cfg.Shards),
 		keys:          radio.NewKeystream(cfg.Seed ^ 0xC1A5731D),
@@ -335,11 +341,16 @@ func (c *Cluster) genKey(dst []byte) {
 	}
 }
 
-// views snapshots per-shard routing state for the router.
+// views snapshots per-shard routing state for the router. Inactive
+// shards (fleet drain / scale-in) are omitted so routers never place a
+// session on them; ShardView.ID keeps the true shard index.
 func (c *Cluster) views() []ShardView {
-	vs := make([]ShardView, c.cfg.Shards)
-	for i := range vs {
-		vs[i] = ShardView{
+	vs := make([]ShardView, 0, c.cfg.Shards)
+	for i := 0; i < c.cfg.Shards; i++ {
+		if c.inactive[i] {
+			continue
+		}
+		vs = append(vs, ShardView{
 			ID:              i,
 			Sessions:        int(c.shardSessions[i].Load()),
 			SessionWeight:   c.shardWeight[i],
@@ -348,7 +359,7 @@ func (c *Cluster) views() []ShardView {
 			Cores:           c.cfg.CoresPerShard,
 			HighPrioWeight:  c.shardHPWeight[i],
 			PendingHighPrio: c.hpPending[i],
-		}
+		})
 	}
 	return vs
 }
@@ -892,33 +903,14 @@ func (c *Cluster) Rebalance() int {
 // just lost a core — are re-homed transparently. It returns the swap's
 // virtual duration and the number of sessions moved.
 func (c *Cluster) Reconfigure(shardID, coreID int, target reconfig.Engine, src reconfig.Source) (sim.Time, int, error) {
-	if shardID < 0 || shardID >= c.cfg.Shards {
-		return 0, 0, fmt.Errorf("cluster: no shard %d", shardID)
-	}
-	c.Flush()
-	if err := c.checkReconfigLeavesHomes(shardID, coreID, target); err != nil {
-		return 0, 0, err
-	}
-	slot := c.getSlot()
-	slot.kind = opGeneric
-	slot.retain = true
-	slot.shard = shardID
-	slot.nbytes = 0
-	slot.cb = nil
-	slot.run = func(sh *shard, op *pendingOp, done func()) {
-		sh.rc.Reconfigure(coreID, target, src, func(took sim.Time, err error) {
-			op.took, op.err = took, err
-			done()
-		})
-	}
-	c.enqueue(slot, false)
-	c.Flush()
-	took, err := slot.took, slot.err
-	c.putSlot(slot)
+	op, err := c.BeginReconfigure(shardID, coreID, target, src)
 	if err != nil {
 		return 0, 0, err
 	}
-	c.hashCores[shardID] = c.shards[shardID].hashCores()
+	took, err := op.Wait()
+	if err != nil {
+		return 0, 0, err
+	}
 	moved := c.Rebalance()
 	return took, moved, nil
 }

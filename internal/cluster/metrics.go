@@ -5,44 +5,29 @@ import (
 	"math"
 	"strings"
 
-	"mccp/internal/core"
 	"mccp/internal/qos"
-	"mccp/internal/radio"
 	"mccp/internal/sim"
+	"mccp/internal/verdict"
 )
 
-// Verdict indices for the Cluster.verdicts counters — the wire-protocol
-// classification of every delivered packet operation's error.
+// Verdict indices for the Cluster.verdicts counters: the shared
+// verdict.Verdict values, so the cluster counters, the public mccp.Verdict
+// and the server's wire statuses all derive from the one table in
+// internal/verdict.
 const (
-	vOK = iota
-	vRejected
-	vShed
-	vExpired
-	vAged
-	vAuthFail
-	vFailed
-	numVerdicts
+	vOK         = int(verdict.OK)
+	vRejected   = int(verdict.Rejected)
+	vShed       = int(verdict.Shed)
+	vExpired    = int(verdict.Expired)
+	vAged       = int(verdict.Aged)
+	vAuthFail   = int(verdict.AuthFail)
+	vFailed     = int(verdict.Failed)
+	numVerdicts = verdict.Num
 )
 
 // verdictIndex classifies a delivered operation's error into the wire
 // verdict the server front end reports as a protocol status code.
-func verdictIndex(err error) int {
-	switch err {
-	case nil:
-		return vOK
-	case core.ErrNoResources:
-		return vRejected
-	case qos.ErrShed, core.ErrQueueFull:
-		return vShed
-	case qos.ErrExpired:
-		return vExpired
-	case qos.ErrAged:
-		return vAged
-	case radio.ErrAuth:
-		return vAuthFail
-	}
-	return vFailed
-}
+func verdictIndex(err error) int { return int(verdict.For(err)) }
 
 // VerdictCounts tallies delivered packet operations by wire verdict: OK
 // for clean completions, Rejected for the paper's no-idle-core error

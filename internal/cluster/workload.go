@@ -299,6 +299,10 @@ type OpenLoopClass struct {
 	// P50 and P99 are enqueue-to-completion latency percentiles in
 	// cycles, merged across every shard's samples.
 	P50, P99 sim.Time
+	// Samples holds the raw latency samples behind the percentiles
+	// (RunWindow only), so callers can merge distributions across
+	// windows instead of comparing per-window percentiles.
+	Samples []sim.Time
 }
 
 // OpenLoopResult is the RunOpenLoop summary.
@@ -324,10 +328,14 @@ type openLoopProgram struct {
 	sessions []*Session
 	profiles []arrivals.ClassProfile
 	rngs     []*arrivals.Rand
-	slot     *pendingOp
-	digest   uint64
-	cycles   sim.Time
-	errors   int
+	// means, when set, pins each source's inter-arrival mean directly
+	// (the OpenLoopRunner's fixed global rate split); when nil the mean
+	// is derived from the per-shard bits-per-cycle rate.
+	means  []float64
+	slot   *pendingOp
+	digest uint64
+	cycles sim.Time
+	errors int
 }
 
 // RunOpenLoop drives the open-loop class mix through a shaped cluster and
@@ -530,7 +538,12 @@ func runOpenLoopShard(sh *shard, p *openLoopProgram, procName string, bitsPerCyc
 	for i := range p.sessions {
 		ses := p.sessions[i]
 		prof := p.profiles[i]
-		mean := prof.MeanGap(bitsPerCycle) * float64(perClass[prof.Class])
+		var mean float64
+		if p.means != nil {
+			mean = p.means[i]
+		} else {
+			mean = prof.MeanGap(bitsPerCycle) * float64(perClass[prof.Class])
+		}
 		mk, err := arrivals.ByName(procName, mean)
 		if err != nil {
 			panic(err) // validated by RunOpenLoop before dispatch

@@ -1,0 +1,166 @@
+package fleet
+
+import "fmt"
+
+// AutoscalerConfig tunes the hysteresis autoscaler. Utilization is
+// offered load divided by the serving capacity (active shards times the
+// per-shard saturation knee from the E13 load curves).
+type AutoscalerConfig struct {
+	// Min and Max bound the serving shard count.
+	Min, Max int
+	// KneeMbpsPerShard is one shard's saturation knee — the E13
+	// calibration (harness.SaturationMbps).
+	KneeMbpsPerShard float64
+	// HighWater and LowWater are the utilization thresholds (defaults
+	// 0.85 and 0.50). The gap between them is the hysteresis band: an
+	// offered load oscillating inside it never changes the fleet size.
+	HighWater, LowWater float64
+	// ScaleUpAfter and ScaleDownAfter are the consecutive observations a
+	// threshold must hold before the fleet steps (defaults 2 and 4 —
+	// growing is cheap, retiring a shard forces a drain, so shrinking
+	// demands more evidence).
+	ScaleUpAfter, ScaleDownAfter int
+	// Cooldown is the number of observations ignored after a step, so a
+	// step's own utilization shift cannot trigger the next (default 3).
+	Cooldown int
+	// Smoothing is the EWMA weight applied to incoming load observations
+	// (0 < Smoothing <= 1, default 0.05). The watermark comparison uses
+	// the smoothed load, so an on-off burst shorter than the smoothing
+	// horizon is averaged away before it can trip a step — the first
+	// and strongest of the anti-thrash mechanisms.
+	Smoothing float64
+}
+
+func (c *AutoscalerConfig) fill() error {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = c.Min
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("fleet: autoscaler Max %d below Min %d", c.Max, c.Min)
+	}
+	if c.KneeMbpsPerShard <= 0 {
+		return fmt.Errorf("fleet: autoscaler needs a positive per-shard saturation knee")
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.85
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.50
+	}
+	if c.LowWater >= c.HighWater {
+		return fmt.Errorf("fleet: autoscaler low watermark %.2f must sit below high watermark %.2f",
+			c.LowWater, c.HighWater)
+	}
+	if c.ScaleUpAfter <= 0 {
+		c.ScaleUpAfter = 2
+	}
+	if c.ScaleDownAfter <= 0 {
+		c.ScaleDownAfter = 4
+	}
+	if c.Cooldown < 0 {
+		c.Cooldown = 0
+	} else if c.Cooldown == 0 {
+		c.Cooldown = 3
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		c.Smoothing = 0.05
+	}
+	return nil
+}
+
+// Autoscaler decides the serving shard count from an offered-load
+// signal. It is pure decision logic — feed it one observation per
+// control interval with Observe and apply the returned target with
+// Fleet.Scale. Four mechanisms prevent thrash under bursty (on-off
+// MMPP) load: EWMA smoothing of the load signal, the watermark band,
+// consecutive-observation debouncing, and a post-step cooldown.
+type Autoscaler struct {
+	cfg      AutoscalerConfig
+	active   int
+	hot      int
+	cold     int
+	cooldown int
+	steps    int
+	ewma     float64
+	primed   bool
+}
+
+// NewAutoscaler builds an autoscaler starting at active shards.
+func NewAutoscaler(cfg AutoscalerConfig, active int) (*Autoscaler, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if active < cfg.Min {
+		active = cfg.Min
+	}
+	if active > cfg.Max {
+		active = cfg.Max
+	}
+	return &Autoscaler{cfg: cfg, active: active}, nil
+}
+
+// Active returns the current target shard count.
+func (a *Autoscaler) Active() int { return a.active }
+
+// Steps returns the number of scale steps taken so far (the thrash
+// metric: a well-damped controller takes few).
+func (a *Autoscaler) Steps() int { return a.steps }
+
+// Utilization returns the fraction of serving capacity an offered load
+// consumes at the current fleet size.
+func (a *Autoscaler) Utilization(offeredMbps float64) float64 {
+	return offeredMbps / (float64(a.active) * a.cfg.KneeMbpsPerShard)
+}
+
+// Smoothed returns the EWMA-smoothed offered load the watermark
+// comparisons use.
+func (a *Autoscaler) Smoothed() float64 { return a.ewma }
+
+// Observe feeds one control-interval observation of offered load and
+// returns the (possibly updated) target shard count.
+func (a *Autoscaler) Observe(offeredMbps float64) int {
+	if !a.primed {
+		a.ewma, a.primed = offeredMbps, true
+	} else {
+		a.ewma += a.cfg.Smoothing * (offeredMbps - a.ewma)
+	}
+	if a.cooldown > 0 {
+		a.cooldown--
+		a.hot, a.cold = 0, 0
+		return a.active
+	}
+	util := a.Utilization(a.ewma)
+	switch {
+	case util >= a.cfg.HighWater:
+		a.hot++
+		a.cold = 0
+	case util <= a.cfg.LowWater:
+		a.cold++
+		a.hot = 0
+	default:
+		a.hot, a.cold = 0, 0
+	}
+	if a.hot >= a.cfg.ScaleUpAfter && a.active < a.cfg.Max {
+		a.step(+1)
+	} else if a.cold >= a.cfg.ScaleDownAfter && a.active > a.cfg.Min {
+		// Refuse a retire that would immediately re-trip the high
+		// watermark at the smaller fleet — that retire is a guaranteed
+		// flap, not a saving.
+		if util*float64(a.active)/float64(a.active-1) < a.cfg.HighWater {
+			a.step(-1)
+		} else {
+			a.cold = 0
+		}
+	}
+	return a.active
+}
+
+func (a *Autoscaler) step(d int) {
+	a.active += d
+	a.steps++
+	a.hot, a.cold = 0, 0
+	a.cooldown = a.cfg.Cooldown
+}

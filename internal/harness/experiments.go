@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"sort"
+	"strings"
+)
+
+// Experiment is one registered composite experiment: a stable ID from
+// the roadmap's numbering, the headline the drivers print, a Run entry
+// point producing the formatted table, and the interpretation notes
+// that belong under it. Drivers (benchtables, benchjson) iterate this
+// registry instead of hand-wiring each experiment's constructor.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment and returns its formatted table.
+	// scale is the driver's size knob (benchtables -packets); <= 0
+	// selects each experiment's default.
+	Run func(scale int) string
+	// Notes are interpretation lines printed after the table.
+	Notes []string
+}
+
+// Experiments indexes the composite evaluation experiments by ID.
+// Tables E1–E11 predate the registry and stay as direct harness calls
+// (they are single-table reproductions of the paper); the composite
+// extensions register here.
+var Experiments = map[string]Experiment{
+	"E12": {
+		ID:    "E12",
+		Title: "QoS priority classes (§VIII extension)",
+		Run: func(scale int) string {
+			if scale <= 0 {
+				scale = 12
+			}
+			var b strings.Builder
+			b.WriteString(FormatQoSTable(QoSTable(2 * scale)))
+			b.WriteString("shaper drain fairness (sustained voice + background burst, capacity 4):\n")
+			b.WriteString(FormatQoSDrains(QoSDrainComparison(4 * scale)))
+			return b.String()
+		},
+		Notes: []string{
+			"(qos-priority must retain >= 90% of uncontended voice throughput;",
+			" first-idle documents the head-of-line blocking the QoS layer removes)",
+		},
+	},
+	"E13": {
+		ID:    "E13",
+		Title: "open-loop load curves (loss/latency vs offered load)",
+		Run: func(scale int) string {
+			if scale <= 0 {
+				scale = 12
+			}
+			return FormatLoadCurve(LoadCurve(LoadCurveConfig{BackgroundPackets: 16 * scale}))
+		},
+		Notes: []string{
+			"(open-loop Poisson arrivals into a bounded shaper; the knee is where",
+			" delivered throughput plateaus — voice must hold ~0% loss and a flat",
+			" p99 past it under qos-priority while background loss climbs)",
+		},
+	},
+	"E14": {
+		ID:    "E14",
+		Title: "wire-level latency curves (loopback mccpserver)",
+		Run: func(scale int) string {
+			return FormatWireLatency(WireLatency(WireConfig{}))
+		},
+		Notes: []string{
+			"(every arrival crosses the server protocol on a loopback transport;",
+			" wire latency adds the client batching wait to the shard service)",
+		},
+	},
+	"E15": {
+		ID:    "E15",
+		Title: "rolling reconfiguration under load (fleet agility cost)",
+		Run: func(scale int) string {
+			return FormatReconfigUnderLoad(ReconfigUnderLoad(ReconfigLoadConfig{}))
+		},
+		Notes: []string{
+			"(a rolling Whirlpool swap drains each shard voice-first and measures",
+			" every bitstream window on the serving shards; voice must hold ~0%",
+			" loss with qos-priority keeping its p99 below first-idle's at every",
+			" source speed, while background pays for the reservation)",
+		},
+	},
+}
+
+// ExperimentIDs returns the registered experiment IDs in order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

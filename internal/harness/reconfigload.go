@@ -1,0 +1,418 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"mccp/internal/arrivals"
+	"mccp/internal/cluster"
+	"mccp/internal/fleet"
+	"mccp/internal/qos"
+	"mccp/internal/reconfig"
+	"mccp/internal/sim"
+)
+
+// This file is experiment E15: the cost of agility under traffic. The
+// paper's headline capability — swap AES for Whirlpool via an 89–97 kB
+// partial bitstream while the other cores keep serving — is measured
+// here at fleet scope: a rolling per-shard swap drains each shard
+// voice-first, rewrites its reconfigurable core at one of the paper's
+// bitstream-source speeds, and re-admits it, while the remaining shards
+// carry the full open-loop arrival stream. Each swap's bitstream window
+// doubles as a measurement window on the serving shards, so the table
+// answers "what happens to voice during the 63–416 ms the fleet is one
+// shard short?" at each source speed and under both dispatch policies.
+
+// ReconfigLoadConfig parameterizes ReconfigUnderLoad.
+type ReconfigLoadConfig struct {
+	// Policies are the shard dispatch policies swept (default first-idle
+	// then qos-priority, the E13 contrast).
+	Policies []string
+	// Sources are the bitstream sources swept (default the paper's
+	// CompactFlash and staging RAM plus the native-ICAP fast source).
+	Sources []reconfig.Source
+	// Target is the engine swapped in on core 0 of every shard. The zero
+	// value selects Whirlpool (the paper's §VII.B demonstration: the
+	// fleet gains hash capability, paying one AES core per shard); an
+	// explicit AES target is not distinguishable from unset and is
+	// normalized to Whirlpool.
+	Target reconfig.Engine
+	// Shards and CoresPerShard size the cluster (defaults 4 and 4).
+	Shards, CoresPerShard int
+	// Offered is the cluster-total offered load as a fraction of the
+	// all-shards-serving saturation capacity (default 0.9 — healthy
+	// with every shard up, ~1.2x per-shard saturation while one of four
+	// shards is draining).
+	Offered float64
+	// TimeScale compresses the bitstream windows: each source is sped up
+	// by up to this factor (default 64) so a CompactFlash swap (~72M
+	// cycles at full scale) stays simulable, but never so far that a
+	// window drops below MinWindowCycles. Reported true durations are
+	// always at full scale.
+	TimeScale float64
+	// MinWindowCycles floors the compressed window (default 50000) so
+	// fast sources still yield a statistically meaningful measurement.
+	MinWindowCycles sim.Time
+	// Process names the arrival process (default poisson); Mix the class
+	// mix (default LoadMix).
+	Process string
+	Mix     []arrivals.ClassProfile
+	// Capacity and QueueDepth size each shard's shaper (defaults 32 and
+	// 64 — wider than the E13 device-scope defaults so the class-blind
+	// in-flight gate does not dominate voice latency and the dispatch
+	// policies can differentiate, the same contrast E13 shows past the
+	// knee: qos-priority holds voice p99 lower and flatter while
+	// first-idle's climbs).
+	Capacity, QueueDepth int
+	Seed                 uint64
+	// SatPackets sizes the capacity calibration (default 8).
+	SatPackets int
+}
+
+func (c *ReconfigLoadConfig) fill() {
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"first-idle", "qos-priority"}
+	}
+	if len(c.Sources) == 0 {
+		c.Sources = reconfig.Sources()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.CoresPerShard <= 0 {
+		c.CoresPerShard = 4
+	}
+	c.Target = reconfig.EngineWhirlpool
+	if c.Offered <= 0 {
+		c.Offered = 0.9
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 64
+	}
+	if c.MinWindowCycles <= 0 {
+		c.MinWindowCycles = 50000
+	}
+	if c.Process == "" {
+		c.Process = arrivals.ProcPoisson
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = LoadMix
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 32
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 31
+	}
+	if c.SatPackets <= 0 {
+		c.SatPackets = 8
+	}
+}
+
+// effectiveScale compresses src by at most cfg.TimeScale while keeping
+// the swap window at or above the floor.
+func (c ReconfigLoadConfig) effectiveScale(src reconfig.Source) float64 {
+	window := float64(fleet.SwapWindow(c.Target, src))
+	scale := c.TimeScale
+	if floor := window / float64(c.MinWindowCycles); floor < scale {
+		scale = floor
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return scale
+}
+
+// ReconfigClassCell aggregates one class across every swap leg's
+// measurement window (the traffic served while a shard was down).
+type ReconfigClassCell struct {
+	Class                                             qos.Class
+	Submitted, Completed, Shed, Expired, Aged, Misses uint64
+	// LossFrac is (Submitted-Completed)/Submitted across the legs.
+	LossFrac float64
+	// P50 and P99 are latency percentiles over the merged samples of
+	// every leg — the swap phase as one distribution, not the worst
+	// single window (a fully saturated leg serializes dispatch and
+	// erases the policy contrast; merging keeps it visible).
+	P50, P99 sim.Time
+
+	samples []sim.Time
+}
+
+// ReconfigRun is one (policy, source) measurement.
+type ReconfigRun struct {
+	Policy string
+	Source string
+	// TrueWindowMillis is the full-scale bitstream window (stream-in plus
+	// controller image rewrite) at the modeled clock — the paper's Table
+	// IV timescale. SwapCycles is the compressed virtual duration each
+	// leg actually simulated, and Scale the compression used.
+	TrueWindowMillis float64
+	SwapCycles       sim.Time
+	Scale            float64
+	// Legs counts per-shard swaps; Drained/Readmitted total the sessions
+	// re-homed around them (voice-first order).
+	Legs, Drained, Readmitted int
+	// Baseline fields measure an equal window with every shard serving,
+	// before any swap; During fields cover the swap legs.
+	BaselineVoiceP99  sim.Time
+	BaselineDelivered float64
+	DuringDelivered   float64
+	Classes           []ReconfigClassCell
+	// Digest folds every measurement window's arrival digest (baseline,
+	// each leg, recovery) — the determinism witness.
+	Digest uint64
+	// Errors counts completions with unexpected verdicts (always 0 in a
+	// healthy run).
+	Errors int
+}
+
+// Cell returns the run's cell for a class (zero value if absent).
+func (r ReconfigRun) Cell(c qos.Class) ReconfigClassCell {
+	for _, cell := range r.Classes {
+		if cell.Class == c {
+			return cell
+		}
+	}
+	return ReconfigClassCell{Class: c}
+}
+
+// ReconfigLoadResult is the full E15 sweep.
+type ReconfigLoadResult struct {
+	// SaturationMbps is the calibrated per-shard capacity; OfferedMbps
+	// the cluster-total offered load (Offered x Shards x saturation).
+	SaturationMbps float64
+	OfferedMbps    float64
+	Offered        float64
+	Shards         int
+	Target         string
+	Runs           []ReconfigRun
+}
+
+// ReconfigUnderLoad runs E15: for each policy and bitstream source, a
+// rolling Whirlpool swap across every shard under a sustained open-loop
+// arrival stream, measuring the traffic served during each bitstream
+// window. Deterministic: everything runs in virtual time on the
+// splittable PRNG.
+func ReconfigUnderLoad(cfg ReconfigLoadConfig) ReconfigLoadResult {
+	cfg.fill()
+	sat := SaturationMbps(cfg.Mix, cfg.SatPackets) * float64(cfg.CoresPerShard) / 4
+	res := ReconfigLoadResult{
+		SaturationMbps: sat,
+		OfferedMbps:    cfg.Offered * sat * float64(cfg.Shards),
+		Offered:        cfg.Offered,
+		Shards:         cfg.Shards,
+		Target:         cfg.Target.String(),
+	}
+	for _, pol := range cfg.Policies {
+		for _, src := range cfg.Sources {
+			res.Runs = append(res.Runs, reconfigRun(pol, src, sat, cfg))
+		}
+	}
+	return res
+}
+
+func reconfigRun(policy string, src reconfig.Source, satPerShard float64, cfg ReconfigLoadConfig) ReconfigRun {
+	cl, err := cluster.New(cluster.Config{
+		Shards:        cfg.Shards,
+		CoresPerShard: cfg.CoresPerShard,
+		Router:        cluster.RouterLeastLoaded,
+		Policy:        policy,
+		QueueRequests: true,
+		Seed:          cfg.Seed,
+		Shape:         true,
+		Shaper: qos.Config{
+			Capacity:   cfg.Capacity,
+			QueueDepth: cfg.QueueDepth,
+		},
+	})
+	if err != nil {
+		panic(err) // experiment drivers pass literal configurations
+	}
+	defer cl.Close()
+
+	scale := cfg.effectiveScale(src)
+	scaled := src.Scaled(scale)
+	run := ReconfigRun{
+		Policy:           policy,
+		Source:           src.Name,
+		TrueWindowMillis: float64(fleet.SwapWindow(cfg.Target, src)) / sim.DefaultFreqHz * 1e3,
+		Scale:            scale,
+		Digest:           arrivals.DigestInit,
+	}
+
+	runner, err := cluster.NewOpenLoopRunner(cl, cluster.OpenLoopRunnerConfig{
+		Process:     cfg.Process,
+		Profiles:    cfg.Mix,
+		OfferedMbps: cfg.Offered * satPerShard * float64(cfg.Shards),
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	f := fleet.New(cl)
+	window := fleet.SwapWindow(cfg.Target, scaled)
+	run.SwapCycles = window
+
+	fold := func(w cluster.OpenLoopWindow) {
+		run.Digest = (run.Digest ^ w.Digest) * 0x100000001b3
+		run.Errors += w.Errors
+	}
+
+	// Baseline: an equal window with every shard serving.
+	base, err := runner.RunWindow(window)
+	if err != nil {
+		panic(err)
+	}
+	fold(base)
+	run.BaselineVoiceP99 = baseCell(base, qos.Voice).P99
+	run.BaselineDelivered = base.DeliveredMbps()
+
+	// The rolling swap: each leg's during hook serves one bitstream
+	// window on the remaining shards.
+	acc := map[qos.Class]*ReconfigClassCell{}
+	legs := 0
+	reports, err := f.RollingSwap(0, cfg.Target, scaled,
+		func(shard int, legWindow sim.Time) error {
+			w, err := runner.RunWindow(legWindow)
+			if err != nil {
+				return err
+			}
+			fold(w)
+			legs++
+			run.DuringDelivered += w.DeliveredMbps()
+			for _, c := range w.Classes {
+				cell := acc[c.Class]
+				if cell == nil {
+					cell = &ReconfigClassCell{Class: c.Class}
+					acc[c.Class] = cell
+				}
+				cell.Submitted += c.Submitted
+				cell.Completed += c.Completed
+				cell.Shed += c.Shed
+				cell.Expired += c.Expired
+				cell.Aged += c.Aged
+				cell.Misses += c.Misses
+				cell.samples = append(cell.samples, c.Samples...)
+			}
+			return nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	for _, rep := range reports {
+		run.Legs++
+		run.Drained += rep.Drained
+		run.Readmitted += rep.Readmitted
+	}
+	if legs > 0 {
+		run.DuringDelivered /= float64(legs)
+	}
+	// Recovery window: every shard back, digests must keep folding so a
+	// post-swap divergence cannot hide.
+	rec, err := runner.RunWindow(window)
+	if err != nil {
+		panic(err)
+	}
+	fold(rec)
+
+	for _, class := range qos.Classes() {
+		cell := acc[class]
+		if cell == nil {
+			continue
+		}
+		if cell.Submitted > 0 {
+			cell.LossFrac = float64(cell.Submitted-cell.Completed) / float64(cell.Submitted)
+		}
+		cell.P50 = qos.PercentileOf(cell.samples, 50)
+		cell.P99 = qos.PercentileOf(cell.samples, 99)
+		cell.samples = nil
+		run.Classes = append(run.Classes, *cell)
+	}
+	return run
+}
+
+// baseCell looks up a class in a window report.
+func baseCell(w cluster.OpenLoopWindow, class qos.Class) cluster.OpenLoopClass {
+	for _, c := range w.Classes {
+		if c.Class == class {
+			return c
+		}
+	}
+	return cluster.OpenLoopClass{Class: class}
+}
+
+// FormatReconfigUnderLoad renders the E15 sweep.
+func FormatReconfigUnderLoad(r ReconfigLoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rolling reconfiguration under load (E15): %s swap across %d shards at %.2fx saturation (%.0f Mbps offered)\n",
+		r.Target, r.Shards, r.Offered, r.OfferedMbps)
+	fmt.Fprintf(&b, "each bitstream window is measured on the serving shards; true window at the paper's source speeds\n")
+	fmt.Fprintf(&b, "%-14s %-14s %9s | %9s %9s | %8s %10s %8s | %8s %10s\n",
+		"policy", "source", "window ms", "base Mbps", "del Mbps",
+		"v loss%", "v p99 cyc", "v miss", "bg loss%", "bg p99 cyc")
+	for _, run := range r.Runs {
+		v, bg := run.Cell(qos.Voice), run.Cell(qos.Background)
+		fmt.Fprintf(&b, "%-14s %-14s %9.1f | %9.0f %9.0f | %7.2f%% %10d %8d | %7.2f%% %10d\n",
+			run.Policy, run.Source, run.TrueWindowMillis,
+			run.BaselineDelivered, run.DuringDelivered,
+			100*v.LossFrac, v.P99, v.Misses, 100*bg.LossFrac, bg.P99)
+	}
+	return b.String()
+}
+
+// ReconfigSmokeVerdict is the CI rolling-swap gate's result.
+type ReconfigSmokeVerdict struct {
+	// VoiceLoss is the voice loss fraction during the bitstream windows
+	// under qos-priority; LossLimit the ceiling.
+	VoiceLoss float64
+	LossLimit float64
+	// VoiceP99 is the worst during-swap voice p99; P99Limit the bound
+	// derived from the baseline window (inflation factor + slack).
+	VoiceP99    sim.Time
+	BaselineP99 sim.Time
+	P99Limit    sim.Time
+	Run         ReconfigRun
+}
+
+// Pass reports whether the gate held.
+func (v ReconfigSmokeVerdict) Pass() bool {
+	return v.VoiceLoss <= v.LossLimit && v.VoiceP99 <= v.P99Limit
+}
+
+func (v ReconfigSmokeVerdict) String() string {
+	verdict := "ok"
+	if !v.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("reconfigsmoke %s: voice loss %.2f%% (limit %.0f%%), p99 %d cycles during swap (baseline %d, limit %d) under qos-priority",
+		verdict, 100*v.VoiceLoss, 100*v.LossLimit, v.VoiceP99, v.BaselineP99, v.P99Limit)
+}
+
+// ReconfigSmoke runs the CI mini rolling-swap gate: a two-shard cluster
+// under qos-priority swaps each shard's core from staging RAM while the
+// other carries the stream at ~1.8x its own saturation — voice must
+// lose at most 1% and its during-swap p99 must stay within 3x the
+// all-shards-serving baseline plus scheduling slack. Deliberately small
+// so the gate costs seconds.
+func ReconfigSmoke() ReconfigSmokeVerdict {
+	res := ReconfigUnderLoad(ReconfigLoadConfig{
+		Policies:  []string{"qos-priority"},
+		Sources:   []reconfig.Source{reconfig.StagingRAM},
+		Shards:    2,
+		TimeScale: 256,
+	})
+	run := res.Runs[0]
+	v := ReconfigSmokeVerdict{
+		LossLimit:   0.01,
+		VoiceLoss:   run.Cell(qos.Voice).LossFrac,
+		VoiceP99:    run.Cell(qos.Voice).P99,
+		BaselineP99: run.BaselineVoiceP99,
+		Run:         run,
+	}
+	v.P99Limit = 3*run.BaselineVoiceP99 + 8000
+	return v
+}

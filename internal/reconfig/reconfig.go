@@ -45,11 +45,30 @@ type Source struct {
 	BytesPerSec float64
 }
 
-// The paper's two measured sources.
+// The paper's two measured sources, plus the fast-source ceiling the
+// paper points at for future work: feeding the ICAP at its native port
+// bandwidth (8-bit port at the 50 MHz configuration clock = 50 MB/s)
+// instead of through the slow storage path — an 89 kB bitstream then
+// takes ~1.8 ms instead of 63–380 ms.
 var (
 	CompactFlash = Source{Name: "compact-flash", BytesPerSec: 234210}
 	StagingRAM   = Source{Name: "ram", BytesPerSec: 1412698}
+	FastICAP     = Source{Name: "icap", BytesPerSec: 50e6}
 )
+
+// Sources lists the bitstream sources slowest-first, the order the E15
+// agility tables sweep.
+func Sources() []Source { return []Source{CompactFlash, StagingRAM, FastICAP} }
+
+// SourceByName resolves a bitstream source by its Name.
+func SourceByName(name string) (Source, error) {
+	for _, s := range Sources() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Source{}, fmt.Errorf("reconfig: unknown bitstream source %q (have compact-flash, ram, icap)", name)
+}
 
 // Time returns the wall-clock reconfiguration time for n bitstream bytes.
 func (s Source) Time(n int) float64 { return float64(n) / s.BytesPerSec }
@@ -57,6 +76,17 @@ func (s Source) Time(n int) float64 { return float64(n) / s.BytesPerSec }
 // Cycles converts a reconfiguration to clock cycles at the MCCP frequency.
 func (s Source) Cycles(n int, freqHz float64) sim.Time {
 	return sim.Time(s.Time(n) * freqHz)
+}
+
+// Scaled returns a source f times faster than s (same name). The E15
+// harness uses it to compress the bitstream window by a fixed time-scale
+// so a CompactFlash swap (72M+ cycles at full scale) stays simulable,
+// while reporting true durations by multiplying back.
+func (s Source) Scaled(f float64) Source {
+	if f <= 0 {
+		return s
+	}
+	return Source{Name: s.Name, BytesPerSec: s.BytesPerSec * f}
 }
 
 // Engine identifies a reconfigurable-region payload.

@@ -24,11 +24,10 @@ import (
 	"fmt"
 	"io"
 
-	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/qos"
-	"mccp/internal/radio"
 	"mccp/internal/sim"
+	"mccp/internal/verdict"
 )
 
 // Frame layout: a uint32 big-endian body length, then the body. Request
@@ -76,40 +75,31 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
-// Status is a protocol response code. The non-OK packet verdicts are the
-// cluster's admission outcomes, one code per verdict.
+// Status is a protocol response code. The low codes are the shared
+// verdict.Verdict values verbatim (Status(v) is the whole mapping — see
+// statusFor); the codes past StatusFailed are wire-only conditions with
+// no in-process counterpart.
 type Status uint8
 
 const (
-	StatusOK           Status = 0
-	StatusRejected     Status = 1 // paper's error flag: no idle core / queue full with queueing off
-	StatusShed         Status = 2 // QoS bounded class queue overflow
-	StatusExpired      Status = 3 // deadline passed while queued
-	StatusAged         Status = 4 // in-queue sojourn exceeded the age limit
-	StatusAuthFail     Status = 5 // DECRYPT tag verification failed
-	StatusFailed       Status = 6 // any other device error
-	StatusBadRequest   Status = 7 // malformed frame or unsupported parameters
-	StatusUnknownSess  Status = 8 // session id never opened on this connection
-	StatusSessClosed   Status = 9 // session already closed (double CLOSE, use after CLOSE)
+	StatusOK                  = Status(verdict.OK)       // 0
+	StatusRejected            = Status(verdict.Rejected) // 1: paper's error flag: no idle core / queue full with queueing off
+	StatusShed                = Status(verdict.Shed)     // 2: QoS bounded class queue overflow
+	StatusExpired             = Status(verdict.Expired)  // 3: deadline passed while queued
+	StatusAged                = Status(verdict.Aged)     // 4: in-queue sojourn exceeded the age limit
+	StatusAuthFail            = Status(verdict.AuthFail) // 5: DECRYPT tag verification failed
+	StatusFailed              = Status(verdict.Failed)   // 6: any other device error
+	StatusBadRequest   Status = 7                        // malformed frame or unsupported parameters
+	StatusUnknownSess  Status = 8                        // session id never opened on this connection
+	StatusSessClosed   Status = 9                        // session already closed (double CLOSE, use after CLOSE)
 	StatusShuttingDown Status = 10
 )
 
 func (s Status) String() string {
+	if int(s) < verdict.Num {
+		return verdict.Verdict(s).String()
+	}
 	switch s {
-	case StatusOK:
-		return "ok"
-	case StatusRejected:
-		return "rejected"
-	case StatusShed:
-		return "shed"
-	case StatusExpired:
-		return "expired"
-	case StatusAged:
-		return "aged"
-	case StatusAuthFail:
-		return "auth-fail"
-	case StatusFailed:
-		return "failed"
 	case StatusBadRequest:
 		return "bad-request"
 	case StatusUnknownSess:
@@ -122,24 +112,11 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
 
-// statusFor maps a cluster operation error to its protocol status.
-func statusFor(err error) Status {
-	switch err {
-	case nil:
-		return StatusOK
-	case core.ErrNoResources:
-		return StatusRejected
-	case qos.ErrShed, core.ErrQueueFull:
-		return StatusShed
-	case qos.ErrExpired:
-		return StatusExpired
-	case qos.ErrAged:
-		return StatusAged
-	case radio.ErrAuth:
-		return StatusAuthFail
-	}
-	return StatusFailed
-}
+// statusFor maps a cluster operation error to its protocol status: the
+// shared verdict value IS the status code, so the mapping is a cast of
+// the one classifier in internal/verdict (no second switch to keep in
+// sync with the cluster's counters).
+func statusFor(err error) Status { return Status(verdict.For(err)) }
 
 // Timing is the per-request timing struct an ENCRYPT/DECRYPT response
 // carries back to its caller.

@@ -1,0 +1,112 @@
+// Package verdict defines the one classification of per-packet outcomes
+// the whole stack shares. Every layer used to keep its own mapping from
+// the sentinel errors (core.ErrNoResources, qos.ErrShed, ...) to a small
+// integer — the cluster's verdict counters and the server's wire protocol
+// statuses were two parallel switch statements that had to agree by
+// convention. This package is that agreement, written once: a typed
+// Verdict whose numeric values ARE the cluster counter indices and the
+// low protocol status codes, a single For(err) classifier, and Err() to
+// recover the canonical sentinel for a verdict.
+//
+// The sentinel error values themselves stay where they always lived
+// (core, qos, radio) so existing == and errors.Is comparisons keep
+// working; this package only centralizes the classification.
+package verdict
+
+import (
+	"mccp/internal/core"
+	"mccp/internal/qos"
+	"mccp/internal/radio"
+)
+
+// Verdict classifies the outcome of one packet operation. The numeric
+// values are load-bearing: they index the cluster's per-verdict counters
+// and equal the server wire protocol's status codes (server.Status), so
+// the cluster → wire mapping is the identity.
+type Verdict uint8
+
+// The verdicts, in wire-protocol status order.
+const (
+	// OK: the operation completed cleanly.
+	OK Verdict = iota
+	// Rejected: the paper's error flag — no idle core and no queue slot
+	// (core.ErrNoResources), or session-level admission control.
+	Rejected
+	// Shed: dropped by QoS admission at a full class queue (qos.ErrShed)
+	// or at a bounded device request queue (core.ErrQueueFull).
+	Shed
+	// Expired: dropped at dispatch because the packet's deadline passed
+	// while it was queued (qos.ErrExpired).
+	Expired
+	// Aged: dropped by CoDel-style in-queue aging (qos.ErrAged).
+	Aged
+	// AuthFail: tag verification failed on decrypt (radio.ErrAuth).
+	AuthFail
+	// Failed: any other error.
+	Failed
+
+	// Num is the number of verdicts (the counter-array length).
+	Num = int(Failed) + 1
+)
+
+// For classifies an operation's returned error. It is the single mapping
+// the cluster counters and the server protocol statuses both derive from.
+func For(err error) Verdict {
+	switch err {
+	case nil:
+		return OK
+	case core.ErrNoResources:
+		return Rejected
+	case qos.ErrShed, core.ErrQueueFull:
+		return Shed
+	case qos.ErrExpired:
+		return Expired
+	case qos.ErrAged:
+		return Aged
+	case radio.ErrAuth:
+		return AuthFail
+	}
+	return Failed
+}
+
+var names = [Num]string{"ok", "rejected", "shed", "expired", "aged", "auth-fail", "failed"}
+
+// String returns the verdict's wire-protocol name.
+func (v Verdict) String() string {
+	if int(v) >= Num {
+		return "invalid"
+	}
+	return names[v]
+}
+
+// Err returns the canonical sentinel error for the verdict: the exact
+// error value the stack raises for that outcome, so errors.Is and ==
+// comparisons against the long-standing sentinels keep working. OK maps
+// to nil; Shed maps to qos.ErrShed (the admission-control sentinel —
+// core.ErrQueueFull classifies to the same verdict but is not the
+// canonical representative); Failed maps to radio.ErrBadParam's generic
+// cousin, a nil-free placeholder is not useful, so Failed returns a
+// distinct generic error value.
+func (v Verdict) Err() error {
+	switch v {
+	case OK:
+		return nil
+	case Rejected:
+		return core.ErrNoResources
+	case Shed:
+		return qos.ErrShed
+	case Expired:
+		return qos.ErrExpired
+	case Aged:
+		return qos.ErrAged
+	case AuthFail:
+		return radio.ErrAuth
+	}
+	return errFailed
+}
+
+type failedError struct{}
+
+func (failedError) Error() string { return "verdict: operation failed" }
+
+var errFailed error = failedError{}

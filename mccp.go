@@ -11,7 +11,7 @@
 // two-core), CTR or CBC-MAC semantics — all executed by firmware on the
 // simulated 8-bit core controllers, cycle-by-cycle, at a modeled 190 MHz.
 //
-//	p := mccp.New(mccp.Config{})
+//	p, _ := mccp.NewPlatform()
 //	key, _ := p.NewKey(16)
 //	ch, _ := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16}, key)
 //	sealed, _ := ch.Encrypt(nonce, aad, payload)
@@ -27,11 +27,13 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/fleet"
 	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
 	"mccp/internal/sim"
+	"mccp/internal/verdict"
 )
 
 // Family selects a channel's mode of operation.
@@ -49,15 +51,36 @@ const (
 // Suite configures a channel (re-exported from the device layer).
 type Suite = core.Suite
 
-// Policy names for Config.
+// Policy selects the Task Scheduler dispatch policy. It is a typed name:
+// string literals still convert implicitly at construction sites, but a
+// Policy in an API signature documents the value set and routes through
+// one validation (ParsePolicy / the constructors).
+type Policy string
+
+// The dispatch policies.
 const (
-	PolicyFirstIdle   = "first-idle"
-	PolicyRoundRobin  = "round-robin"
-	PolicyKeyAffinity = "key-affinity"
+	PolicyFirstIdle   Policy = "first-idle"
+	PolicyRoundRobin  Policy = "round-robin"
+	PolicyKeyAffinity Policy = "key-affinity"
 	// PolicyQoSPriority reserves cores for high-priority (video/voice
 	// class) channels: the §VIII quality-of-service dispatch policy.
-	PolicyQoSPriority = "qos-priority"
+	PolicyQoSPriority Policy = "qos-priority"
 )
+
+// Policies lists the selectable dispatch policies.
+func Policies() []Policy {
+	return []Policy{PolicyFirstIdle, PolicyRoundRobin, PolicyKeyAffinity, PolicyQoSPriority}
+}
+
+// ParsePolicy validates a user-supplied policy name (CLI flags, config
+// files) against the scheduler registry. The empty string selects the
+// default (first-idle, the paper's §III.C behaviour).
+func ParsePolicy(name string) (Policy, error) {
+	if _, err := scheduler.ByName(name); err != nil {
+		return "", err
+	}
+	return Policy(name), nil
+}
 
 // Engine identifies a reconfigurable-region payload for Reconfigure.
 type Engine = reconfig.Engine
@@ -68,10 +91,12 @@ const (
 	EngineWhirlpool = reconfig.EngineWhirlpool
 )
 
-// Bitstream sources with the paper's measured bandwidths.
+// Bitstream sources with the paper's measured bandwidths, plus the
+// native-ICAP fast-source ceiling the paper points at for future work.
 var (
 	FromCompactFlash = reconfig.CompactFlash
 	FromRAM          = reconfig.StagingRAM
+	FromICAP         = reconfig.FastICAP
 )
 
 // ErrAuth is returned when an authenticated decryption fails; the device
@@ -97,14 +122,39 @@ var ErrExpired = qos.ErrExpired
 // its class queue longer than the configured AgeLimit.
 var ErrAged = qos.ErrAged
 
+// Verdict is the typed classification of a packet outcome, shared by the
+// whole stack: its numeric values index the cluster's per-verdict
+// counters and equal the server wire protocol's status codes, so there
+// is exactly one mapping from error to counter to wire status. The
+// sentinel errors above remain the values operations return (== and
+// errors.Is keep working); Verdict is how they are classified.
+type Verdict = verdict.Verdict
+
+// The verdicts, in wire-protocol status order.
+const (
+	VerdictOK       = verdict.OK
+	VerdictRejected = verdict.Rejected
+	VerdictShed     = verdict.Shed
+	VerdictExpired  = verdict.Expired
+	VerdictAged     = verdict.Aged
+	VerdictAuthFail = verdict.AuthFail
+	VerdictFailed   = verdict.Failed
+)
+
+// VerdictFor classifies an operation's returned error: nil is VerdictOK,
+// ErrNoResources VerdictRejected, ErrShed and ErrQueueFull VerdictShed,
+// ErrExpired VerdictExpired, ErrAged VerdictAged, ErrAuth
+// VerdictAuthFail, anything else VerdictFailed.
+func VerdictFor(err error) Verdict { return verdict.For(err) }
+
 // Config sizes a Platform.
 type Config struct {
 	// Cores is the number of Cryptographic Cores (default 4, as in the
 	// paper's implementation).
 	Cores int
-	// Policy selects the dispatch policy by name (default first-idle, the
+	// Policy selects the dispatch policy (default PolicyFirstIdle, the
 	// paper's §III.C behaviour).
-	Policy string
+	Policy Policy
 	// QueueRequests enables the §VIII QoS extension: saturating requests
 	// wait in a priority queue instead of drawing the error flag.
 	QueueRequests bool
@@ -129,20 +179,85 @@ type Platform struct {
 	rc *reconfig.Controller
 }
 
-// New builds a Platform. It panics on an invalid Config (an unknown
-// policy name); use NewChecked when configuration comes from user input.
-func New(cfg Config) *Platform {
-	p, err := NewChecked(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("mccp: %v", err))
-	}
-	return p
+// Options collects every knob the constructors accept. Use the With*
+// functional options rather than filling this struct directly; it is
+// exported so callers can inspect what an option set resolves to.
+type Options struct {
+	// Device scope (NewPlatform, and each shard under NewFleet).
+	Cores         int
+	Policy        Policy
+	QueueRequests bool
+	MaxQueue      int
+	Seed          uint64
+
+	// Fleet scope (NewFleet only; NewPlatform rejects them).
+	Shards int
+	Router string
+	Shape  bool
+	Shaper ShaperConfig
 }
 
-// NewChecked builds a Platform, returning an error instead of panicking
-// on an invalid Config.
-func NewChecked(cfg Config) (*Platform, error) {
-	pol, err := scheduler.ByName(cfg.Policy)
+// Option configures NewPlatform or NewFleet.
+type Option func(*Options)
+
+// WithCores sets the Cryptographic Core count (per shard under NewFleet;
+// default 4, the paper's implementation).
+func WithCores(n int) Option { return func(o *Options) { o.Cores = n } }
+
+// WithPolicy selects the dispatch policy (validated at construction).
+func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithQueueing enables the §VIII QoS extension: saturating requests wait
+// in a priority queue instead of drawing the paper's error flag. max
+// bounds the queue (0 = unbounded; overflow is shed with a Shed verdict).
+func WithQueueing(max int) Option {
+	return func(o *Options) { o.QueueRequests, o.MaxQueue = true, max }
+}
+
+// WithSeed drives deterministic session-key generation.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithShards sets the fleet's shard-pool size (NewFleet only).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithRouter selects the fleet's session-routing policy by name
+// (NewFleet only; see the Router* constants).
+func WithRouter(name string) Option { return func(o *Options) { o.Router = name } }
+
+// WithShaping gives every shard a QoS shaper between the batch pump and
+// the device (NewFleet only): per-class queues, drain policy, admission
+// control and virtual-time latency percentiles.
+func WithShaping(cfg ShaperConfig) Option {
+	return func(o *Options) { o.Shape, o.Shaper = true, cfg }
+}
+
+func resolve(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// NewPlatform builds a single-device Platform. It is the validating
+// constructor: an unknown policy or a fleet-scope option is an error,
+// never a panic or a misconfigured platform.
+func NewPlatform(opts ...Option) (*Platform, error) {
+	o := resolve(opts)
+	if o.Shards != 0 || o.Router != "" || o.Shape {
+		return nil, fmt.Errorf("mccp: fleet-scope option on NewPlatform (use NewFleet)")
+	}
+	return newPlatform(Config{
+		Cores:         o.Cores,
+		Policy:        o.Policy,
+		QueueRequests: o.QueueRequests,
+		MaxQueue:      o.MaxQueue,
+		Seed:          o.Seed,
+	})
+}
+
+func newPlatform(cfg Config) (*Platform, error) {
+	pol, err := scheduler.ByName(string(cfg.Policy))
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +278,23 @@ func NewChecked(cfg Config) (*Platform, error) {
 	eng.Run() // settle core firmware into its idle loop
 	return p, nil
 }
+
+// New builds a Platform, panicking on an invalid Config.
+//
+// Deprecated: use NewPlatform, the validating functional-options
+// constructor. New remains for existing callers.
+func New(cfg Config) *Platform {
+	p, err := newPlatform(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("mccp: %v", err))
+	}
+	return p
+}
+
+// NewChecked builds a Platform, returning an error on an invalid Config.
+//
+// Deprecated: use NewPlatform. NewChecked remains for existing callers.
+func NewChecked(cfg Config) (*Platform, error) { return newPlatform(cfg) }
 
 // Cycles returns the current virtual time in clock cycles.
 func (p *Platform) Cycles() sim.Time { return p.Eng.Now() }
@@ -321,6 +453,59 @@ const (
 // NewCluster builds and starts a sharded cluster. Close it to stop the
 // shard goroutines.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Fleet is the elastic control plane over a Cluster: rolling per-shard
+// algorithm swaps (drain voice-first, rewrite the reconfigurable region
+// while the remaining shards keep serving, re-admit) and load-driven
+// scale-out/scale-in. See internal/fleet for the full documentation.
+type Fleet = fleet.Fleet
+
+// FleetSwapReport describes one shard's leg of a rolling swap.
+type FleetSwapReport = fleet.SwapReport
+
+// FleetScaleReport describes one Fleet.Scale call.
+type FleetScaleReport = fleet.ScaleReport
+
+// Autoscaler is the hysteresis fleet-size controller: feed it one
+// offered-load observation per control interval and apply the returned
+// target with Fleet.Scale.
+type Autoscaler = fleet.Autoscaler
+
+// AutoscalerConfig tunes the autoscaler's watermarks and damping.
+type AutoscalerConfig = fleet.AutoscalerConfig
+
+// NewAutoscaler builds an autoscaler starting at active shards.
+func NewAutoscaler(cfg AutoscalerConfig, active int) (*Autoscaler, error) {
+	return fleet.NewAutoscaler(cfg, active)
+}
+
+// NewFleet builds a sharded cluster and binds the elastic control plane
+// to it, through the same validating option set as NewPlatform. Close
+// the fleet's Cluster to stop the shard goroutines:
+//
+//	f, _ := mccp.NewFleet(mccp.WithShards(4), mccp.WithPolicy(mccp.PolicyQoSPriority))
+//	defer f.Cluster().Close()
+func NewFleet(opts ...Option) (*Fleet, error) {
+	o := resolve(opts)
+	if _, err := scheduler.ByName(string(o.Policy)); err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Shards:        o.Shards,
+		CoresPerShard: o.Cores,
+		Router:        o.Router,
+		Policy:        string(o.Policy),
+		QueueRequests: o.QueueRequests,
+		MaxQueue:      o.MaxQueue,
+		Seed:          o.Seed,
+		Shape:         o.Shape,
+		Shaper:        o.Shaper,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fleet.New(cl), nil
+}
 
 // Stats snapshots device counters.
 func (p *Platform) Stats() Stats {

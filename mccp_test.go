@@ -4,6 +4,7 @@ import (
 	"bytes"
 	stdaes "crypto/aes"
 	"crypto/cipher"
+	"errors"
 	"testing"
 
 	"mccp"
@@ -51,7 +52,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 }
 
 func TestPublicAPIPolicies(t *testing.T) {
-	for _, pol := range []string{mccp.PolicyFirstIdle, mccp.PolicyRoundRobin, mccp.PolicyKeyAffinity} {
+	for _, pol := range []mccp.Policy{mccp.PolicyFirstIdle, mccp.PolicyRoundRobin, mccp.PolicyKeyAffinity} {
 		p := mccp.New(mccp.Config{Policy: pol, QueueRequests: true})
 		key, _ := p.NewKey(32)
 		ch, err := p.Open(mccp.Suite{Family: mccp.CCM, TagLen: 8, SplitCCM: true}, key)
@@ -134,7 +135,7 @@ func TestNewCheckedRejectsUnknownPolicy(t *testing.T) {
 
 // saturate fires more async packets than the device has cores and returns
 // the outcome counts.
-func saturate(t *testing.T, policy string, queue bool) (ok, rejected int, stats mccp.Stats) {
+func saturate(t *testing.T, policy mccp.Policy, queue bool) (ok, rejected int, stats mccp.Stats) {
 	t.Helper()
 	p := mccp.New(mccp.Config{Policy: policy, QueueRequests: queue})
 	key, err := p.NewKey(16)
@@ -171,8 +172,8 @@ func saturate(t *testing.T, policy string, queue bool) (ok, rejected int, stats 
 // on and off — asserting the paper's error-flag behaviour (Rejected) and
 // the §VIII queueing counters (Queued) through the public API.
 func TestSchedulerPoliciesUnderSaturation(t *testing.T) {
-	for _, policy := range []string{mccp.PolicyRoundRobin, mccp.PolicyKeyAffinity} {
-		t.Run(policy+"/queue=off", func(t *testing.T) {
+	for _, policy := range []mccp.Policy{mccp.PolicyRoundRobin, mccp.PolicyKeyAffinity} {
+		t.Run(string(policy)+"/queue=off", func(t *testing.T) {
 			ok, rejected, stats := saturate(t, policy, false)
 			if rejected == 0 || stats.Rejected == 0 {
 				t.Fatalf("no error-flag rejects at saturation (ok=%d rej=%d stats=%+v)", ok, rejected, stats)
@@ -184,7 +185,7 @@ func TestSchedulerPoliciesUnderSaturation(t *testing.T) {
 				t.Fatalf("Queued=%d with queueing disabled", stats.Queued)
 			}
 		})
-		t.Run(policy+"/queue=on", func(t *testing.T) {
+		t.Run(string(policy)+"/queue=on", func(t *testing.T) {
 			ok, rejected, stats := saturate(t, policy, true)
 			if rejected != 0 || stats.Rejected != 0 {
 				t.Fatalf("rejects with queueing enabled (rej=%d stats=%+v)", rejected, stats)
@@ -361,5 +362,106 @@ func TestPublicAPIBoundedDeviceQueue(t *testing.T) {
 	}
 	if ok+shed != 12 {
 		t.Fatalf("outcomes %d+%d != 12", ok, shed)
+	}
+}
+
+// TestNewPlatformOptions covers the validating functional-options
+// constructor: options resolve, unknown policies error, and fleet-scope
+// options are rejected at platform scope.
+func TestNewPlatformOptions(t *testing.T) {
+	p, err := mccp.NewPlatform(
+		mccp.WithPolicy(mccp.PolicyQoSPriority),
+		mccp.WithQueueing(0),
+		mccp.WithSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := p.NewKey(16)
+	ch, err := p.Open(mccp.Suite{Family: mccp.GCM, TagLen: 16}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Encrypt(make([]byte, 12), nil, []byte("options")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mccp.NewPlatform(mccp.WithPolicy("best-effort")); err == nil {
+		t.Fatal("NewPlatform accepted an unknown policy")
+	}
+	if _, err := mccp.NewPlatform(mccp.WithShards(2)); err == nil {
+		t.Fatal("NewPlatform accepted a fleet-scope option")
+	}
+}
+
+// TestNewFleetElasticOps drives the fleet control plane through the
+// public facade: scale-in/out and a single-shard algorithm swap.
+func TestNewFleetElasticOps(t *testing.T) {
+	f, err := mccp.NewFleet(
+		mccp.WithShards(2),
+		mccp.WithRouter(mccp.RouterLeastLoaded),
+		mccp.WithQueueing(0),
+		mccp.WithSeed(9),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Cluster().Close()
+	if f.Active() != 2 {
+		t.Fatalf("active = %d", f.Active())
+	}
+	ses, err := f.Cluster().Open(mccp.ClusterOpenSpec{
+		Suite: mccp.Suite{Family: mccp.GCM, TagLen: 16}, KeyLen: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Scale(1); err != nil || f.Active() != 1 {
+		t.Fatalf("scale-in: %v, active %d", err, f.Active())
+	}
+	if _, err := f.Scale(2); err != nil || f.Active() != 2 {
+		t.Fatalf("scale-out: %v, active %d", err, f.Active())
+	}
+	took, _, err := f.Reconfigure(0, 0, mccp.EngineWhirlpool, mccp.FromICAP)
+	if err != nil || took == 0 {
+		t.Fatalf("swap: %v took %d", err, took)
+	}
+	if _, err := ses.Encrypt(make([]byte, 12), nil, []byte("post-swap")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mccp.NewFleet(mccp.WithPolicy("best-effort")); err == nil {
+		t.Fatal("NewFleet accepted an unknown policy")
+	}
+}
+
+// TestVerdictClassification pins the single error-to-verdict table and
+// its errors.Is round trip through the canonical sentinels.
+func TestVerdictClassification(t *testing.T) {
+	cases := map[mccp.Verdict]error{
+		mccp.VerdictOK:       nil,
+		mccp.VerdictRejected: mccp.ErrNoResources,
+		mccp.VerdictShed:     mccp.ErrShed,
+		mccp.VerdictExpired:  mccp.ErrExpired,
+		mccp.VerdictAged:     mccp.ErrAged,
+		mccp.VerdictAuthFail: mccp.ErrAuth,
+	}
+	for v, sentinel := range cases {
+		if got := mccp.VerdictFor(sentinel); got != v {
+			t.Errorf("VerdictFor(%v) = %v, want %v", sentinel, got, v)
+		}
+		if !errors.Is(v.Err(), sentinel) && !(v == mccp.VerdictOK && v.Err() == nil) {
+			t.Errorf("verdict %v round trip lost the sentinel", v)
+		}
+	}
+	if mccp.VerdictFor(mccp.ErrQueueFull) != mccp.VerdictShed {
+		t.Error("bounded-queue overflow must classify as shed")
+	}
+	if mccp.VerdictFor(errors.New("boom")) != mccp.VerdictFailed {
+		t.Error("unknown errors must classify as failed")
+	}
+	if _, err := mccp.ParsePolicy("qos-priority"); err != nil {
+		t.Errorf("ParsePolicy rejected a valid name: %v", err)
+	}
+	if _, err := mccp.ParsePolicy("best-effort"); err == nil {
+		t.Error("ParsePolicy accepted an unknown name")
 	}
 }
