@@ -422,6 +422,58 @@ func BenchmarkReconfigUnderLoad(b *testing.B) {
 	}
 }
 
+// --- E16: fault curves ------------------------------------------------------
+
+// BenchmarkFaultCurves runs the E16 fault drill — crash count x churn
+// rate at 0.9x saturation through the loopback server — and reports what
+// each policy kept alive. voice_delivered_frac participates in the tight
+// baseline gate (voice must ride out a single-shard crash under
+// qos-priority); wire_Mbps gates as throughput and voice_wire_p99_cycles
+// lower-is-better; the re-home/recovery figures are informational
+// virtual-time cycle counts. The zero-fault row runs the same code path
+// as E14, so its cells double as a wiring check against that baseline.
+func BenchmarkFaultCurves(b *testing.B) {
+	b.ReportAllocs()
+	cfg := harness.FaultConfig{
+		Wire: harness.WireConfig{
+			Shards:       4,
+			Sessions:     96,
+			WindowCycles: 4096,
+			Windows:      24,
+		},
+		FaultWindow: 8,
+	}
+	var res harness.FaultResult
+	for i := 0; i < b.N; i++ {
+		res = harness.FaultCurves(cfg)
+	}
+	for _, p := range res.Points {
+		p := p
+		b.Run(fmt.Sprintf("%s/crashes=%d_churn=%d", p.Policy, p.Row.Crashes, p.Row.Churn), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p // measured above; subruns report the cells
+			}
+			v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+			recovered := 0.0
+			if p.Recovered {
+				recovered = 1
+			}
+			b.ReportMetric(p.TotalOfferedMbps, "offered_Mbps")
+			b.ReportMetric(p.WireMbps, "wire_Mbps")
+			b.ReportMetric(1-v.LossFrac, "voice_delivered_frac")
+			b.ReportMetric(float64(v.P99), "voice_wire_p99_cycles")
+			b.ReportMetric(100*bg.LossFrac, "background_loss_pct")
+			b.ReportMetric(float64(p.Moved), "sessions_moved")
+			b.ReportMetric(float64(p.Lost), "sessions_lost")
+			b.ReportMetric(float64(p.RehomeTook), "rehome_cycles")
+			b.ReportMetric(float64(p.RecoveryCycles), "recovery_cycles")
+			b.ReportMetric(recovered, "recovered")
+			b.ReportMetric(float64(p.Churned), "sessions_churned")
+		})
+	}
+}
+
 // --- E10: ablations ---------------------------------------------------------
 
 // BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:

@@ -48,6 +48,7 @@ func main() {
 	loadSmoke := flag.Bool("loadsmoke", false, "run the E13 mini load curve in-process and fail if the voice class loses >1% of its packets at 0.5x saturation under qos-priority")
 	wireSmoke := flag.Bool("wiresmoke", false, "run the one-point loopback E14 gate and fail if voice wire p99 at 0.5x saturation exceeds 2x the in-process E13 p99, or if any voice packet is shed")
 	reconfigSmoke := flag.Bool("reconfigsmoke", false, "run the E15 mini rolling-swap gate and fail if voice loses >1% or its p99 inflates past 3x baseline during the bitstream windows under qos-priority")
+	faultSmoke := flag.Bool("faultsmoke", false, "run the E16 mini fault drill (1 of 4 shards crashed mid-load plus a churn storm at 0.9x saturation under qos-priority) and fail if voice loses >1%, any session is lost, or voice delivery does not recover within 3 windows")
 	flag.Parse()
 
 	// The smoke gates run the simulation directly (no bench input needed),
@@ -71,7 +72,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*loadSmoke || *wireSmoke || *reconfigSmoke) &&
+	if *faultSmoke {
+		if err := checkFaultSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*loadSmoke || *wireSmoke || *reconfigSmoke || *faultSmoke) &&
 		*in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
 		return // smoke-only invocation
 	}
@@ -291,6 +298,23 @@ func checkReconfigSmoke() error {
 	bg := v.Run.Cell(qos.Background)
 	fmt.Printf("benchjson:   source %s (%.1f ms window): delivered %.0f -> %.0f Mbps during swap, background loss %.2f%%\n",
 		v.Run.Source, v.Run.TrueWindowMillis, v.Run.BaselineDelivered, v.Run.DuringDelivered, 100*bg.LossFrac)
+	return nil
+}
+
+// checkFaultSmoke runs the one-row loopback E16 fault drill (one crash in
+// a 4-shard cluster with a churn storm, 0.9x saturation, qos-priority,
+// deterministic) and enforces the robustness bar: voice loss within 1%,
+// every corpse session re-homed with none lost, and voice delivery back
+// at 99% within the recovery limit.
+func checkFaultSmoke() error {
+	v := harness.FaultSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — the fault plane no longer keeps voice alive through a shard crash", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	bg := v.Point.Cell(qos.Background)
+	fmt.Printf("benchjson:   crashes %d churn %d: %d sessions churned, background loss %.2f%%, worst rehome %d cyc\n",
+		v.Point.Row.Crashes, v.Point.Row.Churn, v.Point.Churned, 100*bg.LossFrac, v.Point.RehomeTook)
 	return nil
 }
 

@@ -14,6 +14,11 @@
 //	                                    # open-loop arrivals into per-shard
 //	                                    # shapers: per-class loss/latency
 //	                                    # attributable per shard
+//	mccpcluster -faults crashes=1 -offered 0.9
+//	                                    # fault drill: a seeded schedule
+//	                                    # crashes shards mid-window; the
+//	                                    # detector quarantines, re-homes
+//	                                    # voice-first and browns out
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/faults"
 	"mccp/internal/fleet"
 	"mccp/internal/harness"
 	"mccp/internal/qos"
@@ -65,6 +71,8 @@ func main() {
 	drain := flag.String("drain", "", "per-shard shaper drain policy: "+strings.Join(qos.DrainNames(), ", "))
 	weightsFlag := flag.String("weights", "", "weighted-drain service ratio as voice,video,data,background (e.g. 8,4,2,1)")
 	horizon := flag.Uint64("horizon", 1000000, "open-loop measurement window in cycles per shard")
+	faultsSpec := flag.String("faults", "", "fault drill: schedule spec crashes=N[,stalls=N][,window=K] — seeded shard faults applied to an open-loop run (churn is the load generator's side: mccploadgen -churn)")
+	windows := flag.Int("windows", 12, "measurement windows for the fault drill")
 	flag.Parse()
 
 	// Validate-and-error instead of panicking deep in the stack: bad CLI
@@ -103,6 +111,12 @@ func main() {
 	weights, err := parseWeights(*weightsFlag)
 	if err != nil {
 		log.Fatalf("-weights: %v", err)
+	}
+
+	if *faultsSpec != "" {
+		runFaults(*faultsSpec, *shards, *cores, *router, *policy,
+			*offered, *windows, sim.Time(*horizon), uint64(*seed))
+		return
 	}
 
 	if *arrivalsProc != "" {
@@ -249,6 +263,162 @@ func runOpenLoop(shards, cores int, router, policy, proc, drain string,
 	if res.Errors > 0 {
 		fmt.Printf("hard errors: %d\n", res.Errors)
 	}
+}
+
+// parseFaultSpec parses the -faults schedule spec (crashes=N, stalls=N,
+// window=K, comma-separated) into a plan config.
+func parseFaultSpec(spec string, shards, windows int, windowCycles sim.Time, seed uint64) (faults.PlanConfig, error) {
+	cfg := faults.PlanConfig{
+		Seed:         seed,
+		Shards:       shards,
+		Windows:      windows,
+		FaultWindow:  windows / 3,
+		StallCycles:  windowCycles / 2,
+		WindowCycles: windowCycles,
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("bad spec entry %q (want key=value)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("bad value in %q (want a non-negative integer)", part)
+		}
+		switch kv[0] {
+		case "crashes":
+			cfg.Crashes = n
+		case "stalls":
+			cfg.Stalls = n
+		case "window":
+			cfg.FaultWindow = n
+		default:
+			return cfg, fmt.Errorf("unknown spec key %q (crashes, stalls, window)", kv[0])
+		}
+	}
+	return cfg, nil
+}
+
+// runFaults is the fault drill: a seeded schedule crashes and stalls
+// shards mid-window under open-loop load; a heartbeat detector
+// quarantines each corpse at the next window boundary, re-homes its
+// sessions voice-first, and browns out low classes while capacity is
+// down. Every number printed is deterministic in (flags, seed).
+func runFaults(spec string, shards, cores int, router, policy string,
+	offered float64, windows int, windowCycles sim.Time, seed uint64) {
+	planCfg, err := parseFaultSpec(spec, shards, windows, windowCycles, seed)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	sched, err := faults.Plan(planCfg)
+	if err != nil {
+		log.Fatalf("-faults: %v", err)
+	}
+	satPerShard := harness.SaturationMbps(harness.LoadMix, 8)
+	if cores > 0 && cores != 4 {
+		satPerShard *= float64(cores) / 4
+	}
+	offeredMbps := offered * satPerShard * float64(shards)
+	var shares [qos.NumClasses]float64
+	for _, p := range harness.LoadMix {
+		shares[p.Class] += p.Share
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Shards:        shards,
+		CoresPerShard: cores,
+		Router:        router,
+		Policy:        policy,
+		QueueRequests: true,
+		Seed:          seed,
+		Shape:         true,
+		Shaper:        qos.Config{Capacity: 2 * max(cores, 1), QueueDepth: 32},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	runner, err := cluster.NewOpenLoopRunner(cl, cluster.OpenLoopRunnerConfig{
+		Profiles:    harness.LoadMix,
+		OfferedMbps: offeredMbps,
+		Seed:        seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+
+	fmt.Printf("fault drill: %d shards x %d cores at %.2fx saturation (%.0f Mbps), %d windows x %d cycles\n",
+		shards, cores, offered, offeredMbps, windows, windowCycles)
+	fmt.Printf("schedule (seed %d): %s\n", seed, sched)
+	fmt.Printf("%-8s %10s %10s %8s %s\n", "window", "del Mbps", "voice del%", "errors", "events")
+	lastHB := make([]uint64, shards)
+	for w := 0; w < windows; w++ {
+		var notes []string
+		for _, e := range sched.ForWindow(w) {
+			switch e.Kind {
+			case faults.ShardCrash:
+				if err := cl.ArmShardCrash(e.Shard, cl.NextHeartbeat(e.Shard), e.Offset); err != nil {
+					log.Fatal(err)
+				}
+			case faults.ShardStall:
+				if err := cl.ArmShardStall(e.Shard, cl.NextHeartbeat(e.Shard), e.Offset, e.Dur); err != nil {
+					log.Fatal(err)
+				}
+			}
+			notes = append(notes, e.String())
+		}
+		for i := 0; i < shards; i++ {
+			lastHB[i] = cl.NextHeartbeat(i)
+		}
+		win, err := runner.RunWindow(windowCycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Heartbeat detector: a shard whose counter froze across a served
+		// window is dead — quarantine and re-home, then brown out to the
+		// surviving capacity.
+		for i := 0; i < shards; i++ {
+			if cl.QuarantinedShard(i) || cl.NextHeartbeat(i) != lastHB[i] {
+				continue
+			}
+			rep, err := cl.FailOver(i)
+			if err != nil {
+				notes = append(notes, fmt.Sprintf("shard %d down, fail-over refused: %v", i, err))
+				continue
+			}
+			notes = append(notes, fmt.Sprintf("shard %d down: re-homed %d (voice first), lost %d, %d cycles",
+				i, rep.Moved, rep.Lost, rep.Took))
+			healthy := 0
+			for j := 0; j < shards; j++ {
+				if !cl.QuarantinedShard(j) {
+					healthy++
+				}
+			}
+			deny := faults.BrownoutDeny(offeredMbps, float64(healthy)*satPerShard, shares)
+			if err := cl.ApplyDeny(deny); err != nil {
+				log.Fatal(err)
+			}
+			var shed []string
+			for _, class := range qos.Classes() {
+				if deny[class] {
+					shed = append(shed, class.String())
+				}
+			}
+			if len(shed) > 0 {
+				notes = append(notes, "brownout: shedding "+strings.Join(shed, ", "))
+			}
+		}
+		voice := 100.0
+		for _, c := range win.Classes {
+			if c.Class == qos.Voice && c.Submitted > 0 {
+				voice = 100 * float64(c.Completed) / float64(c.Submitted)
+			}
+		}
+		fmt.Printf("%-8d %10.0f %9.2f%% %8d %s\n",
+			w, win.DeliveredMbps(), voice, win.Errors, strings.Join(notes, "; "))
+	}
+	fmt.Print(cl.Snapshot().Format())
 }
 
 // flagSet reports whether a flag was passed explicitly on the command

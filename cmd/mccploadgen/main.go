@@ -10,6 +10,11 @@
 //	mccploadgen -connect 127.0.0.1:9650 -sessions 1000 -offered-mbps 2500
 //	mccploadgen -conns 4 -process onoff -windows 96
 //	mccploadgen -trace run.csv -offered-mbps 5000   # per-request timing lines
+//	mccploadgen -churn 8 -churn-from 16             # close+reopen 8 sessions
+//	                                                # per window: churn storm
+//	mccploadgen -io-timeout 2s -retries 3           # bounded-backoff retries
+//	                                                # instead of hanging on a
+//	                                                # wedged server
 package main
 
 import (
@@ -41,6 +46,10 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "outstanding requests per connection (0 = default)")
 	seed := flag.Uint64("seed", 31, "deterministic arrival seed")
 	trace := flag.String("trace", "", "write per-request timing CSV to this file")
+	churn := flag.Int("churn", 0, "sessions closed and re-opened lock-step after every window boundary (the open/close churn storm)")
+	churnFrom := flag.Int("churn-from", 0, "first window the churn runs after (0 = from the first boundary)")
+	ioTimeout := flag.Duration("io-timeout", 0, "per-response read deadline (0 = wait forever); timeouts surface as server.ErrTimeout")
+	retries := flag.Int("retries", 0, "total attempts for idempotent OPEN/CLOSE/FLUSH after a timeout (0 or 1 = no retry); resends reuse the request id, so the server dedupes")
 	flag.Parse()
 
 	if *process != "" {
@@ -49,15 +58,19 @@ func main() {
 		}
 	}
 	cfg := server.LoadConfig{
-		Sessions:     *sessions,
-		Mix:          harness.WireMix,
-		Process:      *process,
-		BitsPerCycle: *offeredMbps * 1e6 / sim.DefaultFreqHz,
-		WindowCycles: sim.Time(*windowCycles),
-		Windows:      *windows,
-		Seed:         *seed,
-		Conns:        *conns,
-		Pipeline:     *pipeline,
+		Sessions:      *sessions,
+		Mix:           harness.WireMix,
+		Process:       *process,
+		BitsPerCycle:  *offeredMbps * 1e6 / sim.DefaultFreqHz,
+		WindowCycles:  sim.Time(*windowCycles),
+		Windows:       *windows,
+		Seed:          *seed,
+		Conns:         *conns,
+		Pipeline:      *pipeline,
+		ChurnSessions: *churn,
+		ChurnFrom:     *churnFrom,
+		IOTimeout:     *ioTimeout,
+		Retry:         server.RetryPolicy{Attempts: *retries},
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -97,6 +110,9 @@ func main() {
 			qos.PercentileOf(c.WireSamples, 50), qos.PercentileOf(c.WireSamples, 99))
 	}
 	fmt.Printf("arrival digest (determinism check): %x\n", res.ArrivalDigest)
+	if res.Churned > 0 {
+		fmt.Printf("churn storm: %d sessions closed and re-opened\n", res.Churned)
+	}
 	if res.Stats != nil {
 		fmt.Printf("server: %d sessions opened, %d cluster cycles, shard digests %x\n",
 			res.Stats.SessionsOpened, res.Stats.ClusterCycles, res.Stats.Digests)

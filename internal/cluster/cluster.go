@@ -238,6 +238,10 @@ type Cluster struct {
 	// active shards. An inactive shard keeps running — sessions that cannot
 	// re-home anywhere else stay where they are and stay served.
 	inactive []bool
+	// quarantined marks shards a fail-over has declared dead: inactive
+	// for routing, and with channel state treated as lost (Rebalance and
+	// RehomeFrom never enqueue closes there). See faults.go.
+	quarantined []bool
 
 	// Pipeline state: perShard accumulates the next batch per shard,
 	// subSeq counts batches pushed onto each shard's ring, order is the
@@ -299,6 +303,7 @@ func New(cfg Config) (*Cluster, error) {
 		bytesDone:     make([]atomic.Uint64, cfg.Shards),
 		hashCores:     make([]int, cfg.Shards),
 		inactive:      make([]bool, cfg.Shards),
+		quarantined:   make([]bool, cfg.Shards),
 		perShard:      make([][]*pendingOp, cfg.Shards),
 		subSeq:        make([]uint64, cfg.Shards),
 		keys:          radio.NewKeystream(cfg.Seed ^ 0xC1A5731D),
@@ -800,6 +805,10 @@ func (c *Cluster) closeOn(shardID, ch int) *pendingOp {
 	return c.enqueue(slot, false)
 }
 
+// Closed reports whether the session is gone — explicitly closed, or a
+// crash casualty RehomeFrom could not place on any survivor.
+func (s *Session) Closed() bool { return s.closed }
+
 // Close drains outstanding work, closes the device channel and retires
 // the session.
 func (s *Session) Close() error {
@@ -809,10 +818,15 @@ func (s *Session) Close() error {
 	s.closed = true
 	c := s.cl
 	c.Flush()
-	slot := c.closeOn(s.shardID, s.chID)
-	c.Flush()
-	err := slot.err
-	c.putSlot(slot)
+	var err error
+	if !c.quarantined[s.shardID] {
+		// On a quarantined shard the channel died with the shard; only
+		// the front-end bookkeeping remains to retire.
+		slot := c.closeOn(s.shardID, s.chID)
+		c.Flush()
+		err = slot.err
+		c.putSlot(slot)
+	}
 	delete(c.sessions, s.id)
 	c.shardSessions[s.shardID].Add(-1)
 	c.shardWeight[s.shardID] -= s.weight
@@ -877,7 +891,12 @@ func (c *Cluster) Rebalance() int {
 			continue
 		}
 		c.lastMoves = append(c.lastMoves, ses.id)
-		closes = append(closes, c.closeOn(ses.shardID, ses.chID))
+		if !c.quarantined[ses.shardID] {
+			// A quarantined shard's channel state is lost — there is
+			// nothing to close there (and nothing should be enqueued on a
+			// corpse).
+			closes = append(closes, c.closeOn(ses.shardID, ses.chID))
+		}
 		moves = append(moves, move{ses: ses, to: to, open: c.openOn(ses, to)})
 	}
 	c.Flush()

@@ -28,6 +28,12 @@ func (c *Cluster) SetShardActive(id int, active bool) error {
 	if id < 0 || id >= c.cfg.Shards {
 		return fmt.Errorf("cluster: no shard %d", id)
 	}
+	if active && c.quarantined[id] {
+		// A quarantined shard is a corpse: its channel state is gone and
+		// its shaper fails everything. Re-admitting it would route live
+		// sessions into a black hole.
+		return fmt.Errorf("cluster: shard %d is quarantined (crashed) and cannot be re-admitted", id)
+	}
 	if !active {
 		rest := 0
 		for i, off := range c.inactive {
@@ -40,6 +46,9 @@ func (c *Cluster) SetShardActive(id int, active bool) error {
 		}
 	}
 	c.inactive[id] = !active
+	// Mirror into the shard's atomic so Snapshot (any goroutine) can
+	// report the serving set without reading front-end state.
+	c.shards[id].drained.Store(!active)
 	return nil
 }
 

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"mccp/internal/qos"
+	"mccp/internal/sim"
+)
+
+// This file is the cluster's half of the deterministic fault-injection
+// plane (internal/faults builds schedules; this is the mechanism). A
+// fault is *armed* on a shard by the front end — a lock-free handoff the
+// shard goroutine consumes at its next batch — and *fires* as a scheduled
+// event on the shard's own discrete-event engine, so the failure point is
+// a virtual time, reproducible bit-for-bit across runs. A crashed shard
+// keeps its goroutine (batches still drain, so barriers never hang) but
+// its service dies: the shaper fails everything with ErrShardDown, and
+// its heartbeat counter — published in every Snapshot — freezes, which is
+// how a failure detector tells a dead shard from an idle one. Recovery is
+// the quarantine → voice-first re-home → (optional) brownout sequence.
+
+// ErrShardDown is the verdict every packet lost to a crashed shard gets:
+// queued work at the moment the crash fires and every later submission.
+// It classifies as verdict.Failed, so nothing new crosses the wire.
+var ErrShardDown = fmt.Errorf("cluster: shard down (injected crash)")
+
+// NextHeartbeat returns the heartbeat value the shard's next batch will
+// start with — the `when` to pass to ArmShardCrash/ArmShardStall to make
+// the fault fire in the very next batch. Heartbeats advance once per
+// served batch and freeze on crash; the value is read from the shard's
+// published snapshot, so it is safe from any goroutine.
+func (c *Cluster) NextHeartbeat(id int) uint64 {
+	if id < 0 || id >= c.cfg.Shards {
+		return 0
+	}
+	return c.shards[id].snap.Load().heartbeat
+}
+
+// ArmShardCrash arms a permanent crash on a shard: in the first batch
+// whose starting heartbeat is >= when, an event scheduled offset cycles
+// into the batch kills the shard's service — its shaper fails all queued
+// and future packets with ErrShardDown and its heartbeat freezes. The
+// shard goroutine itself keeps draining batches (so flush barriers never
+// hang on a corpse); detection and re-homing are the caller's move (see
+// FailOver). Arming is a lock-free atomic store, safe from any
+// goroutine; the cluster must run per-shard shapers (Config.Shape).
+func (c *Cluster) ArmShardCrash(id int, when uint64, offset sim.Time) error {
+	return c.armFault(id, when, offset, 0)
+}
+
+// ArmShardStall arms a transient freeze: at the armed point the shard's
+// shaper stops dispatching for stall cycles — queued packets age and
+// expire in place under the normal AgeLimit/deadline machinery — then
+// resumes and drains the survivors. The heartbeat keeps advancing, so a
+// stalled shard is *not* reported dead; it recovers on its own.
+func (c *Cluster) ArmShardStall(id int, when uint64, offset, stall sim.Time) error {
+	if stall <= 0 {
+		return fmt.Errorf("cluster: shard stall needs a positive duration")
+	}
+	return c.armFault(id, when, offset, stall)
+}
+
+func (c *Cluster) armFault(id int, when uint64, offset, stall sim.Time) error {
+	if id < 0 || id >= c.cfg.Shards {
+		return fmt.Errorf("cluster: no shard %d", id)
+	}
+	if !c.cfg.Shape {
+		return fmt.Errorf("cluster: fault injection needs per-shard shapers (Config.Shape)")
+	}
+	c.shards[id].fault.Store(&shardFault{when: when, offset: offset, stall: stall})
+	return nil
+}
+
+// Quarantine withdraws a dead shard from routing, like SetShardActive,
+// and additionally marks it quarantined: Rebalance and RehomeFrom treat
+// its channel state as lost and never enqueue close operations there.
+// The last active shard cannot be quarantined (the cluster would serve
+// nothing); the error leaves the shard serving whatever still works.
+func (c *Cluster) Quarantine(id int) error {
+	if err := c.SetShardActive(id, false); err != nil {
+		return err
+	}
+	c.quarantined[id] = true
+	c.shards[id].quarantinedA.Store(true)
+	return nil
+}
+
+// QuarantinedShard reports whether a shard has been quarantined.
+func (c *Cluster) QuarantinedShard(id int) bool {
+	return id >= 0 && id < c.cfg.Shards && c.quarantined[id]
+}
+
+// RehomeReport summarizes a crash fail-over.
+type RehomeReport struct {
+	// Shard is the failed shard; Moved the sessions re-opened on
+	// survivors (voice first); Lost the sessions no surviving shard could
+	// serve (closed and dropped — their next packet would have failed
+	// anyway).
+	Shard int
+	Moved int
+	Lost  int
+	// Took is the largest virtual-time advance any surviving shard spent
+	// on the re-home (key re-installs + channel opens), the re-home
+	// latency the E16 table reports.
+	Took sim.Time
+}
+
+// FailOver is the full crash response: quarantine the dead shard, then
+// re-home every session it held onto the survivors, voice first. It is
+// what a failure detector calls once a frozen heartbeat has betrayed a
+// crash.
+func (c *Cluster) FailOver(dead int) (RehomeReport, error) {
+	if !c.quarantined[dead] {
+		if err := c.Quarantine(dead); err != nil {
+			return RehomeReport{Shard: dead}, err
+		}
+	}
+	return c.RehomeFrom(dead)
+}
+
+// RehomeFrom migrates every session homed on a quarantined shard onto
+// the active shards, in the same voice-first order as Rebalance (class
+// descending, then session ID). Unlike Rebalance it never enqueues a
+// close on the source shard — a crashed shard's channel state is gone —
+// and a session the router cannot place anywhere is dropped as Lost
+// rather than panicking: under a crash, losing a session beats wedging
+// the control plane.
+func (c *Cluster) RehomeFrom(dead int) (RehomeReport, error) {
+	rep := RehomeReport{Shard: dead}
+	if dead < 0 || dead >= c.cfg.Shards {
+		return rep, fmt.Errorf("cluster: no shard %d", dead)
+	}
+	if !c.quarantined[dead] {
+		return rep, fmt.Errorf("cluster: shard %d is not quarantined (call Quarantine or FailOver)", dead)
+	}
+	c.Flush()
+	before := make([]sim.Time, c.cfg.Shards)
+	for i, sh := range c.shards {
+		before[i] = sh.eng.Now() // safe: the flush barrier idled every shard
+	}
+	ids := make([]int, 0, 8)
+	for id, ses := range c.sessions {
+		if ses.shardID == dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := c.sessions[ids[i]], c.sessions[ids[j]]
+		if a.class != b.class {
+			return a.class > b.class
+		}
+		return a.id < b.id
+	})
+	type move struct {
+		ses  *Session
+		to   int
+		open *pendingOp
+	}
+	var moves []move
+	for _, id := range ids {
+		ses := c.sessions[id]
+		c.shardSessions[dead].Add(-1)
+		c.shardWeight[dead] -= ses.weight
+		if ses.hp {
+			c.shardHPWeight[dead] -= ses.weight
+		}
+		to := c.router.Route(ses.info(), c.views())
+		if to < 0 {
+			ses.closed = true
+			delete(c.sessions, id)
+			rep.Lost++
+			continue
+		}
+		c.shardSessions[to].Add(1)
+		c.shardWeight[to] += ses.weight
+		if ses.hp {
+			c.shardHPWeight[to] += ses.weight
+		}
+		moves = append(moves, move{ses: ses, to: to, open: c.openOn(ses, to)})
+	}
+	c.Flush()
+	for _, m := range moves {
+		if m.open.err != nil {
+			// The survivor refused the channel (e.g. device channel
+			// exhaustion): the session is lost, not the cluster.
+			c.shardSessions[m.to].Add(-1)
+			c.shardWeight[m.to] -= m.ses.weight
+			if m.ses.hp {
+				c.shardHPWeight[m.to] -= m.ses.weight
+			}
+			m.ses.closed = true
+			delete(c.sessions, m.ses.id)
+			rep.Lost++
+			c.putSlot(m.open)
+			continue
+		}
+		m.ses.shardID = m.to
+		m.ses.chID = m.open.chOut
+		c.putSlot(m.open)
+		rep.Moved++
+	}
+	for i, sh := range c.shards {
+		if i == dead {
+			continue
+		}
+		if d := sh.eng.Now() - before[i]; d > rep.Took {
+			rep.Took = d
+		}
+	}
+	return rep, nil
+}
+
+// ApplyDeny installs a brownout admission mask on every live shard's
+// shaper: a denied class is shed at admission with qos.ErrShed — the
+// existing load-shedding verdict, so degradation is visible through the
+// counters and wire statuses that already exist. The zero mask restores
+// full admission. Requires per-shard shapers (Config.Shape).
+func (c *Cluster) ApplyDeny(deny [qos.NumClasses]bool) error {
+	if !c.cfg.Shape {
+		return fmt.Errorf("cluster: brownout needs per-shard shapers (Config.Shape)")
+	}
+	c.Flush()
+	var slots []*pendingOp
+	for i, sh := range c.shards {
+		if sh.crashed.Load() || c.quarantined[i] {
+			continue
+		}
+		slot := c.getSlot()
+		slot.kind = opGeneric
+		slot.retain = true
+		slot.shard = i
+		slot.nbytes = 0
+		slot.cb = nil
+		slot.run = func(sh *shard, op *pendingOp, done func()) {
+			sh.shaper.SetDeny(deny)
+			done()
+		}
+		c.enqueue(slot, false)
+		slots = append(slots, slot)
+	}
+	c.Flush()
+	for _, slot := range slots {
+		c.putSlot(slot)
+	}
+	return nil
+}

@@ -76,6 +76,17 @@ type ShardMetrics struct {
 	SimMbps float64
 	// PendingOps counts operations queued for the next batch.
 	PendingOps int
+	// Heartbeat counts batches the shard has served while healthy; it
+	// freezes the moment an injected crash fires, so a failure detector
+	// comparing successive snapshots can tell a dead shard (frozen
+	// heartbeat, offered bytes still growing) from an idle one. Crashed
+	// mirrors the shard's crash flag; Active whether the shard is in the
+	// routing set; Quarantined whether a fail-over declared it dead. All
+	// four are atomically published, safe in Snapshot from any goroutine.
+	Heartbeat   uint64
+	Crashed     bool
+	Active      bool
+	Quarantined bool
 	// Classes is the shard shaper's per-class counter snapshot, highest
 	// priority first (nil unless the cluster runs per-shard shapers).
 	Classes []qos.ClassStats
@@ -184,6 +195,10 @@ func (c *Cluster) buildMetrics(frontEnd bool) Metrics {
 			Cycles:        cyc,
 			SimMbps:       mbpsAt190(done*8, cyc),
 			PendingOps:    pending,
+			Heartbeat:     snap.heartbeat,
+			Crashed:       snap.crashed,
+			Active:        !sh.drained.Load(),
+			Quarantined:   sh.quarantinedA.Load(),
 			Classes:       snap.classes,
 		}
 		m.Shards = append(m.Shards, sm)

@@ -34,6 +34,12 @@ type shardSnap struct {
 	keyExpansions uint64
 	crossbarBusy  sim.Time
 	cycles        sim.Time // virtual time consumed since settle
+	// heartbeat counts batches served while healthy: it stops advancing
+	// the moment a ShardCrash fault fires, which is how the front end's
+	// failure detector tells a dead shard from an idle one. crashed
+	// mirrors the shard's crash flag as of the snapshot.
+	heartbeat uint64
+	crashed   bool
 	// classes carries the shard shaper's per-class counters (only filled
 	// with Config.Shape), highest priority first.
 	classes []qos.ClassStats
@@ -84,6 +90,19 @@ type shard struct {
 	completed atomic.Uint64
 	snap      atomic.Pointer[shardSnap]
 
+	// crashed is set on the shard goroutine when an armed ShardCrash
+	// fault fires on this shard's engine (atomic so Snapshot callers on
+	// other goroutines can read it); heartbeat is the shard-goroutine
+	// batch counter that freezes once crashed. fault is the armed (not
+	// yet fired) fault, written by the front end and consumed by loop.
+	// drained and quarantinedA mirror the front end's routing mask so
+	// Snapshot can report it without touching front-end state.
+	crashed      atomic.Bool
+	heartbeat    uint64
+	fault        atomic.Pointer[shardFault]
+	drained      atomic.Bool
+	quarantinedA atomic.Bool
+
 	// Batch pump state (shard goroutine only). doneFn is the prebuilt
 	// per-operation completion shared by every op's finish callback.
 	// batchStart is the shard's virtual time at the start of the running
@@ -131,12 +150,35 @@ func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
 	return sh
 }
 
+// shardFault is an armed fault-injection event: in the first batch whose
+// starting heartbeat is >= when, an engine event fires offset cycles in.
+// stall == 0 is a permanent crash (the shard's service dies: its shaper
+// fails everything, its heartbeat freezes); stall > 0 freezes the
+// shaper's pump for that many cycles and then recovers.
+type shardFault struct {
+	when   uint64
+	offset sim.Time
+	stall  sim.Time
+}
+
 // loop services the submission ring until it closes. After each batch it
 // publishes the counter snapshot, advances the completed sequence (the
 // release edge for everything the batch wrote) and pokes the notifier.
 func (sh *shard) loop() {
 	defer close(sh.done)
 	for b := range sh.sub {
+		if f := sh.fault.Load(); f != nil && sh.heartbeat >= f.when {
+			sh.fault.Store(nil)
+			stall := f.stall
+			sh.eng.At(sh.eng.Now()+f.offset, func() {
+				if stall > 0 {
+					sh.shaper.PauseUntil(sh.eng.Now() + stall)
+					return
+				}
+				sh.crashed.Store(true)
+				sh.shaper.Kill(ErrShardDown)
+			})
+		}
 		sh.runBatch(b.ops)
 		sh.publishSnap()
 		sh.completed.Store(b.seq)
@@ -217,6 +259,9 @@ func (sh *shard) exec(op *pendingOp) {
 }
 
 func (sh *shard) publishSnap() {
+	if !sh.crashed.Load() {
+		sh.heartbeat++
+	}
 	snap := &shardSnap{
 		completions:   sh.cc.Completions,
 		authFails:     sh.dev.Stats.AuthFails,
@@ -226,6 +271,8 @@ func (sh *shard) publishSnap() {
 		keyExpansions: sh.dev.KeySched.Expansions,
 		crossbarBusy:  sh.dev.XBar.BusyCycles,
 		cycles:        sh.eng.Now() - sh.base,
+		heartbeat:     sh.heartbeat,
+		crashed:       sh.crashed.Load(),
 	}
 	if sh.shaper != nil {
 		snap.classes = sh.shaper.AllStats()

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ConnPlan is a deterministic wire-fault program for one connection.
+// Counters are in whole calls, so the same plan perturbs the same frame
+// boundaries on every run. The zero plan is a transparent pass-through.
+type ConnPlan struct {
+	// DropAfterWrites severs the connection (both directions) after that
+	// many successful Write calls; the Nth+1 write fails. 0 = never.
+	DropAfterWrites int
+	// TruncWrite makes the Nth Write call (1-based) deliver only half
+	// its bytes and then sever the connection — the classic partial
+	// write a crash mid-send leaves behind. 0 = never.
+	TruncWrite int
+	// StallAfterReads makes every Read call after the Nth block until
+	// the connection's read deadline (or until the peer closes) and then
+	// fail with os.ErrDeadlineExceeded — a peer that is alive but
+	// wedged. 0 = never.
+	StallAfterReads int
+}
+
+// Wrap decorates a net.Conn with the plan's faults. The wrapper honors
+// SetReadDeadline/SetDeadline during injected stalls, which is exactly
+// what makes client-side I/O timeouts testable: a stalled read returns
+// os.ErrDeadlineExceeded (a net.Error with Timeout() == true) when the
+// deadline passes, or blocks forever if the caller never set one.
+func Wrap(c net.Conn, plan ConnPlan) net.Conn {
+	return &faultConn{Conn: c, plan: plan, closed: make(chan struct{})}
+}
+
+type faultConn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu       sync.Mutex
+	writes   int
+	reads    int
+	dead     bool
+	deadline time.Time // read deadline, mirrored for injected stalls
+	closed   chan struct{}
+}
+
+var errConnDropped = fmt.Errorf("faults: connection dropped by injector")
+
+func (f *faultConn) sever() {
+	f.mu.Lock()
+	if !f.dead {
+		f.dead = true
+		f.Conn.Close()
+		close(f.closed)
+	}
+	f.mu.Unlock()
+}
+
+func (f *faultConn) Close() error {
+	f.sever()
+	return nil
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return 0, errConnDropped
+	}
+	f.writes++
+	w := f.writes
+	f.mu.Unlock()
+	if f.plan.TruncWrite > 0 && w == f.plan.TruncWrite {
+		n, _ := f.Conn.Write(b[:len(b)/2])
+		f.sever()
+		return n, errConnDropped
+	}
+	if f.plan.DropAfterWrites > 0 && w > f.plan.DropAfterWrites {
+		f.sever()
+		return 0, errConnDropped
+	}
+	return f.Conn.Write(b)
+}
+
+func (f *faultConn) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return 0, errConnDropped
+	}
+	f.reads++
+	r := f.reads
+	deadline := f.deadline
+	f.mu.Unlock()
+	if f.plan.StallAfterReads > 0 && r > f.plan.StallAfterReads {
+		// The peer is wedged: never deliver bytes, only a deadline (or
+		// the connection dying) ends the wait.
+		if deadline.IsZero() {
+			<-f.closed
+			return 0, errConnDropped
+		}
+		select {
+		case <-time.After(time.Until(deadline)):
+			return 0, os.ErrDeadlineExceeded
+		case <-f.closed:
+			return 0, errConnDropped
+		}
+	}
+	return f.Conn.Read(b)
+}
+
+func (f *faultConn) SetDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.deadline = t
+	f.mu.Unlock()
+	return f.Conn.SetDeadline(t)
+}
+
+func (f *faultConn) SetReadDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.deadline = t
+	f.mu.Unlock()
+	return f.Conn.SetReadDeadline(t)
+}

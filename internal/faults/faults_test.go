@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"mccp/internal/qos"
+)
+
+func TestPlanDeterministicAndSurvivable(t *testing.T) {
+	cfg := PlanConfig{Seed: 7, Shards: 4, Windows: 24, Crashes: 3, ChurnPerWindow: 8, WindowCycles: 8192}
+	a, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	victims := map[int]bool{}
+	for _, e := range a.Events {
+		if e.Kind != ShardCrash {
+			continue
+		}
+		if victims[e.Shard] {
+			t.Fatalf("shard %d crashed twice: %v", e.Shard, a)
+		}
+		victims[e.Shard] = true
+		if e.Offset < 8192/4 || e.Offset > 8192*3/4 {
+			t.Fatalf("crash offset %d outside the mid-window band", e.Offset)
+		}
+	}
+	if len(victims) != 3 {
+		t.Fatalf("want 3 distinct crash victims, got %d (%v)", len(victims), a)
+	}
+	if _, err := Plan(PlanConfig{Seed: 1, Shards: 4, Windows: 8, Crashes: 4}); err == nil {
+		t.Fatal("plan crashing every shard should be refused")
+	}
+	c, err := Plan(PlanConfig{Seed: 8, Shards: 4, Windows: 24, Crashes: 3, WindowCycles: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes := func(s Schedule) []Event {
+		var out []Event
+		for _, e := range s.Events {
+			if e.Kind == ShardCrash {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if reflect.DeepEqual(crashes(a), crashes(c)) {
+		t.Fatal("different seeds produced identical crash schedules")
+	}
+}
+
+func TestBrownoutDenyOrdering(t *testing.T) {
+	share := [qos.NumClasses]float64{}
+	share[qos.Voice] = 0.10
+	share[qos.Video] = 0.15
+	share[qos.Data] = 0.15
+	share[qos.Background] = 0.60
+
+	if deny := BrownoutDeny(900, 1000, share); deny != ([qos.NumClasses]bool{}) {
+		t.Fatalf("capacity above offered must deny nothing, got %v", deny)
+	}
+	// 900 offered onto 500: shedding background (540) suffices.
+	deny := BrownoutDeny(900, 500, share)
+	if !deny[qos.Background] || deny[qos.Data] || deny[qos.Video] || deny[qos.Voice] {
+		t.Fatalf("want background-only shed, got %v", deny)
+	}
+	// 900 onto 250: background+data (675 shed, 225 admitted) suffices.
+	deny = BrownoutDeny(900, 250, share)
+	if !deny[qos.Background] || !deny[qos.Data] || deny[qos.Video] || deny[qos.Voice] {
+		t.Fatalf("want background+data shed, got %v", deny)
+	}
+	// 900 onto 50: everything but voice sheds; voice always holds.
+	deny = BrownoutDeny(900, 50, share)
+	if !deny[qos.Background] || !deny[qos.Data] || !deny[qos.Video] || deny[qos.Voice] {
+		t.Fatalf("want everything-but-voice shed, got %v", deny)
+	}
+}
+
+func TestWrapStallHonorsDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := Wrap(a, ConnPlan{StallAfterReads: 0, DropAfterWrites: 0})
+	// With StallAfterReads unset the wrapper passes reads through.
+	go b.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("pass-through read: %v", err)
+	}
+
+	sc := Wrap(b, ConnPlan{StallAfterReads: 1})
+	go a.Write([]byte("y"))
+	if _, err := sc.Read(buf); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	sc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := sc.Read(buf)
+	var ne net.Error
+	if !errors.Is(err, os.ErrDeadlineExceeded) && !(errors.As(err, &ne) && ne.Timeout()) {
+		t.Fatalf("stalled read should time out, got %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatalf("stalled read returned before the deadline")
+	}
+}
+
+func TestWrapTruncWriteSevers(t *testing.T) {
+	a, b := net.Pipe()
+	fc := Wrap(a, ConnPlan{TruncWrite: 1})
+	got := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- n
+	}()
+	n, err := fc.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("truncated write should report the severed connection")
+	}
+	if n != 5 {
+		t.Fatalf("want 5 bytes delivered (half), got %d", n)
+	}
+	if delivered := <-got; delivered != 5 {
+		t.Fatalf("peer saw %d bytes, want 5", delivered)
+	}
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("write after severing should fail")
+	}
+}

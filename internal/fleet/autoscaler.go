@@ -1,6 +1,9 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // AutoscalerConfig tunes the hysteresis autoscaler. Utilization is
 // offered load divided by the serving capacity (active shards times the
@@ -122,6 +125,15 @@ func (a *Autoscaler) Smoothed() float64 { return a.ewma }
 // Observe feeds one control-interval observation of offered load and
 // returns the (possibly updated) target shard count.
 func (a *Autoscaler) Observe(offeredMbps float64) int {
+	// A NaN, Inf or negative rate (a zero-length measurement interval
+	// upstream, an uninitialized counter) carries no information and —
+	// fed to the EWMA — would poison every later comparison: NaN never
+	// compares true, so the controller would freeze at the current size
+	// forever. Drop the sample instead; debounce and cooldown state are
+	// untouched, exactly as if the interval had not elapsed.
+	if math.IsNaN(offeredMbps) || math.IsInf(offeredMbps, 0) || offeredMbps < 0 {
+		return a.active
+	}
 	if !a.primed {
 		a.ewma, a.primed = offeredMbps, true
 	} else {

@@ -33,6 +33,15 @@ func (f *Fleet) Cluster() *cluster.Cluster { return f.cl }
 // Active returns the number of shards currently serving placements.
 func (f *Fleet) Active() int { return f.cl.ActiveShards() }
 
+// FailOver is the fleet-level crash response: quarantine a dead shard
+// (detected by its frozen heartbeat in cluster.Snapshot) and re-home
+// every session it held onto the survivors, voice first. See
+// cluster.FailOver; a quarantined shard stays out of every later Scale
+// and RollingSwap rotation.
+func (f *Fleet) FailOver(dead int) (cluster.RehomeReport, error) {
+	return f.cl.FailOver(dead)
+}
+
 // ScaleReport describes one Scale call.
 type ScaleReport struct {
 	// Active is the serving shard count after the call; Moved the number
@@ -48,11 +57,27 @@ type ScaleReport struct {
 // hardware exists); Scale changes which shards the routers may use —
 // the cluster-scope analogue of powering cores up and down.
 func (f *Fleet) Scale(n int) (ScaleReport, error) {
-	if n < 1 || n > f.cl.Shards() {
-		return ScaleReport{}, fmt.Errorf("fleet: cannot scale to %d shards (pool has %d)", n, f.cl.Shards())
-	}
+	// Quarantined shards are corpses, not capacity: they stay out of the
+	// serving set whatever n says, and the pool shrinks accordingly.
+	pool := 0
 	for id := 0; id < f.cl.Shards(); id++ {
-		if err := f.cl.SetShardActive(id, id < n); err != nil {
+		if !f.cl.QuarantinedShard(id) {
+			pool++
+		}
+	}
+	if n < 1 || n > pool {
+		return ScaleReport{}, fmt.Errorf("fleet: cannot scale to %d shards (pool has %d healthy)", n, pool)
+	}
+	assigned := 0
+	for id := 0; id < f.cl.Shards(); id++ {
+		if f.cl.QuarantinedShard(id) {
+			continue
+		}
+		active := assigned < n
+		if active {
+			assigned++
+		}
+		if err := f.cl.SetShardActive(id, active); err != nil {
 			return ScaleReport{}, err
 		}
 	}

@@ -83,6 +83,19 @@ var Experiments = map[string]Experiment{
 			" source speed, while background pays for the reservation)",
 		},
 	},
+	"E16": {
+		ID:    "E16",
+		Title: "fault curves (crash + churn under load, re-home and brownout)",
+		Run: func(scale int) string {
+			return FormatFaultCurves(FaultCurves(FaultConfig{}))
+		},
+		Notes: []string{
+			"(a seeded schedule crashes shards mid-window at 0.9x saturation while",
+			" sessions churn; the detector quarantines each frozen heartbeat at the",
+			" next flush boundary, re-homes voice-first and browns out background;",
+			" the zero-fault row is bit-identical to the E14 pipeline at 0.9x)",
+		},
+	},
 }
 
 // ExperimentIDs returns the registered experiment IDs in order.

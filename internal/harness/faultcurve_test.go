@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"mccp/internal/qos"
+	"mccp/internal/sim"
+)
+
+// faultTestConfig keeps the E16 table small enough for CI: 4 shards,
+// 64 sessions, short windows, both policies over the default rows.
+func faultTestConfig() FaultConfig {
+	return FaultConfig{
+		Wire: WireConfig{
+			Shards:       4,
+			Sessions:     64,
+			WindowCycles: 4096,
+			Windows:      24,
+		},
+		FaultWindow: 8,
+	}
+}
+
+func TestFaultCurvesDeterministic(t *testing.T) {
+	a := FaultCurves(faultTestConfig())
+	b := FaultCurves(faultTestConfig())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("E16 table not reproducible:\n%s\nvs\n%s",
+			FormatFaultCurves(a), FormatFaultCurves(b))
+	}
+	for i, p := range a.Points {
+		if p.ArrivalDigest == 0 {
+			t.Fatalf("point %d: zero arrival digest", i)
+		}
+		if len(p.ServerDigests) == 0 {
+			t.Fatalf("point %d: no server shard digests", i)
+		}
+	}
+}
+
+// TestFaultCurvesCompat replays one faulted point on the reference
+// simulation kernel: digests, verdicts, fail-over log and recovery
+// times must all match the fast path bit for bit.
+func TestFaultCurvesCompat(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.Rows = []FaultRow{{Crashes: 1, Churn: 8}}
+	cfg.Policies = []string{"qos-priority"}
+	fast := FaultCurves(cfg)
+	sim.CompatDefault = true
+	defer func() { sim.CompatDefault = false }()
+	ref := FaultCurves(cfg)
+	if !reflect.DeepEqual(fast, ref) {
+		t.Fatalf("fast path diverges from the Compat reference kernel:\n%s\nvs\n%s",
+			FormatFaultCurves(fast), FormatFaultCurves(ref))
+	}
+}
+
+// TestFaultZeroRowMatchesWireBaseline is the E16 lineage guard: the
+// zero-fault row — fault plane wired in, schedule empty, detector live —
+// must be bit-identical to the plain E14 pipeline at the same offered
+// point. The fault machinery may cost nothing until a fault fires.
+func TestFaultZeroRowMatchesWireBaseline(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.Rows = []FaultRow{{0, 0}}
+	cfg.Policies = []string{"qos-priority"}
+	cfg.fill()
+	sat := SaturationMbps(cfg.Wire.Mix, cfg.Wire.SatPackets) * float64(cfg.Wire.Shards) *
+		float64(cfg.Wire.CoresPerShard) / 4
+
+	fault := FaultPointRun("qos-priority", FaultRow{0, 0}, sat, cfg)
+
+	wire := cfg.Wire
+	wire.Policy = "qos-priority"
+	base := WirePointRun(cfg.Offered, sat, wire)
+
+	if !reflect.DeepEqual(fault.WirePoint, base) {
+		t.Fatalf("zero-fault row diverges from the E14 baseline:\nfault: %+v\nbase:  %+v",
+			fault.WirePoint, base)
+	}
+	if len(fault.Rehomes) != 0 {
+		t.Fatalf("zero-fault row recorded fail-overs: %+v", fault.Rehomes)
+	}
+	if fault.Churned != 0 {
+		t.Fatalf("zero-fault row churned %d sessions", fault.Churned)
+	}
+}
+
+func TestFaultCurvesShape(t *testing.T) {
+	res := FaultCurves(faultTestConfig())
+	t.Logf("\n%s", FormatFaultCurves(res))
+	if len(res.Points) != 8 {
+		t.Fatalf("expected 2 policies x 4 rows = 8 points, got %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Row.Crashes == 0 {
+			if len(p.Rehomes) != 0 {
+				t.Errorf("%s zero-fault row has fail-overs: %+v", p.Policy, p.Rehomes)
+			}
+			continue
+		}
+		if len(p.Rehomes) != p.Row.Crashes {
+			t.Errorf("%s crashes=%d: detector logged %d fail-overs",
+				p.Policy, p.Row.Crashes, len(p.Rehomes))
+		}
+		if p.Lost != 0 {
+			t.Errorf("%s crashes=%d: %d sessions lost in re-home", p.Policy, p.Row.Crashes, p.Lost)
+		}
+		if p.Moved == 0 {
+			t.Errorf("%s crashes=%d: no sessions re-homed", p.Policy, p.Row.Crashes)
+		}
+		if !p.Recovered {
+			t.Errorf("%s crashes=%d: voice never recovered", p.Policy, p.Row.Crashes)
+		}
+		if p.Policy == "qos-priority" {
+			v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+			if p.Row.Crashes == 1 && v.LossFrac > 0.01 {
+				t.Errorf("qos-priority crashes=1 churn=%d: voice loss %.2f%% above 1%%",
+					p.Row.Churn, 100*v.LossFrac)
+			}
+			// With half the cluster dead some voice bound for the corpses
+			// is unavoidable; it must still be a small fraction of the
+			// background loss the brownout deliberately takes.
+			if v.LossFrac > bg.LossFrac/4 {
+				t.Errorf("qos-priority crashes=%d: voice loss %.2f%% not well under background %.2f%%",
+					p.Row.Crashes, 100*v.LossFrac, 100*bg.LossFrac)
+			}
+		}
+		if p.Row.Churn > 0 && p.Churned == 0 {
+			t.Errorf("%s churn=%d: no sessions churned", p.Policy, p.Row.Churn)
+		}
+	}
+}
+
+func TestFaultSmoke(t *testing.T) {
+	v := FaultSmoke()
+	t.Logf("%s", v)
+	if !v.Pass() {
+		t.Fatalf("faultsmoke gate failed: %s", v)
+	}
+	a, b := FaultSmoke(), FaultSmoke()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("faultsmoke not reproducible: %s vs %s", a, b)
+	}
+}

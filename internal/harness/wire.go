@@ -237,13 +237,20 @@ func WirePointRun(offered, satMbps float64, cfg WireConfig) WirePoint {
 		panic(err)
 	}
 
+	return buildWirePoint(offered, satMbps, cfg.Sessions, load)
+}
+
+// buildWirePoint reduces one RunLoad outcome to a table point — shared
+// by the E14 wire curves and the E16 fault curves, so a fault table's
+// zero-fault row is computed by the very same code as the E14 baseline.
+func buildWirePoint(offered, satMbps float64, sessions int, load server.LoadResult) WirePoint {
 	horizon := load.HorizonCycles
 	toMbps := func(bytes uint64) float64 {
 		return float64(bytes*8) / float64(horizon) * sim.DefaultFreqHz / 1e6
 	}
 	point := WirePoint{
 		Offered:       offered,
-		Sessions:      cfg.Sessions,
+		Sessions:      sessions,
 		ArrivalDigest: load.ArrivalDigest,
 	}
 	if load.Stats != nil {

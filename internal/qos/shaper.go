@@ -155,6 +155,14 @@ type Shaper struct {
 	stats      [NumClasses]ClassStats
 	dispatched [NumClasses]bool // FirstDispatch recorded (0 is a valid time)
 	latency    [NumClasses][]sim.Time
+
+	// Fault-injection state (internal/faults): killed makes every
+	// submission fail immediately with that error; pausedUntil freezes the
+	// pump (queued packets age and expire in place); deny is the brownout
+	// admission mask — a denied class is shed at admission with ErrShed.
+	killed      error
+	pausedUntil sim.Time
+	deny        [NumClasses]bool
 }
 
 // NewShaper builds a shaper over a target. It panics on an unknown drain
@@ -210,6 +218,20 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	c = ClassForPriority(int(c))
 	st := &s.stats[c]
 	st.Submitted++
+	if s.killed != nil {
+		st.Failed++
+		if cb != nil {
+			cb(nil, s.killed)
+		}
+		return
+	}
+	if s.deny[c] {
+		st.Shed++
+		if cb != nil {
+			cb(nil, ErrShed)
+		}
+		return
+	}
 	if len(s.queues[c]) >= s.cfg.QueueDepth {
 		// Before shedding the arrival, drop any dead backlog at the front
 		// of the queue (over-age or already past its deadline): a full
@@ -285,6 +307,9 @@ func (s *Shaper) evictStale(c Class) {
 // dispatch time, before they consume device capacity or drain-policy
 // credit — with their verdict counted under Shed/Expired or Shed/Aged.
 func (s *Shaper) pump() {
+	if s.eng.Now() < s.pausedUntil {
+		return // frozen: the resume event scheduled by PauseUntil re-pumps
+	}
 	for s.cfg.Capacity == 0 || s.inFlight < s.cfg.Capacity {
 		for c := Class(0); int(c) < NumClasses; c++ {
 			s.evictStale(c)
@@ -330,6 +355,48 @@ func (s *Shaper) complete(c Class, it item, out []byte, err error) {
 		it.cb(out, err)
 	}
 }
+
+// Kill makes the shaper behave like dead hardware: every queued packet
+// fails immediately with err (counted under Failed), and so does every
+// later submission. In-flight operations already on the device complete
+// normally — they had left the queue. Kill is the ShardCrash injector's
+// service-side effect; it is permanent for the shaper's lifetime.
+func (s *Shaper) Kill(err error) {
+	s.killed = err
+	for c := range s.queues {
+		for _, it := range s.queues[c] {
+			s.stats[c].Failed++
+			if it.cb != nil {
+				it.cb(nil, err)
+			}
+		}
+		s.queues[c] = nil
+	}
+}
+
+// Killed reports whether Kill has been called (and with what error).
+func (s *Shaper) Killed() error { return s.killed }
+
+// PauseUntil freezes the pump until absolute virtual time t: nothing
+// dispatches, queued packets age and expire in place under the existing
+// AgeLimit/deadline machinery, and at t a scheduled resume event drains
+// the survivors. This is the ShardStall injector's service-side effect.
+func (s *Shaper) PauseUntil(t sim.Time) {
+	if t <= s.eng.Now() || t <= s.pausedUntil {
+		return
+	}
+	s.pausedUntil = t
+	s.eng.At(t, func() { s.pump() })
+}
+
+// SetDeny installs the brownout admission mask: a denied class is shed
+// at admission with ErrShed (the existing load-shedding verdict — nothing
+// new crosses the wire). Already-queued packets still drain. The zero
+// mask restores full admission.
+func (s *Shaper) SetDeny(deny [NumClasses]bool) { s.deny = deny }
+
+// Deny returns the current brownout admission mask.
+func (s *Shaper) Deny() [NumClasses]bool { return s.deny }
 
 // Stats snapshots one class's counters.
 func (s *Shaper) Stats(c Class) ClassStats {

@@ -2,9 +2,45 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
+	"time"
 )
+
+// ErrTimeout marks a client read that exceeded the configured I/O
+// deadline: the peer is alive-but-silent (stalled, wedged, or gone
+// without a FIN). Callers test for it with errors.Is; the lock-step
+// helpers treat it as the retryable failure.
+var ErrTimeout = errors.New("server: client i/o timeout")
+
+// RetryPolicy bounds the lock-step helpers' retries after an I/O
+// timeout. A retried request is resent with the SAME request id, so a
+// server that deduplicates control requests (this one does) executes it
+// at most once — the retry is safe for idempotent operations
+// (OPEN/CLOSE/FLUSH), which is exactly the set the lock-step helpers
+// cover. The pipelined Send*/ReadResponse path never retries.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first send included).
+	// 0 or 1 means no retry.
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles each
+	// retry, capped at BackoffCap (defaults 1ms / 100ms when Attempts
+	// requests retries but the durations are zero).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.Attempts > 1 {
+		if p.Backoff <= 0 {
+			p.Backoff = time.Millisecond
+		}
+		if p.BackoffCap <= 0 {
+			p.BackoffCap = 100 * time.Millisecond
+		}
+	}
+}
 
 // Client speaks the wire protocol over one connection. It is not safe
 // for concurrent use — the open-loop load generator runs one Client per
@@ -17,6 +53,14 @@ type Client struct {
 	bw             *bufio.Writer
 	nextID         uint64
 	scratch, frame []byte
+
+	// ioTimeout bounds every response-frame read (0 = wait forever);
+	// retry governs the lock-step helpers. stale tracks request ids a
+	// timed-out attempt may still produce late duplicate responses for,
+	// so readUntil can skip them instead of failing on "out of order".
+	ioTimeout time.Duration
+	retry     RetryPolicy
+	stale     map[uint64]int
 }
 
 // NewClient wraps an established connection.
@@ -35,6 +79,23 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return NewClient(nc), nil
+}
+
+// SetIOTimeout bounds every subsequent response read: a read that
+// exceeds d fails with an error wrapping ErrTimeout instead of hanging
+// forever on a dead or wedged peer. 0 restores the wait-forever
+// default. A timeout that fires mid-frame leaves the stream position
+// inside the frame — retries are only safe when the peer was silent,
+// which is the failure the deadline exists to catch.
+func (c *Client) SetIOTimeout(d time.Duration) { c.ioTimeout = d }
+
+// SetRetryPolicy configures bounded exponential-backoff retries for the
+// lock-step idempotent helpers (Open, CloseSession, Barrier): on
+// ErrTimeout the request is resent with the same request id and the
+// backoff doubles up to the cap.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	p.fill()
+	c.retry = p
 }
 
 // Close closes the connection (open sessions are reclaimed server-side).
@@ -57,11 +118,13 @@ func (c *Client) SendOpen(spec OpenRequest) (uint64, error) {
 // SendClose pipelines a CLOSE.
 func (c *Client) SendClose(sess uint64) (uint64, error) {
 	c.nextID++
-	c.scratch = c.scratch[:0]
-	c.scratch = append(c.scratch, byte(OpClose))
-	c.scratch = putU64(c.scratch, c.nextID)
-	c.scratch = putU64(c.scratch, sess)
-	return c.send(c.scratch)
+	return c.send(encodeCloseReq(c.scratch[:0], c.nextID, sess))
+}
+
+func encodeCloseReq(dst []byte, reqID, sess uint64) []byte {
+	dst = append(dst, byte(OpClose))
+	dst = putU64(dst, reqID)
+	return putU64(dst, sess)
 }
 
 // SendEncrypt pipelines an ENCRYPT.
@@ -81,10 +144,12 @@ func (c *Client) SendDecrypt(sess uint64, nonce, aad, ct, tag []byte) (uint64, e
 // SendFlush pipelines a FLUSH barrier marker.
 func (c *Client) SendFlush() (uint64, error) {
 	c.nextID++
-	c.scratch = c.scratch[:0]
-	c.scratch = append(c.scratch, byte(OpFlush))
-	c.scratch = putU64(c.scratch, c.nextID)
-	return c.send(c.scratch)
+	return c.send(encodeFlushReq(c.scratch[:0], c.nextID))
+}
+
+func encodeFlushReq(dst []byte, reqID uint64) []byte {
+	dst = append(dst, byte(OpFlush))
+	return putU64(dst, reqID)
 }
 
 // SendRetrieve pipelines a RETRIEVE_DATA.
@@ -100,13 +165,24 @@ func (c *Client) SendRetrieve() (uint64, error) {
 func (c *Client) Flush() error { return c.bw.Flush() }
 
 // ReadResponse reads the next response frame (flushing buffered requests
-// first, so a lock-step caller cannot deadlock on its own buffer).
+// first, so a lock-step caller cannot deadlock on its own buffer). With
+// an I/O timeout set, a read exceeding it fails with an error wrapping
+// ErrTimeout.
 func (c *Client) ReadResponse() (Response, error) {
 	if err := c.bw.Flush(); err != nil {
 		return Response{}, err
 	}
+	if c.ioTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return Response{}, err
+		}
+	}
 	body, err := readFrame(c.br, c.frame)
 	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return Response{}, fmt.Errorf("server: no response within %v: %w", c.ioTimeout, ErrTimeout)
+		}
 		return Response{}, err
 	}
 	c.frame = body
@@ -115,23 +191,87 @@ func (c *Client) ReadResponse() (Response, error) {
 
 // roundTrip sends one buffered request and reads its response lock-step.
 func (c *Client) roundTrip(id uint64) (Response, error) {
-	r, err := c.ReadResponse()
-	if err != nil {
-		return r, err
-	}
-	if r.ReqID != id {
-		return r, fmt.Errorf("server: response for request %d while waiting for %d (pipelined requests outstanding?)", r.ReqID, id)
-	}
-	return r, nil
+	return c.readUntil(id)
 }
 
-// Open opens a session lock-step, returning its wire id.
-func (c *Client) Open(spec OpenRequest) (uint64, error) {
-	id, err := c.SendOpen(spec)
-	if err != nil {
-		return 0, err
+// readUntil reads responses until the one answering id, skipping late
+// duplicates earlier timed-out attempts left in flight (the server
+// answers every received frame, so a retried request that did reach it
+// yields two responses with the same id).
+func (c *Client) readUntil(id uint64) (Response, error) {
+	for {
+		r, err := c.ReadResponse()
+		if err != nil {
+			return r, err
+		}
+		if r.ReqID == id {
+			return r, nil
+		}
+		if n := c.stale[r.ReqID]; n > 0 {
+			if n == 1 {
+				delete(c.stale, r.ReqID)
+			} else {
+				c.stale[r.ReqID] = n - 1
+			}
+			continue
+		}
+		return r, fmt.Errorf("server: response for request %d while waiting for %d (pipelined requests outstanding?)", r.ReqID, id)
 	}
-	r, err := c.roundTrip(id)
+}
+
+// lockStep round-trips one request, retrying on ErrTimeout per the
+// retry policy. encode must rebuild the request body for the SAME
+// request id on every attempt, so the server-side dedupe recognizes the
+// resend.
+func (c *Client) lockStep(encode func(dst []byte, id uint64) []byte) (Response, error) {
+	c.nextID++
+	id := c.nextID
+	attempts := c.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.retry.Backoff
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.retry.BackoffCap {
+				backoff = c.retry.BackoffCap
+			}
+			// The timed-out attempt may still be answered later; one more
+			// response with this id may precede the retry's own answer, and
+			// readUntil consumes duplicates with matching ids in order, so
+			// only a FAILED send needs no bookkeeping.
+		}
+		c.scratch = encode(c.scratch[:0], id)
+		if _, err := c.send(c.scratch); err != nil {
+			return Response{}, err
+		}
+		r, err := c.readUntil(id)
+		if err == nil {
+			return r, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return r, err
+		}
+		lastErr = err
+		// Any response the lost attempt still produces for this id would
+		// arrive before later requests' answers; remember to skip it.
+		if c.stale == nil {
+			c.stale = make(map[uint64]int)
+		}
+		c.stale[id]++
+	}
+	return Response{}, fmt.Errorf("server: request failed after %d attempts: %w", attempts, lastErr)
+}
+
+// Open opens a session lock-step, returning its wire id. With a retry
+// policy set, a timed-out OPEN is resent under the same request id —
+// the server's per-connection dedupe guarantees at most one session.
+func (c *Client) Open(spec OpenRequest) (uint64, error) {
+	r, err := c.lockStep(func(dst []byte, id uint64) []byte {
+		return encodeOpen(dst, id, spec)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -179,13 +319,13 @@ func (c *Client) OpenMany(specs []OpenRequest) ([]uint64, error) {
 }
 
 // CloseSession closes a session lock-step, returning the protocol
-// status.
+// status. Retries (when configured) resend under the same request id;
+// the server's dedupe replays the first outcome instead of reporting
+// the tombstone's session-closed error.
 func (c *Client) CloseSession(sess uint64) (Status, error) {
-	id, err := c.SendClose(sess)
-	if err != nil {
-		return 0, err
-	}
-	r, err := c.roundTrip(id)
+	r, err := c.lockStep(func(dst []byte, id uint64) []byte {
+		return encodeCloseReq(dst, id, sess)
+	})
 	return r.Status, err
 }
 
@@ -226,13 +366,11 @@ func (c *Client) Decrypt(sess uint64, nonce, aad, ct, tag []byte) (Response, err
 }
 
 // Barrier round-trips a FLUSH: when it returns, every earlier request on
-// this connection has been answered.
+// this connection has been answered. FLUSH is naturally idempotent, so
+// a timed-out barrier retries under the retry policy like the other
+// lock-step helpers.
 func (c *Client) Barrier() error {
-	id, err := c.SendFlush()
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTrip(id)
+	_, err := c.lockStep(encodeFlushReq)
 	return err
 }
 

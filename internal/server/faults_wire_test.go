@@ -1,0 +1,207 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"mccp/internal/cluster"
+	"mccp/internal/cryptocore"
+	"mccp/internal/faults"
+	"mccp/internal/qos"
+)
+
+// TestClientTimeoutOnStalledPeer: a wedged peer — alive, silent — used
+// to hang the lock-step helpers forever. With an I/O deadline set the
+// client fails the read with a typed ErrTimeout instead.
+func TestClientTimeoutOnStalledPeer(t *testing.T) {
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Seed: 11}})
+	defer srv.Close()
+	// Every read after the first stalls: the OPEN round-trips, then the
+	// wire goes silent.
+	lb.WrapClient = func(c net.Conn) net.Conn {
+		return faults.Wrap(c, faults.ConnPlan{StallAfterReads: 1})
+	}
+	cl := dialClient(t, lb)
+	defer cl.Close()
+	cl.SetIOTimeout(30 * time.Millisecond)
+
+	if _, err := cl.Open(OpenRequest{Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16}); err != nil {
+		t.Fatalf("open before the stall: %v", err)
+	}
+	start := time.Now()
+	err := cl.Barrier()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("barrier on a stalled peer: got %v, want ErrTimeout", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("timeout took %v — deadline not effective", waited)
+	}
+}
+
+// stallFirstRead delays the first Read past the connection's read
+// deadline and then lets everything through: the transport hiccup that
+// makes a client time out and retry a request the server DID receive.
+type stallFirstRead struct {
+	net.Conn
+	mu       sync.Mutex
+	deadline time.Time
+	done     bool
+}
+
+func (c *stallFirstRead) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *stallFirstRead) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	first := !c.done
+	c.done = true
+	d := c.deadline
+	c.mu.Unlock()
+	if first {
+		if d.IsZero() {
+			d = time.Now().Add(100 * time.Millisecond)
+		}
+		time.Sleep(time.Until(d) + 20*time.Millisecond)
+		return 0, os.ErrDeadlineExceeded
+	}
+	return c.Conn.Read(b)
+}
+
+// TestRetriedOpenNeverDoubleOpens is the exactly-once guarantee: a
+// timed-out OPEN retried under the same request id reaches the server
+// twice, opens one session, and the client still gets its id — the
+// server's per-connection dedupe replays the first response frame.
+func TestRetriedOpenNeverDoubleOpens(t *testing.T) {
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Seed: 13}})
+	defer srv.Close()
+	lb.WrapClient = func(c net.Conn) net.Conn { return &stallFirstRead{Conn: c} }
+	cl := dialClient(t, lb)
+	defer cl.Close()
+	cl.SetIOTimeout(30 * time.Millisecond)
+	cl.SetRetryPolicy(RetryPolicy{Attempts: 3, Backoff: time.Millisecond})
+
+	sess, err := cl.Open(OpenRequest{Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Class: qos.Voice})
+	if err != nil {
+		t.Fatalf("retried open failed: %v", err)
+	}
+	// The session works, and the late duplicate response the retry left
+	// in flight is skipped, not misattributed.
+	r, err := cl.Encrypt(sess, make([]byte, 12), nil, []byte("retry exactly once"))
+	if err != nil || r.Status != StatusOK {
+		t.Fatalf("encrypt on retried session: %v %v", r.Status, err)
+	}
+	st, err := cl.Retrieve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SessionsOpened != 1 || st.SessionsOpen != 1 {
+		t.Fatalf("retried OPEN double-opened: opened %d, open %d", st.SessionsOpened, st.SessionsOpen)
+	}
+
+	// CLOSE rides the same dedupe: a retried close reports OK once, and
+	// the session count drops exactly once.
+	if status, err := cl.CloseSession(sess); err != nil || status != StatusOK {
+		t.Fatalf("close: %v %v", status, err)
+	}
+	if st, err = cl.Retrieve(); err != nil || st.SessionsOpen != 0 {
+		t.Fatalf("after close: open %d, err %v", st.SessionsOpen, err)
+	}
+}
+
+// TestWireFaultsDoNotWedgeServer: dropped and truncated client writes
+// kill their own connection with a prompt error, and the server stays
+// healthy for the next client.
+func TestWireFaultsDoNotWedgeServer(t *testing.T) {
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Seed: 17}})
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name string
+		plan faults.ConnPlan
+	}{
+		{"drop", faults.ConnPlan{DropAfterWrites: 1}},
+		{"truncate", faults.ConnPlan{TruncWrite: 2}},
+	} {
+		lb.WrapClient = func(c net.Conn) net.Conn { return faults.Wrap(c, tc.plan) }
+		cl := dialClient(t, lb)
+		cl.SetIOTimeout(time.Second)
+		sess, err := cl.Open(OpenRequest{Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16})
+		if err != nil {
+			t.Fatalf("%s: open before the fault: %v", tc.name, err)
+		}
+		if _, err := cl.Encrypt(sess, make([]byte, 12), nil, []byte("doomed")); err == nil {
+			t.Fatalf("%s: write fault produced no error", tc.name)
+		}
+		cl.Close()
+	}
+
+	// A clean client after both faults sees a healthy server.
+	lb.WrapClient = nil
+	cl := dialClient(t, lb)
+	defer cl.Close()
+	sess, err := cl.Open(OpenRequest{Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := cl.Encrypt(sess, make([]byte, 12), nil, []byte("alive")); err != nil || r.Status != StatusOK {
+		t.Fatalf("post-fault server unhealthy: %v %v", r.Status, err)
+	}
+}
+
+// TestStormChurn: the open/close connection-churn storm — concurrent
+// dial/open/traffic/teardown waves, half the connections abandoning
+// their sessions — leaves the server with zero open sessions and exact
+// open/packet accounting.
+func TestStormChurn(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Shards: 2, Seed: 19}})
+	cfg := StormConfig{Conns: 6, Waves: 3, SessionsPerConn: 3, OpsPerSession: 2}
+	res, err := RunStorm(lb.Dial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOpen := uint64(cfg.Conns * cfg.Waves * cfg.SessionsPerConn)
+	if res.Opened != wantOpen || res.Packets != wantOpen*uint64(cfg.OpsPerSession) {
+		t.Fatalf("storm accounting: %+v, want %d opens, %d packets",
+			res, wantOpen, wantOpen*uint64(cfg.OpsPerSession))
+	}
+	if res.Abandons == 0 || res.Closed == 0 {
+		t.Fatalf("storm exercised only one teardown path: %+v", res)
+	}
+
+	// The abandoned sessions are reclaimed by connection cleanup: an
+	// observer sees everything closed and every packet answered OK.
+	obs := dialClient(t, lb)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := obs.Retrieve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.SessionsOpen == 0 {
+			if st.SessionsOpened != wantOpen {
+				t.Fatalf("server counted %d opens, want %d", st.SessionsOpened, wantOpen)
+			}
+			if st.Verdicts[StatusOK] != res.Packets {
+				t.Fatalf("server answered %d OK packets, want %d", st.Verdicts[StatusOK], res.Packets)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reclaimed abandoned sessions: %d still open", st.SessionsOpen)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	obs.Close()
+	srv.Close()
+	waitGoroutines(t, base)
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"mccp/internal/arrivals"
 	"mccp/internal/qos"
@@ -53,6 +54,24 @@ type LoadConfig struct {
 	Pipeline int
 	// Trace, when set, receives one CSV line per packet.
 	Trace io.Writer
+
+	// ChurnSessions, per connection, closes and re-opens that many
+	// sessions (round-robin over the connection's slots) at each window
+	// boundary from window ChurnFrom on — the deterministic open/close
+	// storm. The churned sessions' arrival streams are unchanged; only
+	// their wire ids and cluster placement re-key. ChurnFrom <= 0 means
+	// every boundary.
+	ChurnSessions int
+	ChurnFrom     int
+	// WindowTallies records per-window per-class verdict tallies in
+	// LoadResult.Windows — the probe the fault curves derive recovery
+	// time from.
+	WindowTallies bool
+	// IOTimeout bounds each connection's response reads (Client.
+	// SetIOTimeout); Retry configures the lock-step retry policy used by
+	// the churn's OPEN/CLOSE round trips. Both zero by default.
+	IOTimeout time.Duration
+	Retry     RetryPolicy
 }
 
 func (c *LoadConfig) fill() error {
@@ -113,6 +132,30 @@ func (cl *ClassLoad) count(st Status) {
 	}
 }
 
+// ClassWindow is one class's tally inside one measurement window.
+type ClassWindow struct {
+	Submitted uint64
+	OK        uint64
+	// Lost counts every non-OK response (rejected, shed, expired, aged,
+	// failed — anything that did not deliver).
+	Lost uint64
+}
+
+// WindowLoad is one window's per-class outcome (LoadConfig.WindowTallies).
+type WindowLoad struct {
+	Classes [qos.NumClasses]ClassWindow
+}
+
+// DeliveredFrac returns a class's in-window delivered fraction (1 when
+// the class submitted nothing — an empty window is not an outage).
+func (w WindowLoad) DeliveredFrac(c qos.Class) float64 {
+	cw := w.Classes[c]
+	if cw.Submitted == 0 {
+		return 1
+	}
+	return float64(cw.OK) / float64(cw.Submitted)
+}
+
 // LoadResult is RunLoad's merged outcome.
 type LoadResult struct {
 	// Classes is indexed by qos.Class.
@@ -124,6 +167,11 @@ type LoadResult struct {
 	HorizonCycles sim.Time
 	// Stats is the server's RETRIEVE_DATA report after the run.
 	Stats *Stats
+	// Windows is the per-window tally series (only with
+	// LoadConfig.WindowTallies; merged element-wise across connections).
+	Windows []WindowLoad
+	// Churned counts sessions closed and re-opened by the churn storm.
+	Churned uint64
 }
 
 // lockedWriter serializes trace lines across connection goroutines.
@@ -229,6 +277,19 @@ func RunLoad(dial func() (net.Conn, error), cfg LoadConfig) (LoadResult, error) 
 					agg.WireSamples = append(agg.WireSamples, add.WireSamples...)
 				}
 				res.ArrivalDigest ^= cr.ArrivalDigest
+				res.Churned += cr.Churned
+				if len(cr.Windows) > len(res.Windows) {
+					res.Windows = append(res.Windows, make([]WindowLoad, len(cr.Windows)-len(res.Windows))...)
+				}
+				for wi := range cr.Windows {
+					for c := range cr.Windows[wi].Classes {
+						dst := &res.Windows[wi].Classes[c]
+						add := cr.Windows[wi].Classes[c]
+						dst.Submitted += add.Submitted
+						dst.OK += add.OK
+						dst.Lost += add.Lost
+					}
+				}
 			}
 		}(ci, base, n, connRands[ci])
 		base += n
@@ -260,6 +321,12 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 		return nil, nil, err
 	}
 	cl := NewClient(nc)
+	if cfg.IOTimeout > 0 {
+		cl.SetIOTimeout(cfg.IOTimeout)
+	}
+	if cfg.Retry.Attempts > 1 {
+		cl.SetRetryPolicy(cfg.Retry)
+	}
 
 	// Open this connection's sessions in global order.
 	specs := make([]OpenRequest, n)
@@ -356,6 +423,19 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 			tally.DeliveredBytes += uint64(m.arr.prof.Bytes)
 			tally.WireSamples = append(tally.WireSamples, total)
 		}
+		if cfg.WindowTallies {
+			wi := int(m.window/cfg.WindowCycles) - 1
+			for wi >= len(cr.Windows) {
+				cr.Windows = append(cr.Windows, WindowLoad{})
+			}
+			cw := &cr.Windows[wi].Classes[m.arr.prof.Class]
+			cw.Submitted++
+			if r.Status == StatusOK {
+				cw.OK++
+			} else {
+				cw.Lost++
+			}
+		}
 		if cfg.Trace != nil {
 			fmt.Fprintf(cfg.Trace, "%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d\n",
 				ci, base+m.arr.sess, m.arr.prof.Class, m.arr.seq, m.arr.at,
@@ -382,6 +462,11 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 		return nil
 	}
 
+	churnFrom := cfg.ChurnFrom
+	if churnFrom <= 0 {
+		churnFrom = 1
+	}
+	churnCursor := 0
 	next := 0
 	for w := 0; w < cfg.Windows; w++ {
 		winEnd := sim.Time(w+1) * cfg.WindowCycles
@@ -405,6 +490,33 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 		if err := barrier(); err != nil {
 			cl.Close()
 			return nil, cr, err
+		}
+		// The churn storm: entering window w+1, close and re-open the
+		// next ChurnSessions slots lock-step. The re-opened session keeps
+		// its arrival stream but re-keys and re-routes like a fresh one.
+		if cfg.ChurnSessions > 0 && w+1 >= churnFrom && w+1 < cfg.Windows {
+			for k := 0; k < cfg.ChurnSessions; k++ {
+				slot := churnCursor % n
+				churnCursor++
+				if _, err := cl.CloseSession(ids[slot]); err != nil {
+					cl.Close()
+					return nil, cr, err
+				}
+				p := profs[slot]
+				nid, err := cl.Open(OpenRequest{
+					Family:   p.Family,
+					KeyLen:   p.KeyLen,
+					TagLen:   p.TagLen,
+					Class:    p.Class,
+					Deadline: p.Deadline,
+				})
+				if err != nil {
+					cl.Close()
+					return nil, cr, err
+				}
+				ids[slot] = nid
+				cr.Churned++
+			}
 		}
 	}
 	return cl, cr, nil

@@ -13,6 +13,11 @@ type Loopback struct {
 	conns  chan net.Conn
 	closed chan struct{}
 	once   sync.Once
+
+	// WrapClient, when set before the first Dial, decorates each dialed
+	// connection's client side — the fault injector's hook (see
+	// faults.Wrap for the deterministic drop/truncate/stall plans).
+	WrapClient func(net.Conn) net.Conn
 }
 
 // NewLoopback builds a loopback listener ready to Serve and Dial.
@@ -26,9 +31,13 @@ func NewLoopback() *Loopback {
 // Dial opens a new connection to the listener's accept side.
 func (l *Loopback) Dial() (net.Conn, error) {
 	server, client := net.Pipe()
+	var cc net.Conn = client
+	if l.WrapClient != nil {
+		cc = l.WrapClient(client)
+	}
 	select {
 	case l.conns <- server:
-		return client, nil
+		return cc, nil
 	case <-l.closed:
 		server.Close()
 		client.Close()

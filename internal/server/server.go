@@ -11,6 +11,7 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/faults"
 	"mccp/internal/qos"
 	"mccp/internal/sim"
 )
@@ -49,6 +50,52 @@ type Config struct {
 	// peer stops reading stalls the batcher once its buffer fills (until
 	// the idle reaper claims it).
 	WriteBuffer int
+	// Faults configures the deterministic fault-injection plane: a
+	// seeded shard-fault schedule keyed to FLUSH-frame boundaries plus
+	// the failure detector and brownout controller. nil = no faults, no
+	// detector — the zero-overhead default every existing experiment
+	// runs with.
+	Faults *FaultPolicy
+}
+
+// FaultPolicy wires internal/faults into the server. Shard events in
+// Schedule arm at FLUSH-counted window boundaries: the k-th FLUSH frame
+// the server sees ends window k-1, so events scheduled for window k arm
+// right then and fire mid-window on the victim shard's own virtual
+// timeline. (SessionChurn events are client-side; the server ignores
+// them.)
+type FaultPolicy struct {
+	Schedule faults.Schedule
+	// Detect enables the flush-boundary failure detector: a shard whose
+	// heartbeat froze across a window while its offered bytes kept
+	// growing is declared dead, quarantined, and its sessions re-homed
+	// voice-first onto the survivors.
+	Detect bool
+	// Brownout inputs, used when Detect fires: the offered load, the
+	// per-healthy-shard serving capacity (same unit), and each class's
+	// share of the offered bits. After a fail-over the controller sheds
+	// whole classes (background first, never voice) until the remaining
+	// capacity covers the admitted load. SatMbpsPerShard 0 disables
+	// brownout.
+	OfferedMbps     float64
+	SatMbpsPerShard float64
+	Shares          [qos.NumClasses]float64
+}
+
+// RehomeEvent records one detector-driven fail-over.
+type RehomeEvent struct {
+	// Window is the FLUSH-counted window at whose boundary the detector
+	// fired; Shard the quarantined victim.
+	Window int
+	Shard  int
+	// Moved/Lost split the victim's sessions; Took is the re-home's
+	// virtual-time cost on the survivors (max over shards).
+	Moved int
+	Lost  int
+	Took  sim.Time
+	// Deny is the brownout mask applied after this fail-over (all-false
+	// when capacity still covers the offered load).
+	Deny [qos.NumClasses]bool
 }
 
 func (c *Config) fill() {
@@ -83,6 +130,13 @@ type conn struct {
 
 	sessions map[uint64]struct{}
 	cleaned  bool
+
+	// opened/closed cache OPEN and CLOSE response frames by request id
+	// (batcher-owned): a client retrying a timed-out control request
+	// resends it under the same id, and the replayed frame makes the
+	// retry exactly-once — a retried OPEN never opens twice.
+	opened map[uint64][]byte
+	closed map[uint64][]byte
 }
 
 // wireSession binds a wire session id to a cluster session (batcher
@@ -140,6 +194,16 @@ type Server struct {
 	stats       serverStats
 	digests     []uint64
 	wireSamples [qos.NumClasses][]sim.Time
+
+	// Fault plane (batcher-owned except where noted): windows counts
+	// FLUSH frames; lastHB/lastOffered are the detector's previous
+	// snapshot per shard. rehomes is read by FaultReport from any
+	// goroutine under faultMu.
+	windows     int
+	lastHB      []uint64
+	lastOffered []uint64
+	faultMu     sync.Mutex
+	rehomes     []RehomeEvent
 }
 
 // New builds the backend cluster and starts the batcher (and, with
@@ -162,6 +226,8 @@ func New(cfg Config) (*Server, error) {
 		sessions:    make(map[uint64]*wireSession),
 		nextSess:    1,
 		digests:     make([]uint64, cl.Shards()),
+		lastHB:      make([]uint64, cl.Shards()),
+		lastOffered: make([]uint64, cl.Shards()),
 	}
 	for i := range s.digests {
 		s.digests[i] = digestInit
@@ -211,6 +277,8 @@ func (s *Server) addConn(nc net.Conn) {
 		out:      make(chan []byte, s.cfg.WriteBuffer),
 		done:     make(chan struct{}),
 		sessions: make(map[uint64]struct{}),
+		opened:   make(map[uint64][]byte),
+		closed:   make(map[uint64][]byte),
 	}
 	c.lastActive.Store(time.Now().UnixNano())
 	s.connMu.Lock()
@@ -450,10 +518,96 @@ func (s *Server) handleReq(req *request) {
 	case OpFlush:
 		n := uint32(s.pendingOps)
 		s.flush()
+		s.windowBoundary()
 		s.respond(req.conn, encodeFlushResp(req.reqID, StatusOK, n))
 	case OpRetrieve:
 		s.handleRetrieve(req)
 	}
+}
+
+// windowBoundary runs after every FLUSH barrier: it advances the
+// window clock, runs the failure detector over the window that just
+// ended, and arms the schedule's shard faults for the window now
+// starting (so they fire mid-window on the victim's own virtual
+// timeline).
+func (s *Server) windowBoundary() {
+	s.windows++
+	p := s.cfg.Faults
+	if p == nil {
+		return
+	}
+	if p.Detect {
+		s.detect()
+	}
+	for _, e := range p.Schedule.ForWindow(s.windows) {
+		switch e.Kind {
+		case faults.ShardCrash:
+			// Arming can only fail on a shard index the planner already
+			// validated or a shapeless cluster New() accepted anyway.
+			_ = s.cl.ArmShardCrash(e.Shard, s.cl.NextHeartbeat(e.Shard), e.Offset)
+		case faults.ShardStall:
+			_ = s.cl.ArmShardStall(e.Shard, s.cl.NextHeartbeat(e.Shard), e.Offset, e.Dur)
+		}
+	}
+}
+
+// detect is the flush-boundary failure detector: a shard whose
+// heartbeat did not advance across the window while its offered bytes
+// kept growing is dead (an idle shard's offered bytes are flat; a
+// stalled shard's heartbeat still advances). Each detection quarantines
+// the corpse, re-homes its sessions voice-first, refreshes the wire
+// session bindings, and re-plans the brownout mask for the capacity
+// that remains.
+func (s *Server) detect() {
+	snap := s.cl.Snapshot()
+	for i := range snap.Shards {
+		sm := &snap.Shards[i]
+		frozen := sm.Heartbeat == s.lastHB[i] && sm.OfferedBytes > s.lastOffered[i]
+		s.lastHB[i], s.lastOffered[i] = sm.Heartbeat, sm.OfferedBytes
+		if !frozen || sm.Quarantined {
+			continue
+		}
+		rep, err := s.cl.FailOver(i)
+		if err != nil {
+			continue // last shard standing: nothing left to re-home onto
+		}
+		ev := RehomeEvent{Window: s.windows, Shard: i,
+			Moved: rep.Moved, Lost: rep.Lost, Took: rep.Took}
+		for _, ws := range s.sessions {
+			if ws.closed {
+				continue
+			}
+			if ws.ses.Closed() {
+				// A crash casualty no survivor could take: tombstone it so
+				// its later packets answer session-closed, not a corpse.
+				ws.closed = true
+				s.stats.sessionsOpen--
+				continue
+			}
+			ws.shard = ws.ses.Shard()
+		}
+		if p := s.cfg.Faults; p.SatMbpsPerShard > 0 {
+			healthy := 0
+			for _, hm := range s.cl.Snapshot().Shards {
+				if !hm.Quarantined && !hm.Crashed {
+					healthy++
+				}
+			}
+			ev.Deny = faults.BrownoutDeny(p.OfferedMbps, float64(healthy)*p.SatMbpsPerShard, p.Shares)
+			_ = s.cl.ApplyDeny(ev.Deny)
+		}
+		s.faultMu.Lock()
+		s.rehomes = append(s.rehomes, ev)
+		s.faultMu.Unlock()
+	}
+}
+
+// FaultReport returns the detector's fail-over log so far. Safe from
+// any goroutine.
+func (s *Server) FaultReport() []RehomeEvent {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return append([]RehomeEvent(nil), s.rehomes...)
 }
 
 // respondErr answers a request with an error status in the response
@@ -472,25 +626,35 @@ func (s *Server) respondErr(req *request, st Status, msg string) {
 	}
 }
 
+// handleOpen answers an OPEN. Responses are cached per (connection,
+// request id): a retried OPEN — same id, resent after a client-side
+// timeout — replays the original outcome instead of opening a second
+// session.
 func (s *Server) handleOpen(req *request) {
-	if s.closing.Load() {
-		s.respondErr(req, StatusShuttingDown, "server shutting down")
+	if frame, ok := req.conn.opened[req.reqID]; ok {
+		s.respond(req.conn, frame)
 		return
+	}
+	st, sess, msg := s.doOpen(req)
+	frame := encodeMsgResp(OpOpen, req.reqID, st, sess, msg)
+	req.conn.opened[req.reqID] = frame
+	s.respond(req.conn, frame)
+}
+
+func (s *Server) doOpen(req *request) (Status, uint64, string) {
+	if s.closing.Load() {
+		return StatusShuttingDown, 0, "server shutting down"
 	}
 	switch cryptocore.Family(req.family) {
 	case cryptocore.FamilyGCM, cryptocore.FamilyCCM, cryptocore.FamilyCTR, cryptocore.FamilyCBCMAC:
 	default:
-		s.respondErr(req, StatusBadRequest,
-			fmt.Sprintf("unknown algorithm family %d", req.family))
-		return
+		return StatusBadRequest, 0, fmt.Sprintf("unknown algorithm family %d", req.family)
 	}
 	if req.class < 0 || int(req.class) >= qos.NumClasses {
-		s.respondErr(req, StatusBadRequest, fmt.Sprintf("unknown class %d", req.class))
-		return
+		return StatusBadRequest, 0, fmt.Sprintf("unknown class %d", req.class)
 	}
 	if s.cfg.MaxSessions > 0 && int(s.stats.sessionsOpen) >= s.cfg.MaxSessions {
-		s.respondErr(req, StatusRejected, "session limit reached")
-		return
+		return StatusRejected, 0, "session limit reached"
 	}
 	s.flush()
 	ses, err := s.cl.Open(cluster.OpenSpec{
@@ -503,8 +667,7 @@ func (s *Server) handleOpen(req *request) {
 		Weight: int(req.weight),
 	})
 	if err != nil {
-		s.respondErr(req, StatusBadRequest, err.Error())
-		return
+		return StatusBadRequest, 0, err.Error()
 	}
 	id := s.nextSess
 	s.nextSess++
@@ -519,7 +682,7 @@ func (s *Server) handleOpen(req *request) {
 	req.conn.sessions[id] = struct{}{}
 	s.stats.sessionsOpen++
 	s.stats.sessionsOpened++
-	s.respond(req.conn, encodeMsgResp(OpOpen, req.reqID, StatusOK, id, ""))
+	return StatusOK, id, ""
 }
 
 // lookup resolves a packet/close request's wire session, answering the
@@ -538,10 +701,27 @@ func (s *Server) lookup(req *request) *wireSession {
 	return ws
 }
 
+// handleClose answers a CLOSE, with the same per-request-id response
+// cache as OPEN: a retried CLOSE replays the first outcome instead of
+// tripping over its own tombstone with session-closed.
 func (s *Server) handleClose(req *request) {
-	ws := s.lookup(req)
-	if ws == nil {
+	if frame, ok := req.conn.closed[req.reqID]; ok {
+		s.respond(req.conn, frame)
 		return
+	}
+	st, msg := s.doClose(req)
+	frame := encodeMsgResp(OpClose, req.reqID, st, req.sess, msg)
+	req.conn.closed[req.reqID] = frame
+	s.respond(req.conn, frame)
+}
+
+func (s *Server) doClose(req *request) (Status, string) {
+	ws, ok := s.sessions[req.sess]
+	if !ok || ws.conn != req.conn {
+		return StatusUnknownSess, fmt.Sprintf("session %d not open on this connection", req.sess)
+	}
+	if ws.closed {
+		return StatusSessClosed, fmt.Sprintf("session %d already closed", req.sess)
 	}
 	s.flush()
 	ws.closed = true
@@ -550,11 +730,10 @@ func (s *Server) handleClose(req *request) {
 	// Keep the tombstone so a second CLOSE (or use after CLOSE) is
 	// distinguishable from a never-opened id; it is reclaimed with the
 	// connection.
-	st, msg := StatusOK, ""
 	if err != nil {
-		st, msg = StatusFailed, err.Error()
+		return StatusFailed, err.Error()
 	}
-	s.respond(req.conn, encodeMsgResp(OpClose, req.reqID, st, req.sess, msg))
+	return StatusOK, ""
 }
 
 func (s *Server) handlePacket(req *request) {

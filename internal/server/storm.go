@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+)
+
+// StormConfig parameterizes RunStorm, the open/close connection-churn
+// storm generator: waves of short-lived connections that each open a
+// handful of sessions, push a little traffic, and leave — half of them
+// gracefully (CLOSE per session), half abruptly (the connection just
+// dies), so every teardown path the server has gets exercised under
+// concurrency. The zero value is a small storm.
+type StormConfig struct {
+	// Conns is the number of concurrent connections per wave (default 8);
+	// Waves the number of sequential waves (default 4).
+	Conns int
+	Waves int
+	// SessionsPerConn (default 4) and OpsPerSession (default 2) size the
+	// per-connection work; PayloadBytes (default 256) sizes each ENCRYPT.
+	SessionsPerConn int
+	OpsPerSession   int
+	PayloadBytes    int
+	// IOTimeout and Retry configure each storm client like any other
+	// Client; a zero IOTimeout waits forever.
+	IOTimeout time.Duration
+	Retry     RetryPolicy
+}
+
+func (c *StormConfig) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Waves <= 0 {
+		c.Waves = 4
+	}
+	if c.SessionsPerConn <= 0 {
+		c.SessionsPerConn = 4
+	}
+	if c.OpsPerSession <= 0 {
+		c.OpsPerSession = 2
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 256
+	}
+}
+
+// StormResult tallies a storm's work. Counts are exact for a given
+// config (the storm is closed-loop), whatever the goroutine interleaving.
+type StormResult struct {
+	Dialed   int
+	Opened   uint64
+	Packets  uint64
+	Closed   uint64 // sessions closed gracefully via CLOSE
+	Abandons int    // connections dropped with sessions still open
+}
+
+// stormClasses cycles the storm's sessions through every QoS class.
+var stormClasses = [...]qos.Class{qos.Voice, qos.Video, qos.Data, qos.Background}
+
+// RunStorm runs the churn storm against a dialer (Loopback.Dial or a TCP
+// dial closure). Even-indexed connections tear down gracefully; odd ones
+// abandon their sessions to the server's connection-cleanup path. The
+// first error aborts the storm.
+func RunStorm(dial func() (net.Conn, error), cfg StormConfig) (StormResult, error) {
+	cfg.fill()
+	var res StormResult
+	var opened, packets, closed atomic.Uint64
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+	payload := make([]byte, cfg.PayloadBytes)
+	nonce := make([]byte, 12)
+	for wave := 0; wave < cfg.Waves; wave++ {
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Conns; i++ {
+			nc, err := dial()
+			if err != nil {
+				fail(err)
+				break
+			}
+			res.Dialed++
+			graceful := i%2 == 0
+			if !graceful {
+				res.Abandons++
+			}
+			wg.Add(1)
+			go func(nc net.Conn, idx int, graceful bool) {
+				defer wg.Done()
+				cl := NewClient(nc)
+				defer cl.Close()
+				cl.SetIOTimeout(cfg.IOTimeout)
+				cl.SetRetryPolicy(cfg.Retry)
+				ids := make([]uint64, 0, cfg.SessionsPerConn)
+				for s := 0; s < cfg.SessionsPerConn; s++ {
+					id, err := cl.Open(OpenRequest{
+						Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16,
+						Class: stormClasses[(idx+s)%len(stormClasses)],
+					})
+					if err != nil {
+						fail(fmt.Errorf("storm open: %w", err))
+						return
+					}
+					opened.Add(1)
+					ids = append(ids, id)
+				}
+				for op := 0; op < cfg.OpsPerSession; op++ {
+					for _, id := range ids {
+						r, err := cl.Encrypt(id, nonce, nil, payload)
+						if err != nil {
+							fail(fmt.Errorf("storm encrypt: %w", err))
+							return
+						}
+						if r.Status != StatusOK {
+							fail(fmt.Errorf("storm encrypt status %v", r.Status))
+							return
+						}
+						packets.Add(1)
+					}
+				}
+				if !graceful {
+					return // abandon: the server reclaims the sessions
+				}
+				for _, id := range ids {
+					status, err := cl.CloseSession(id)
+					if err != nil || status != StatusOK {
+						fail(fmt.Errorf("storm close: %v %v", status, err))
+						return
+					}
+					closed.Add(1)
+				}
+			}(nc, i, graceful)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			break
+		}
+	}
+	res.Opened = opened.Load()
+	res.Packets = packets.Load()
+	res.Closed = closed.Load()
+	return res, firstErr
+}

@@ -27,6 +27,7 @@ import (
 	"mccp/internal/cluster"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/faults"
 	"mccp/internal/fleet"
 	"mccp/internal/qos"
 	"mccp/internal/radio"
@@ -453,6 +454,50 @@ const (
 // NewCluster builds and starts a sharded cluster. Close it to stop the
 // shard goroutines.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ErrShardDown is the verdict every packet lost to a crashed shard
+// gets: queued work at the moment the injected crash fires and every
+// later submission (classified VerdictFailed).
+var ErrShardDown = cluster.ErrShardDown
+
+// RehomeReport summarizes a crash fail-over: the failed shard, the
+// sessions re-opened on survivors (voice first), the sessions no
+// survivor could serve, and the virtual re-home latency.
+type RehomeReport = cluster.RehomeReport
+
+// FaultKind is a fault-schedule event type.
+type FaultKind = faults.Kind
+
+// The fault kinds: a permanent shard crash (frozen heartbeat, fail-over
+// required), a transient shard stall (recovers on its own, must not be
+// quarantined), and session open/close churn at a window boundary.
+const (
+	FaultShardCrash   = faults.ShardCrash
+	FaultShardStall   = faults.ShardStall
+	FaultSessionChurn = faults.SessionChurn
+)
+
+// FaultEvent is one scheduled fault; FaultSchedule a seeded, sorted
+// event list the injectors replay deterministically in virtual time.
+type (
+	FaultEvent    = faults.Event
+	FaultSchedule = faults.Schedule
+)
+
+// FaultPlanConfig parameterizes PlanFaults.
+type FaultPlanConfig = faults.PlanConfig
+
+// PlanFaults draws a deterministic fault schedule from the config's
+// seed: distinct crash victims (at least one shard always survives),
+// mid-window fire offsets, stalls on survivors, per-window churn.
+func PlanFaults(cfg FaultPlanConfig) (FaultSchedule, error) { return faults.Plan(cfg) }
+
+// BrownoutDeny computes the degradation mask for an offered load above
+// the serving capacity: classes are shed background→data→video in
+// order, and voice is never denied. The zero mask restores admission.
+func BrownoutDeny(offeredMbps, capacityMbps float64, share [qos.NumClasses]float64) [qos.NumClasses]bool {
+	return faults.BrownoutDeny(offeredMbps, capacityMbps, share)
+}
 
 // Fleet is the elastic control plane over a Cluster: rolling per-shard
 // algorithm swaps (drain voice-first, rewrite the reconfigurable region
