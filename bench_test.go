@@ -474,6 +474,66 @@ func BenchmarkFaultCurves(b *testing.B) {
 	}
 }
 
+// --- E17: recovery curves ---------------------------------------------------
+
+// BenchmarkRecoveryCurves runs the E17 recovery drill — one shard
+// crashed at 0.9x saturation with the restart loop armed, swept over the
+// paper's bitstream sources — and reports the climb back per source.
+// voice_delivered_frac and brownout_lifted participate in the tight
+// baseline gate (voice must ride through crash AND recovery, and the
+// shed classes must all be re-admitted); restart/rejoin/capacity figures
+// are informational virtual-time counts whose ordering mirrors Table IV:
+// icap rejoins before ram before compact-flash.
+func BenchmarkRecoveryCurves(b *testing.B) {
+	b.ReportAllocs()
+	cfg := harness.RecoveryConfig{
+		Wire: harness.WireConfig{
+			Shards:       4,
+			Sessions:     96,
+			WindowCycles: 4096,
+			Windows:      24,
+		},
+		FaultWindow: 8,
+		// Squeeze even the compact-flash reload into the short bench
+		// horizon; source ordering is scale-invariant.
+		TimeScale: 16384,
+	}
+	var res harness.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		res = harness.RecoveryCurves(cfg)
+	}
+	for _, p := range res.Points {
+		p := p
+		b.Run(fmt.Sprintf("%s/source=%s", p.Policy, p.Source), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p // measured above; subruns report the cells
+			}
+			v, bg := p.Cell(qos.Voice), p.Cell(qos.Background)
+			lifted := 0.0
+			if p.BrownoutLifted {
+				lifted = 1
+			}
+			restored := 0.0
+			if p.CapacityRestored {
+				restored = 1
+			}
+			b.ReportMetric(p.TotalOfferedMbps, "offered_Mbps")
+			b.ReportMetric(p.WireMbps, "wire_Mbps")
+			b.ReportMetric(1-v.LossFrac, "voice_delivered_frac")
+			b.ReportMetric(100*bg.LossFrac, "background_loss_pct")
+			b.ReportMetric(float64(p.Moved), "sessions_moved")
+			b.ReportMetric(float64(p.Lost), "sessions_lost")
+			b.ReportMetric(float64(p.RestartCycles), "restart_cycles")
+			b.ReportMetric(p.TrueRestartMillis, "restart_true_ms")
+			b.ReportMetric(float64(p.RejoinWindow), "rejoin_window")
+			b.ReportMetric(lifted, "brownout_lifted")
+			b.ReportMetric(float64(p.CapacityCycles), "capacity_cycles")
+			b.ReportMetric(restored, "capacity_restored")
+		})
+	}
+}
+
 // --- E10: ablations ---------------------------------------------------------
 
 // BenchmarkAblation_GHashDigits sweeps the GHASH multiplier digit width:

@@ -49,6 +49,7 @@ func main() {
 	wireSmoke := flag.Bool("wiresmoke", false, "run the one-point loopback E14 gate and fail if voice wire p99 at 0.5x saturation exceeds 2x the in-process E13 p99, or if any voice packet is shed")
 	reconfigSmoke := flag.Bool("reconfigsmoke", false, "run the E15 mini rolling-swap gate and fail if voice loses >1% or its p99 inflates past 3x baseline during the bitstream windows under qos-priority")
 	faultSmoke := flag.Bool("faultsmoke", false, "run the E16 mini fault drill (1 of 4 shards crashed mid-load plus a churn storm at 0.9x saturation under qos-priority) and fail if voice loses >1%, any session is lost, or voice delivery does not recover within 3 windows")
+	healSmoke := flag.Bool("healsmoke", false, "run the E17 mini recovery drill (1 of 4 shards crashed mid-load at 0.9x saturation, restart loop armed with the icap source) and fail if voice loses >1%, any session is lost, the shard does not restart and rejoin, the brownout is not fully lifted, or delivered capacity does not climb back to the pre-crash rate")
 	flag.Parse()
 
 	// The smoke gates run the simulation directly (no bench input needed),
@@ -78,7 +79,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*loadSmoke || *wireSmoke || *reconfigSmoke || *faultSmoke) &&
+	if *healSmoke {
+		if err := checkHealSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*loadSmoke || *wireSmoke || *reconfigSmoke || *faultSmoke || *healSmoke) &&
 		*in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
 		return // smoke-only invocation
 	}
@@ -316,6 +323,36 @@ func checkFaultSmoke() error {
 	fmt.Printf("benchjson:   crashes %d churn %d: %d sessions churned, background loss %.2f%%, worst rehome %d cyc\n",
 		v.Point.Row.Crashes, v.Point.Row.Churn, v.Point.Churned, 100*bg.LossFrac, v.Point.RehomeTook)
 	return nil
+}
+
+// checkHealSmoke runs the one-drill loopback E17 recovery gate (one
+// crash in a 4-shard cluster at 0.9x saturation, qos-priority, restart
+// from the icap source, deterministic) and enforces the self-healing
+// bar: the corpse restarts and rejoins, voice rides through both the
+// fall and the climb within 1% loss with no session lost, the brownout
+// mask lifts fully, and delivered capacity climbs back to the pre-crash
+// rate.
+func checkHealSmoke() error {
+	v := harness.HealSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — the recovery plane no longer brings a crashed shard back", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	bg := v.Point.Cell(qos.Background)
+	fmt.Printf("benchjson:   source %s: restart %d cyc (%.1f ms at true speed), %d sessions rebalanced back, background loss %.2f%%\n",
+		v.Point.Source, v.Point.RestartCycles, v.Point.TrueRestartMillis,
+		healRebalanced(v.Point), 100*bg.LossFrac)
+	return nil
+}
+
+// healRebalanced sums the sessions the recovery plane shifted back onto
+// rebuilt shards.
+func healRebalanced(p harness.RecoveryPoint) int {
+	n := 0
+	for _, ev := range p.Heals {
+		n += ev.Rebalanced
+	}
+	return n
 }
 
 // cutLast splits s around its last occurrence of sep.

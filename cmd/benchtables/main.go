@@ -31,10 +31,11 @@ var experimentTables = []struct{ name, id string }{
 	{"wire", "E14"},
 	{"reconfig", "E15"},
 	{"faults", "E16"},
+	{"heal", "E17"},
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, wire, reconfig, faults, all; 'sweep' (not in 'all') runs the scale-out sweep")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, wire, reconfig, faults, heal, all; 'sweep' (not in 'all') runs the scale-out sweep")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	sweepPackets := flag.Int("sweep-packets", 65536, "total packets for -table sweep (1000000 reproduces the million-packet sweep)")
 	flag.Parse()

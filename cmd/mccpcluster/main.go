@@ -73,6 +73,8 @@ func main() {
 	horizon := flag.Uint64("horizon", 1000000, "open-loop measurement window in cycles per shard")
 	faultsSpec := flag.String("faults", "", "fault drill: schedule spec crashes=N[,stalls=N][,window=K] — seeded shard faults applied to an open-loop run (churn is the load generator's side: mccploadgen -churn)")
 	windows := flag.Int("windows", 12, "measurement windows for the fault drill")
+	heal := flag.Bool("heal", false, "self-healing drill: crash one shard under open-loop load, fail over and brown out, then restart it from -restart-src, rebalance voice-first back and lift the brownout (composes with -offered/-windows/-horizon/-seed)")
+	restartSrc := flag.String("restart-src", "icap", "bitstream source for -heal restarts: compact-flash, ram, icap (icap is the only source whose full-shard reload fits a few default windows; ram needs ~49, compact-flash ~290)")
 	flag.Parse()
 
 	// Validate-and-error instead of panicking deep in the stack: bad CLI
@@ -111,6 +113,16 @@ func main() {
 	weights, err := parseWeights(*weightsFlag)
 	if err != nil {
 		log.Fatalf("-weights: %v", err)
+	}
+
+	if *heal {
+		src, err := reconfig.SourceByName(*restartSrc)
+		if err != nil {
+			log.Fatalf("-restart-src: %v", err)
+		}
+		runHeal(*shards, *cores, *router, *policy,
+			*offered, *windows, sim.Time(*horizon), uint64(*seed), src)
+		return
 	}
 
 	if *faultsSpec != "" {
@@ -408,6 +420,152 @@ func runFaults(spec string, shards, cores int, router, policy string,
 			if len(shed) > 0 {
 				notes = append(notes, "brownout: shedding "+strings.Join(shed, ", "))
 			}
+		}
+		voice := 100.0
+		for _, c := range win.Classes {
+			if c.Class == qos.Voice && c.Submitted > 0 {
+				voice = 100 * float64(c.Completed) / float64(c.Submitted)
+			}
+		}
+		fmt.Printf("%-8d %10.0f %9.2f%% %8d %s\n",
+			w, win.DeliveredMbps(), voice, win.Errors, strings.Join(notes, "; "))
+	}
+	fmt.Print(cl.Snapshot().Format())
+}
+
+// runHeal is the self-healing drill: one seeded crash under open-loop
+// load, the fault side handled exactly as runFaults (fail-over
+// voice-first, brownout to the surviving capacity), and then the
+// recovery side the fault drill leaves open — the corpse is rebuilt by
+// streaming the base bitstream back in from src, rejoined, reloaded
+// voice-first with RebalanceInto, and the brownout lifted once capacity
+// is back. Every number printed is deterministic in (flags, seed).
+func runHeal(shards, cores int, router, policy string,
+	offered float64, windows int, windowCycles sim.Time, seed uint64, src reconfig.Source) {
+	sched, err := faults.Plan(faults.PlanConfig{
+		Seed:         seed,
+		Shards:       shards,
+		Windows:      windows,
+		Crashes:      1,
+		FaultWindow:  windows / 3,
+		WindowCycles: windowCycles,
+	})
+	if err != nil {
+		log.Fatalf("-heal: %v", err)
+	}
+	satPerShard := harness.SaturationMbps(harness.LoadMix, 8)
+	if cores > 0 && cores != 4 {
+		satPerShard *= float64(cores) / 4
+	}
+	offeredMbps := offered * satPerShard * float64(shards)
+	var shares [qos.NumClasses]float64
+	for _, p := range harness.LoadMix {
+		shares[p.Class] += p.Share
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Shards:        shards,
+		CoresPerShard: cores,
+		Router:        router,
+		Policy:        policy,
+		QueueRequests: true,
+		Seed:          seed,
+		Shape:         true,
+		Shaper:        qos.Config{Capacity: 2 * max(cores, 1), QueueDepth: 32},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	runner, err := cluster.NewOpenLoopRunner(cl, cluster.OpenLoopRunnerConfig{
+		Profiles:    harness.LoadMix,
+		OfferedMbps: offeredMbps,
+		Seed:        seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer runner.Close()
+
+	restartIn := int((cluster.RestartCycles(cores, src) + windowCycles - 1) / windowCycles)
+	if restartIn < 1 {
+		restartIn = 1
+	}
+	fmt.Printf("self-healing drill: %d shards x %d cores at %.2fx saturation (%.0f Mbps), %d windows x %d cycles\n",
+		shards, cores, offered, offeredMbps, windows, windowCycles)
+	fmt.Printf("schedule (seed %d): %s; restart from %s takes %d cycles (~%d windows)\n",
+		seed, sched, src.Name, cluster.RestartCycles(cores, src), restartIn)
+	fmt.Printf("%-8s %10s %10s %8s %s\n", "window", "del Mbps", "voice del%", "errors", "events")
+	lastHB := make([]uint64, shards)
+	restartAt := make(map[int]int) // shard -> due window
+	for w := 0; w < windows; w++ {
+		var notes []string
+		for _, e := range sched.ForWindow(w) {
+			if e.Kind != faults.ShardCrash {
+				continue
+			}
+			if err := cl.ArmShardCrash(e.Shard, cl.NextHeartbeat(e.Shard), e.Offset); err != nil {
+				log.Fatal(err)
+			}
+			notes = append(notes, e.String())
+		}
+		for i := 0; i < shards; i++ {
+			lastHB[i] = cl.NextHeartbeat(i)
+		}
+		win, err := runner.RunWindow(windowCycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < shards; i++ {
+			if cl.QuarantinedShard(i) || cl.NextHeartbeat(i) != lastHB[i] {
+				continue
+			}
+			rep, err := cl.FailOver(i)
+			if err != nil {
+				notes = append(notes, fmt.Sprintf("shard %d down, fail-over refused: %v", i, err))
+				continue
+			}
+			notes = append(notes, fmt.Sprintf("shard %d down: re-homed %d (voice first), lost %d",
+				i, rep.Moved, rep.Lost))
+			healthy := 0
+			for j := 0; j < shards; j++ {
+				if !cl.QuarantinedShard(j) {
+					healthy++
+				}
+			}
+			deny := faults.BrownoutDeny(offeredMbps, float64(healthy)*satPerShard, shares)
+			if err := cl.ApplyDeny(deny); err != nil {
+				log.Fatal(err)
+			}
+			for _, class := range qos.Classes() {
+				if deny[class] {
+					notes = append(notes, "brownout: shedding "+class.String())
+				}
+			}
+			restartAt[i] = w + restartIn
+		}
+		for i, due := range restartAt {
+			if w+1 < due {
+				continue
+			}
+			delete(restartAt, i)
+			rep, err := cl.Restart(i, src)
+			if err != nil {
+				notes = append(notes, fmt.Sprintf("shard %d restart refused: %v", i, err))
+				continue
+			}
+			// The restart swapped the shard's platform out from under the
+			// runner's per-window byte deltas; re-base them.
+			runner.Resnapshot()
+			moved, err := cl.RebalanceInto(i)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := cl.ApplyDeny([qos.NumClasses]bool{}); err != nil {
+				log.Fatal(err)
+			}
+			notes = append(notes, fmt.Sprintf("shard %d restarted from %s in %d cycles: rejoined, %d sessions back, brownout lifted",
+				i, src.Name, rep.Took, moved))
 		}
 		voice := 100.0
 		for _, c := range win.Classes {

@@ -50,7 +50,29 @@ func main() {
 	churnFrom := flag.Int("churn-from", 0, "first window the churn runs after (0 = from the first boundary)")
 	ioTimeout := flag.Duration("io-timeout", 0, "per-response read deadline (0 = wait forever); timeouts surface as server.ErrTimeout")
 	retries := flag.Int("retries", 0, "total attempts for idempotent OPEN/CLOSE/FLUSH after a timeout (0 or 1 = no retry); resends reuse the request id, so the server dedupes")
+	openStorm := flag.Bool("open-storm", false, "OPEN-admission storm instead of the open-loop load: waves of short-lived connections hammer the front door with OPENs across every class; shed non-voice OPENs are tolerated and counted (pair with mccpserver -open-burst/-open-cap), a shed voice OPEN fails the run")
+	stormConns := flag.Int("storm-conns", 8, "concurrent connections per -open-storm wave")
+	stormWaves := flag.Int("storm-waves", 4, "sequential -open-storm waves")
 	flag.Parse()
+
+	if *openStorm {
+		res, err := server.RunStorm(func() (net.Conn, error) {
+			return net.Dial("tcp", *connect)
+		}, server.StormConfig{
+			Conns:        *stormConns,
+			Waves:        *stormWaves,
+			IOTimeout:    *ioTimeout,
+			Retry:        server.RetryPolicy{Attempts: *retries, Seed: *seed},
+			TolerateShed: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("open storm: %d connections over %d waves: %d OPENs admitted, %d non-voice OPENs shed by admission, %d packets, %d sessions closed, %d connections abandoned\n",
+			res.Dialed, *stormWaves, res.Opened, res.ShedOpens, res.Packets, res.Closed, res.Abandons)
+		fmt.Println("voice OPENs are never shed by admission (a shed voice OPEN fails the storm)")
+		return
+	}
 
 	if *process != "" {
 		if _, err := arrivals.ByName(*process, 1); err != nil {

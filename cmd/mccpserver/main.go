@@ -51,6 +51,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic cluster seed")
 	active := flag.Int("active", 0, "serve on the first n shards only (0 = all): fleet scale-in before accepting connections")
 	swap := flag.String("swap", "", "rolling Whirlpool swap across every shard at boot from this bitstream source (compact-flash, ram, icap)")
+	openBurst := flag.Int("open-burst", 0, "OPEN-admission token bucket per connection: at most this many non-voice OPENs between FLUSH-window refills, overflow shed (0 = unbounded; voice is never shed by admission)")
+	openRefill := flag.Int("open-refill", 0, "tokens returned to each connection's OPEN bucket at every FLUSH-window boundary (0 = refill to the full burst)")
+	openCap := flag.Int("open-cap", 0, "global non-voice OPENs admitted per FLUSH window across all connections, overflow shed (0 = unbounded; voice exempt)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-drain bound on SIGTERM/SIGINT: stop accepting, wait up to this long for live connections to finish, then close (0 = close immediately)")
 	flag.Parse()
 
 	if _, err := cluster.RouterByName(*router); err != nil {
@@ -84,6 +88,9 @@ func main() {
 		FlushInterval: *flushEvery,
 		IdleTimeout:   *idleTimeout,
 		MaxSessions:   *maxSessions,
+		OpenBurst:     *openBurst,
+		OpenRefill:    *openRefill,
+		OpenWindowCap: *openCap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -124,14 +131,15 @@ func main() {
 		ln.Addr(), *shards, *cores, *router, *policy, *batch)
 	srv.Serve(ln)
 
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
-	// batches, answer stragglers, then print the final cluster snapshot.
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, give live
+	// connections up to -drain-timeout to finish, drain in-flight batches,
+	// answer stragglers, then print the final cluster snapshot.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	log.Printf("%s: draining and shutting down", s)
+	log.Printf("%s: draining (up to %s) and shutting down", s, *drainTimeout)
 	cl := srv.Cluster()
-	if err := srv.Close(); err != nil {
+	if err := srv.Shutdown(*drainTimeout); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
 	fmt.Print(cl.Snapshot().Format())

@@ -318,6 +318,9 @@ func New(cfg Config) (*Cluster, error) {
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return c.cfg.Shards }
 
+// CoresPerShard returns each shard's device size (after defaulting).
+func (c *Cluster) CoresPerShard() int { return c.cfg.CoresPerShard }
+
 // RouterName returns the active routing policy's name.
 func (c *Cluster) RouterName() string { return c.router.Name() }
 

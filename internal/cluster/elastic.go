@@ -29,10 +29,14 @@ func (c *Cluster) SetShardActive(id int, active bool) error {
 		return fmt.Errorf("cluster: no shard %d", id)
 	}
 	if active && c.quarantined[id] {
-		// A quarantined shard is a corpse: its channel state is gone and
-		// its shaper fails everything. Re-admitting it would route live
-		// sessions into a black hole.
-		return fmt.Errorf("cluster: shard %d is quarantined (crashed) and cannot be re-admitted", id)
+		// A quarantined shard is a corpse until the recovery plane clears
+		// the flag: Restart rebuilds a crashed shard (the flag drops after
+		// the bitstream reload), Unquarantine lifts a premature quarantine
+		// on a shard that merely stalled. Until one of those has run,
+		// re-admitting it would route live sessions into a black hole. A
+		// restarted shard is no longer quarantined and re-activates
+		// normally — Fleet.Scale sees it back in the healthy pool.
+		return fmt.Errorf("cluster: shard %d is quarantined: Restart a crashed shard or Unquarantine a recovered one before re-admitting it", id)
 	}
 	if !active {
 		rest := 0
@@ -398,6 +402,13 @@ func (r *OpenLoopRunner) RunWindow(horizon sim.Time) (OpenLoopWindow, error) {
 
 // Sources returns the number of persistent arrival sources.
 func (r *OpenLoopRunner) Sources() int { return len(r.sources) }
+
+// Resnapshot re-bases the runner's per-shard counter baselines on the
+// current shaper state. Call it after Restart swaps a rebuilt shard into
+// the cluster: the fresh shard's shaper counters start at zero, so the
+// next window's deltas against the old incarnation's baseline would go
+// negative.
+func (r *OpenLoopRunner) Resnapshot() { r.snapshot() }
 
 // Close closes the runner's sessions (the cluster stays usable).
 func (r *OpenLoopRunner) Close() {

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mccp/internal/qos"
+	"mccp/internal/reconfig"
+)
+
+// runHealSoak cycles the full fault loop — crash, fail-over, restart,
+// rebalance back — `cycles` times over a loaded cluster and returns every
+// window result. It asserts the invariants each cycle: nothing lost, the
+// session population constant, the rebuilt shard back in the healthy
+// pool.
+func runHealSoak(t *testing.T, seed uint64, cycles int) []OpenLoopWindow {
+	t.Helper()
+	const horizon = 150000
+	cl, r := faultCluster(t, seed)
+	var wins []OpenLoopWindow
+	run := func() {
+		w, err := r.RunWindow(horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins = append(wins, w)
+	}
+	run()
+	cl.Flush()
+	population := len(cl.sessions)
+	for c := 0; c < cycles; c++ {
+		dead := c % cl.Shards()
+		if err := cl.ArmShardCrash(dead, cl.NextHeartbeat(dead), horizon/2); err != nil {
+			t.Fatal(err)
+		}
+		run()
+		rep, err := cl.FailOver(dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Lost != 0 {
+			t.Fatalf("cycle %d: fail-over lost %d sessions", c, rep.Lost)
+		}
+		rrep, err := cl.Restart(dead, reconfig.FastICAP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rrep.Took == 0 {
+			t.Fatalf("cycle %d: restart reported a free bitstream reload", c)
+		}
+		// The restart swapped the shard platform; re-base the runner's
+		// per-window deltas before serving on it again.
+		r.Resnapshot()
+		if cl.QuarantinedShard(dead) {
+			t.Fatalf("cycle %d: shard %d still quarantined after restart", c, dead)
+		}
+		if _, err := cl.RebalanceInto(dead); err != nil {
+			t.Fatal(err)
+		}
+		run()
+		if got := len(cl.sessions); got != population {
+			t.Fatalf("cycle %d: session population drifted: %d, want %d", c, got, population)
+		}
+		if w := wins[len(wins)-1]; w.Errors != 0 {
+			t.Fatalf("cycle %d: post-rejoin window failing: %d errors", c, w.Errors)
+		}
+	}
+	return wins
+}
+
+// TestRestartRejoinSoak cycles crash -> fail-over -> restart -> rejoin
+// across every shard slot under load: no session is ever lost, the
+// population never drifts, and the post-rejoin windows serve cleanly.
+// Run under -race this is also the recovery plane's concurrency soak —
+// every cycle stops one shard goroutine and boots a fresh one while the
+// other shards keep serving.
+func TestRestartRejoinSoak(t *testing.T) {
+	runHealSoak(t, 61, 5)
+}
+
+// TestRestartSoakDeterministic: two identical soaks produce bit-identical
+// window series — arrival digests, verdict counts, delivered bytes — so
+// a restart is as reproducible as the crash that forced it.
+func TestRestartSoakDeterministic(t *testing.T) {
+	a := runHealSoak(t, 67, 3)
+	b := runHealSoak(t, 67, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("heal soak not reproducible:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestRestartLeaksNoGoroutines: a crash/restart cycle swaps shard
+// goroutines; after Close the process is back to its pre-cluster
+// goroutine count (the corpse's goroutine did not linger).
+func TestRestartLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	cl, err := New(Config{
+		Shards:        4,
+		CoresPerShard: 2,
+		QueueRequests: true,
+		Seed:          71,
+		Shape:         true,
+		Shaper:        qos.Config{Capacity: 4, QueueDepth: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewOpenLoopRunner(cl, OpenLoopRunnerConfig{
+		Profiles:    openLoopProfiles(),
+		OfferedMbps: 1000,
+		Seed:        71,
+	})
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	const dead, horizon = 0, 100000
+	if _, err := r.RunWindow(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ArmShardCrash(dead, cl.NextHeartbeat(dead), horizon/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunWindow(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.FailOver(dead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Restart(dead, reconfig.FastICAP); err != nil {
+		t.Fatal(err)
+	}
+	r.Resnapshot()
+	if _, err := r.RunWindow(horizon); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	cl.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("goroutines leaked across restart: %d live, %d at baseline", got, base)
+	}
+}
+
+// TestRecoveryGuards pins the recovery plane's refusal matrix: Restart
+// only rebuilds quarantined corpses, Unquarantine only lifts stalls (a
+// corpse is refused toward Restart), and a quarantined shard cannot be
+// re-admitted by SetShardActive without going through one of them.
+func TestRecoveryGuards(t *testing.T) {
+	const dead, horizon = 1, 150000
+	cl, r := faultCluster(t, 73)
+	if _, err := cl.Restart(0, reconfig.FastICAP); err == nil {
+		t.Fatalf("Restart accepted a healthy shard")
+	}
+	if err := cl.Unquarantine(0); err == nil {
+		t.Fatalf("Unquarantine accepted a healthy shard")
+	}
+	if _, err := r.RunWindow(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ArmShardCrash(dead, cl.NextHeartbeat(dead), horizon/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunWindow(horizon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.FailOver(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unquarantine(dead); err == nil ||
+		!strings.Contains(err.Error(), "Restart") {
+		t.Fatalf("Unquarantine on a corpse: %v, want a pointer at Restart", err)
+	}
+	if err := cl.SetShardActive(dead, true); err == nil ||
+		!strings.Contains(err.Error(), "Restart") {
+		t.Fatalf("SetShardActive on a quarantined corpse: %v, want a pointer at Restart", err)
+	}
+	if _, err := cl.RebalanceInto(dead); err == nil {
+		t.Fatalf("RebalanceInto accepted a quarantined target")
+	}
+	if _, err := cl.Restart(dead, reconfig.FastICAP); err != nil {
+		t.Fatal(err)
+	}
+	r.Resnapshot()
+	// Restarted: the quarantine is gone and Fleet.Scale-style re-admission
+	// (SetShardActive) works again.
+	if cl.QuarantinedShard(dead) {
+		t.Fatalf("shard %d quarantined after successful restart", dead)
+	}
+	if err := cl.SetShardActive(dead, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetShardActive(dead, true); err != nil {
+		t.Fatalf("restarted shard refused normal re-admission: %v", err)
+	}
+}

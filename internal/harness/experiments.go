@@ -96,6 +96,21 @@ var Experiments = map[string]Experiment{
 			" the zero-fault row is bit-identical to the E14 pipeline at 0.9x)",
 		},
 	},
+	"E17": {
+		ID:    "E17",
+		Title: "recovery curves (restart + rejoin per bitstream source, brownout lift)",
+		Run: func(scale int) string {
+			return FormatRecoveryCurves(RecoveryCurves(RecoveryConfig{}))
+		},
+		Notes: []string{
+			"(the E16 crash with the restart loop armed: the corpse is rebuilt by",
+			" streaming the base bitstream back in at each Table IV source speed,",
+			" rejoined voice-first, and the brownout lifted class-by-class as the",
+			" measured load fits under the restored capacity; the reconfiguration",
+			" hierarchy survives the full stack — icap rejoins before ram before",
+			" compact-flash — and the zero-fault baseline is E16's row verbatim)",
+		},
+	},
 }
 
 // ExperimentIDs returns the registered experiment IDs in order.

@@ -1,0 +1,485 @@
+package harness
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"mccp/internal/cluster"
+	"mccp/internal/faults"
+	"mccp/internal/qos"
+	"mccp/internal/reconfig"
+	"mccp/internal/server"
+	"mccp/internal/sim"
+)
+
+// This file is experiment E17: recovery curves. E16 measured the fall —
+// crash, detection, fail-over, brownout floor. E17 measures the climb
+// back: with the server's restart loop armed, the quarantined corpse is
+// rebuilt by streaming the base bitstream back in at one of the paper's
+// Table IV source speeds (CompactFlash, staging RAM, or the ICAP-rate
+// ceiling), rejoined to the pool, reloaded voice-first, and the brownout
+// mask lifted class-by-class as the measured load fits back under the
+// restored capacity. The table sweeps the bitstream source at a fixed
+// 0.9x-saturation load and reports the full arc per source: restart
+// duration (scaled and at true paper speed), rejoin window, voice
+// recovery, and time back to full delivered capacity. The paper's
+// reconfiguration-speed hierarchy should survive the trip through the
+// whole serving stack: ICAP rejoins before RAM rejoins before
+// CompactFlash. Single loopback connection, seeded schedule: the whole
+// drill is a pure function of (config, seed), and the zero-fault
+// baseline row is computed by E16's own FaultPointRun — bit-identical
+// to its zero row.
+
+// RecoveryConfig parameterizes RecoveryCurves.
+type RecoveryConfig struct {
+	// Wire is the base pipeline configuration; defaults match E16's
+	// (4 shards, 256 sessions, 36 windows) so the zero-fault baseline
+	// is E16's zero-fault row verbatim.
+	Wire WireConfig
+	// Offered is the fixed load as a fraction of saturation (default
+	// 0.9 — the E16 operating point).
+	Offered float64
+	// Sources are the bitstream sources swept, slowest first (default
+	// the paper's three: compact-flash, ram, icap).
+	Sources []reconfig.Source
+	// TimeScale compresses each source's reload time onto the simulated
+	// window horizon (default 4096): the virtual restart takes
+	// 1/TimeScale of the true reload, and TrueRestartMillis reports the
+	// unscaled figure. The hierarchy between sources is unaffected.
+	TimeScale float64
+	// Policies are swept per source (default qos-priority only — the
+	// policy E16 showed survives the fall with zero voice loss).
+	Policies []string
+	// FaultWindow is the window the crash lands in (default Windows/3).
+	FaultWindow int
+	// VoiceRecovered is the per-window voice delivered fraction that
+	// counts as voice recovery (default 0.99); CapacityFrac the fraction
+	// of the pre-crash delivered rate that counts as full capacity
+	// restored (default 0.95).
+	VoiceRecovered float64
+	CapacityFrac   float64
+}
+
+func (c *RecoveryConfig) fill() {
+	if c.Wire.Shards <= 0 {
+		c.Wire.Shards = 4
+	}
+	if c.Wire.Sessions <= 0 {
+		c.Wire.Sessions = 256
+	}
+	if c.Wire.Windows <= 0 {
+		c.Wire.Windows = 36
+	}
+	c.Wire.fill()
+	if c.Offered <= 0 {
+		c.Offered = 0.9
+	}
+	if len(c.Sources) == 0 {
+		c.Sources = reconfig.Sources()
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 4096
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"qos-priority"}
+	}
+	if c.FaultWindow <= 0 {
+		c.FaultWindow = c.Wire.Windows / 3
+		if c.FaultWindow == 0 {
+			c.FaultWindow = 1
+		}
+	}
+	if c.VoiceRecovered <= 0 {
+		c.VoiceRecovered = 0.99
+	}
+	if c.CapacityFrac <= 0 {
+		c.CapacityFrac = 0.95
+	}
+}
+
+// RecoveryPoint is one (policy, bitstream source) drill.
+type RecoveryPoint struct {
+	Policy string
+	// Source is the bitstream source the restart streamed from.
+	Source string
+	// WirePoint carries the horizon-wide per-class cells and digests,
+	// built by the same reduction as the E14/E16 tables.
+	WirePoint
+	// Schedule is the printable fault plan; Rehomes the fail-over log
+	// with its aggregates (as in E16).
+	Schedule   string
+	Rehomes    []server.RehomeEvent
+	Moved      int
+	Lost       int
+	RehomeTook sim.Time
+	// Heals is the recovery plane's action log: the restart, the
+	// rebalance back, and each brownout lift.
+	Heals []server.HealEvent
+	// RestartCycles is the bitstream reload's virtual duration on the
+	// rebuilt shard's timeline (at the TimeScale-compressed source);
+	// TrueRestartMillis undoes the compression — the reload at the
+	// paper's real source speed, in milliseconds. RejoinWindow is the
+	// boundary the shard came back at (-1: never rejoined).
+	RestartCycles     sim.Time
+	TrueRestartMillis float64
+	RejoinWindow      int
+	// BrownoutImposed reports the fail-over shed at least one class;
+	// BrownoutLifted that the mask was fully clear by the horizon.
+	BrownoutImposed bool
+	BrownoutLifted  bool
+	// RecoveryCycles is the crash-to-voice-recovered span (E16's
+	// definition); CapacityCycles the crash to the first post-rejoin
+	// window delivering CapacityFrac of the pre-crash rate.
+	RecoveryCycles   sim.Time
+	Recovered        bool
+	CapacityCycles   sim.Time
+	CapacityRestored bool
+	// Windows is the per-window tally series behind the spans.
+	Windows []server.WindowLoad
+}
+
+// RecoveryResult is the E17 table.
+type RecoveryResult struct {
+	SaturationMbps float64
+	Offered        float64
+	Sessions       int
+	TimeScale      float64
+	// Baseline is the zero-fault row, computed by E16's FaultPointRun
+	// so the two experiments' baselines are bit-identical.
+	Baseline FaultPoint
+	// Points are policy-major, sources in the configured order.
+	Points []RecoveryPoint
+}
+
+// RecoveryCurves runs E17: the zero-fault baseline through the E16
+// pipeline, then one full crash-and-recovery drill per (policy, source).
+func RecoveryCurves(cfg RecoveryConfig) RecoveryResult {
+	cfg.fill()
+	sat := cfg.Wire.SatMbps
+	if sat <= 0 {
+		sat = SaturationMbps(cfg.Wire.Mix, cfg.Wire.SatPackets) * float64(cfg.Wire.Shards) *
+			float64(cfg.Wire.CoresPerShard) / 4
+	}
+	res := RecoveryResult{
+		SaturationMbps: sat,
+		Offered:        cfg.Offered,
+		Sessions:       cfg.Wire.Sessions,
+		TimeScale:      cfg.TimeScale,
+	}
+	base := FaultConfig{
+		Wire:           cfg.Wire,
+		Offered:        cfg.Offered,
+		FaultWindow:    cfg.FaultWindow,
+		VoiceRecovered: cfg.VoiceRecovered,
+	}
+	res.Baseline = FaultPointRun(cfg.Policies[0], FaultRow{}, sat, base)
+	for _, pol := range cfg.Policies {
+		for _, src := range cfg.Sources {
+			res.Points = append(res.Points, RecoveryPointRun(pol, src, sat, cfg))
+		}
+	}
+	return res
+}
+
+// RecoveryPointRun measures one (policy, source) drill: one shard
+// crashes mid-window at the fixed load, the detector fails it over and
+// browns out, the restart loop rebuilds it from src and rejoins it, and
+// the point records how long the climb back took.
+func RecoveryPointRun(policy string, src reconfig.Source, satMbps float64, cfg RecoveryConfig) RecoveryPoint {
+	cfg.fill()
+	wire := cfg.Wire
+	wire.Policy = policy
+
+	sched, err := faults.Plan(faults.PlanConfig{
+		Seed:         wire.Seed,
+		Shards:       wire.Shards,
+		Windows:      wire.Windows,
+		Crashes:      1,
+		FaultWindow:  cfg.FaultWindow,
+		WindowCycles: wire.WindowCycles,
+	})
+	if err != nil {
+		panic(err) // experiment drivers pass literal configurations
+	}
+	var shares [qos.NumClasses]float64
+	for _, p := range wire.Mix {
+		shares[p.Class] += p.Share
+	}
+
+	srv, err := server.New(server.Config{
+		Cluster: cluster.Config{
+			Shards:        wire.Shards,
+			CoresPerShard: wire.CoresPerShard,
+			Router:        wire.Router,
+			Policy:        wire.Policy,
+			QueueRequests: true,
+			Shape:         true,
+			ShardWindow:   wire.BatchOps,
+			Seed:          wire.Seed,
+			Shaper: qos.Config{
+				Capacity:   wire.Capacity,
+				QueueDepth: wire.QueueDepth,
+				Drain:      wire.Drain,
+			},
+		},
+		BatchOps: wire.BatchOps,
+		Faults: &server.FaultPolicy{
+			Schedule:        sched,
+			Detect:          true,
+			OfferedMbps:     cfg.Offered * satMbps,
+			SatMbpsPerShard: satMbps / float64(wire.Shards),
+			Shares:          shares,
+			Restart:         true,
+			RestartSource:   src.Scaled(cfg.TimeScale),
+			WindowCycles:    wire.WindowCycles,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	lb := server.NewLoopback()
+	srv.Serve(lb)
+
+	bitsPerCycle := cfg.Offered * satMbps * 1e6 / sim.DefaultFreqHz
+	load, err := server.RunLoad(func() (net.Conn, error) { return lb.Dial() }, server.LoadConfig{
+		Sessions:      wire.Sessions,
+		Mix:           wire.Mix,
+		Process:       wire.Process,
+		BitsPerCycle:  bitsPerCycle,
+		WindowCycles:  wire.WindowCycles,
+		Windows:       wire.Windows,
+		Seed:          wire.Seed,
+		WindowTallies: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	point := RecoveryPoint{
+		Policy:       policy,
+		Source:       src.Name,
+		WirePoint:    buildWirePoint(cfg.Offered, satMbps, wire.Sessions, load),
+		Schedule:     sched.String(),
+		Rehomes:      srv.FaultReport(),
+		Heals:        srv.HealReport(),
+		RejoinWindow: -1,
+		Windows:      load.Windows,
+	}
+	for _, ev := range point.Rehomes {
+		point.Moved += ev.Moved
+		point.Lost += ev.Lost
+		if ev.Took > point.RehomeTook {
+			point.RehomeTook = ev.Took
+		}
+		for _, deny := range ev.Deny {
+			if deny {
+				point.BrownoutImposed = true
+			}
+		}
+	}
+	// The final mask on record decides whether the brownout fully
+	// lifted; every heal event carries the mask in force after it ran.
+	finalDeny := [qos.NumClasses]bool{}
+	if n := len(point.Rehomes); n > 0 {
+		finalDeny = point.Rehomes[n-1].Deny
+	}
+	for _, ev := range point.Heals {
+		if ev.Restarted {
+			point.RestartCycles = ev.RestartCycles
+			point.RejoinWindow = ev.Window
+		}
+		finalDeny = ev.Deny
+	}
+	point.BrownoutLifted = true
+	for _, deny := range finalDeny {
+		if deny {
+			point.BrownoutLifted = false
+		}
+	}
+	point.TrueRestartMillis = float64(point.RestartCycles) * cfg.TimeScale / sim.DefaultFreqHz * 1e3
+	point.RecoveryCycles, point.Recovered = recoveryOf(sched, wire.WindowCycles, cfg.VoiceRecovered, load.Windows)
+	point.CapacityCycles, point.CapacityRestored = capacityOf(sched, wire.WindowCycles,
+		cfg.CapacityFrac, cfg.FaultWindow, point.RejoinWindow, load.Windows)
+	return point
+}
+
+// capacityOf derives the crash-to-full-capacity span: the pre-crash
+// delivered rate is the mean per-window OK count over the steady windows
+// before the crash (skipping two warm-up windows), and capacity counts
+// as restored at the end of the first window at or after the rejoin
+// delivering at least frac of that rate. rejoin < 0 (never rejoined)
+// reports restored == false.
+func capacityOf(sched faults.Schedule, windowCycles sim.Time, frac float64,
+	faultWindow, rejoin int, wins []server.WindowLoad) (sim.Time, bool) {
+	if rejoin < 0 || len(wins) == 0 {
+		return 0, false
+	}
+	var crashAt sim.Time
+	for _, e := range sched.Events {
+		if e.Kind == faults.ShardCrash {
+			crashAt = sim.Time(e.Window)*windowCycles + e.Offset
+			break
+		}
+	}
+	total := func(w server.WindowLoad) uint64 {
+		var ok uint64
+		for _, cw := range w.Classes {
+			ok += cw.OK
+		}
+		return ok
+	}
+	lo := 2
+	if lo >= faultWindow {
+		lo = 0
+	}
+	var steady float64
+	for w := lo; w < faultWindow && w < len(wins); w++ {
+		steady += float64(total(wins[w]))
+	}
+	if n := faultWindow - lo; n > 0 {
+		steady /= float64(n)
+	}
+	if steady <= 0 {
+		return 0, false
+	}
+	for w := rejoin; w < len(wins); w++ {
+		if float64(total(wins[w])) >= frac*steady {
+			return sim.Time(w+1)*windowCycles - crashAt, true
+		}
+	}
+	return 0, false
+}
+
+// FormatRecoveryCurves renders the E17 table.
+func FormatRecoveryCurves(r RecoveryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery curves (E17): loopback mccpserver at %.1fx saturation (~%.0f Mbps), %d sessions, crash -> restart -> rejoin per bitstream source (reload time-compressed %gx)\n",
+		r.Offered, r.SaturationMbps, r.Sessions, r.TimeScale)
+	fmt.Fprintf(&b, "restart = bitstream reload on the rebuilt shard (true ms at paper source speed); recover = crash to voice back >= 99%%; capacity = crash to delivered rate back >= 95%% of pre-crash\n")
+	fmt.Fprintf(&b, "%-12s %-13s | %8s %8s | %6s %5s | %12s %10s %6s | %12s %12s %8s\n",
+		"policy", "source", "v loss%", "loss%", "moved", "lost",
+		"restart cyc", "true ms", "rejoin", "recover cyc", "capacity cyc", "lifted")
+	base := r.Baseline
+	fmt.Fprintf(&b, "%-12s %-13s | %7.2f%% %7.2f%% | %6d %5d | %12s %10s %6s | %12s %12s %8s\n",
+		base.Policy, "(no fault)", 100*base.Cell(qos.Voice).LossFrac, 100*base.TotalLossFrac,
+		base.Moved, base.Lost, "-", "-", "-", "-", "-", "-")
+	for _, p := range r.Points {
+		rec := fmt.Sprintf("%d", p.RecoveryCycles)
+		if !p.Recovered {
+			rec = "DNF"
+		}
+		cap := fmt.Sprintf("%d", p.CapacityCycles)
+		if !p.CapacityRestored {
+			cap = "DNF"
+		}
+		rejoin := fmt.Sprintf("%d", p.RejoinWindow)
+		if p.RejoinWindow < 0 {
+			rejoin = "DNF"
+		}
+		lifted := "yes"
+		if !p.BrownoutLifted {
+			lifted = "NO"
+		}
+		fmt.Fprintf(&b, "%-12s %-13s | %7.2f%% %7.2f%% | %6d %5d | %12d %10.1f %6s | %12s %12s %8s\n",
+			p.Policy, p.Source, 100*p.Cell(qos.Voice).LossFrac, 100*p.TotalLossFrac,
+			p.Moved, p.Lost, p.RestartCycles, p.TrueRestartMillis, rejoin, rec, cap, lifted)
+	}
+	return b.String()
+}
+
+// HealSmokeVerdict is the CI -healsmoke gate's result: with 1 of 4
+// shards crashed mid-load at 0.9x saturation under qos-priority and the
+// restart loop armed (icap source), the shard must rebuild and rejoin,
+// voice must ride through both the fall and the climb within 1% loss
+// and zero lost sessions, the brownout mask must be fully lifted by the
+// horizon, and the delivered rate must climb back to the pre-crash
+// level.
+type HealSmokeVerdict struct {
+	VoiceLossFrac    float64
+	Lost             int
+	Restarts         int
+	RejoinWindow     int
+	BrownoutLifted   bool
+	Recovered        bool
+	RecoveryCycles   sim.Time
+	RecoveryLimit    sim.Time
+	CapacityRestored bool
+	CapacityCycles   sim.Time
+	Point            RecoveryPoint
+}
+
+// Pass reports whether the gate held.
+func (v HealSmokeVerdict) Pass() bool {
+	return v.VoiceLossFrac <= 0.01 &&
+		v.Lost == 0 &&
+		v.Restarts >= 1 &&
+		v.BrownoutLifted &&
+		v.Recovered &&
+		v.RecoveryCycles <= v.RecoveryLimit &&
+		v.CapacityRestored
+}
+
+func (v HealSmokeVerdict) String() string {
+	verdict := "ok"
+	if !v.Pass() {
+		verdict = "FAIL"
+	}
+	rec := fmt.Sprintf("%d", v.RecoveryCycles)
+	if !v.Recovered {
+		rec = "DNF"
+	}
+	cap := fmt.Sprintf("%d cycles", v.CapacityCycles)
+	if !v.CapacityRestored {
+		cap = "DNF"
+	}
+	lifted := "lifted"
+	if !v.BrownoutLifted {
+		lifted = "NOT lifted"
+	}
+	return fmt.Sprintf("healsmoke %s: voice loss %.2f%% (limit 1%%), %d lost (limit 0), %d restart(s) rejoining at window %d, brownout %s, voice recovery %s cycles (limit %d), capacity back in %s",
+		verdict, 100*v.VoiceLossFrac, v.Lost, v.Restarts, v.RejoinWindow, lifted, rec, v.RecoveryLimit, cap)
+}
+
+// HealSmoke runs the one-drill loopback E17 gate CI checks. Small on
+// purpose: 64 sessions, 24 short windows, one crash in a 4-shard
+// cluster, restart from the icap source.
+func HealSmoke() HealSmokeVerdict {
+	cfg := RecoveryConfig{
+		Wire: WireConfig{
+			Shards:       4,
+			Sessions:     64,
+			WindowCycles: 4096,
+			Windows:      24,
+		},
+		Sources:     []reconfig.Source{reconfig.FastICAP},
+		FaultWindow: 8,
+	}
+	cfg.fill()
+	sat := cfg.Wire.SatMbps
+	if sat <= 0 {
+		sat = SaturationMbps(cfg.Wire.Mix, cfg.Wire.SatPackets) * float64(cfg.Wire.Shards) *
+			float64(cfg.Wire.CoresPerShard) / 4
+	}
+	p := RecoveryPointRun(cfg.Policies[0], cfg.Sources[0], sat, cfg)
+	restarts := 0
+	for _, ev := range p.Heals {
+		if ev.Restarted {
+			restarts++
+		}
+	}
+	return HealSmokeVerdict{
+		VoiceLossFrac:    p.Cell(qos.Voice).LossFrac,
+		Lost:             p.Lost,
+		Restarts:         restarts,
+		RejoinWindow:     p.RejoinWindow,
+		BrownoutLifted:   p.BrownoutLifted,
+		Recovered:        p.Recovered,
+		RecoveryCycles:   p.RecoveryCycles,
+		RecoveryLimit:    3 * 4096,
+		CapacityRestored: p.CapacityRestored,
+		CapacityCycles:   p.CapacityCycles,
+		Point:            p,
+	}
+}

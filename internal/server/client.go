@@ -29,6 +29,18 @@ type RetryPolicy struct {
 	// requests retries but the durations are zero).
 	Backoff    time.Duration
 	BackoffCap time.Duration
+	// Jitter subtracts up to this fraction of each backoff sleep
+	// (full-jitter toward zero), so connections that timed out together —
+	// a shared server stall — do not retry in one synchronized storm.
+	// Defaults to 0.5 when retries are on; negative disables jitter;
+	// values above 1 clamp to 1. The jitter stream is seeded (Seed, the
+	// request id and the attempt number), never shared wall-clock
+	// randomness, so wire tests stay reproducible.
+	Jitter float64
+	// Seed derives the deterministic jitter stream (0 = an unseeded but
+	// still deterministic stream; load generators seed one per
+	// connection).
+	Seed uint64
 }
 
 func (p *RetryPolicy) fill() {
@@ -39,7 +51,37 @@ func (p *RetryPolicy) fill() {
 		if p.BackoffCap <= 0 {
 			p.BackoffCap = 100 * time.Millisecond
 		}
+		if p.Jitter == 0 {
+			p.Jitter = 0.5
+		}
 	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+}
+
+// splitmix64 is the SplitMix64 mixer — one multiply-xor-shift chain per
+// call, enough to decorrelate the (seed, id, attempt) tuples the jitter
+// stream is keyed by.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// jittered shrinks a backoff sleep by a deterministic fraction in
+// [0, Jitter), keyed by the retrying request's id and attempt number.
+func (p RetryPolicy) jittered(backoff time.Duration, id uint64, attempt int) time.Duration {
+	if p.Jitter <= 0 || backoff <= 0 {
+		return backoff
+	}
+	u := splitmix64(p.Seed ^ id*0x9E3779B97F4A7C15 ^ uint64(attempt)<<40)
+	frac := float64(u>>11) / (1 << 53) // uniform in [0,1)
+	return backoff - time.Duration(p.Jitter*frac*float64(backoff))
 }
 
 // Client speaks the wire protocol over one connection. It is not safe
@@ -234,7 +276,7 @@ func (c *Client) lockStep(encode func(dst []byte, id uint64) []byte) (Response, 
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(backoff)
+			time.Sleep(c.retry.jittered(backoff, id, a))
 			if backoff *= 2; backoff > c.retry.BackoffCap {
 				backoff = c.retry.BackoffCap
 			}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"mccp/internal/cluster"
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+)
+
+// openStatus round-trips one OPEN and returns the raw verdict (an
+// admission shed is an outcome here, not an error).
+func openStatus(t *testing.T, cl *Client, class qos.Class) Status {
+	t.Helper()
+	reqID, err := cl.SendOpen(OpenRequest{
+		Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Class: class,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := cl.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReqID != reqID {
+		t.Fatalf("response for request %d, want %d", r.ReqID, reqID)
+	}
+	return r.Status
+}
+
+// TestOpenAdmissionBucket pins the front door's token-bucket arithmetic
+// on one connection: OpenBurst non-voice OPENs are admitted per window,
+// the overflow is StatusShed without touching the cluster, a FLUSH
+// boundary refills the bucket, and voice OPENs pass the whole time —
+// they are never admission-shed.
+func TestOpenAdmissionBucket(t *testing.T) {
+	srv, lb := startLoopback(t, Config{
+		Cluster:   cluster.Config{Seed: 7},
+		OpenBurst: 2,
+	})
+	defer srv.Close()
+	cl := dialClient(t, lb)
+	defer cl.Close()
+
+	admitted, shed := 0, 0
+	for i := 0; i < 6; i++ {
+		if st := openStatus(t, cl, qos.Voice); st != StatusOK {
+			t.Fatalf("voice OPEN %d: %v — admission shed voice", i, st)
+		}
+		switch st := openStatus(t, cl, qos.Background); st {
+		case StatusOK:
+			admitted++
+		case StatusShed:
+			shed++
+		default:
+			t.Fatalf("background OPEN %d: %v", i, st)
+		}
+	}
+	if admitted != 2 || shed != 4 {
+		t.Fatalf("burst 2: admitted %d shed %d non-voice OPENs, want 2 and 4", admitted, shed)
+	}
+	// A window boundary refills the bucket (OpenRefill 0 = full burst).
+	if err := cl.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	admitted, shed = 0, 0
+	for i := 0; i < 4; i++ {
+		switch st := openStatus(t, cl, qos.Background); st {
+		case StatusOK:
+			admitted++
+		case StatusShed:
+			shed++
+		default:
+			t.Fatalf("post-refill background OPEN %d: %v", i, st)
+		}
+	}
+	if admitted != 2 || shed != 2 {
+		t.Fatalf("post-refill: admitted %d shed %d, want 2 and 2", admitted, shed)
+	}
+}
+
+// TestOpenAdmissionWindowCap pins the global valve: across connections,
+// at most OpenWindowCap non-voice OPENs are admitted per window while
+// voice stays exempt.
+func TestOpenAdmissionWindowCap(t *testing.T) {
+	srv, lb := startLoopback(t, Config{
+		Cluster:       cluster.Config{Seed: 11},
+		OpenWindowCap: 3,
+	})
+	defer srv.Close()
+	a := dialClient(t, lb)
+	defer a.Close()
+	b := dialClient(t, lb)
+	defer b.Close()
+
+	admitted, shed := 0, 0
+	for i := 0; i < 4; i++ {
+		for _, cl := range []*Client{a, b} {
+			if st := openStatus(t, cl, qos.Voice); st != StatusOK {
+				t.Fatalf("voice OPEN: %v — the cap must not shed voice", st)
+			}
+			switch st := openStatus(t, cl, qos.Data); st {
+			case StatusOK:
+				admitted++
+			case StatusShed:
+				shed++
+			default:
+				t.Fatalf("data OPEN: %v", st)
+			}
+		}
+	}
+	if admitted != 3 || shed != 5 {
+		t.Fatalf("window cap 3: admitted %d shed %d non-voice OPENs, want 3 and 5", admitted, shed)
+	}
+}
+
+// TestOpenStormVoiceNeverShed runs the concurrent OPEN storm against a
+// front door with both valves tight: the storm itself fails if any voice
+// OPEN is shed, and the tight caps guarantee the non-voice shed path is
+// actually exercised. Under -race this doubles as the admission plane's
+// concurrency soak.
+func TestOpenStormVoiceNeverShed(t *testing.T) {
+	srv, lb := startLoopback(t, Config{
+		Cluster:       cluster.Config{Shards: 2, Seed: 13},
+		OpenBurst:     1,
+		OpenWindowCap: 4,
+	})
+	defer srv.Close()
+	res, err := RunStorm(lb.Dial, StormConfig{
+		Conns:        6,
+		Waves:        3,
+		TolerateShed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShedOpens == 0 {
+		t.Fatalf("tight admission caps shed no OPENs: %+v", res)
+	}
+	if res.Opened == 0 {
+		t.Fatalf("storm admitted nothing: %+v", res)
+	}
+}
+
+// TestRetryJitterDeterministic pins the seeded retry jitter: the sleep
+// for a given (seed, request id, attempt) is a pure function, distinct
+// tuples decorrelate, and the jittered sleep stays inside
+// (backoff*(1-Jitter), backoff].
+func TestRetryJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Jitter: 0.5, Seed: 99}
+	p.fill()
+	base := 8 * time.Millisecond
+	d1 := p.jittered(base, 42, 1)
+	if d2 := p.jittered(base, 42, 1); d2 != d1 {
+		t.Fatalf("same tuple, different sleep: %v vs %v", d1, d2)
+	}
+	if d1 <= base/2 || d1 > base {
+		t.Fatalf("jittered sleep %v outside (%v, %v]", d1, base/2, base)
+	}
+	if p.jittered(base, 43, 1) == d1 && p.jittered(base, 42, 2) == d1 {
+		t.Fatalf("jitter stream constant across ids and attempts")
+	}
+	off := RetryPolicy{Attempts: 3, Jitter: -1}
+	off.fill()
+	if off.Jitter != 0 {
+		t.Fatalf("negative Jitter not disabled: %v", off.Jitter)
+	}
+	if d := off.jittered(base, 42, 1); d != base {
+		t.Fatalf("disabled jitter altered the sleep: %v", d)
+	}
+	def := RetryPolicy{Attempts: 2}
+	def.fill()
+	if def.Jitter != 0.5 {
+		t.Fatalf("default Jitter = %v, want 0.5", def.Jitter)
+	}
+}
+
+// TestShutdownDrains: Shutdown stops the listener, waits for live
+// connections to finish, and tears down cleanly once they do.
+func TestShutdownDrains(t *testing.T) {
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Seed: 17}})
+	cl := dialClient(t, lb)
+	if _, err := cl.Open(OpenRequest{
+		Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Class: qos.Voice,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(2 * time.Second) }()
+	// The live connection keeps Shutdown draining; closing it releases it.
+	time.Sleep(20 * time.Millisecond)
+	cl.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown did not return after the last connection closed")
+	}
+}

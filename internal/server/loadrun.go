@@ -325,6 +325,11 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 		cl.SetIOTimeout(cfg.IOTimeout)
 	}
 	if cfg.Retry.Attempts > 1 {
+		if cfg.Retry.Seed == 0 {
+			// Give each connection its own jitter stream off the run seed,
+			// so retry storms decorrelate but reruns reproduce exactly.
+			cfg.Retry.Seed = splitmix64(cfg.Seed ^ uint64(ci)*0xA24BAED4963EE407)
+		}
 		cl.SetRetryPolicy(cfg.Retry)
 	}
 

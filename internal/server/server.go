@@ -12,7 +12,9 @@ import (
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
 	"mccp/internal/faults"
+	"mccp/internal/fleet"
 	"mccp/internal/qos"
+	"mccp/internal/reconfig"
 	"mccp/internal/sim"
 )
 
@@ -50,6 +52,20 @@ type Config struct {
 	// peer stops reading stalls the batcher once its buffer fills (until
 	// the idle reaper claims it).
 	WriteBuffer int
+	// OpenBurst, with OpenRefill, is the per-connection OPEN-admission
+	// token bucket guarding the front door against open/close storms: a
+	// connection holds at most OpenBurst tokens, each admitted non-voice
+	// OPEN spends one, and OpenRefill tokens return at every FLUSH-window
+	// boundary (OpenRefill 0 refills to the full burst). A non-voice OPEN
+	// arriving with the bucket empty is answered StatusShed — the
+	// existing load-shedding verdict — without touching the cluster.
+	// Voice OPENs are never shed by admission. 0 disables the bucket.
+	OpenBurst  int
+	OpenRefill int
+	// OpenWindowCap bounds the non-voice OPENs admitted server-wide in
+	// one FLUSH window — the global storm valve behind the per-connection
+	// buckets. Overflow is StatusShed; voice is exempt. 0 = unbounded.
+	OpenWindowCap int
 	// Faults configures the deterministic fault-injection plane: a
 	// seeded shard-fault schedule keyed to FLUSH-frame boundaries plus
 	// the failure detector and brownout controller. nil = no faults, no
@@ -80,6 +96,27 @@ type FaultPolicy struct {
 	OfferedMbps     float64
 	SatMbpsPerShard float64
 	Shares          [qos.NumClasses]float64
+	// Restart closes the loop: a shard the detector quarantines is
+	// scheduled for a rebuild — the base bitstream streamed back in from
+	// RestartSource (zero value: staging RAM) — and rejoined once enough
+	// windows have passed to cover cluster.RestartCycles at that source
+	// speed. After the rejoin the brownout mask is lifted class-by-class
+	// (highest priority first) as the measured offered load fits back
+	// under the restored capacity.
+	Restart       bool
+	RestartSource reconfig.Source
+	// WindowCycles is one FLUSH window's virtual length, used to convert
+	// the restart duration into a rejoin window and to turn per-window
+	// offered-byte deltas into the measured Mbps the brownout lift and
+	// the live autoscaler observe. 0 schedules restarts one window out
+	// and feeds the autoscaler nothing.
+	WindowCycles sim.Time
+	// Autoscale, when non-nil, drives a fleet autoscaler live inside the
+	// serving loop: every window boundary it observes the measured
+	// offered load (from the cluster's offered-byte deltas over
+	// WindowCycles) and the server applies the returned target with
+	// Fleet.Scale. nil = no autoscaler.
+	Autoscale *fleet.AutoscalerConfig
 }
 
 // RehomeEvent records one detector-driven fail-over.
@@ -96,6 +133,38 @@ type RehomeEvent struct {
 	// Deny is the brownout mask applied after this fail-over (all-false
 	// when capacity still covers the offered load).
 	Deny [qos.NumClasses]bool
+}
+
+// HealEvent records one recovery action taken at a window boundary — the
+// other half of the fault log RehomeEvent starts.
+type HealEvent struct {
+	// Window is the FLUSH-counted window at whose boundary the action
+	// ran; Shard the shard restarted or unquarantined (-1 for a pure
+	// brownout lift or autoscale step).
+	Window int
+	Shard  int
+	// Restarted marks a bitstream-reload rebuild; RestartCycles is the
+	// rebuilt shard's reload duration on its fresh virtual timeline.
+	// Unfroze marks a stall un-freeze: the quarantine was lifted without
+	// a rebuild because the heartbeat resumed.
+	Restarted     bool
+	RestartCycles sim.Time
+	Unfroze       bool
+	// Rebalanced counts sessions shifted onto the rejoined shard.
+	Rebalanced int
+	// Deny is the brownout mask in force after this event.
+	Deny [qos.NumClasses]bool
+	// Scale is the autoscaler target applied at this boundary (0 when
+	// the fleet size did not change).
+	Scale int
+}
+
+// restartJob is one scheduled shard rebuild: the restart runs at the
+// first window boundary >= ready, modeling the bitstream reload occupying
+// the windows in between at the configured source speed.
+type restartJob struct {
+	shard int
+	ready int
 }
 
 func (c *Config) fill() {
@@ -137,6 +206,10 @@ type conn struct {
 	// retry exactly-once — a retried OPEN never opens twice.
 	opened map[uint64][]byte
 	closed map[uint64][]byte
+
+	// openTokens is the connection's OPEN-admission bucket (batcher-owned,
+	// Config.OpenBurst/OpenRefill); non-voice OPENs spend from it.
+	openTokens int
 }
 
 // wireSession binds a wire session id to a cluster session (batcher
@@ -204,6 +277,18 @@ type Server struct {
 	lastOffered []uint64
 	faultMu     sync.Mutex
 	rehomes     []RehomeEvent
+
+	// Recovery plane (batcher-owned; heals shares faultMu with rehomes):
+	// restarts are the scheduled shard rebuilds, denyMask the brownout
+	// mask currently applied, opensWindow the non-voice OPENs admitted in
+	// the current FLUSH window. flt/scaler drive live autoscaling when
+	// FaultPolicy.Autoscale is set.
+	restarts    []restartJob
+	denyMask    [qos.NumClasses]bool
+	opensWindow int
+	flt         *fleet.Fleet
+	scaler      *fleet.Autoscaler
+	heals       []HealEvent
 }
 
 // New builds the backend cluster and starts the batcher (and, with
@@ -231,6 +316,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := range s.digests {
 		s.digests[i] = digestInit
+	}
+	if p := cfg.Faults; p != nil {
+		if p.Restart && p.RestartSource.BytesPerSec <= 0 {
+			s.cfg.Faults = &FaultPolicy{}
+			*s.cfg.Faults = *p
+			s.cfg.Faults.RestartSource = reconfig.StagingRAM
+		}
+		if p.Autoscale != nil {
+			s.flt = fleet.New(cl)
+			s.scaler, err = fleet.NewAutoscaler(*p.Autoscale, cl.ActiveShards())
+			if err != nil {
+				cl.Close()
+				return nil, err
+			}
+		}
 	}
 	go s.batcher()
 	if cfg.IdleTimeout > 0 {
@@ -279,6 +379,8 @@ func (s *Server) addConn(nc net.Conn) {
 		sessions: make(map[uint64]struct{}),
 		opened:   make(map[uint64][]byte),
 		closed:   make(map[uint64][]byte),
+
+		openTokens: s.cfg.OpenBurst,
 	}
 	c.lastActive.Store(time.Now().UnixNano())
 	s.connMu.Lock()
@@ -387,6 +489,30 @@ func (s *Server) reaper() {
 			}
 		}
 	}
+}
+
+// Shutdown drains the server gracefully before Close: the listener stops
+// accepting, new OPENs and packets answer StatusShuttingDown while
+// already-batched work still completes and ships, and the server waits up
+// to timeout for every client to finish and disconnect on its own. Then
+// Close runs the hard teardown. This is what a SIGTERM handler should
+// call: clients see an orderly refusal, not a severed socket.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.closing.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		s.connMu.Lock()
+		n := len(s.conns)
+		s.connMu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return s.Close()
 }
 
 // Close shuts the server down in order: stop accepting, sever every
@@ -526,19 +652,43 @@ func (s *Server) handleReq(req *request) {
 }
 
 // windowBoundary runs after every FLUSH barrier: it advances the
-// window clock, runs the failure detector over the window that just
-// ended, and arms the schedule's shard faults for the window now
-// starting (so they fire mid-window on the victim's own virtual
-// timeline).
+// window clock, refills the OPEN-admission buckets, runs the failure
+// detector over the window that just ended, runs the recovery plane
+// (scheduled restarts, brownout lift, live autoscaling), and arms the
+// schedule's shard faults for the window now starting (so they fire
+// mid-window on the victim's own virtual timeline).
 func (s *Server) windowBoundary() {
 	s.windows++
+	s.refillOpenTokens()
 	p := s.cfg.Faults
 	if p == nil {
 		return
 	}
-	if p.Detect {
-		s.detect()
+	// Measure the window that just ended — the sum of per-shard
+	// offered-byte deltas over WindowCycles — before detect overwrites
+	// the baselines. This is the live load signal the brownout lift and
+	// the autoscaler act on.
+	measured := 0.0
+	if p.Detect || p.Autoscale != nil {
+		snap := s.cl.Snapshot()
+		var delta uint64
+		for i := range snap.Shards {
+			if ob := snap.Shards[i].OfferedBytes; ob >= s.lastOffered[i] {
+				delta += ob - s.lastOffered[i]
+			}
+		}
+		if p.WindowCycles > 0 {
+			measured = float64(delta*8) / float64(p.WindowCycles) * sim.DefaultFreqHz / 1e6
+		}
+		if p.Detect {
+			s.detect(&snap)
+		} else {
+			for i := range snap.Shards {
+				s.lastHB[i], s.lastOffered[i] = snap.Shards[i].Heartbeat, snap.Shards[i].OfferedBytes
+			}
+		}
 	}
+	s.heal(measured)
 	for _, e := range p.Schedule.ForWindow(s.windows) {
 		switch e.Kind {
 		case faults.ShardCrash:
@@ -551,19 +701,47 @@ func (s *Server) windowBoundary() {
 	}
 }
 
+// refillOpenTokens resets the per-window OPEN counter and tops up every
+// connection's admission bucket. A no-op (beyond the counter reset) when
+// the bucket is disabled.
+func (s *Server) refillOpenTokens() {
+	s.opensWindow = 0
+	if s.cfg.OpenBurst <= 0 {
+		return
+	}
+	refill := s.cfg.OpenRefill
+	if refill <= 0 {
+		refill = s.cfg.OpenBurst
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		if c.openTokens += refill; c.openTokens > s.cfg.OpenBurst {
+			c.openTokens = s.cfg.OpenBurst
+		}
+	}
+	s.connMu.Unlock()
+}
+
 // detect is the flush-boundary failure detector: a shard whose
 // heartbeat did not advance across the window while its offered bytes
 // kept growing is dead (an idle shard's offered bytes are flat; a
 // stalled shard's heartbeat still advances). Each detection quarantines
 // the corpse, re-homes its sessions voice-first, refreshes the wire
-// session bindings, and re-plans the brownout mask for the capacity
-// that remains.
-func (s *Server) detect() {
-	snap := s.cl.Snapshot()
+// session bindings, re-plans the brownout mask for the capacity that
+// remains, and — with FaultPolicy.Restart — schedules the rebuild that
+// will bring the shard back. It also runs the stall un-freeze path: a
+// quarantined shard whose heartbeat resumed never actually died, so the
+// quarantine is lifted in place.
+func (s *Server) detect(snap *cluster.Metrics) {
 	for i := range snap.Shards {
 		sm := &snap.Shards[i]
 		frozen := sm.Heartbeat == s.lastHB[i] && sm.OfferedBytes > s.lastOffered[i]
+		resumed := sm.Quarantined && !sm.Crashed && sm.Heartbeat != s.lastHB[i]
 		s.lastHB[i], s.lastOffered[i] = sm.Heartbeat, sm.OfferedBytes
+		if resumed {
+			s.unfreeze(i)
+			continue
+		}
 		if !frozen || sm.Quarantined {
 			continue
 		}
@@ -586,7 +764,8 @@ func (s *Server) detect() {
 			}
 			ws.shard = ws.ses.Shard()
 		}
-		if p := s.cfg.Faults; p.SatMbpsPerShard > 0 {
+		p := s.cfg.Faults
+		if p.SatMbpsPerShard > 0 {
 			healthy := 0
 			for _, hm := range s.cl.Snapshot().Shards {
 				if !hm.Quarantined && !hm.Crashed {
@@ -595,11 +774,148 @@ func (s *Server) detect() {
 			}
 			ev.Deny = faults.BrownoutDeny(p.OfferedMbps, float64(healthy)*p.SatMbpsPerShard, p.Shares)
 			_ = s.cl.ApplyDeny(ev.Deny)
+			s.denyMask = ev.Deny
+		}
+		if p.Restart {
+			wait := 1
+			if p.WindowCycles > 0 {
+				need := cluster.RestartCycles(s.cl.CoresPerShard(), p.RestartSource)
+				wait = int((need + p.WindowCycles - 1) / p.WindowCycles)
+				if wait < 1 {
+					wait = 1
+				}
+			}
+			s.restarts = append(s.restarts, restartJob{shard: i, ready: s.windows + wait})
 		}
 		s.faultMu.Lock()
 		s.rehomes = append(s.rehomes, ev)
 		s.faultMu.Unlock()
 	}
+}
+
+// unfreeze lifts a premature quarantine: the shard's heartbeat resumed,
+// so it stalled rather than crashed. The shard rejoins routing, load
+// shifts back voice-first, and any rebuild scheduled for it is
+// cancelled.
+func (s *Server) unfreeze(shard int) {
+	if err := s.cl.Unquarantine(shard); err != nil {
+		return
+	}
+	moved, _ := s.cl.RebalanceInto(shard)
+	s.refreshBindings()
+	kept := s.restarts[:0]
+	for _, job := range s.restarts {
+		if job.shard != shard {
+			kept = append(kept, job)
+		}
+	}
+	s.restarts = kept
+	s.pushHeal(HealEvent{Window: s.windows, Shard: shard, Unfroze: true,
+		Rebalanced: moved, Deny: s.denyMask})
+}
+
+// heal runs the recovery plane at a window boundary: due restarts
+// rebuild and rejoin their shard, the brownout mask lifts one class per
+// boundary as the measured load fits back under the healthy capacity,
+// and the live autoscaler observes the window's measured offered load.
+// With nothing pending this is a strict no-op on the cluster, so runs
+// without faults keep their virtual timelines bit-identical.
+func (s *Server) heal(measured float64) {
+	p := s.cfg.Faults
+	if len(s.restarts) > 0 {
+		kept := s.restarts[:0]
+		for _, job := range s.restarts {
+			if s.windows < job.ready {
+				kept = append(kept, job)
+				continue
+			}
+			rep, err := s.cl.Restart(job.shard, p.RestartSource)
+			if err != nil {
+				continue // dropped; a still-dead shard is re-detected
+			}
+			moved, _ := s.cl.RebalanceInto(job.shard)
+			s.refreshBindings()
+			// The rebuilt shard's heartbeat restarts from zero: re-base
+			// the detector so the fresh incarnation is watched (and a
+			// second crash of the same slot stays detectable).
+			hs := s.cl.Snapshot()
+			s.lastHB[job.shard] = hs.Shards[job.shard].Heartbeat
+			s.lastOffered[job.shard] = hs.Shards[job.shard].OfferedBytes
+			s.pushHeal(HealEvent{Window: s.windows, Shard: job.shard,
+				Restarted: true, RestartCycles: rep.Took, Rebalanced: moved,
+				Deny: s.denyMask})
+		}
+		s.restarts = kept
+	}
+	if p.SatMbpsPerShard > 0 && s.denyAny() {
+		healthy := s.healthyShards()
+		capacity := float64(healthy) * p.SatMbpsPerShard
+		want := faults.BrownoutDeny(p.OfferedMbps, capacity, p.Shares)
+		lift := -1
+		for class := qos.NumClasses - 1; class >= 0; class-- {
+			if s.denyMask[class] && !want[class] {
+				lift = class
+				break
+			}
+		}
+		if lift >= 0 && measured <= capacity {
+			s.denyMask[lift] = false
+			_ = s.cl.ApplyDeny(s.denyMask)
+			s.pushHeal(HealEvent{Window: s.windows, Shard: -1, Deny: s.denyMask})
+		}
+	}
+	if s.scaler != nil && measured > 0 {
+		target := s.scaler.Observe(measured)
+		if healthy := s.healthyShards(); target > healthy {
+			target = healthy
+		}
+		if target >= 1 && target != s.cl.ActiveShards() {
+			if _, err := s.flt.Scale(target); err == nil {
+				s.refreshBindings()
+				s.pushHeal(HealEvent{Window: s.windows, Shard: -1,
+					Deny: s.denyMask, Scale: target})
+			}
+		}
+	}
+}
+
+// refreshBindings re-reads every live wire session's shard after a
+// rebalance moved cluster sessions around.
+func (s *Server) refreshBindings() {
+	for _, ws := range s.sessions {
+		if ws.closed || ws.ses.Closed() {
+			continue
+		}
+		ws.shard = ws.ses.Shard()
+	}
+}
+
+// denyAny reports whether any class is currently browned out.
+func (s *Server) denyAny() bool {
+	for _, d := range s.denyMask {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// healthyShards counts shards that are neither quarantined nor crashed.
+func (s *Server) healthyShards() int {
+	n := 0
+	for _, sm := range s.cl.Snapshot().Shards {
+		if !sm.Quarantined && !sm.Crashed {
+			n++
+		}
+	}
+	return n
+}
+
+// pushHeal appends to the heal log under faultMu.
+func (s *Server) pushHeal(ev HealEvent) {
+	s.faultMu.Lock()
+	s.heals = append(s.heals, ev)
+	s.faultMu.Unlock()
 }
 
 // FaultReport returns the detector's fail-over log so far. Safe from
@@ -608,6 +924,14 @@ func (s *Server) FaultReport() []RehomeEvent {
 	s.faultMu.Lock()
 	defer s.faultMu.Unlock()
 	return append([]RehomeEvent(nil), s.rehomes...)
+}
+
+// HealReport returns the recovery plane's action log so far (restarts,
+// un-freezes, brownout lifts, autoscale steps). Safe from any goroutine.
+func (s *Server) HealReport() []HealEvent {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return append([]HealEvent(nil), s.heals...)
 }
 
 // respondErr answers a request with an error status in the response
@@ -652,6 +976,23 @@ func (s *Server) doOpen(req *request) (Status, uint64, string) {
 	}
 	if req.class < 0 || int(req.class) >= qos.NumClasses {
 		return StatusBadRequest, 0, fmt.Sprintf("unknown class %d", req.class)
+	}
+	// Storm admission: non-voice OPENs pass the global window cap and the
+	// connection's token bucket before touching the cluster. Voice OPENs
+	// are never shed here — the front door's one hard guarantee.
+	if req.class != qos.Voice {
+		if s.cfg.OpenWindowCap > 0 && s.opensWindow >= s.cfg.OpenWindowCap {
+			return StatusShed, 0, "open admission: window cap reached"
+		}
+		if s.cfg.OpenBurst > 0 && req.conn.openTokens <= 0 {
+			return StatusShed, 0, "open admission: connection bucket empty"
+		}
+		if s.cfg.OpenWindowCap > 0 {
+			s.opensWindow++
+		}
+		if s.cfg.OpenBurst > 0 {
+			req.conn.openTokens--
+		}
 	}
 	if s.cfg.MaxSessions > 0 && int(s.stats.sessionsOpen) >= s.cfg.MaxSessions {
 		return StatusRejected, 0, "session limit reached"

@@ -31,6 +31,12 @@ type StormConfig struct {
 	// Client; a zero IOTimeout waits forever.
 	IOTimeout time.Duration
 	Retry     RetryPolicy
+	// TolerateShed makes the storm ride out OPEN-admission shedding
+	// (Config.OpenBurst / OpenWindowCap): a non-voice OPEN answered
+	// StatusShed is counted in ShedOpens instead of failing the run. A
+	// shed voice OPEN still fails — the front door guarantees voice is
+	// never shed by admission.
+	TolerateShed bool
 }
 
 func (c *StormConfig) fill() {
@@ -54,11 +60,12 @@ func (c *StormConfig) fill() {
 // StormResult tallies a storm's work. Counts are exact for a given
 // config (the storm is closed-loop), whatever the goroutine interleaving.
 type StormResult struct {
-	Dialed   int
-	Opened   uint64
-	Packets  uint64
-	Closed   uint64 // sessions closed gracefully via CLOSE
-	Abandons int    // connections dropped with sessions still open
+	Dialed    int
+	Opened    uint64
+	ShedOpens uint64 // non-voice OPENs shed by admission (TolerateShed)
+	Packets   uint64
+	Closed    uint64 // sessions closed gracefully via CLOSE
+	Abandons  int    // connections dropped with sessions still open
 }
 
 // stormClasses cycles the storm's sessions through every QoS class.
@@ -71,7 +78,7 @@ var stormClasses = [...]qos.Class{qos.Voice, qos.Video, qos.Data, qos.Background
 func RunStorm(dial func() (net.Conn, error), cfg StormConfig) (StormResult, error) {
 	cfg.fill()
 	var res StormResult
-	var opened, packets, closed atomic.Uint64
+	var opened, shedOpens, packets, closed atomic.Uint64
 	var errOnce sync.Once
 	var firstErr error
 	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
@@ -99,10 +106,45 @@ func RunStorm(dial func() (net.Conn, error), cfg StormConfig) (StormResult, erro
 				cl.SetRetryPolicy(cfg.Retry)
 				ids := make([]uint64, 0, cfg.SessionsPerConn)
 				for s := 0; s < cfg.SessionsPerConn; s++ {
-					id, err := cl.Open(OpenRequest{
+					class := stormClasses[(idx+s)%len(stormClasses)]
+					spec := OpenRequest{
 						Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16,
-						Class: stormClasses[(idx+s)%len(stormClasses)],
-					})
+						Class: class,
+					}
+					if cfg.TolerateShed {
+						// Read the raw verdict so an admission shed is a
+						// countable outcome, not an error.
+						reqID, err := cl.SendOpen(spec)
+						if err != nil {
+							fail(fmt.Errorf("storm open: %w", err))
+							return
+						}
+						r, err := cl.ReadResponse()
+						if err != nil {
+							fail(fmt.Errorf("storm open: %w", err))
+							return
+						}
+						if r.ReqID != reqID {
+							fail(fmt.Errorf("storm open: response for request %d, want %d", r.ReqID, reqID))
+							return
+						}
+						switch r.Status {
+						case StatusOK:
+							opened.Add(1)
+							ids = append(ids, r.Session)
+						case StatusShed:
+							if class == qos.Voice {
+								fail(fmt.Errorf("storm open: voice OPEN shed by admission — the front door broke its guarantee"))
+								return
+							}
+							shedOpens.Add(1)
+						default:
+							fail(fmt.Errorf("storm open status %v", r.Status))
+							return
+						}
+						continue
+					}
+					id, err := cl.Open(spec)
 					if err != nil {
 						fail(fmt.Errorf("storm open: %w", err))
 						return
@@ -143,6 +185,7 @@ func RunStorm(dial func() (net.Conn, error), cfg StormConfig) (StormResult, erro
 		}
 	}
 	res.Opened = opened.Load()
+	res.ShedOpens = shedOpens.Load()
 	res.Packets = packets.Load()
 	res.Closed = closed.Load()
 	return res, firstErr
