@@ -31,6 +31,7 @@ import (
 	"mccp/internal/fpga"
 	"mccp/internal/ghash"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/sim"
@@ -530,6 +531,42 @@ func BenchmarkRecoveryCurves(b *testing.B) {
 			b.ReportMetric(lifted, "brownout_lifted")
 			b.ReportMetric(float64(p.CapacityCycles), "capacity_cycles")
 			b.ReportMetric(restored, "capacity_restored")
+		})
+	}
+}
+
+// --- E18: stage attribution --------------------------------------------------
+
+// BenchmarkStageAttribution runs the E18 traced decomposition at three
+// offered points and reports where each class's p99 latency is spent.
+// The tracer runs at sample rate 1, so the stage cycles are exact
+// virtual-time figures and deterministic; delivered_Mbps gates as
+// throughput and voice_p99_cycles as latency, same cells as E13 (the
+// traced run reconciles bit-for-bit with the untraced one).
+func BenchmarkStageAttribution(b *testing.B) {
+	b.ReportAllocs()
+	var res harness.StageCurveResult
+	for i := 0; i < b.N; i++ {
+		res = harness.StageAttribution(harness.StageCurveConfig{
+			Offered: []float64{0.5, 1.0, 1.5},
+			Load:    harness.LoadCurveConfig{BackgroundPackets: 200},
+		})
+	}
+	for _, p := range res.Points {
+		p := p
+		b.Run(fmt.Sprintf("%s/offered=%.1f", p.Policy, p.Offered), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = p // measured above; subruns report the cells
+			}
+			v, bg := p.StageCell(qos.Voice), p.StageCell(qos.Background)
+			b.ReportMetric(p.TotalDeliveredMbps, "delivered_Mbps")
+			b.ReportMetric(float64(p.Spans), "spans_traced")
+			b.ReportMetric(float64(v.TotalP99), "voice_p99_cycles")
+			b.ReportMetric(float64(v.P99[obs.StageQueue]), "voice_queue_p99_cycles")
+			b.ReportMetric(float64(v.P99[obs.StageCore]), "voice_core_p99_cycles")
+			b.ReportMetric(float64(bg.TotalP99), "background_p99_cycles")
+			b.ReportMetric(float64(bg.P99[obs.StageQueue]), "background_queue_p99_cycles")
 		})
 	}
 }

@@ -31,6 +31,7 @@ import (
 
 	"mccp/internal/benchfmt"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 )
 
@@ -50,7 +51,13 @@ func main() {
 	reconfigSmoke := flag.Bool("reconfigsmoke", false, "run the E15 mini rolling-swap gate and fail if voice loses >1% or its p99 inflates past 3x baseline during the bitstream windows under qos-priority")
 	faultSmoke := flag.Bool("faultsmoke", false, "run the E16 mini fault drill (1 of 4 shards crashed mid-load plus a churn storm at 0.9x saturation under qos-priority) and fail if voice loses >1%, any session is lost, or voice delivery does not recover within 3 windows")
 	healSmoke := flag.Bool("healsmoke", false, "run the E17 mini recovery drill (1 of 4 shards crashed mid-load at 0.9x saturation, restart loop armed with the icap source) and fail if voice loses >1%, any session is lost, the shard does not restart and rejoin, the brownout is not fully lifted, or delivered capacity does not climb back to the pre-crash rate")
+	obsSmoke := flag.Bool("obssmoke", false, "run the E18 observability gate and fail if the traced run is not bit-identical run-to-run, the stage sums do not tile the end-to-end latency, the traced percentiles diverge from the untraced E13 point, the flight recorder produces no postmortem from a one-crash drill, or a disabled tracer costs more than 5% wall clock")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("benchjson"))
+		return
+	}
 
 	// The smoke gates run the simulation directly (no bench input needed),
 	// so they are checked before input parsing and compose with the other
@@ -85,7 +92,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (*loadSmoke || *wireSmoke || *reconfigSmoke || *faultSmoke || *healSmoke) &&
+	if *obsSmoke {
+		if err := checkObsSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if (*loadSmoke || *wireSmoke || *reconfigSmoke || *faultSmoke || *healSmoke || *obsSmoke) &&
 		*in == "-" && *out == "" && *baselinePath == "" && *hostOut == "" {
 		return // smoke-only invocation
 	}
@@ -342,6 +355,27 @@ func checkHealSmoke() error {
 	fmt.Printf("benchjson:   source %s: restart %d cyc (%.1f ms at true speed), %d sessions rebalanced back, background loss %.2f%%\n",
 		v.Point.Source, v.Point.RestartCycles, v.Point.TrueRestartMillis,
 		healRebalanced(v.Point), 100*bg.LossFrac)
+	return nil
+}
+
+// checkObsSmoke runs the E18 observability gate: the traced measurement
+// must replay bit-identically, reconcile exactly with the untraced E13
+// point (same percentiles, stage sums tiling the totals), the flight
+// recorder must freeze at least one postmortem during the one-crash
+// drill, and a disabled-but-attached tracer must stay within 5% of
+// tracer-absent wall clock.
+func checkObsSmoke() error {
+	v := harness.ObsSmoke()
+	if !v.Pass() {
+		return fmt.Errorf("%s — the observability plane is perturbing or misreporting the measurement", v)
+	}
+	fmt.Printf("benchjson: %s\n", v)
+	voice := v.Point.StageCell(qos.Voice)
+	bg := v.Point.StageCell(qos.Background)
+	fmt.Printf("benchjson:   offered %.2fx: %d spans (digest %x); voice p99 %d cyc (queue %d core %d), background p99 %d cyc (queue %d core %d)\n",
+		v.Point.Offered, v.Point.Spans, v.Point.TraceDigest,
+		voice.TotalP99, voice.P99[0], voice.P99[3],
+		bg.TotalP99, bg.P99[0], bg.P99[3])
 	return nil
 }
 

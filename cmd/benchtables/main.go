@@ -19,6 +19,7 @@ import (
 	"mccp/internal/baseline"
 	"mccp/internal/fpga"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/reconfig"
 	"mccp/internal/trafficgen"
 )
@@ -32,13 +33,19 @@ var experimentTables = []struct{ name, id string }{
 	{"reconfig", "E15"},
 	{"faults", "E16"},
 	{"heal", "E17"},
+	{"stages", "E18"},
 }
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, wire, reconfig, faults, heal, all; 'sweep' (not in 'all') runs the scale-out sweep")
+	table := flag.String("table", "all", "which table to regenerate: loops, 2, 3, 4, latency, resources, policy, cluster, qos, loadcurve, wire, reconfig, faults, heal, stages, all; 'sweep' (not in 'all') runs the scale-out sweep")
 	packets := flag.Int("packets", 12, "packets per Table II measurement cell")
 	sweepPackets := flag.Int("sweep-packets", 65536, "total packets for -table sweep (1000000 reproduces the million-packet sweep)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("benchtables"))
+		return
+	}
 
 	run := func(name string) bool { return *table == "all" || *table == name }
 	any := false

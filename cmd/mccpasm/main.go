@@ -15,12 +15,18 @@ import (
 	"os"
 
 	"mccp/internal/firmware"
+	"mccp/internal/obs"
 	"mccp/internal/picoblaze"
 )
 
 func main() {
 	image := flag.String("image", "", "disassemble an embedded image: aes or hash")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("mccpasm"))
+		return
+	}
 
 	switch {
 	case *image == "aes":

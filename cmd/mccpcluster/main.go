@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
@@ -36,12 +37,33 @@ import (
 	"mccp/internal/faults"
 	"mccp/internal/fleet"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
 	"mccp/internal/sim"
 	"mccp/internal/trafficgen"
 )
+
+// withMetrics (the -metrics flag) appends the metrics-registry
+// exposition to every mode's exit report.
+var withMetrics bool
+
+// exitReport prints the one cluster exit report every mode ends with:
+// the snapshot text, plus the registry metrics when -metrics is set.
+// Deduplicating the per-mode Snapshot().Format() prints behind the obs
+// renderer keeps the CLI report and the server's /metrics endpoint on
+// the same read path.
+func exitReport(cl *cluster.Cluster) {
+	var reg *obs.Registry
+	if withMetrics {
+		reg = obs.NewRegistry()
+		cl.RegisterMetrics(reg)
+		cl.ObserveClassLatencies(reg)
+		obs.RegisterBuildInfo(reg, "mccpcluster")
+	}
+	obs.WriteReport(os.Stdout, cl.Snapshot(), reg)
+}
 
 func main() {
 	shards := flag.Int("shards", 4, "number of MCCP shards")
@@ -75,7 +97,15 @@ func main() {
 	windows := flag.Int("windows", 12, "measurement windows for the fault drill")
 	heal := flag.Bool("heal", false, "self-healing drill: crash one shard under open-loop load, fail over and brown out, then restart it from -restart-src, rebalance voice-first back and lift the brownout (composes with -offered/-windows/-horizon/-seed)")
 	restartSrc := flag.String("restart-src", "icap", "bitstream source for -heal restarts: compact-flash, ram, icap (icap is the only source whose full-shard reload fits a few default windows; ram needs ~49, compact-flash ~290)")
+	flag.BoolVar(&withMetrics, "metrics", false, "append the metrics-registry exposition to the exit report")
+	traceOut := flag.String("trace-out", "", "open-loop mode: write lifecycle spans to this file (CSV; JSONL with a .jsonl suffix)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of packets traced by -trace-out (seeded, deterministic; 1 = all)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("mccpcluster"))
+		return
+	}
 
 	// Validate-and-error instead of panicking deep in the stack: bad CLI
 	// flags should read like flag mistakes, not crashes.
@@ -136,7 +166,7 @@ func main() {
 			log.Fatalf("-arrivals: %v", err)
 		}
 		runOpenLoop(*shards, *cores, *router, *policy, *arrivalsProc, *drain,
-			weights, *offered, *horizon, uint64(*seed))
+			weights, *offered, *horizon, uint64(*seed), *traceOut, *traceSample)
 		return
 	}
 
@@ -191,7 +221,7 @@ func main() {
 	}
 	fmt.Printf("%d shards x %d cores, router %s, policy %s, %d packets:\n",
 		len(res.Metrics.Shards), *cores, *router, *policy, *packets)
-	fmt.Print(res.Metrics.Format())
+	obs.WriteReport(os.Stdout, res.Metrics, nil)
 	for _, c := range qos.Classes() {
 		if res.ClassPackets[c] > 0 {
 			fmt.Printf("class %-11s %6d packets %10d bytes\n", c, res.ClassPackets[c], res.ClassBytes[c])
@@ -229,7 +259,8 @@ func parseWeights(s string) (qos.Weights, error) {
 // shard's own engine feed its shaper at the configured offered rate, and
 // the report shows per-class loss/latency attributable per shard.
 func runOpenLoop(shards, cores int, router, policy, proc, drain string,
-	weights qos.Weights, offered float64, horizon, seed uint64) {
+	weights qos.Weights, offered float64, horizon, seed uint64,
+	traceOut string, traceSample float64) {
 	sat := harness.SaturationMbps(harness.LoadMix, 8)
 	if cores > 0 && cores != 4 {
 		// The calibration runs on the paper's 4-core device; per-core
@@ -250,6 +281,11 @@ func runOpenLoop(shards, cores int, router, policy, proc, drain string,
 		Horizon:         sim.Time(horizon),
 		Seed:            seed,
 		Profiles:        harness.LoadMix,
+		Trace: obs.TraceConfig{
+			Enabled: traceOut != "",
+			Sample:  traceSample,
+			Seed:    seed,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -274,6 +310,22 @@ func runOpenLoop(shards, cores int, router, policy, proc, drain string,
 	fmt.Printf("arrival digests (determinism check): %x\n", res.ArrivalDigests)
 	if res.Errors > 0 {
 		fmt.Printf("hard errors: %d\n", res.Errors)
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(traceOut, ".jsonl") {
+			err = obs.WriteSpansJSONL(f, res.Spans)
+		} else {
+			err = obs.WriteSpansCSV(f, res.Spans)
+		}
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		fmt.Printf("trace: %d spans to %s (digest %x)\n", len(res.Spans), traceOut, res.TraceDigest)
 	}
 }
 
@@ -430,7 +482,7 @@ func runFaults(spec string, shards, cores int, router, policy string,
 		fmt.Printf("%-8d %10.0f %9.2f%% %8d %s\n",
 			w, win.DeliveredMbps(), voice, win.Errors, strings.Join(notes, "; "))
 	}
-	fmt.Print(cl.Snapshot().Format())
+	exitReport(cl)
 }
 
 // runHeal is the self-healing drill: one seeded crash under open-loop
@@ -576,7 +628,7 @@ func runHeal(shards, cores int, router, policy string,
 		fmt.Printf("%-8d %10.0f %9.2f%% %8d %s\n",
 			w, win.DeliveredMbps(), voice, win.Errors, strings.Join(notes, "; "))
 	}
-	fmt.Print(cl.Snapshot().Format())
+	exitReport(cl)
 }
 
 // flagSet reports whether a flag was passed explicitly on the command
@@ -649,7 +701,7 @@ func runFleet(cfg cluster.WorkloadConfig, scaleTo int, srcName string) {
 	if _, err := sessions[0].Encrypt(make([]byte, 12), nil, []byte("served by the elastic fleet")); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(cl.Snapshot().Format())
+	exitReport(cl)
 }
 
 // runWithReconfig demonstrates the re-homing path: reconfigure one core,
@@ -691,5 +743,5 @@ func runWithReconfig(cfg cluster.WorkloadConfig, shardID int) {
 	// Snapshot instead of Metrics: the summary printer only reads counters,
 	// and Snapshot is safe to call without the front-end drain (the verdict
 	// and byte counters are atomics polled without stopping the shards).
-	fmt.Print(cl.Snapshot().Format())
+	exitReport(cl)
 }

@@ -27,6 +27,7 @@ import (
 
 	"mccp/internal/arrivals"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/server"
 	"mccp/internal/sim"
@@ -46,6 +47,9 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "outstanding requests per connection (0 = default)")
 	seed := flag.Uint64("seed", 31, "deterministic arrival seed")
 	trace := flag.String("trace", "", "write per-request timing CSV to this file")
+	traceOut := flag.String("trace-out", "", "write per-request timing JSONL (one object per line) to this file")
+	serverMetrics := flag.Bool("server-metrics", false, "after the run, fetch and print the server's metrics over the STATS wire op")
+	version := flag.Bool("version", false, "print version and exit")
 	churn := flag.Int("churn", 0, "sessions closed and re-opened lock-step after every window boundary (the open/close churn storm)")
 	churnFrom := flag.Int("churn-from", 0, "first window the churn runs after (0 = from the first boundary)")
 	ioTimeout := flag.Duration("io-timeout", 0, "per-response read deadline (0 = wait forever); timeouts surface as server.ErrTimeout")
@@ -54,6 +58,10 @@ func main() {
 	stormConns := flag.Int("storm-conns", 8, "concurrent connections per -open-storm wave")
 	stormWaves := flag.Int("storm-waves", 4, "sequential -open-storm waves")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("mccploadgen"))
+		return
+	}
 
 	if *openStorm {
 		res, err := server.RunStorm(func() (net.Conn, error) {
@@ -94,7 +102,10 @@ func main() {
 		IOTimeout:     *ioTimeout,
 		Retry:         server.RetryPolicy{Attempts: *retries},
 	}
-	if *trace != "" {
+	switch {
+	case *trace != "" && *traceOut != "":
+		log.Fatal("-trace and -trace-out are mutually exclusive")
+	case *trace != "":
 		f, err := os.Create(*trace)
 		if err != nil {
 			log.Fatalf("-trace: %v", err)
@@ -104,6 +115,14 @@ func main() {
 			log.Fatalf("-trace: %v", err)
 		}
 		cfg.Trace = f
+	case *traceOut != "":
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+		cfg.TraceJSON = true
 	}
 
 	res, err := server.RunLoad(func() (net.Conn, error) {
@@ -138,5 +157,19 @@ func main() {
 	if res.Stats != nil {
 		fmt.Printf("server: %d sessions opened, %d cluster cycles, shard digests %x\n",
 			res.Stats.SessionsOpened, res.Stats.ClusterCycles, res.Stats.Digests)
+	}
+
+	if *serverMetrics {
+		nc, err := net.Dial("tcp", *connect)
+		if err != nil {
+			log.Fatalf("-server-metrics: %v", err)
+		}
+		c := server.NewClient(nc)
+		text, err := c.MetricsText()
+		c.Close()
+		if err != nil {
+			log.Fatalf("-server-metrics: %v", err)
+		}
+		fmt.Printf("\n# server metrics (STATS)\n%s", text)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"mccp"
 	"mccp/internal/cluster"
 	"mccp/internal/fleet"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
@@ -33,6 +35,8 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9650", "TCP listen address")
+	httpAddr := flag.String("http", "", "HTTP observability listen address (/metrics, /postmortems, /debug/pprof); empty = off")
+	version := flag.Bool("version", false, "print version and exit")
 	shards := flag.Int("shards", 4, "number of MCCP shards")
 	cores := flag.Int("cores", 4, "cryptographic cores per shard")
 	router := flag.String("router", cluster.RouterQoSAware,
@@ -56,6 +60,10 @@ func main() {
 	openCap := flag.Int("open-cap", 0, "global non-voice OPENs admitted per FLUSH window across all connections, overflow shed (0 = unbounded; voice exempt)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-drain bound on SIGTERM/SIGINT: stop accepting, wait up to this long for live connections to finish, then close (0 = close immediately)")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("mccpserver"))
+		return
+	}
 
 	if _, err := cluster.RouterByName(*router); err != nil {
 		log.Fatalf("-router: %v", err)
@@ -95,6 +103,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	obs.RegisterBuildInfo(srv.Metrics(), "mccpserver")
 
 	// Boot-time fleet operations, applied before the listener opens so
 	// they never race the request batcher (the cluster front end is
@@ -131,6 +140,22 @@ func main() {
 		ln.Addr(), *shards, *cores, *router, *policy, *batch)
 	srv.Serve(ln)
 
+	// The observability endpoint shares the wire protocol's registry: the
+	// same Prometheus text the STATS frame returns, plus the postmortem
+	// report and net/http/pprof.
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("-http: %v", err)
+		}
+		log.Printf("observability endpoint on http://%s/metrics", hln.Addr())
+		go func() {
+			if err := http.Serve(hln, srv.Handler()); err != nil {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
+
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, give live
 	// connections up to -drain-timeout to finish, drain in-flight batches,
 	// answer stragglers, then print the final cluster snapshot.
@@ -142,5 +167,5 @@ func main() {
 	if err := srv.Shutdown(*drainTimeout); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	fmt.Print(cl.Snapshot().Format())
+	obs.WriteReport(os.Stdout, cl.Snapshot(), srv.Metrics())
 }

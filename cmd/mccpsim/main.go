@@ -23,6 +23,7 @@ import (
 	"mccp/internal/firmware"
 	"mccp/internal/fpga"
 	"mccp/internal/harness"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/scheduler"
 	"mccp/internal/trafficgen"
@@ -45,7 +46,12 @@ func main() {
 	drain := flag.String("drain", "", "shaper drain policy for open-loop modes: "+
 		strings.Join(qos.DrainNames(), ", "))
 	loadCurve := flag.Bool("loadcurve", false, "run the full E13 offered-load sweep (first-idle vs qos-priority)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionLine("mccpsim"))
+		return
+	}
 
 	// Validate user-facing names up front: a typo should produce a flag
 	// error, not a panic (or a silent fallback) deep in the model.

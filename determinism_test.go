@@ -186,6 +186,59 @@ func TestFastPathArrivalsIdentical(t *testing.T) {
 	}
 }
 
+// TestTraceDeterministic: the E18 traced measurement — the open-loop
+// point with the lifecycle tracer at sample rate 1, reduced to per-class
+// stage decompositions and a span-stream digest — is bit-identical
+// across two fast-kernel runs and against the cycle-by-cycle reference
+// path, and attaching the tracer leaves the untraced E13 point
+// untouched: the tracer only reads the clock, it never schedules.
+func TestTraceDeterministic(t *testing.T) {
+	cfg := harness.LoadCurveConfig{BackgroundPackets: 100}
+	point := func() harness.StagePoint {
+		return harness.StagePointRun("qos-priority", 1.25, 1400, cfg)
+	}
+	fast1, fast2 := point(), point()
+	if fast1.TraceDigest != fast2.TraceDigest {
+		t.Errorf("span digest %#x != %#x run-to-run", fast1.TraceDigest, fast2.TraceDigest)
+	}
+	if !reflect.DeepEqual(fast1, fast2) {
+		t.Fatalf("traced point not deterministic run-to-run:\n%+v\n%+v", fast1, fast2)
+	}
+	var ref harness.StagePoint
+	onReference(func() { ref = point() })
+	if fast1.TraceDigest != ref.TraceDigest {
+		t.Errorf("span digest %#x != reference %#x", fast1.TraceDigest, ref.TraceDigest)
+	}
+	if !reflect.DeepEqual(fast1, ref) {
+		t.Errorf("fast traced point != reference:\n%+v\n%+v", fast1, ref)
+	}
+
+	// Reconciliation with E13: tracing must be invisible in the
+	// measurement, and the span-derived percentiles equal the
+	// shaper-derived ones exactly.
+	untraced := harness.LoadPointRun("qos-priority", 1.25, 1400, cfg)
+	if !reflect.DeepEqual(fast1.LoadPoint, untraced) {
+		t.Errorf("traced LoadPoint != untraced:\n%+v\n%+v", fast1.LoadPoint, untraced)
+	}
+	if fast1.Spans == 0 || len(fast1.Cells) == 0 {
+		t.Fatalf("no spans decomposed: %+v", fast1)
+	}
+	for _, sc := range fast1.Cells {
+		cell := fast1.Cell(sc.Class)
+		if sc.TotalP50 != cell.P50 || sc.TotalP99 != cell.P99 {
+			t.Errorf("%v: traced percentiles (%d, %d) != E13 cell (%d, %d)",
+				sc.Class, sc.TotalP50, sc.TotalP99, cell.P50, cell.P99)
+		}
+		var sum sim.Time
+		for _, d := range sc.SumStages {
+			sum += d
+		}
+		if sum != sc.SumTotal {
+			t.Errorf("%v: stage sums %d do not tile total %d", sc.Class, sum, sc.SumTotal)
+		}
+	}
+}
+
 // wireGuardSessions is the session mix for the batch-boundary guard:
 // CCM voice and GCM background alternating, no deadlines, so every
 // packet succeeds and the output bytes are pure crypto results.

@@ -38,11 +38,13 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
@@ -100,6 +102,18 @@ type Config struct {
 	// value is a pass-through shaper that only classes, counts and
 	// measures.
 	Shaper qos.Config
+	// Trace configures per-shard lifecycle tracing (needs Shape — spans
+	// open at shaper admission). Each shard derives its own sampling seed
+	// and tags spans with its ID; Tag/Classify/OnEnd are overwritten per
+	// shard. Disabled (the zero value), the packet path pays only
+	// branches and allocates nothing extra.
+	Trace obs.TraceConfig
+	// FlightDepth sizes each shard's flight-recorder ring in records
+	// (0 = obs.DefaultRingDepth). The recorder always runs: lifecycle
+	// events (crash, stall, quarantine, brownout, restart) are recorded
+	// regardless of tracing; spans join the ring only when Trace is
+	// enabled.
+	FlightDepth int
 }
 
 func (c *Config) fill() {
@@ -277,6 +291,15 @@ type Cluster struct {
 	activeStart time.Time
 	wallSeconds atomic.Uint64
 	closed      bool
+
+	// obsMu guards postmortems and the shards slice swap a Restart
+	// performs, so Postmortems can read recorder dumps from any goroutine
+	// (the server's HTTP endpoint does) while the front end replaces a
+	// shard. postmortems archives the dumps of shard incarnations retired
+	// by Restart — a rebuilt shard gets a fresh recorder, but its
+	// predecessor's crash postmortem must survive the rebuild.
+	obsMu       sync.Mutex
+	postmortems []obs.Dump
 }
 
 // New builds and starts a Cluster; every shard's firmware is settled and

@@ -3,7 +3,9 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/sim"
 )
@@ -82,7 +84,15 @@ func (c *Cluster) Quarantine(id int) error {
 		return err
 	}
 	c.quarantined[id] = true
-	c.shards[id].quarantinedA.Store(true)
+	sh := c.shards[id]
+	sh.quarantinedA.Store(true)
+	// Freeze the shard's flight recorder: the quarantine decision is the
+	// front end's, so the timestamp is the shard's last published virtual
+	// time (the recorder itself is mutex-protected against the shard
+	// goroutine's concurrent appends).
+	at := sh.base + sh.snap.Load().cycles
+	sh.rec.Event(at, obs.EvQuarantine, "withdrawn from routing by front end")
+	sh.rec.Freeze("quarantine", at)
 	return nil
 }
 
@@ -221,6 +231,18 @@ func (c *Cluster) ApplyDeny(deny [qos.NumClasses]bool) error {
 		return fmt.Errorf("cluster: brownout needs per-shard shapers (Config.Shape)")
 	}
 	c.Flush()
+	// Render the mask once (deterministic note shared by every shard's
+	// recorder entry); the zero mask is the brownout lift.
+	var denied []string
+	for class := qos.Class(0); int(class) < qos.NumClasses; class++ {
+		if deny[class] {
+			denied = append(denied, class.String())
+		}
+	}
+	note := "admission restored"
+	if len(denied) > 0 {
+		note = "deny=" + strings.Join(denied, ",")
+	}
 	var slots []*pendingOp
 	for i, sh := range c.shards {
 		if sh.crashed.Load() || c.quarantined[i] {
@@ -234,6 +256,12 @@ func (c *Cluster) ApplyDeny(deny [qos.NumClasses]bool) error {
 		slot.cb = nil
 		slot.run = func(sh *shard, op *pendingOp, done func()) {
 			sh.shaper.SetDeny(deny)
+			if len(denied) > 0 {
+				sh.rec.Event(sh.eng.Now(), obs.EvBrownoutOn, note)
+				sh.rec.Freeze("brownout", sh.eng.Now())
+			} else {
+				sh.rec.Event(sh.eng.Now(), obs.EvBrownoutOff, note)
+			}
 			done()
 		}
 		c.enqueue(slot, false)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mccp/internal/firmware"
+	"mccp/internal/obs"
 	"mccp/internal/reconfig"
 	"mccp/internal/scheduler"
 	"mccp/internal/sim"
@@ -78,12 +79,19 @@ func (c *Cluster) Restart(id int, src reconfig.Source) (RestartReport, error) {
 	<-old.done
 	// Rebuild the platform in its slot. The shard stays flagged drained +
 	// quarantined until the bitstream reload below succeeds, so Snapshot
-	// readers never see a half-recovered shard as serving.
+	// readers never see a half-recovered shard as serving. The corpse's
+	// flight-recorder dumps are archived first — the crash postmortem must
+	// survive the rebuild — and the slot swap happens under obsMu so
+	// Postmortems never reads a half-replaced shards slice.
 	pol, _ := scheduler.ByName(c.cfg.Policy) // validated at New
 	sh := newShard(id, c.cfg, pol)
 	sh.drained.Store(true)
 	sh.quarantinedA.Store(true)
+	sh.rec.Event(sh.base, obs.EvRestart, "rebuilt from quarantine (base bitstream reload)")
+	c.obsMu.Lock()
+	c.postmortems = append(c.postmortems, old.rec.Dumps()...)
 	c.shards[id] = sh
+	c.obsMu.Unlock()
 	// The new shard's batch sequence restarts at zero; reset the front
 	// end's pipeline bookkeeping to match. Offered/delivered byte counters
 	// stay cumulative — they describe the slot, not the incarnation.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"mccp/internal/core"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/radio"
 	"mccp/internal/reconfig"
@@ -66,6 +67,13 @@ type shard struct {
 	// shed/expired/aged verdicts are attributable on this shard's own
 	// virtual timeline.
 	shaper *qos.Shaper
+	// rec is the shard's flight recorder (always present): lifecycle
+	// events land in it unconditionally, traced spans when tracing is on.
+	// tr is the shard's lifecycle tracer (nil unless Shape and
+	// Config.Trace.Enabled), shared by the shaper and the comm
+	// controller.
+	rec *obs.Recorder
+	tr  *obs.Tracer
 
 	// window bounds the packets kept in flight inside one batch, so a
 	// batch larger than the device's capacity pipelines instead of
@@ -139,8 +147,19 @@ func newShard(id int, cfg Config, pol scheduler.Policy) *shard {
 		notify:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	sh.rec = obs.NewRecorder(id, cfg.FlightDepth)
 	if cfg.Shape {
 		sh.shaper = qos.NewShaper(eng, sh.cc, cfg.Shaper)
+		if cfg.Trace.Enabled {
+			tc := cfg.Trace
+			tc.Tag = int32(id)
+			tc.Seed = cfg.Trace.Seed ^ uint64(id+1)*0x9E3779B97F4A7C15
+			tc.Classify = outcomeFor
+			tc.OnEnd = sh.rec.RecordSpan
+			sh.tr = obs.NewTracer(eng, tc)
+			sh.shaper.SetTracer(sh.tr)
+			sh.cc.SetTracer(sh.tr)
+		}
 	}
 	sh.doneFn = sh.opDone
 	eng.Run() // settle core firmware into its idle loop
@@ -172,11 +191,18 @@ func (sh *shard) loop() {
 			stall := f.stall
 			sh.eng.At(sh.eng.Now()+f.offset, func() {
 				if stall > 0 {
+					sh.rec.Event(sh.eng.Now(), obs.EvStall, "pump frozen by injected stall")
 					sh.shaper.PauseUntil(sh.eng.Now() + stall)
 					return
 				}
+				// Record the crash, let Kill fail the queued packets (their
+				// span ends land in the ring when tracing is on), then
+				// freeze — the postmortem captures both the event and the
+				// casualties.
+				sh.rec.Event(sh.eng.Now(), obs.EvCrash, ErrShardDown.Error())
 				sh.crashed.Store(true)
 				sh.shaper.Kill(ErrShardDown)
+				sh.rec.Freeze("crash", sh.eng.Now())
 			})
 		}
 		sh.runBatch(b.ops)

@@ -7,6 +7,7 @@ import (
 	"mccp/internal/bufpool"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/sim"
 	"mccp/internal/trafficgen"
@@ -285,6 +286,9 @@ type OpenLoopConfig struct {
 	// supplied by callers; must be non-empty with positive shares).
 	Profiles []arrivals.ClassProfile
 	Seed     uint64
+	// Trace configures per-shard lifecycle tracing for the run; when
+	// enabled the result carries the recorded spans and their digest.
+	Trace obs.TraceConfig
 }
 
 // OpenLoopClass is one class's aggregated open-loop measurement.
@@ -318,6 +322,10 @@ type OpenLoopResult struct {
 	ShardCycles []sim.Time
 	// Errors counts verdicts other than success/shed/expired/aged.
 	Errors int
+	// Spans and TraceDigest carry the lifecycle trace when
+	// OpenLoopConfig.Trace was enabled (nil/zero otherwise).
+	Spans       []obs.Span
+	TraceDigest uint64
 }
 
 // openLoopProgram is the per-shard arrival program state, driven entirely
@@ -394,6 +402,7 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 			Weights:    cfg.Weights,
 			AgeLimit:   cfg.AgeLimit,
 		},
+		Trace: cfg.Trace,
 	})
 	if err != nil {
 		return OpenLoopResult{}, err
@@ -507,6 +516,10 @@ func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
 	}
 	for s := range cl.shards {
 		res.PerShard[s] = cl.shards[s].shaper.AllStats()
+	}
+	if cfg.Trace.Enabled {
+		res.Spans = cl.TraceSpans()
+		res.TraceDigest = cl.TraceDigest()
 	}
 	return res, nil
 }

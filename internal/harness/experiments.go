@@ -111,6 +111,20 @@ var Experiments = map[string]Experiment{
 			" compact-flash — and the zero-fault baseline is E16's row verbatim)",
 		},
 	},
+	"E18": {
+		ID:    "E18",
+		Title: "stage attribution (traced per-class latency decomposition)",
+		Run: func(scale int) string {
+			return FormatStageAttribution(StageAttribution(StageCurveConfig{}))
+		},
+		Notes: []string{
+			"(the E13 sweep replayed with the lifecycle tracer at sample rate 1;",
+			" each delivered packet's latency tiles exactly into class queue,",
+			" scheduler, crossbar upload, core service and drain, so the traced",
+			" percentiles reconcile bit-for-bit with E13's and the table shows",
+			" where qos-priority buys voice its headroom: the queue stage)",
+		},
+	},
 }
 
 // ExperimentIDs returns the registered experiment IDs in order.

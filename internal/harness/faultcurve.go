@@ -144,6 +144,14 @@ func FaultCurves(cfg FaultConfig) FaultResult {
 
 // FaultPointRun measures one (policy, fault intensity) point.
 func FaultPointRun(policy string, row FaultRow, satMbps float64, cfg FaultConfig) FaultPoint {
+	return faultPointRun(policy, row, satMbps, cfg, nil)
+}
+
+// faultPointRun is FaultPointRun with an inspection hook that runs while
+// the server is still open — the obs smoke gate reads flight-recorder
+// postmortems through it before teardown.
+func faultPointRun(policy string, row FaultRow, satMbps float64, cfg FaultConfig,
+	inspect func(*server.Server)) FaultPoint {
 	cfg.fill()
 	wire := cfg.Wire
 	wire.Policy = policy
@@ -234,6 +242,9 @@ func FaultPointRun(policy string, row FaultRow, satMbps float64, cfg FaultConfig
 		}
 	}
 	point.RecoveryCycles, point.Recovered = recoveryOf(sched, wire.WindowCycles, cfg.VoiceRecovered, load.Windows)
+	if inspect != nil {
+		inspect(srv)
+	}
 	return point
 }
 

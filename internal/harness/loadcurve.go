@@ -7,8 +7,10 @@ import (
 	"mccp/internal/arrivals"
 	"mccp/internal/core"
 	"mccp/internal/cryptocore"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/sim"
+	"mccp/internal/verdict"
 )
 
 // This file is experiment E13: open-loop offered-load curves. Every
@@ -193,6 +195,17 @@ func LoadCurve(cfg LoadCurveConfig) LoadCurveResult {
 // window, and the per-class verdict counters and latency percentiles are
 // the result.
 func LoadPointRun(policy string, offered, satMbps float64, cfg LoadCurveConfig) LoadPoint {
+	point, _ := loadPointTraced(policy, offered, satMbps, cfg, obs.TraceConfig{}, false)
+	return point
+}
+
+// loadPointTraced is LoadPointRun with an optional lifecycle tracer
+// attached to the shaper and device layer (E18 reads the spans). With
+// attach false it is LoadPointRun exactly; with attach true the tracer
+// only reads the engine clock, so the returned LoadPoint is bit-identical
+// either way — the reconciliation ObsSmoke checks.
+func loadPointTraced(policy string, offered, satMbps float64, cfg LoadCurveConfig,
+	tc obs.TraceConfig, attach bool) (LoadPoint, *obs.Tracer) {
 	cfg.fill()
 	// Experiment drivers pass literal mixes; a non-positive share or size
 	// is a programming error (a zero share would flood at one packet per
@@ -210,6 +223,13 @@ func LoadPointRun(policy string, offered, satMbps float64, cfg LoadCurveConfig) 
 		QueueDepth: cfg.QueueDepth,
 		Drain:      cfg.Drain,
 	})
+	var tr *obs.Tracer
+	if attach {
+		tc.Classify = func(err error) obs.Outcome { return obs.Outcome(verdict.For(err)) }
+		tr = obs.NewTracer(eng, tc)
+		shaper.SetTracer(tr)
+		cc.SetTracer(tr)
+	}
 
 	bitsPerCycle := offered * satMbps * 1e6 / sim.DefaultFreqHz
 	// The window covers cfg.BackgroundPackets expected background
@@ -292,7 +312,7 @@ func LoadPointRun(policy string, offered, satMbps float64, cfg LoadCurveConfig) 
 	if submitted > 0 {
 		point.TotalLossFrac = float64(submitted-completed) / float64(submitted)
 	}
-	return point
+	return point, tr
 }
 
 // arrivalsSuite converts a class profile to its device suite.

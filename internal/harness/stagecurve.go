@@ -1,0 +1,319 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"mccp/internal/obs"
+	"mccp/internal/qos"
+	"mccp/internal/server"
+	"mccp/internal/sim"
+)
+
+// This file is experiment E18: stage attribution. E13 reports per-class
+// end-to-end latency percentiles; E18 re-runs the same open-loop sweep
+// with the lifecycle tracer attached at sample rate 1 and decomposes
+// every delivered packet's latency into the five pipeline stages (class
+// queue, scheduler, crossbar upload, core service, output drain). The
+// stages tile each span exactly — their durations sum to the
+// enqueue-to-completion time — so the table's per-stage numbers reconcile
+// with E13's percentiles bit-for-bit: the tracer only reads the engine
+// clock, and the traced run's LoadPoint is identical to the untraced
+// one. Below saturation the core stage dominates; past the knee the
+// queue stage absorbs the growth, and under qos-priority the voice
+// class's queue component stays flat while background's explodes — the
+// stage-level view of what the reservation buys.
+
+// DefaultStagePoints is the E18 sweep: underload, the knee, and twice
+// saturation.
+var DefaultStagePoints = []float64{0.25, 0.5, 1.0, 1.5, 2.0}
+
+// StageCell is one class's stage decomposition at one load point,
+// computed over delivered (OutcomeOK) spans only — the same population
+// as E13's latency percentiles.
+type StageCell struct {
+	Class qos.Class
+	// Spans counts the delivered spans decomposed.
+	Spans uint64
+	// TotalP50/TotalP99 are percentiles of span end-to-end durations —
+	// bit-identical to the E13 cell's P50/P99 (same samples, same
+	// nearest-rank method).
+	TotalP50, TotalP99 sim.Time
+	// P50/P99 are per-stage duration percentiles, indexed by obs.Stage.
+	// Stage percentiles are marginal (computed per stage), so they need
+	// not sum to the total percentiles; the Sum fields reconcile instead.
+	P50, P99 [obs.NumStages]sim.Time
+	// SumTotal is the integer sum of every delivered span's duration;
+	// SumStages the per-stage sums. SumTotal == Σ SumStages exactly —
+	// the tiling identity the obs smoke gate asserts.
+	SumTotal  sim.Time
+	SumStages [obs.NumStages]sim.Time
+}
+
+// StagePoint is one (policy, offered) traced measurement: the E13 point
+// (bit-identical to the untraced run) plus the stage decomposition.
+type StagePoint struct {
+	LoadPoint
+	// TraceDigest fingerprints the span stream (host timestamps
+	// excluded); Spans counts every recorded span, all outcomes.
+	TraceDigest uint64
+	Spans       int
+	Cells       []StageCell
+}
+
+// StageCell returns the point's stage cell for a class (zero if absent).
+func (p StagePoint) StageCell(c qos.Class) StageCell {
+	for _, cell := range p.Cells {
+		if cell.Class == c {
+			return cell
+		}
+	}
+	return StageCell{Class: c}
+}
+
+// StageCurveConfig parameterizes StageAttribution.
+type StageCurveConfig struct {
+	// Policies are the dispatch policies swept (default first-idle then
+	// qos-priority, the E13 contrast).
+	Policies []string
+	// Offered are the load points (default DefaultStagePoints).
+	Offered []float64
+	// Load carries the base E13 knobs (mix, window size, shaper, seed).
+	Load LoadCurveConfig
+}
+
+func (c *StageCurveConfig) fill() {
+	if len(c.Policies) == 0 {
+		c.Policies = []string{"first-idle", "qos-priority"}
+	}
+	if len(c.Offered) == 0 {
+		c.Offered = DefaultStagePoints
+	}
+	c.Load.fill()
+}
+
+// StageCurveResult is the full E18 sweep.
+type StageCurveResult struct {
+	SaturationMbps float64
+	Points         []StagePoint // policy-major, offered ascending
+}
+
+// StageAttribution runs E18: the E13 sweep with the tracer attached,
+// every delivered packet's latency decomposed by stage. Deterministic:
+// the sampler is seeded, every duration is virtual-time, and the traced
+// pipeline is bit-identical to the untraced one.
+func StageAttribution(cfg StageCurveConfig) StageCurveResult {
+	cfg.fill()
+	sat := SaturationMbps(cfg.Load.Mix, cfg.Load.SatPackets)
+	res := StageCurveResult{SaturationMbps: sat}
+	for _, pol := range cfg.Policies {
+		for _, offered := range cfg.Offered {
+			res.Points = append(res.Points, StagePointRun(pol, offered, sat, cfg.Load))
+		}
+	}
+	return res
+}
+
+// StagePointRun measures one (policy, offered) point with the tracer on
+// at sample rate 1 and reduces the span stream to per-class stage cells.
+func StagePointRun(policy string, offered, satMbps float64, cfg LoadCurveConfig) StagePoint {
+	cfg.fill()
+	point, tr := loadPointTraced(policy, offered, satMbps, cfg,
+		obs.TraceConfig{Enabled: true, Sample: 1, Seed: cfg.Seed}, true)
+	sp := StagePoint{LoadPoint: point, TraceDigest: tr.Digest()}
+	spans := tr.Spans()
+	sp.Spans = len(spans)
+
+	var totals [qos.NumClasses][]sim.Time
+	var stages [qos.NumClasses][obs.NumStages][]sim.Time
+	for i := range spans {
+		s := &spans[i]
+		if s.Outcome != obs.OutcomeOK {
+			continue
+		}
+		c := qos.Class(s.Class)
+		totals[c] = append(totals[c], s.Total())
+		for k, d := range s.Stages() {
+			stages[c][k] = append(stages[c][k], d)
+		}
+	}
+	for _, cell := range point.Classes {
+		c := cell.Class
+		sc := StageCell{Class: c, Spans: uint64(len(totals[c]))}
+		sc.TotalP50 = qos.PercentileOf(append([]sim.Time(nil), totals[c]...), 50)
+		sc.TotalP99 = qos.PercentileOf(append([]sim.Time(nil), totals[c]...), 99)
+		for _, d := range totals[c] {
+			sc.SumTotal += d
+		}
+		for k := 0; k < obs.NumStages; k++ {
+			sc.P50[k] = qos.PercentileOf(append([]sim.Time(nil), stages[c][k]...), 50)
+			sc.P99[k] = qos.PercentileOf(append([]sim.Time(nil), stages[c][k]...), 99)
+			for _, d := range stages[c][k] {
+				sc.SumStages[k] += d
+			}
+		}
+		sp.Cells = append(sp.Cells, sc)
+	}
+	return sp
+}
+
+// FormatStageAttribution renders the E18 table: per (policy, offered),
+// the voice and background classes' p99 decomposed by stage, with the
+// mean stage share of total delivered latency alongside.
+func FormatStageAttribution(r StageCurveResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stage attribution (E18): per-class latency decomposed by pipeline stage, saturation ~%.0f Mbps\n",
+		r.SaturationMbps)
+	b.WriteString("stages tile enqueue->completion exactly (queue+sched+xbar_up+core+drain == total); delivered packets only, sample rate 1\n")
+	fmt.Fprintf(&b, "%-14s %8s %-12s %7s | %8s %8s | p99 by stage: %8s %8s %8s %8s %8s\n",
+		"policy", "offered", "class", "spans", "p50 cyc", "p99 cyc",
+		"queue", "sched", "xbar_up", "core", "drain")
+	for _, p := range r.Points {
+		for _, class := range []qos.Class{qos.Voice, qos.Background} {
+			sc := p.StageCell(class)
+			fmt.Fprintf(&b, "%-14s %7.2fx %-12s %7d | %8d %8d | %14s %8d %8d %8d %8d\n",
+				p.Policy, p.Offered, sc.Class, sc.Spans,
+				sc.TotalP50, sc.TotalP99,
+				fmt.Sprintf("%8d", sc.P99[obs.StageQueue]), sc.P99[obs.StageSched],
+				sc.P99[obs.StageXbarUp], sc.P99[obs.StageCore], sc.P99[obs.StageDrain])
+		}
+	}
+	return b.String()
+}
+
+// ObsSmokeVerdict is the CI -obssmoke gate's result: the observability
+// plane must be deterministic, free (bit-identical metrics with the
+// tracer attached, within 5% wall-clock with it disabled), reconciled
+// (stage sums tile the end-to-end totals; traced percentiles equal
+// E13's), and the flight recorder must produce a postmortem from the
+// one-crash drill.
+type ObsSmokeVerdict struct {
+	// Deterministic: two traced runs produced identical points and span
+	// digests.
+	Deterministic bool
+	// Reconciled: the traced run's LoadPoint equals the untraced
+	// LoadPointRun and every class's traced total percentiles equal the
+	// E13 cell's.
+	Reconciled bool
+	// SumsTile: every class's SumTotal == Σ SumStages.
+	SumsTile bool
+	// Postmortems counts frozen flight-recorder dumps after the E16
+	// one-crash drill (>= 1 required).
+	Postmortems int
+	// OverheadRatio is best-of-N wall-clock throughput with a disabled
+	// tracer attached over tracer-absent (>= Limit required; the only
+	// nondeterministic check).
+	OverheadRatio float64
+	Limit         float64
+	Point         StagePoint
+}
+
+// Pass reports whether the gate held.
+func (v ObsSmokeVerdict) Pass() bool {
+	return v.Deterministic && v.Reconciled && v.SumsTile &&
+		v.Postmortems >= 1 && v.OverheadRatio >= v.Limit
+}
+
+func (v ObsSmokeVerdict) String() string {
+	verdict := "ok"
+	if !v.Pass() {
+		verdict = "FAIL"
+	}
+	flag := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	return fmt.Sprintf("obssmoke %s: determinism %s, reconcile-with-E13 %s, stage-sums %s, postmortems %d (need >= 1), tracing-off overhead ratio %.3f (limit %.2f)",
+		verdict, flag(v.Deterministic), flag(v.Reconciled), flag(v.SumsTile),
+		v.Postmortems, v.OverheadRatio, v.Limit)
+}
+
+// obsSmokeLoad is the gate's measurement point: qos-priority at 1.5x
+// saturation (past the knee, so every stage is exercised: queueing,
+// shedding, expiry and clean service all occur).
+func obsSmokeLoad() (string, float64, float64, LoadCurveConfig) {
+	cfg := LoadCurveConfig{BackgroundPackets: 120}
+	cfg.fill()
+	return "qos-priority", 1.5, SaturationMbps(cfg.Mix, cfg.SatPackets), cfg
+}
+
+// ObsSmoke runs the CI observability gate. Everything but the overhead
+// ratio is exact: determinism and reconciliation compare structs and
+// digests bit-for-bit; the wall-clock check takes the best of several
+// short runs on each side to damp scheduler noise.
+func ObsSmoke() ObsSmokeVerdict {
+	policy, offered, sat, cfg := obsSmokeLoad()
+	v := ObsSmokeVerdict{Limit: 0.95}
+
+	// Determinism: the traced point must replay bit-identically (host
+	// timestamps are excluded from the digest and absent from the point).
+	a := StagePointRun(policy, offered, sat, cfg)
+	b := StagePointRun(policy, offered, sat, cfg)
+	v.Point = a
+	v.Deterministic = a.TraceDigest == b.TraceDigest && reflect.DeepEqual(a, b)
+
+	// Reconciliation: attaching the tracer must not perturb the E13
+	// measurement, and the span-derived percentiles must equal the
+	// shaper-derived ones exactly (same samples, same method).
+	untraced := LoadPointRun(policy, offered, sat, cfg)
+	v.Reconciled = reflect.DeepEqual(a.LoadPoint, untraced)
+	v.SumsTile = len(a.Cells) > 0
+	for _, sc := range a.Cells {
+		cell := a.Cell(sc.Class)
+		if sc.TotalP50 != cell.P50 || sc.TotalP99 != cell.P99 || sc.Spans != cell.Completed {
+			v.Reconciled = false
+		}
+		var sum sim.Time
+		for _, s := range sc.SumStages {
+			sum += s
+		}
+		if sum != sc.SumTotal {
+			v.SumsTile = false
+		}
+	}
+
+	// Flight recorder: the E16 one-crash drill must freeze at least one
+	// postmortem dump (the crash freeze on the victim shard; quarantine
+	// adds another).
+	drill := FaultConfig{
+		Wire:        WireConfig{Shards: 4, Sessions: 64, WindowCycles: 4096, Windows: 24},
+		Rows:        []FaultRow{{Crashes: 1, Churn: 8}},
+		Policies:    []string{"qos-priority"},
+		FaultWindow: 8,
+	}
+	drill.fill()
+	drillSat := SaturationMbps(drill.Wire.Mix, drill.Wire.SatPackets) *
+		float64(drill.Wire.Shards) * float64(drill.Wire.CoresPerShard) / 4
+	faultPointRun("qos-priority", drill.Rows[0], drillSat,
+		drill, func(srv *server.Server) {
+			for _, d := range srv.Cluster().Postmortems() {
+				if len(d.Records) > 0 {
+					v.Postmortems++
+				}
+			}
+		})
+
+	// Overhead: a disabled-but-attached tracer must cost at most 5% of
+	// wall-clock throughput vs no tracer at all. Best-of-N on each side.
+	const rounds = 5
+	best := func(attach bool) time.Duration {
+		bestD := time.Duration(0)
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			loadPointTraced(policy, offered, sat, cfg, obs.TraceConfig{}, attach)
+			if d := time.Since(t0); bestD == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+	absent, disabled := best(false), best(true)
+	if disabled > 0 {
+		v.OverheadRatio = float64(absent) / float64(disabled)
+	}
+	return v
+}

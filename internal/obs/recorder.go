@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mccp/internal/sim"
+)
+
+// This file is the flight recorder: a bounded per-shard ring of recent
+// spans and lifecycle events that keeps overwriting itself while the
+// shard is healthy, and is frozen into an immutable Dump the moment
+// something goes wrong — a crash fires, the front end quarantines the
+// shard, a brownout denies admission. The E16/E17 drills then stop being
+// pass/fail curves and become inspectable postmortems: what the shard
+// was doing in the cycles before it died is right there in the dump.
+
+// EventKind classifies a recorder entry.
+type EventKind uint8
+
+const (
+	// EvSpan is a completed packet span (recorded via the tracer's OnEnd
+	// hook when tracing is enabled).
+	EvSpan EventKind = iota
+	// EvCrash: an armed ShardCrash fault fired on the shard's engine.
+	EvCrash
+	// EvStall: an armed ShardStall froze the shaper's pump.
+	EvStall
+	// EvQuarantine: the front end declared the shard dead and withdrew
+	// it from routing.
+	EvQuarantine
+	// EvBrownoutOn / EvBrownoutOff: a brownout admission mask was
+	// installed / lifted on the shard's shaper.
+	EvBrownoutOn
+	EvBrownoutOff
+	// EvRestart: the shard was rebuilt from quarantine.
+	EvRestart
+
+	numEventKinds = int(EvRestart) + 1
+)
+
+var eventNames = [numEventKinds]string{
+	"span", "crash", "stall", "quarantine", "brownout-on", "brownout-off", "restart",
+}
+
+func (k EventKind) String() string {
+	if int(k) >= numEventKinds {
+		return "invalid"
+	}
+	return eventNames[k]
+}
+
+// Record is one flight-recorder entry: a lifecycle event or a completed
+// span, stamped with the shard's virtual time.
+type Record struct {
+	At   sim.Time
+	Kind EventKind
+	Note string
+	// Span is valid when Kind == EvSpan.
+	Span Span
+}
+
+// Dump is a frozen ring: the recorder's contents, oldest first, at the
+// moment Freeze was called.
+type Dump struct {
+	Shard   int
+	Reason  string
+	At      sim.Time
+	Records []Record
+}
+
+// Format renders the dump as the postmortem text report.
+func (d Dump) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "postmortem: shard %d, reason %s, at cycle %d (%d records)\n",
+		d.Shard, d.Reason, d.At, len(d.Records))
+	for _, r := range d.Records {
+		if r.Kind == EvSpan {
+			st := r.Span.Stages()
+			fmt.Fprintf(&b, "  %12d  span id=%d class=%d bytes=%d outcome=%s total=%d (queue=%d sched=%d xbar_up=%d core=%d drain=%d)\n",
+				r.At, r.Span.ID, r.Span.Class, r.Span.Bytes, r.Span.Outcome,
+				r.Span.Total(), st[0], st[1], st[2], st[3], st[4])
+			continue
+		}
+		fmt.Fprintf(&b, "  %12d  %s", r.At, r.Kind)
+		if r.Note != "" {
+			fmt.Fprintf(&b, ": %s", r.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DefaultRingDepth is the recorder depth when the configuration leaves
+// it zero.
+const DefaultRingDepth = 128
+
+// maxDumps bounds the frozen dumps a recorder retains (repeated
+// brownout oscillation must not grow memory without bound).
+const maxDumps = 8
+
+// Recorder is one shard's flight recorder. Entries are appended by the
+// shard goroutine; Freeze may also be called by the front end (a
+// quarantine decision is made there), so the ring is mutex-protected —
+// the lock is uncontended in steady state and the recorder is far off
+// the per-packet fast path unless tracing is enabled. A nil *Recorder
+// is valid and inert.
+type Recorder struct {
+	mu    sync.Mutex
+	shard int
+	ring  []Record
+	next  int
+	n     int
+	dumps []Dump
+}
+
+// NewRecorder builds a recorder for a shard with the given ring depth
+// (0 = DefaultRingDepth).
+func NewRecorder(shard, depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultRingDepth
+	}
+	return &Recorder{shard: shard, ring: make([]Record, depth)}
+}
+
+func (r *Recorder) push(rec Record) {
+	r.ring[r.next] = rec
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+}
+
+// Event records a lifecycle event at a virtual time.
+func (r *Recorder) Event(at sim.Time, k EventKind, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.push(Record{At: at, Kind: k, Note: note})
+	r.mu.Unlock()
+}
+
+// RecordSpan records a completed span (shaped as a Tracer OnEnd hook).
+func (r *Recorder) RecordSpan(sp *Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.push(Record{At: sp.End, Kind: EvSpan, Span: *sp})
+	r.mu.Unlock()
+}
+
+// Freeze snapshots the ring, oldest record first, into a retained Dump.
+// The ring keeps recording afterwards; only the snapshot is immutable.
+func (r *Recorder) Freeze(reason string, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.dumps) >= maxDumps {
+		return
+	}
+	recs := make([]Record, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		recs = append(recs, r.ring[(start+i)%len(r.ring)])
+	}
+	r.dumps = append(r.dumps, Dump{Shard: r.shard, Reason: reason, At: at, Records: recs})
+}
+
+// Dumps returns a copy of the frozen dumps, oldest first.
+func (r *Recorder) Dumps() []Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Dump(nil), r.dumps...)
+}

@@ -1,0 +1,27 @@
+package obs
+
+import "io"
+
+// TextSnapshot is anything that renders itself as the cluster's text
+// report (cluster.Metrics satisfies it). The interface lives here so the
+// renderer can sit below cluster in the import graph.
+type TextSnapshot interface{ Format() string }
+
+// WriteReport writes the one text report both CLI front ends
+// (mccpcluster, mccpserver) print at exit: the snapshot's own format,
+// followed by the registry's metrics in exposition format when one is
+// attached.
+func WriteReport(w io.Writer, snap TextSnapshot, reg *Registry) error {
+	if snap != nil {
+		if _, err := io.WriteString(w, snap.Format()); err != nil {
+			return err
+		}
+	}
+	if reg != nil {
+		if _, err := io.WriteString(w, "\n# metrics\n"); err != nil {
+			return err
+		}
+		return reg.WriteProm(w)
+	}
+	return nil
+}

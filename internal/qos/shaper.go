@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mccp/internal/core"
+	"mccp/internal/obs"
 	"mccp/internal/sim"
 )
 
@@ -136,6 +137,9 @@ type item struct {
 	bytes    int
 	enqueued sim.Time
 	deadline sim.Time // 0 = none
+	// span is the packet's trace span (obs.NoSpan when tracing is off or
+	// the packet was not sampled).
+	span obs.SpanRef
 }
 
 // Shaper is the QoS front end: it admits packets into per-class bounded
@@ -163,7 +167,18 @@ type Shaper struct {
 	killed      error
 	pausedUntil sim.Time
 	deny        [NumClasses]bool
+
+	// tr traces packet lifecycle spans (nil = untraced; every obs call is
+	// nil-safe, so the packet path pays only branches).
+	tr *obs.Tracer
 }
+
+// SetTracer attaches a lifecycle tracer: every submission opens a span
+// at admission, the pump marks dispatch, the device layer (sharing the
+// same tracer) marks assignment/upload/retrieval, and completion or any
+// admission verdict ends it. The tracer only reads the engine clock, so
+// attaching one never perturbs virtual time.
+func (s *Shaper) SetTracer(t *obs.Tracer) { s.tr = t }
 
 // NewShaper builds a shaper over a target. It panics on an unknown drain
 // policy name (callers validating user input should check DrainByName
@@ -218,8 +233,10 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	c = ClassForPriority(int(c))
 	st := &s.stats[c]
 	st.Submitted++
+	span := s.tr.Start(uint8(c), nbytes)
 	if s.killed != nil {
 		st.Failed++
+		s.tr.EndErr(span, s.killed)
 		if cb != nil {
 			cb(nil, s.killed)
 		}
@@ -227,6 +244,7 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	}
 	if s.deny[c] {
 		st.Shed++
+		s.tr.EndErr(span, ErrShed)
 		if cb != nil {
 			cb(nil, ErrShed)
 		}
@@ -241,13 +259,14 @@ func (s *Shaper) submit(c Class, nbytes int, deadline sim.Time, cb func([]byte, 
 	}
 	if len(s.queues[c]) >= s.cfg.QueueDepth {
 		st.Shed++
+		s.tr.EndErr(span, ErrShed)
 		if cb != nil {
 			cb(nil, ErrShed)
 		}
 		return
 	}
 	s.queues[c] = append(s.queues[c], item{
-		run: run, cb: cb, bytes: nbytes, enqueued: s.eng.Now(), deadline: deadline,
+		run: run, cb: cb, bytes: nbytes, enqueued: s.eng.Now(), deadline: deadline, span: span,
 	})
 	if d := len(s.queues[c]); d > st.QueuedPeak {
 		st.QueuedPeak = d
@@ -296,6 +315,7 @@ func (s *Shaper) evictStale(c Class) {
 			return
 		}
 		s.queues[c] = s.queues[c][1:]
+		s.tr.EndErr(it.span, verdict)
 		if it.cb != nil {
 			it.cb(nil, verdict)
 		}
@@ -325,6 +345,11 @@ func (s *Shaper) pump() {
 			s.dispatched[c] = true
 			s.stats[c].FirstDispatch = s.eng.Now()
 		}
+		// Park the span for the device layer to claim: it.run invokes the
+		// device submission synchronously, so the handoff needs no
+		// allocation and cannot be interleaved.
+		s.tr.MarkNow(it.span, obs.MarkDispatch)
+		s.tr.SetPending(it.span)
 		it.run(func(out []byte, err error) {
 			s.inFlight--
 			s.complete(c, it, out, err)
@@ -351,6 +376,7 @@ func (s *Shaper) complete(c Class, it item, out []byte, err error) {
 	default:
 		st.Failed++
 	}
+	s.tr.EndErr(it.span, err)
 	if it.cb != nil {
 		it.cb(out, err)
 	}
@@ -366,6 +392,7 @@ func (s *Shaper) Kill(err error) {
 	for c := range s.queues {
 		for _, it := range s.queues[c] {
 			s.stats[c].Failed++
+			s.tr.EndErr(it.span, err)
 			if it.cb != nil {
 				it.cb(nil, err)
 			}

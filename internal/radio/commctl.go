@@ -9,6 +9,7 @@ import (
 	"mccp/internal/cryptocore"
 	"mccp/internal/firmware"
 	"mccp/internal/modes"
+	"mccp/internal/obs"
 	"mccp/internal/whirlpool"
 )
 
@@ -47,7 +48,17 @@ type CommController struct {
 
 	// Completions counts packets fully round-tripped.
 	Completions uint64
+
+	// tr is the lifecycle tracer shared with the shaper above (nil =
+	// untraced). The controller only marks stage boundaries — assignment,
+	// upload complete, retrieval — on the span the shaper parked; the
+	// shaper ends the span when the completion callback unwinds.
+	tr *obs.Tracer
 }
+
+// SetTracer attaches the lifecycle tracer (shared with the shaper that
+// drives this controller).
+func (cc *CommController) SetTracer(t *obs.Tracer) { cc.tr = t }
 
 type inflightReq struct {
 	encrypt    bool
@@ -66,6 +77,10 @@ type inflightReq struct {
 	remaining int
 	wordBufs  [2][]uint32
 	onWrite   func()
+
+	// span is the packet's trace span, claimed from the shaper at submit
+	// (obs.NoSpan when untraced).
+	span obs.SpanRef
 
 	next *inflightReq // pool link
 }
@@ -104,6 +119,7 @@ func (cc *CommController) getReq() *inflightReq {
 
 func (cc *CommController) putReq(req *inflightReq) {
 	req.cb = nil
+	req.span = obs.NoSpan
 	req.next = cc.freeReq
 	cc.freeReq = req
 }
@@ -121,6 +137,7 @@ func (req *inflightReq) streamWritten() {
 			req.wordBufs[i] = nil
 		}
 	}
+	req.cc.tr.MarkNow(req.span, obs.MarkUpload)
 	req.cc.dev.TransferDone(req.reqID, nopErr)
 }
 
@@ -160,6 +177,11 @@ func (cc *CommController) Decrypt(ch int, nonce, aad, ct, tag []byte, cb func([]
 }
 
 func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag []byte, cb func([]byte, error)) {
+	// Claim the span the shaper parked before invoking us — at the very
+	// top, so an early error return can never leave a stale reference for
+	// the next submission to pick up. Errors surface through cb and are
+	// ended by the layer that started the span.
+	span := cc.tr.TakePending()
 	s, ok := cc.suites[ch]
 	if !ok {
 		cb(nil, fmt.Errorf("radio: channel %d not open on this controller", ch))
@@ -170,6 +192,7 @@ func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag 
 			cb(nil, err)
 			return
 		}
+		cc.tr.MarkNow(span, obs.MarkAssign)
 		streams, nstreams, err := cc.streamsFor(a, s, encrypt, nonce, aad, payload, tag)
 		if err != nil {
 			cb(nil, err)
@@ -185,6 +208,7 @@ func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag 
 		req.cb = cb
 		req.reqID = a.ReqID
 		req.remaining = nstreams
+		req.span = span
 		cc.inflight[a.ReqID] = req
 		// Stream every engaged core's input through the Cross Bar at the
 		// channel's QoS priority, then acknowledge the upload with the
@@ -192,6 +216,7 @@ func (cc *CommController) submit(ch int, encrypt bool, nonce, aad, payload, tag 
 		// soon as they are converted to words; the word buffers when the
 		// upload completes.
 		if nstreams == 0 {
+			cc.tr.MarkNow(span, obs.MarkUpload)
 			cc.dev.TransferDone(a.ReqID, nopErr)
 			return
 		}
@@ -284,6 +309,9 @@ func (cc *CommController) retrieved(r core.Retrieval, err error) {
 	req := cc.inflight[r.ReqID]
 	delete(cc.inflight, r.ReqID)
 	cc.cur, cc.curR = req, r
+	if req != nil {
+		cc.tr.MarkNow(req.span, obs.MarkRetrieve)
+	}
 	if r.Code == firmware.ResultAuthFail {
 		cc.finish(nil, ErrAuth)
 		return

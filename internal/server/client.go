@@ -203,6 +203,30 @@ func (c *Client) SendRetrieve() (uint64, error) {
 	return c.send(c.scratch)
 }
 
+// SendStats pipelines a STATS.
+func (c *Client) SendStats() (uint64, error) {
+	c.nextID++
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, byte(OpStats))
+	c.scratch = putU64(c.scratch, c.nextID)
+	return c.send(c.scratch)
+}
+
+// MetricsText round-trips a STATS and returns the server's metrics
+// registry in Prometheus text exposition format — the same bytes the
+// HTTP /metrics endpoint serves.
+func (c *Client) MetricsText() (string, error) {
+	id, err := c.SendStats()
+	if err != nil {
+		return "", err
+	}
+	r, err := c.roundTrip(id)
+	if err != nil {
+		return "", err
+	}
+	return string(r.Out), r.Err()
+}
+
 // Flush pushes buffered request frames onto the wire.
 func (c *Client) Flush() error { return c.bw.Flush() }
 

@@ -52,8 +52,10 @@ type LoadConfig struct {
 	// Pipeline bounds outstanding unanswered sends per connection
 	// (default 512; must stay below the server's WriteBuffer).
 	Pipeline int
-	// Trace, when set, receives one CSV line per packet.
-	Trace io.Writer
+	// Trace, when set, receives one line per packet: CSV by default,
+	// JSONL (one object per line, same fields) with TraceJSON.
+	Trace     io.Writer
+	TraceJSON bool
 
 	// ChurnSessions, per connection, closes and re-opens that many
 	// sessions (round-robin over the connection's slots) at each window
@@ -442,10 +444,17 @@ func runConn(dial func() (net.Conn, error), cfg LoadConfig, ci, base, n int,
 			}
 		}
 		if cfg.Trace != nil {
-			fmt.Fprintf(cfg.Trace, "%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d\n",
-				ci, base+m.arr.sess, m.arr.prof.Class, m.arr.seq, m.arr.at,
-				m.arr.prof.Bytes, r.Status, r.Timing.WireCycles, total,
-				r.Timing.QueueNs, r.Timing.ServiceNs)
+			if cfg.TraceJSON {
+				fmt.Fprintf(cfg.Trace, `{"conn":%d,"session":%d,"class":%q,"seq":%d,"arrival_cycle":%d,"bytes":%d,"status":%q,"service_cycles":%d,"total_cycles":%d,"queue_ns":%d,"service_ns":%d}`+"\n",
+					ci, base+m.arr.sess, m.arr.prof.Class.String(), m.arr.seq, m.arr.at,
+					m.arr.prof.Bytes, r.Status.String(), r.Timing.WireCycles, total,
+					r.Timing.QueueNs, r.Timing.ServiceNs)
+			} else {
+				fmt.Fprintf(cfg.Trace, "%d,%d,%s,%d,%d,%d,%s,%d,%d,%d,%d\n",
+					ci, base+m.arr.sess, m.arr.prof.Class, m.arr.seq, m.arr.at,
+					m.arr.prof.Bytes, r.Status, r.Timing.WireCycles, total,
+					r.Timing.QueueNs, r.Timing.ServiceNs)
+			}
 		}
 		return m, nil
 	}

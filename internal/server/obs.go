@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"mccp/internal/obs"
+)
+
+// This file is the server's observability surface: the metrics registry
+// wiring (cluster collector + wire-level collector), the STATS frame
+// handler, and the HTTP endpoint (Prometheus text exposition, flight
+// recorder postmortems, net/http/pprof). All read paths go through the
+// one registry — the wire op and the HTTP scrape serve the same bytes.
+
+// pubStats is the batcher's published wire-counter snapshot: a copy of
+// the batcher-owned serverStats plus the window clock, stored through an
+// atomic pointer at every flush so registry collectors on the HTTP
+// goroutine read a consistent view without locking the batcher.
+type pubStats struct {
+	stats   serverStats
+	windows int
+}
+
+// publishWire refreshes the published snapshot (batcher goroutine only).
+func (s *Server) publishWire() {
+	s.pub.Store(&pubStats{stats: s.stats, windows: s.windows})
+}
+
+// initObs builds the registry: the cluster's collector (shard, class and
+// verdict counters from Snapshot) plus the server's wire-level collector
+// over the published snapshot.
+func (s *Server) initObs() {
+	s.publishWire()
+	s.reg = obs.NewRegistry()
+	s.cl.RegisterMetrics(s.reg)
+	s.reg.RegisterFunc(func(emit func(obs.Sample)) {
+		p := s.pub.Load()
+		emit(obs.Sample{Name: "mccp_server_sessions_open", Value: float64(p.stats.sessionsOpen)})
+		emit(obs.Sample{Name: "mccp_server_sessions_opened_total", Value: float64(p.stats.sessionsOpened)})
+		emit(obs.Sample{Name: "mccp_server_bytes_in_total", Value: float64(p.stats.bytesIn)})
+		emit(obs.Sample{Name: "mccp_server_bytes_out_total", Value: float64(p.stats.bytesOut)})
+		emit(obs.Sample{Name: "mccp_server_windows_total", Value: float64(p.windows)})
+		for st := StatusOK; st <= StatusShuttingDown; st++ {
+			emit(obs.Sample{
+				Name:   "mccp_server_responses_total",
+				Labels: fmt.Sprintf("status=%q", st.String()),
+				Value:  float64(p.stats.verdicts[st]),
+			})
+		}
+	})
+}
+
+// Metrics exposes the server's registry so embedding callers (CLIs,
+// tests) can add their own instruments — the build-info gauge registers
+// here — or render a report without going through the wire.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// handleStats answers a STATS frame: flush (so the exposition reflects
+// every request received before it), then the registry rendered as
+// Prometheus text.
+func (s *Server) handleStats(req *request) {
+	s.flush()
+	var buf bytes.Buffer
+	s.reg.WriteProm(&buf)
+	s.respond(req.conn, encodeTextResp(req.reqID, StatusOK, buf.Bytes()))
+}
+
+// Handler returns the server's HTTP observability endpoint:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/postmortems  every frozen flight-recorder dump, formatted
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Serve it on a side listener (the frame protocol owns the main one);
+// all routes are safe while the server runs.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WriteProm(w)
+	})
+	mux.HandleFunc("/postmortems", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		dumps := s.cl.Postmortems()
+		fmt.Fprintf(w, "%d postmortem dump(s)\n", len(dumps))
+		for _, d := range dumps {
+			io.WriteString(w, "\n")
+			io.WriteString(w, d.Format())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

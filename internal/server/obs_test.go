@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mccp/internal/cluster"
+	"mccp/internal/cryptocore"
+	"mccp/internal/qos"
+)
+
+// TestStatsWireOp: the STATS frame returns the server's Prometheus text
+// over the wire, reflecting traffic that already flowed, and the HTTP
+// endpoint renders the same registry.
+func TestStatsWireOp(t *testing.T) {
+	srv, lb := startLoopback(t, Config{Cluster: cluster.Config{Seed: 7}})
+	defer srv.Close()
+	cl := dialClient(t, lb)
+	defer cl.Close()
+
+	ids, err := cl.OpenMany([]OpenRequest{{Family: cryptocore.FamilyGCM, KeyLen: 16, TagLen: 16, Class: qos.Voice}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Encrypt(ids[0], make([]byte, 12), nil, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+
+	text, err := cl.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"mccp_cluster_packets_total 1",
+		"mccp_server_sessions_open 1",
+		`mccp_server_responses_total{status="ok"} 1`,
+		"mccp_server_bytes_in_total",
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("STATS text missing %q:\n%s", needle, text)
+		}
+	}
+
+	// The HTTP endpoint reads the same registry.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "mccp_cluster_packets_total") {
+		t.Errorf("/metrics missing cluster counters:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/postmortems", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "postmortem") {
+		t.Errorf("/postmortems status %d body %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatsOpString: the new op renders in protocol logs.
+func TestStatsOpString(t *testing.T) {
+	if OpStats.String() != "STATS" {
+		t.Errorf("OpStats renders as %q", OpStats.String())
+	}
+}

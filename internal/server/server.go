@@ -13,6 +13,7 @@ import (
 	"mccp/internal/cryptocore"
 	"mccp/internal/faults"
 	"mccp/internal/fleet"
+	"mccp/internal/obs"
 	"mccp/internal/qos"
 	"mccp/internal/reconfig"
 	"mccp/internal/sim"
@@ -289,6 +290,14 @@ type Server struct {
 	flt         *fleet.Fleet
 	scaler      *fleet.Autoscaler
 	heals       []HealEvent
+
+	// Observability plane: reg is the metrics registry every exposition
+	// path (STATS frames, the HTTP endpoint, CLI reports) reads; pub is
+	// the batcher's published wire-counter snapshot, refreshed at every
+	// flush so registry collectors on other goroutines never touch the
+	// batcher-owned serverStats.
+	reg *obs.Registry
+	pub atomic.Pointer[pubStats]
 }
 
 // New builds the backend cluster and starts the batcher (and, with
@@ -332,6 +341,7 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	s.initObs()
 	go s.batcher()
 	if cfg.IdleTimeout > 0 {
 		go s.reaper()
@@ -623,6 +633,7 @@ func (s *Server) flush() {
 		s.pendingOps = 0
 	}
 	s.cl.Flush()
+	s.publishWire()
 }
 
 func (s *Server) handleReq(req *request) {
@@ -648,6 +659,8 @@ func (s *Server) handleReq(req *request) {
 		s.respond(req.conn, encodeFlushResp(req.reqID, StatusOK, n))
 	case OpRetrieve:
 		s.handleRetrieve(req)
+	case OpStats:
+		s.handleStats(req)
 	}
 }
 

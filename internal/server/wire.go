@@ -50,6 +50,12 @@ const (
 	// its acknowledgement doubles as a sync barrier — when the reply
 	// arrives, every earlier request on the connection has been answered.
 	OpFlush Op = 6
+	// OpStats is a service extension: it returns the server's metrics
+	// registry rendered in Prometheus text exposition format — the same
+	// bytes the HTTP /metrics endpoint serves, readable by clients that
+	// only speak the frame protocol. (RETRIEVE_DATA stays the binary
+	// statistics report; STATS is the human/scraper view.)
+	OpStats Op = 7
 
 	// opConnClosed is internal: the reader injects it when a connection
 	// dies so the batcher reclaims the connection's sessions in request
@@ -71,6 +77,8 @@ func (o Op) String() string {
 		return "RETRIEVE_DATA"
 	case OpFlush:
 		return "FLUSH"
+	case OpStats:
+		return "STATS"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -349,7 +357,7 @@ func decodeRequest(body []byte, req *request) bool {
 		if req.op == OpDecrypt {
 			req.tag = append([]byte(nil), c.bytes(int(c.u8()))...)
 		}
-	case OpRetrieve, OpFlush:
+	case OpRetrieve, OpFlush, OpStats:
 	default:
 		return false
 	}
@@ -418,6 +426,14 @@ func encodeFlushResp(reqID uint64, st Status, flushed uint32) []byte {
 	return putU32(dst, flushed)
 }
 
+// encodeTextResp builds a STATS response: header then a u32-length text
+// payload (metrics expositions outgrow the u16 message field).
+func encodeTextResp(reqID uint64, st Status, text []byte) []byte {
+	dst := respHeader(make([]byte, 0, 9+4+len(text)), OpStats, reqID, st)
+	dst = putU32(dst, uint32(len(text)))
+	return append(dst, text...)
+}
+
 func encodeStatsResp(reqID uint64, st *Stats) []byte {
 	dst := respHeader(nil, OpRetrieve, reqID, StatusOK)
 	dst = putU64(dst, st.SessionsOpen)
@@ -458,6 +474,11 @@ func DecodeResponse(body []byte) (Response, error) {
 		}
 	case OpFlush:
 		r.Flushed = c.u32()
+	case OpStats:
+		out := c.bytes(int(c.u32()))
+		if len(out) > 0 {
+			r.Out = append([]byte(nil), out...)
+		}
 	case OpRetrieve:
 		st := &Stats{}
 		st.SessionsOpen = c.u64()
